@@ -1,0 +1,486 @@
+// Benchmarks regenerating every experiment of DESIGN.md §2. The paper is a
+// position paper without numeric tables, so each bench reproduces one
+// element of its framework (Figure 1, Figure 2 phases, the companion grid
+// of ref [6]) and reports the headline *shape* metric via b.ReportMetric
+// (kappa, hit-rates, losses) next to the usual ns/op.
+//
+// Run: go test -bench=. -benchmem
+package openbi
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"openbi/internal/clean"
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/experiment"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/olap"
+	"openbi/internal/rdf"
+	"openbi/internal/stats"
+	"openbi/internal/synth"
+	"openbi/internal/table"
+)
+
+// benchCfg is the shared, deliberately small experiment configuration:
+// big enough for stable shapes, small enough that the full bench suite
+// runs in minutes.
+func benchCfg(seed int64) experiment.Config {
+	return experiment.Config{
+		Seed:       seed,
+		Folds:      3,
+		Severities: []float64{0, 0.2, 0.4},
+	}
+}
+
+func benchDataset(b *testing.B, rows int) *mining.Dataset {
+	b.Helper()
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: rows, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// buildKB runs Phase 1 once (outside the timer) for benches that need a
+// populated knowledge base.
+func buildKB(b *testing.B, ds *mining.Dataset) *kb.KnowledgeBase {
+	b.Helper()
+	recs, err := experiment.Phase1(benchCfg(42), ds, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range recs {
+		base.Add(r)
+	}
+	return base
+}
+
+// ---- F1: the KDD pipeline of Figure 1 ----
+
+// BenchmarkF1_KDDPipeline measures the full end-to-end path: LOD →
+// projection (integration) → cleaning (preprocessing) → mining →
+// evaluation. One iteration is one complete pipeline run.
+func BenchmarkF1_KDDPipeline(b *testing.B) {
+	g, err := synth.MunicipalBudgetLOD(synth.LODSpec{Entities: 400, Dirtiness: 0.2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastKappa float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := rdf.Project(g, rdf.ProjectOptions{
+			Class: rdf.NewIRI(synth.NSDef + "Municipality"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb = tb.DropColumn("label")
+		pipe := clean.Pipeline{Steps: []clean.Step{
+			clean.Dedup{},
+			clean.Imputer{Strategy: clean.MeanMode, ExcludeColumns: []string{"fundingLevel"}},
+		}}
+		cleaned, _, err := pipe.Run(tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := mining.NewDatasetByName(cleaned, "fundingLevel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := eval.CrossValidate(func() mining.Classifier { return mining.NewC45Tree() }, ds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastKappa = m.Kappa
+	}
+	b.ReportMetric(lastKappa, "kappa")
+}
+
+// ---- F2 Phase 1: one bench per data-quality criterion ----
+
+// benchPhase1Criterion runs the severity sweep of one criterion over the
+// full algorithm suite; reports the mean kappa drop from severity 0 to
+// the maximum severity (the criterion's aggregate bite).
+func benchPhase1Criterion(b *testing.B, crit dq.Criterion) {
+	ds := benchDataset(b, 200)
+	cfg := benchCfg(42)
+	cfg.Criteria = []dq.Criterion{crit}
+	var drop float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := experiment.Phase1(cfg, ds, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := kb.New()
+		for _, r := range recs {
+			base.Add(r)
+		}
+		sum, n := 0.0, 0
+		for _, alg := range base.Algorithms() {
+			curve := base.Curve(alg, crit)
+			if len(curve) >= 2 {
+				sum += curve[0].Kappa - curve[len(curve)-1].Kappa
+				n++
+			}
+		}
+		if n > 0 {
+			drop = sum / float64(n)
+		}
+	}
+	b.ReportMetric(drop, "mean-kappa-drop")
+}
+
+func BenchmarkF2_Phase1_Completeness(b *testing.B)   { benchPhase1Criterion(b, dq.Completeness) }
+func BenchmarkF2_Phase1_Duplicates(b *testing.B)     { benchPhase1Criterion(b, dq.Duplicates) }
+func BenchmarkF2_Phase1_Correlation(b *testing.B)    { benchPhase1Criterion(b, dq.Correlation) }
+func BenchmarkF2_Phase1_Imbalance(b *testing.B)      { benchPhase1Criterion(b, dq.Imbalance) }
+func BenchmarkF2_Phase1_LabelNoise(b *testing.B)     { benchPhase1Criterion(b, dq.LabelNoise) }
+func BenchmarkF2_Phase1_AttributeNoise(b *testing.B) { benchPhase1Criterion(b, dq.AttributeNoise) }
+func BenchmarkF2_Phase1_Dimensionality(b *testing.B) { benchPhase1Criterion(b, dq.Dimensionality) }
+
+// ---- F2 Phase 2: mixed criteria ----
+
+// BenchmarkF2_Phase2_Mixed runs the canonical pair combinations at
+// severity 0.3 and reports the mean interaction (actual − additive
+// prediction); negative values are the super-additive degradation the
+// paper's Phase 2 exists to expose.
+func BenchmarkF2_Phase2_Mixed(b *testing.B) {
+	ds := benchDataset(b, 200)
+	cfg := benchCfg(42)
+	base := buildKB(b, ds)
+	combos := experiment.DefaultCombos([]dq.Criterion{
+		dq.Completeness, dq.LabelNoise, dq.Imbalance,
+	})
+	var interaction float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mixed, _, err := experiment.Phase2(cfg, ds, "bench", base, combos, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, m := range mixed {
+			sum += m.Interaction()
+		}
+		interaction = sum / float64(len(mixed))
+	}
+	b.ReportMetric(interaction, "mean-interaction")
+}
+
+// ---- F2: knowledge-base population and advice ----
+
+// BenchmarkF2_KnowledgeBase measures building the sensitivity table from
+// a populated knowledge base (the DQ4DM artifact itself).
+func BenchmarkF2_KnowledgeBase(b *testing.B) {
+	base := buildKB(b, benchDataset(b, 200))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algs, _, cells := base.SensitivityTable()
+		if len(algs) == 0 || len(cells) == 0 {
+			b.Fatal("empty sensitivity table")
+		}
+	}
+}
+
+// BenchmarkF2_Advisor measures one complete advice call (profile → ranked
+// recommendation) on a corrupted source and reports the advisor's
+// validation hit-rate computed once outside the timer.
+func BenchmarkF2_Advisor(b *testing.B) {
+	ds := benchDataset(b, 200)
+	base := buildKB(b, ds)
+	dirty, err := inject.Apply(ds.T, ds.ClassCol, []inject.Spec{
+		{Criterion: dq.LabelNoise, Severity: 0.3},
+		{Criterion: dq.Completeness, Severity: 0.2},
+	}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := experiment.Validate(benchCfg(42), ds, base, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var best string
+	for i := 0; i < b.N; i++ {
+		profile := dq.Measure(dirty, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+		advice, err := base.Advise(profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = advice.Best().Algorithm
+	}
+	if best == "" {
+		b.Fatal("no advice")
+	}
+	b.ReportMetric(res.Top1Rate(), "top1-rate")
+	b.ReportMetric(res.Top2Rate(), "top2-rate")
+	b.ReportMetric(res.MeanRegret, "mean-regret")
+}
+
+// ---- T-C1..C6: the companion-paper grid (ref [6]) ----
+
+// benchCriterionTable reproduces one column of the companion grid: a
+// single classifier's kappa under one criterion at severity 0.3,
+// reported per iteration.
+func benchCriterionTable(b *testing.B, algorithm string, crit dq.Criterion) {
+	ds := benchDataset(b, 200)
+	factory, err := mining.Lookup(algorithm, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty, err := inject.Apply(ds.T, ds.ClassCol,
+		[]inject.Spec{{Criterion: crit, Severity: 0.3}}, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evalDS, err := mining.NewDataset(dirty, ds.ClassCol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var kappa float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := eval.CrossValidate(factory, evalDS, 3, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kappa = m.Kappa
+	}
+	b.ReportMetric(kappa, "kappa@0.3")
+}
+
+func BenchmarkT_Criterion(b *testing.B) {
+	for _, crit := range []dq.Criterion{
+		dq.Completeness, dq.LabelNoise, dq.AttributeNoise,
+		dq.Imbalance, dq.Correlation, dq.Dimensionality,
+	} {
+		for _, alg := range []string{"naive-bayes", "c45", "5-nn", "logistic"} {
+			b.Run(fmt.Sprintf("%s/%s", crit, alg), func(b *testing.B) {
+				benchCriterionTable(b, alg, crit)
+			})
+		}
+	}
+}
+
+// ---- E-LOD: LOD integration (§3.2) ----
+
+// BenchmarkE_LODIntegration measures RDF → common representation → DQ
+// annotation on a 1000-entity municipal graph.
+func BenchmarkE_LODIntegration(b *testing.B) {
+	g, err := synth.MunicipalBudgetLOD(synth.LODSpec{Entities: 1000, Dirtiness: 0.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	class := rdf.NewIRI(synth.NSDef + "Municipality")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := rdf.Project(g, rdf.ProjectOptions{Class: class})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := dq.Measure(tb, dq.MeasureOptions{ClassColumn: tb.ColumnIndex("fundingLevel")})
+		if p.Rows == 0 {
+			b.Fatal("empty projection")
+		}
+	}
+	b.ReportMetric(float64(g.Len()), "triples")
+}
+
+// ---- E-DIM: dimensionality reduction (§1, ref [8]) ----
+
+// BenchmarkE_DimReduction compares kNN on a wide noisy table under three
+// treatments — nothing, PCA to 95% variance, and tree-based attribute
+// selection — reporting each treatment's kappa. The paper's complaint is
+// visible in the metrics: PCA recovers accuracy but destroys the
+// attribute structure a non-expert could read.
+func BenchmarkE_DimReduction(b *testing.B) {
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{
+		Rows: 300, Seed: 4, Irrelevant: 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	knn := func() mining.Classifier { return mining.NewKNN(5) }
+
+	var rawK, pcaK, selK float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Treatment 1: nothing.
+		m, err := eval.CrossValidate(knn, ds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rawK = m.Kappa
+
+		// Treatment 2: PCA projection of the numeric attributes.
+		numIdx := ds.T.NumericColumnIndices()
+		cols := make([][]float64, 0, len(numIdx))
+		for _, j := range numIdx {
+			cols = append(cols, ds.T.Column(j).Nums)
+		}
+		pca, err := stats.FitPCA(cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := pca.ComponentsFor(0.95)
+		proj := pca.Transform(cols, k)
+		pt := table.New("pca")
+		for c, col := range proj {
+			nc := table.NewNumericColumn(fmt.Sprintf("pc%d", c+1))
+			nc.Nums = col
+			pt.MustAddColumn(nc)
+		}
+		pt.MustAddColumn(ds.Class().Clone())
+		pds, err := mining.NewDataset(pt, pt.NumCols()-1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err = eval.CrossValidate(knn, pds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcaK = m.Kappa
+
+		// Treatment 3: keep only attributes a pruned tree actually uses —
+		// structure-preserving selection.
+		dt := mining.NewC45Tree()
+		if err := dt.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+		used := map[string]bool{}
+		for _, name := range ds.T.ColumnNames() {
+			if name != "class" && treeUses(dt.Dump(ds), name) {
+				used[name] = true
+			}
+		}
+		keep := []int{}
+		for j, name := range ds.T.ColumnNames() {
+			if used[name] || j == ds.ClassCol {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) > 1 {
+			st := ds.T.SelectColumns(keep)
+			sds, err := mining.NewDatasetByName(st, "class")
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err = eval.CrossValidate(knn, sds, 3, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			selK = m.Kappa
+		}
+	}
+	b.ReportMetric(rawK, "kappa-raw")
+	b.ReportMetric(pcaK, "kappa-pca")
+	b.ReportMetric(selK, "kappa-select")
+}
+
+func treeUses(dump, attr string) bool {
+	return len(dump) > 0 && (containsWord(dump, "if "+attr+" ") || containsWord(dump, "if "+attr+" ="))
+}
+
+func containsWord(s, w string) bool {
+	return len(w) > 0 && len(s) >= len(w) && (indexOf(s, w) >= 0)
+}
+
+func indexOf(s, w string) int {
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- E-CLEAN: cleaning efficacy (§2) ----
+
+// BenchmarkE_Cleaning measures the repair loop: corrupt → clean → mine,
+// reporting kappa on dirty vs cleaned data.
+func BenchmarkE_Cleaning(b *testing.B) {
+	ds := benchDataset(b, 240)
+	dirtyT, err := inject.Apply(ds.T, ds.ClassCol, []inject.Spec{
+		{Criterion: dq.Completeness, Severity: 0.3},
+		{Criterion: dq.Duplicates, Severity: 0.2},
+	}, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() mining.Classifier { return mining.NewKNN(5) }
+	var dirtyK, cleanK float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dds, err := mining.NewDataset(dirtyT, ds.ClassCol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := eval.CrossValidate(factory, dds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirtyK = m.Kappa
+
+		pipe := clean.Pipeline{Steps: []clean.Step{
+			clean.Dedup{},
+			clean.Imputer{Strategy: clean.KNNImpute, K: 5, ExcludeColumns: []string{"class"}},
+		}}
+		cleaned, _, err := pipe.Run(dirtyT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cds, err := mining.NewDataset(cleaned, ds.ClassCol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err = eval.CrossValidate(factory, cds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cleanK = m.Kappa
+	}
+	b.ReportMetric(dirtyK, "kappa-dirty")
+	b.ReportMetric(cleanK, "kappa-cleaned")
+}
+
+// ---- E-OLAP: the OpenBI analysis path (§1(i)) ----
+
+// BenchmarkE_OLAP measures cube construction plus a two-dimensional
+// roll-up and a pivot over an air-quality projection.
+func BenchmarkE_OLAP(b *testing.B) {
+	g, err := synth.AirQualityLOD(synth.LODSpec{Entities: 2000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := rdf.Project(g, rdf.ProjectOptions{Class: rdf.NewIRI(synth.NSDef + "Station")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb = tb.DropColumn("label")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cube, err := olap.NewCube(tb, []string{"inCity", "zoneType", "alertLevel"},
+			[]olap.Measure{{Column: "no2", Agg: olap.Avg}, {Column: "pm10", Agg: olap.Max}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cube.RollUp("inCity", "alertLevel"); err != nil {
+			b.Fatal(err)
+		}
+		tab, err := cube.Pivot("p", "inCity", "alertLevel", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tb.NumRows()), "stations")
+}

@@ -1,0 +1,493 @@
+// Command openbi is the user-facing entry point of the OpenBI
+// reproduction: the tool a "non-expert data miner" drives. It covers the
+// full pipeline of the paper — generate or ingest open data, profile its
+// data quality, build the DQ4DM knowledge base, ask for algorithm advice,
+// mine with the advised algorithm and share the result as LOD, and run
+// OLAP reports.
+//
+// Usage:
+//
+//	openbi generate  -kind municipal -n 500 -dirty 0.2 -out data.nt
+//	openbi profile   -in data.nt [-class fundingLevel] [-model model.xmi]
+//	openbi experiments -rows 500 -out kb.json
+//	openbi advise    -in data.nt -class fundingLevel -kb kb.json
+//	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt
+//	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
+//	openbi validate  -kb kb.json -rows 400 -trials 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"openbi/internal/clean"
+	"openbi/internal/core"
+	"openbi/internal/cwm"
+	"openbi/internal/dq"
+	"openbi/internal/experiment"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/olap"
+	"openbi/internal/rdf"
+	"openbi/internal/report"
+	"openbi/internal/synth"
+	"openbi/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "olap":
+		err = cmdOLAP(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "openbi: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "openbi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `openbi - data-quality-aware mining for open data
+
+commands:
+  generate     synthesize an open-government LOD dataset (.nt) or CSV
+  profile      measure data-quality criteria of a source; optionally emit a CWM model
+  experiments  run Phase 1 + Phase 2 and write the DQ4DM knowledge base
+  advise       recommend a mining algorithm for a source ("the best option is ...")
+  mine         train the advised algorithm and share predictions as LOD
+  olap         roll up a source into an OLAP report
+  repair       suggest and optionally apply a cleaning plan for a source
+  validate     measure advisor hit-rate and regret on random corruption scenarios
+`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "municipal", "municipal | airquality | education | classification")
+	n := fs.Int("n", 500, "entities / rows")
+	dirty := fs.Float64("dirty", 0, "LOD dirtiness in [0,1]")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "", "output path (.nt for LOD kinds, .csv for classification)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	spec := synth.LODSpec{Entities: *n, Dirtiness: *dirty, Seed: *seed}
+	switch *kind {
+	case "municipal", "airquality", "education":
+		var g *rdf.Graph
+		switch *kind {
+		case "municipal":
+			g, err = synth.MunicipalBudgetLOD(spec)
+		case "airquality":
+			g, err = synth.AirQualityLOD(spec)
+		default:
+			g, err = synth.EducationLOD(spec)
+		}
+		if err != nil {
+			return err
+		}
+		if err := rdf.WriteNTriples(f, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d triples to %s\n", g.Len(), *out)
+		return nil
+	case "classification":
+		ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: *n, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(f, ds); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d rows to %s\n", ds.Len(), *out)
+		return nil
+	default:
+		return fmt.Errorf("generate: unknown kind %q", *kind)
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	in := fs.String("in", "", "input file (.csv .xml .html .nt .ttl)")
+	class := fs.String("class", "", "class column name (optional)")
+	modelOut := fs.String("model", "", "write annotated CWM model here (.xmi or .json)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("profile: -in is required")
+	}
+	eng := core.NewEngine(1)
+
+	// RDF inputs get the graph-level profile first — link problems are
+	// invisible after projection.
+	if strings.HasSuffix(*in, ".nt") || strings.HasSuffix(*in, ".ttl") {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		var g *rdf.Graph
+		if strings.HasSuffix(*in, ".nt") {
+			g, err = rdf.ReadNTriples(f)
+		} else {
+			g, err = rdf.ReadTurtle(f)
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+		lp := dq.MeasureLOD(g)
+		lt := report.NewTable(fmt.Sprintf("LOD profile (%d triples, %d entities)", lp.Triples, lp.Entities),
+			"criterion", "value")
+		lt.AddRowf("property completeness", lp.PropertyCompleteness)
+		lt.AddRowf("dangling link ratio", lp.DanglingLinkRatio)
+		lt.AddRowf("sameAs per entity", lp.SameAsRatio)
+		lt.AddRowf("label coverage", lp.LabelCoverage)
+		lt.AddRowf("predicates per class", lp.PredicatesPerClass)
+		lt.AddRowf("class entropy", lp.ClassEntropy)
+		lt.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	tb, err := eng.IngestFile(*in)
+	if err != nil {
+		return err
+	}
+	m, err := eng.BuildModel(tb, *class)
+	if err != nil {
+		return err
+	}
+	printProfile(tb.Name, m.Profile)
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*modelOut, ".json") {
+			err = cwm.WriteJSON(f, m.Catalog)
+		} else {
+			err = cwm.WriteXMI(f, m.Catalog)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("annotated model written to %s\n", *modelOut)
+	}
+	return nil
+}
+
+func printProfile(name string, p dq.Profile) {
+	t := report.NewTable(fmt.Sprintf("Data quality profile of %q (%d rows, %d attributes)",
+		name, p.Rows, p.Attributes), "criterion", "measure", "severity")
+	t.AddRowf("completeness", p.Completeness, p.Severity(dq.Completeness))
+	t.AddRowf("duplicates", p.DuplicateRatio, p.Severity(dq.Duplicates))
+	t.AddRowf("correlation", p.MeanAbsCorrelation, p.Severity(dq.Correlation))
+	t.AddRowf("imbalance", 1-p.ClassBalance, p.Severity(dq.Imbalance))
+	t.AddRowf("label-noise", p.NoiseEstimate, p.Severity(dq.LabelNoise))
+	t.AddRowf("attribute-noise", p.OutlierRatio, p.Severity(dq.AttributeNoise))
+	t.AddRowf("dimensionality", p.Dimensionality, p.Severity(dq.Dimensionality))
+	t.Render(os.Stdout)
+	if dom := p.DominantCriteria(0.1); len(dom) > 0 {
+		names := make([]string, len(dom))
+		for i, c := range dom {
+			names[i] = c.String()
+		}
+		fmt.Printf("dominant problems: %s\n", strings.Join(names, ", "))
+	}
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	rows := fs.Int("rows", 500, "reference dataset rows")
+	folds := fs.Int("folds", 5, "cross-validation folds")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "kb.json", "knowledge base output path")
+	fs.Parse(args)
+
+	eng := core.NewEngine(*seed)
+	eng.Folds = *folds
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: *rows, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running Phase 1 + Phase 2 on a %d-row reference dataset...\n", *rows)
+	rep, err := eng.RunExperiments(ds, "reference")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 1: %d records; phase 2: %d records\n", rep.Phase1Records, rep.Phase2Records)
+
+	// Sensitivity table — the knowledge the advisor runs on.
+	algs, crits, cells := eng.KB.SensitivityTable()
+	header := append([]string{"algorithm"}, criteriaNames(crits)...)
+	t := report.NewTable("Sensitivity (kappa lost per unit severity)", header...)
+	for i, a := range algs {
+		row := make([]any, 0, len(header))
+		row = append(row, a)
+		for _, v := range cells[i] {
+			row = append(row, v)
+		}
+		t.AddRowf(row...)
+	}
+	t.Render(os.Stdout)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eng.SaveKB(f); err != nil {
+		return err
+	}
+	fmt.Printf("knowledge base (%d records) written to %s\n", eng.KB.Len(), *out)
+	return nil
+}
+
+func criteriaNames(crits []dq.Criterion) []string {
+	out := make([]string, len(crits))
+	for i, c := range crits {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func loadKB(path string) (*kb.KnowledgeBase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening knowledge base: %w (run `openbi experiments` first)", err)
+	}
+	defer f.Close()
+	return kb.Load(f)
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	class := fs.String("class", "", "class column name")
+	kbPath := fs.String("kb", "kb.json", "knowledge base path")
+	fs.Parse(args)
+	if *in == "" || *class == "" {
+		return fmt.Errorf("advise: -in and -class are required")
+	}
+	eng := core.NewEngine(1)
+	base, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	eng.KB = base
+	tb, err := eng.IngestFile(*in)
+	if err != nil {
+		return err
+	}
+	advice, m, err := eng.Advise(tb, *class)
+	if err != nil {
+		return err
+	}
+	printProfile(tb.Name, m.Profile)
+	fmt.Println()
+	fmt.Print(advice.Explain())
+	return nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	class := fs.String("class", "", "class column name")
+	kbPath := fs.String("kb", "kb.json", "knowledge base path")
+	share := fs.String("share", "", "write predictions as LOD (.nt) here")
+	base := fs.String("base", "http://openbi.example.org/", "base IRI for shared LOD")
+	fs.Parse(args)
+	if *in == "" || *class == "" {
+		return fmt.Errorf("mine: -in and -class are required")
+	}
+	eng := core.NewEngine(1)
+	loaded, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	eng.KB = loaded
+	tb, err := eng.IngestFile(*in)
+	if err != nil {
+		return err
+	}
+	res, err := eng.MineWithAdvice(tb, *class, *base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined with %s: accuracy %.3f, kappa %.3f, macro-F1 %.3f on %d held-out instances\n",
+		res.Algorithm, res.Metrics.Accuracy, res.Metrics.Kappa, res.Metrics.MacroF1, res.Metrics.TestInstances)
+	if *share != "" {
+		f, err := os.Create(*share)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rdf.WriteNTriples(f, res.Shared); err != nil {
+			return err
+		}
+		fmt.Printf("shared %d prediction triples to %s\n", res.Shared.Len(), *share)
+	}
+	return nil
+}
+
+func cmdOLAP(args []string) error {
+	fs := flag.NewFlagSet("olap", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	dims := fs.String("dims", "", "comma-separated nominal dimensions")
+	measures := fs.String("measure", "", "comma-separated agg:column (agg in sum,avg,count,min,max)")
+	fs.Parse(args)
+	if *in == "" || *dims == "" || *measures == "" {
+		return fmt.Errorf("olap: -in, -dims and -measure are required")
+	}
+	eng := core.NewEngine(1)
+	tb, err := eng.IngestFile(*in)
+	if err != nil {
+		return err
+	}
+	dimList := strings.Split(*dims, ",")
+	var ms []olap.Measure
+	for _, spec := range strings.Split(*measures, ",") {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("olap: bad measure %q, want agg:column", spec)
+		}
+		var agg olap.Aggregation
+		switch parts[0] {
+		case "sum":
+			agg = olap.Sum
+		case "avg":
+			agg = olap.Avg
+		case "count":
+			agg = olap.Count
+		case "min":
+			agg = olap.Min
+		case "max":
+			agg = olap.Max
+		default:
+			return fmt.Errorf("olap: unknown aggregation %q", parts[0])
+		}
+		ms = append(ms, olap.Measure{Column: parts[1], Agg: agg})
+	}
+	cube, err := olap.NewCube(tb, dimList, ms)
+	if err != nil {
+		return err
+	}
+	t, err := cube.RollUpTable(fmt.Sprintf("Roll-up of %q", tb.Name), dimList...)
+	if err != nil {
+		return err
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	class := fs.String("class", "", "class column name (optional; protected from repairs)")
+	out := fs.String("out", "", "write the repaired table as CSV here (omit for dry run)")
+	threshold := fs.Float64("threshold", 0.05, "minimum severity that triggers a repair")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("repair: -in is required")
+	}
+	eng := core.NewEngine(1)
+	tb, err := eng.IngestFile(*in)
+	if err != nil {
+		return err
+	}
+	classIdx := -1
+	if *class != "" {
+		classIdx = tb.ColumnIndex(*class)
+	}
+	profile := dq.Measure(tb, dq.MeasureOptions{ClassColumn: classIdx})
+	plan := clean.Suggest(profile, *class, *threshold)
+	fmt.Print(clean.Describe(plan))
+	if *out == "" || len(plan) == 0 {
+		return nil
+	}
+	repaired, reports, err := clean.PipelineFrom(plan).Run(tb)
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Printf("applied %-18s changed %d cells/rows\n", r.Step, r.Changed)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := table.WriteCSV(f, repaired); err != nil {
+		return err
+	}
+	fmt.Printf("repaired table written to %s\n", *out)
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	kbPath := fs.String("kb", "kb.json", "knowledge base path")
+	rows := fs.Int("rows", 400, "held-out dataset rows")
+	trials := fs.Int("trials", 10, "random corruption scenarios")
+	seed := fs.Int64("seed", 1234, "random seed")
+	fs.Parse(args)
+
+	base, err := loadKB(*kbPath)
+	if err != nil {
+		return err
+	}
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: *rows, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Seed: *seed, Folds: 5}
+	res, err := experiment.Validate(cfg, ds, base, *trials)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Advisor validation", "scenario", "advised", "empirical best", "regret")
+	for _, d := range res.Detail {
+		t.AddRowf(d.Scenario, d.Advised, d.Empirical, d.Regret)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("top-1 hit rate %.2f, top-2 %.2f, mean regret %.3f kappa (static %q policy regret %.3f)\n",
+		res.Top1Rate(), res.Top2Rate(), res.MeanRegret, res.StaticPolicy, res.StaticRegret)
+	return nil
+}
+
+// writeCSV writes a generated dataset's table as CSV.
+func writeCSV(f *os.File, ds *mining.Dataset) error {
+	return table.WriteCSV(f, ds.T)
+}

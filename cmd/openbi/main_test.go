@@ -1,0 +1,145 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed. A goroutine drains the pipe concurrently so commands
+// larger than the pipe buffer cannot deadlock.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	errRun := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if errRun != nil {
+		t.Fatalf("command failed: %v", errRun)
+	}
+	return out
+}
+
+func TestCLIGenerateAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	nt := filepath.Join(dir, "m.nt")
+	out := captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "municipal", "-n", "80", "-dirty", "0.2", "-out", nt, "-seed", "3"})
+	})
+	if !strings.Contains(out, "triples") {
+		t.Fatalf("generate output: %q", out)
+	}
+	if _, err := os.Stat(nt); err != nil {
+		t.Fatal("no output file")
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdProfile([]string{"-in", nt, "-class", "fundingLevel"})
+	})
+	if !strings.Contains(out, "LOD profile") {
+		t.Fatalf("profile should include the graph-level section:\n%s", out)
+	}
+	if !strings.Contains(out, "completeness") {
+		t.Fatalf("profile output:\n%s", out)
+	}
+}
+
+func TestCLIGenerateCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "d.csv")
+	captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "classification", "-n", "50", "-out", csv})
+	})
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "num1,") {
+		t.Fatalf("csv header: %q", string(data[:40]))
+	}
+}
+
+func TestCLIGenerateValidation(t *testing.T) {
+	if err := cmdGenerate([]string{"-kind", "municipal"}); err == nil {
+		t.Fatal("missing -out should error")
+	}
+	if err := cmdGenerate([]string{"-kind", "bogus", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestCLIProfileWritesModel(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "d.csv")
+	captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "classification", "-n", "60", "-out", csv})
+	})
+	model := filepath.Join(dir, "m.json")
+	captureStdout(t, func() error {
+		return cmdProfile([]string{"-in", csv, "-class", "class", "-model", model})
+	})
+	data, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dq.severity.completeness") {
+		t.Fatal("model lacks severity annotations")
+	}
+}
+
+func TestCLIRepairDryRun(t *testing.T) {
+	dir := t.TempDir()
+	nt := filepath.Join(dir, "m.nt")
+	captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "municipal", "-n", "80", "-dirty", "0.4", "-out", nt})
+	})
+	out := captureStdout(t, func() error {
+		return cmdRepair([]string{"-in", nt, "-class", "fundingLevel"})
+	})
+	if !strings.Contains(out, "impute") && !strings.Contains(out, "standardize") {
+		t.Fatalf("repair plan empty for a dirty source:\n%s", out)
+	}
+}
+
+func TestCLIOLAP(t *testing.T) {
+	dir := t.TempDir()
+	nt := filepath.Join(dir, "a.nt")
+	captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "airquality", "-n", "120", "-out", nt})
+	})
+	out := captureStdout(t, func() error {
+		return cmdOLAP([]string{"-in", nt, "-dims", "alertLevel", "-measure", "avg:no2,count:no2"})
+	})
+	if !strings.Contains(out, "avg(no2)") {
+		t.Fatalf("olap output:\n%s", out)
+	}
+}
+
+func TestCLIOLAPValidation(t *testing.T) {
+	if err := cmdOLAP([]string{"-in", "x", "-dims", "d", "-measure", "badspec"}); err == nil {
+		t.Fatal("bad measure spec should error")
+	}
+}
+
+func TestCLIAdviseRequiresKB(t *testing.T) {
+	dir := t.TempDir()
+	err := cmdAdvise([]string{"-in", "x.csv", "-class", "c", "-kb", filepath.Join(dir, "absent.json")})
+	if err == nil || !strings.Contains(err.Error(), "knowledge base") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,579 @@
+// Package clean implements the preprocessing/ETL phase of the KDD process
+// (Figure 1, phase i) — the cleaning techniques the paper's related-work
+// section surveys: duplicate detection and elimination [1,5], missing
+// value imputation [16], and representation standardization [13]. The
+// E-CLEAN experiment measures how much classifier quality each technique
+// buys back on corrupted data.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// Step is a cleaning operation over a table; steps never mutate their
+// input.
+type Step interface {
+	// Name identifies the step in reports.
+	Name() string
+	// Apply returns the cleaned copy and the number of cells/rows changed.
+	Apply(t *table.Table) (*table.Table, int, error)
+}
+
+// Pipeline chains steps in order, collecting a per-step change report.
+type Pipeline struct {
+	Steps []Step
+}
+
+// Report records what one step did.
+type Report struct {
+	Step    string
+	Changed int
+}
+
+// Run applies the pipeline and returns the final table plus the report.
+func (p Pipeline) Run(t *table.Table) (*table.Table, []Report, error) {
+	out := t
+	reports := make([]Report, 0, len(p.Steps))
+	for _, s := range p.Steps {
+		next, changed, err := s.Apply(out)
+		if err != nil {
+			return nil, nil, fmt.Errorf("clean: step %s: %w", s.Name(), err)
+		}
+		reports = append(reports, Report{Step: s.Name(), Changed: changed})
+		out = next
+	}
+	return out, reports, nil
+}
+
+// ---- Imputation ----
+
+// ImputeStrategy selects how missing cells are filled.
+type ImputeStrategy int
+
+const (
+	// MeanMode fills numeric cells with the column mean and nominal cells
+	// with the column mode.
+	MeanMode ImputeStrategy = iota
+	// Median fills numeric cells with the column median (nominal: mode).
+	Median
+	// KNNImpute fills cells from the k nearest rows by Gower distance —
+	// the microarray-style estimator of Troyanskaya et al. [16].
+	KNNImpute
+)
+
+// Imputer fills missing cells.
+type Imputer struct {
+	Strategy ImputeStrategy
+	// K is the neighbourhood size for KNNImpute (default 5).
+	K int
+	// ExcludeColumns names columns to leave untouched (e.g. the class).
+	ExcludeColumns []string
+}
+
+// Name implements Step.
+func (im Imputer) Name() string {
+	switch im.Strategy {
+	case Median:
+		return "impute-median"
+	case KNNImpute:
+		return "impute-knn"
+	default:
+		return "impute-mean-mode"
+	}
+}
+
+// Apply fills missing cells per the strategy.
+func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
+	out := t.Clone()
+	excluded := map[string]bool{}
+	for _, n := range im.ExcludeColumns {
+		excluded[n] = true
+	}
+	if im.Strategy == KNNImpute {
+		return im.applyKNN(out, excluded)
+	}
+	changed := 0
+	for _, c := range out.Columns() {
+		if excluded[c.Name] {
+			continue
+		}
+		if c.Kind == table.Numeric {
+			fill := stats.Mean(c.Nums)
+			if im.Strategy == Median {
+				fill = stats.Median(c.Nums)
+			}
+			if stats.IsMissing(fill) {
+				continue
+			}
+			for r := range c.Nums {
+				if c.IsMissing(r) {
+					c.Nums[r] = fill
+					changed++
+				}
+			}
+			continue
+		}
+		counts := c.Counts()
+		mode, best := -1, 0
+		for code, n := range counts {
+			if n > best {
+				mode, best = code, n
+			}
+		}
+		if mode < 0 {
+			continue
+		}
+		for r := range c.Cats {
+			if c.Cats[r] == table.MissingCat {
+				c.Cats[r] = mode
+				changed++
+			}
+		}
+	}
+	return out, changed, nil
+}
+
+// applyKNN fills each incomplete row's gaps from its k nearest complete-ish
+// neighbours (numeric: mean of observed neighbour values; nominal: mode).
+func (im Imputer) applyKNN(out *table.Table, excluded map[string]bool) (*table.Table, int, error) {
+	k := im.K
+	if k <= 0 {
+		k = 5
+	}
+	rows := out.NumRows()
+	cols := out.Columns()
+
+	// Ranges for Gower scaling.
+	ranges := make([]float64, len(cols))
+	for j, c := range cols {
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		if !stats.IsMissing(lo) && hi > lo {
+			ranges[j] = hi - lo
+		}
+	}
+	dist := func(a, b int) float64 {
+		sum, n := 0.0, 0
+		for j, c := range cols {
+			if c.IsMissing(a) || c.IsMissing(b) {
+				continue
+			}
+			n++
+			if c.Kind == table.Numeric {
+				if ranges[j] == 0 {
+					continue
+				}
+				d := math.Abs(c.Nums[a]-c.Nums[b]) / ranges[j]
+				if d > 1 {
+					d = 1
+				}
+				sum += d
+			} else if c.Cats[a] != c.Cats[b] {
+				sum++
+			}
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sum / float64(n)
+	}
+
+	changed := 0
+	for r := 0; r < rows; r++ {
+		hasGap := false
+		for j, c := range cols {
+			if excluded[cols[j].Name] {
+				continue
+			}
+			if c.IsMissing(r) {
+				hasGap = true
+				break
+			}
+		}
+		if !hasGap {
+			continue
+		}
+		// k nearest other rows.
+		type nd struct {
+			row int
+			d   float64
+		}
+		var best []nd
+		for q := 0; q < rows; q++ {
+			if q == r {
+				continue
+			}
+			d := dist(r, q)
+			if math.IsInf(d, 1) {
+				continue
+			}
+			best = append(best, nd{q, d})
+		}
+		sort.Slice(best, func(a, b int) bool {
+			if best[a].d != best[b].d {
+				return best[a].d < best[b].d
+			}
+			return best[a].row < best[b].row
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+		for _, c := range cols {
+			if excluded[c.Name] || !c.IsMissing(r) {
+				continue
+			}
+			if c.Kind == table.Numeric {
+				sum, n := 0.0, 0
+				for _, nb := range best {
+					if !c.IsMissing(nb.row) {
+						sum += c.Nums[nb.row]
+						n++
+					}
+				}
+				if n > 0 {
+					c.Nums[r] = sum / float64(n)
+					changed++
+				}
+				continue
+			}
+			votes := map[int]int{}
+			for _, nb := range best {
+				if !c.IsMissing(nb.row) {
+					votes[c.Cats[nb.row]]++
+				}
+			}
+			mode, bestV := -1, 0
+			codes := make([]int, 0, len(votes))
+			for code := range votes {
+				codes = append(codes, code)
+			}
+			sort.Ints(codes)
+			for _, code := range codes {
+				if votes[code] > bestV {
+					mode, bestV = code, votes[code]
+				}
+			}
+			if mode >= 0 {
+				c.Cats[r] = mode
+				changed++
+			}
+		}
+	}
+	return out, changed, nil
+}
+
+// ---- Deduplication ----
+
+// Dedup removes duplicate rows: exact duplicates always, and (optionally)
+// fuzzy duplicates whose nominal cells are within MaxEditDistance of an
+// earlier row while numeric cells agree within Tolerance of the column
+// range (blocking on the first nominal column keeps it near-linear).
+type Dedup struct {
+	// Fuzzy enables approximate matching beyond exact row keys.
+	Fuzzy bool
+	// MaxEditDistance is the per-cell Levenshtein budget (default 1).
+	MaxEditDistance int
+	// Tolerance is the numeric agreement band as a fraction of the column
+	// range (default 0.01).
+	Tolerance float64
+}
+
+// Name implements Step.
+func (d Dedup) Name() string {
+	if d.Fuzzy {
+		return "dedup-fuzzy"
+	}
+	return "dedup-exact"
+}
+
+// Apply removes duplicates, keeping first occurrences; it returns the
+// number of removed rows.
+func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
+	rows := t.NumRows()
+	keep := make([]int, 0, rows)
+	seen := make(map[string]bool, rows)
+	var survivors []int // for fuzzy comparison
+
+	maxEdit := d.MaxEditDistance
+	if maxEdit <= 0 {
+		maxEdit = 1
+	}
+	tol := d.Tolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+	cols := t.Columns()
+	ranges := make([]float64, len(cols))
+	for j, c := range cols {
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		if !stats.IsMissing(lo) && hi > lo {
+			ranges[j] = hi - lo
+		}
+	}
+
+	// Blocking index for fuzzy matching: the first letter of the first
+	// nominal column's normalized label. Coarser than the label itself so
+	// spelling variants ("Alicante" / "alicante ") still share a block,
+	// while keeping comparisons near-linear.
+	blockCol := -1
+	for j, c := range cols {
+		if c.Kind == table.Nominal {
+			blockCol = j
+			break
+		}
+	}
+	blockKey := func(r int) (rune, bool) {
+		if blockCol < 0 || cols[blockCol].IsMissing(r) {
+			return 0, false
+		}
+		lbl := strings.ToLower(normalizeLabel(cols[blockCol].Label(cols[blockCol].Cats[r])))
+		if lbl == "" {
+			return 0, false
+		}
+		return []rune(lbl)[0], true
+	}
+	blocks := map[rune][]int{}
+
+	for r := 0; r < rows; r++ {
+		key := t.RowKey(r)
+		if seen[key] {
+			continue
+		}
+		isDup := false
+		if d.Fuzzy {
+			candidates := survivors
+			if bk, ok := blockKey(r); ok {
+				candidates = blocks[bk]
+			}
+			for _, q := range candidates {
+				if fuzzyRowMatch(t, r, q, ranges, maxEdit, tol) {
+					isDup = true
+					break
+				}
+			}
+		}
+		if isDup {
+			continue
+		}
+		seen[key] = true
+		keep = append(keep, r)
+		survivors = append(survivors, r)
+		if bk, ok := blockKey(r); ok {
+			blocks[bk] = append(blocks[bk], r)
+		}
+	}
+	return t.SelectRows(keep), rows - len(keep), nil
+}
+
+// fuzzyRowMatch reports whether rows a and b agree cell-wise within the
+// fuzzy budgets.
+func fuzzyRowMatch(t *table.Table, a, b int, ranges []float64, maxEdit int, tol float64) bool {
+	for j, c := range t.Columns() {
+		am, bm := c.IsMissing(a), c.IsMissing(b)
+		if am != bm {
+			return false
+		}
+		if am {
+			continue
+		}
+		if c.Kind == table.Numeric {
+			if ranges[j] == 0 {
+				if c.Nums[a] != c.Nums[b] {
+					return false
+				}
+				continue
+			}
+			if math.Abs(c.Nums[a]-c.Nums[b]) > tol*ranges[j] {
+				return false
+			}
+			continue
+		}
+		la, lb := c.Label(c.Cats[a]), c.Label(c.Cats[b])
+		if la == lb {
+			continue
+		}
+		na := strings.ToLower(normalizeLabel(la))
+		nb := strings.ToLower(normalizeLabel(lb))
+		if Levenshtein(na, nb) > maxEdit {
+			return false
+		}
+	}
+	return true
+}
+
+// Levenshtein returns the edit distance between two strings (runes).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// ---- Standardization ----
+
+// Standardizer normalizes the spelling of nominal cells: trims and
+// collapses whitespace, optionally lowercases, and rewrites recognizable
+// dates to ISO-8601 — the "standardization of data representation, such as
+// dates" example of §2.
+type Standardizer struct {
+	// Lowercase folds labels to lower case.
+	Lowercase bool
+	// Dates rewrites parseable date spellings to YYYY-MM-DD.
+	Dates bool
+}
+
+// Name implements Step.
+func (s Standardizer) Name() string { return "standardize" }
+
+// dateLayouts are the spellings the standardizer recognizes, most specific
+// first.
+var dateLayouts = []string{
+	"2006-01-02", "02/01/2006", "01/02/2006", "2/1/2006", "02-01-2006",
+	"Jan 2, 2006", "2 Jan 2006", "January 2, 2006", "2006/01/02",
+}
+
+// Apply rewrites labels; the nominal dictionary is rebuilt so merged
+// spellings share one code.
+func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
+	out := table.New(t.Name)
+	changed := 0
+	for _, c := range t.Columns() {
+		if c.Kind == table.Numeric {
+			out.MustAddColumn(c.Clone())
+			continue
+		}
+		nc := table.NewNominalColumn(c.Name)
+		for r := 0; r < c.Len(); r++ {
+			if c.IsMissing(r) {
+				nc.AppendMissing()
+				continue
+			}
+			orig := c.Label(c.Cats[r])
+			lbl := normalizeLabel(orig)
+			if s.Lowercase {
+				lbl = strings.ToLower(lbl)
+			}
+			if s.Dates {
+				if iso, ok := parseDate(lbl); ok {
+					lbl = iso
+				}
+			}
+			if lbl != orig {
+				changed++
+			}
+			nc.AppendLabel(lbl)
+		}
+		out.MustAddColumn(nc)
+	}
+	return out, changed, nil
+}
+
+// parseDate tries the known layouts and returns the ISO rendering.
+func parseDate(s string) (string, bool) {
+	for _, layout := range dateLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts.Format("2006-01-02"), true
+		}
+	}
+	return "", false
+}
+
+// normalizeLabel trims and collapses internal whitespace.
+func normalizeLabel(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// ---- Outlier filtering ----
+
+// OutlierFilter removes rows holding a numeric cell outside the Tukey
+// fence [Q1 - K·IQR, Q3 + K·IQR] on any column.
+type OutlierFilter struct {
+	// K is the fence multiplier (default 3: only extreme outliers).
+	K float64
+	// ExcludeColumns names columns not checked.
+	ExcludeColumns []string
+}
+
+// Name implements Step.
+func (o OutlierFilter) Name() string { return "outlier-filter" }
+
+// Apply drops out-of-fence rows; it returns the number removed.
+func (o OutlierFilter) Apply(t *table.Table) (*table.Table, int, error) {
+	k := o.K
+	if k <= 0 {
+		k = 3
+	}
+	excluded := map[string]bool{}
+	for _, n := range o.ExcludeColumns {
+		excluded[n] = true
+	}
+	type fence struct{ lo, hi float64 }
+	fences := map[int]fence{}
+	for j, c := range t.Columns() {
+		if c.Kind != table.Numeric || excluded[c.Name] {
+			continue
+		}
+		q1, q3 := stats.Quantile(c.Nums, 0.25), stats.Quantile(c.Nums, 0.75)
+		if stats.IsMissing(q1) || stats.IsMissing(q3) {
+			continue
+		}
+		iqr := q3 - q1
+		fences[j] = fence{q1 - k*iqr, q3 + k*iqr}
+	}
+	rows := t.NumRows()
+	keep := make([]int, 0, rows)
+	for r := 0; r < rows; r++ {
+		ok := true
+		for j, f := range fences {
+			c := t.Column(j)
+			if c.IsMissing(r) {
+				continue
+			}
+			if c.Nums[r] < f.lo || c.Nums[r] > f.hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	return t.SelectRows(keep), rows - len(keep), nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package clean
+
+import (
+	"fmt"
+	"strings"
+
+	"openbi/internal/dq"
+)
+
+// Suggestion pairs a ready-to-run cleaning step with the measured evidence
+// that motivated it — the paper's "all steps undertaken should be reported
+// to the user or even interactively controlled by the user" requirement
+// (§1, quoting ref [11]). The OpenBI UI shows the Reason, the user accepts
+// or rejects, and the accepted steps form a Pipeline.
+type Suggestion struct {
+	Step   Step
+	Reason string
+	// Severity is the measured severity of the criterion that triggered
+	// the suggestion, for ordering.
+	Severity float64
+}
+
+// Suggest derives a repair plan from a measured data-quality profile.
+// classColumn (may be "") is excluded from destructive repairs. Steps come
+// back most-severe-problem first; an empty slice means the source needs no
+// repair at the given threshold.
+//
+// The mapping is deliberately conservative: only criteria that cleaning can
+// actually repair yield steps (label noise and dimensionality are advice
+// problems — the kb layer handles them by algorithm choice, not by data
+// surgery).
+func Suggest(p dq.Profile, classColumn string, threshold float64) []Suggestion {
+	if threshold <= 0 {
+		threshold = 0.05
+	}
+	var out []Suggestion
+	var exclude []string
+	if classColumn != "" {
+		exclude = []string{classColumn}
+	}
+
+	if s := p.Severity(dq.Duplicates); s >= threshold {
+		out = append(out, Suggestion{
+			Step:     Dedup{Fuzzy: s >= 0.2},
+			Severity: s,
+			Reason: fmt.Sprintf("%.0f%% of rows repeat an earlier row; duplicate rows leak across "+
+				"cross-validation folds and inflate apparent accuracy", s*100),
+		})
+	}
+	if s := p.Severity(dq.Completeness); s >= threshold {
+		strategy := MeanMode
+		// Heavy incompleteness deserves the better estimator.
+		if s >= 0.25 {
+			strategy = KNNImpute
+		}
+		out = append(out, Suggestion{
+			Step:     Imputer{Strategy: strategy, ExcludeColumns: exclude},
+			Severity: s,
+			Reason: fmt.Sprintf("%.0f%% of attribute cells are missing; imputation restores "+
+				"instances that row-deletion would discard", s*100),
+		})
+	}
+	if s := p.Severity(dq.AttributeNoise); s >= threshold {
+		out = append(out, Suggestion{
+			Step:     OutlierFilter{K: 3, ExcludeColumns: exclude},
+			Severity: s,
+			Reason: fmt.Sprintf("%.0f%% of numeric cells sit outside the Tukey fences; extreme "+
+				"outliers distort distance-based and linear methods", s*100),
+		})
+	}
+	// Inconsistent spellings surface as implausibly large nominal
+	// dictionaries relative to the rows.
+	for _, cp := range p.Columns {
+		if cp.Kind == "nominal" && p.Rows > 20 && cp.Levels > p.Rows/3 {
+			out = append(out, Suggestion{
+				Step:     Standardizer{Lowercase: true, Dates: true},
+				Severity: float64(cp.Levels) / float64(p.Rows),
+				Reason: fmt.Sprintf("column %q has %d distinct labels over %d rows; spelling "+
+					"variants likely split one category into many", cp.Name, cp.Levels, p.Rows),
+			})
+			break // one standardizer covers every column
+		}
+	}
+
+	// Most severe first, stable for equal severities.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Severity > out[j-1].Severity; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PipelineFrom assembles the suggested steps into a runnable Pipeline in
+// suggestion order.
+func PipelineFrom(suggestions []Suggestion) Pipeline {
+	p := Pipeline{}
+	for _, s := range suggestions {
+		p.Steps = append(p.Steps, s.Step)
+	}
+	return p
+}
+
+// Describe renders the plan for the user.
+func Describe(suggestions []Suggestion) string {
+	if len(suggestions) == 0 {
+		return "no repairs suggested: the source meets the quality threshold\n"
+	}
+	var b strings.Builder
+	for i, s := range suggestions {
+		fmt.Fprintf(&b, "%d. %s — %s\n", i+1, s.Step.Name(), s.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package clean
+
+import (
+	"strings"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/inject"
+	"openbi/internal/synth"
+)
+
+func profileOf(t *testing.T, specs []inject.Spec) dq.Profile {
+	t.Helper()
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 200, Seed: 17})
+	dirty, err := inject.Apply(ds.T, ds.ClassCol, specs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dq.Measure(dirty, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+}
+
+func TestSuggestCleanSourceNeedsNothing(t *testing.T) {
+	p := profileOf(t, nil)
+	if got := Suggest(p, "class", 0.05); len(got) != 0 {
+		t.Fatalf("clean source got %d suggestions: %s", len(got), Describe(got))
+	}
+	if !strings.Contains(Describe(nil), "no repairs") {
+		t.Fatal("empty plan description wrong")
+	}
+}
+
+func TestSuggestMissingnessTriggersImputer(t *testing.T) {
+	p := profileOf(t, []inject.Spec{{Criterion: dq.Completeness, Severity: 0.3}})
+	got := Suggest(p, "class", 0.05)
+	if len(got) == 0 {
+		t.Fatal("no suggestions for 30% missing")
+	}
+	imp, ok := got[0].Step.(Imputer)
+	if !ok {
+		t.Fatalf("first step = %s, want imputer", got[0].Step.Name())
+	}
+	if imp.Strategy != KNNImpute {
+		t.Fatal("heavy missingness should pick kNN imputation")
+	}
+	if len(imp.ExcludeColumns) != 1 || imp.ExcludeColumns[0] != "class" {
+		t.Fatal("class column not protected")
+	}
+}
+
+func TestSuggestLightMissingnessUsesMeanMode(t *testing.T) {
+	p := profileOf(t, []inject.Spec{{Criterion: dq.Completeness, Severity: 0.1}})
+	got := Suggest(p, "class", 0.05)
+	found := false
+	for _, s := range got {
+		if imp, ok := s.Step.(Imputer); ok {
+			found = true
+			if imp.Strategy != MeanMode {
+				t.Fatal("light missingness should use mean/mode")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("imputer not suggested")
+	}
+}
+
+func TestSuggestDuplicatesTriggersDedup(t *testing.T) {
+	p := profileOf(t, []inject.Spec{{Criterion: dq.Duplicates, Severity: 0.25}})
+	got := Suggest(p, "class", 0.05)
+	if len(got) == 0 {
+		t.Fatal("no suggestions for duplicates")
+	}
+	dd, ok := got[0].Step.(Dedup)
+	if !ok {
+		t.Fatalf("first step = %s, want dedup", got[0].Step.Name())
+	}
+	if !dd.Fuzzy {
+		t.Fatal("heavy duplication should enable fuzzy matching")
+	}
+	if !strings.Contains(got[0].Reason, "inflate") {
+		t.Fatalf("reason should explain the leak: %q", got[0].Reason)
+	}
+}
+
+func TestSuggestOrdersBySeverity(t *testing.T) {
+	p := profileOf(t, []inject.Spec{
+		{Criterion: dq.Completeness, Severity: 0.4},
+		{Criterion: dq.Duplicates, Severity: 0.1},
+	})
+	got := Suggest(p, "class", 0.05)
+	if len(got) < 2 {
+		t.Fatalf("suggestions = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Severity > got[i-1].Severity {
+			t.Fatal("suggestions not ordered by severity")
+		}
+	}
+}
+
+func TestSuggestedPipelineActuallyRepairs(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 200, Seed: 18})
+	// Missingness first, duplication second: duplicating after deleting
+	// keeps the copies exact (the reverse order would give each copy its
+	// own missing cells and no exact duplicates would remain).
+	dirty, err := inject.Apply(ds.T, ds.ClassCol, []inject.Spec{
+		{Criterion: dq.Completeness, Severity: 0.3},
+		{Criterion: dq.Duplicates, Severity: 0.2},
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dq.Measure(dirty, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+	plan := Suggest(before, "class", 0.05)
+	repaired, _, err := PipelineFrom(plan).Run(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := dq.Measure(repaired, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+	if after.Severity(dq.Completeness) >= before.Severity(dq.Completeness) {
+		t.Fatalf("completeness not repaired: %v -> %v",
+			before.Severity(dq.Completeness), after.Severity(dq.Completeness))
+	}
+	if after.Severity(dq.Duplicates) >= before.Severity(dq.Duplicates) {
+		t.Fatalf("duplicates not repaired: %v -> %v",
+			before.Severity(dq.Duplicates), after.Severity(dq.Duplicates))
+	}
+}
+
+func TestDescribeListsSteps(t *testing.T) {
+	p := profileOf(t, []inject.Spec{{Criterion: dq.Completeness, Severity: 0.3}})
+	text := Describe(Suggest(p, "class", 0.05))
+	if !strings.Contains(text, "impute") {
+		t.Fatalf("description: %s", text)
+	}
+}

@@ -1,0 +1,268 @@
+// Package core wires the substrates into the OpenBI pipeline of the paper:
+// ingest raw open data (CSV/XML/HTML/RDF) → build the common
+// representation (CWM model) → measure and annotate data-quality criteria
+// → consult the DQ4DM knowledge base for advice → mine → share the result
+// back as Linked Open Data. The root package openbi re-exports this as the
+// library's public API.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"openbi/internal/cwm"
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/experiment"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/rdf"
+	"openbi/internal/table"
+)
+
+// Engine is the OpenBI session object: a knowledge base plus the
+// configuration shared by profiling, advice and experiment runs.
+type Engine struct {
+	// KB is the DQ4DM knowledge base consulted for advice. A fresh Engine
+	// starts empty; populate it with RunExperiments or LoadKB.
+	KB *kb.KnowledgeBase
+	// Folds is the cross-validation folds used everywhere (default 5).
+	Folds int
+	// Seed drives all stochastic components.
+	Seed int64
+	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewEngine returns an Engine with an empty knowledge base.
+func NewEngine(seed int64) *Engine {
+	return &Engine{KB: kb.New(), Folds: 5, Seed: seed}
+}
+
+// ---- Ingestion (Figure 1, phase i) ----
+
+// IngestFile reads one open-data file into a table, dispatching on the
+// extension: .csv, .xml, .html/.htm, .nt (N-Triples) and .ttl (Turtle).
+// RDF inputs are projected to the most frequent entity class.
+func (e *Engine) IngestFile(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return table.ReadCSV(f, table.ReadCSVOptions{HasHeader: true, Name: name})
+	case ".xml":
+		return table.ReadXML(f, name)
+	case ".html", ".htm":
+		return table.ReadHTMLTable(f, name)
+	case ".nt":
+		g, err := rdf.ReadNTriples(f)
+		if err != nil {
+			return nil, err
+		}
+		return ProjectLargestClass(g)
+	case ".ttl":
+		g, err := rdf.ReadTurtle(f)
+		if err != nil {
+			return nil, err
+		}
+		return ProjectLargestClass(g)
+	default:
+		return nil, fmt.Errorf("core: unsupported input extension %q", filepath.Ext(path))
+	}
+}
+
+// ProjectLargestClass projects an RDF graph onto its most populous entity
+// class — the default "LOD integration module" behaviour when the user
+// has not picked a class.
+func ProjectLargestClass(g *rdf.Graph) (*table.Table, error) {
+	classes := g.Classes()
+	if len(classes) == 0 {
+		return rdf.Project(g, rdf.ProjectOptions{})
+	}
+	best, bestN := classes[0], -1
+	for _, c := range classes {
+		n := len(g.SubjectsOfType(c))
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return rdf.Project(g, rdf.ProjectOptions{Class: best})
+}
+
+// ---- Common representation + annotation (§3.2) ----
+
+// Model is the annotated common representation of one data source.
+type Model struct {
+	Catalog *cwm.Catalog
+	Profile dq.Profile
+}
+
+// BuildModel profiles t and returns the CWM catalog annotated with every
+// data-quality measure (§3.2.1 + §3.2.2 in one call). classColumn may be
+// "" when the source has no classification target.
+func (e *Engine) BuildModel(t *table.Table, classColumn string) (*Model, error) {
+	classIdx := -1
+	if classColumn != "" {
+		classIdx = t.ColumnIndex(classColumn)
+		if classIdx < 0 {
+			return nil, fmt.Errorf("core: class column %q not found in %q", classColumn, t.Name)
+		}
+	}
+	profile := dq.Measure(t, dq.MeasureOptions{ClassColumn: classIdx})
+	catalog := cwm.CatalogFromTable(t, "openbi")
+	dq.Annotate(catalog.Table(t.Name), profile)
+	return &Model{Catalog: catalog, Profile: profile}, nil
+}
+
+// ---- Advice (Figure 2, right side) ----
+
+// Advise measures t and ranks the suite's algorithms for it using the
+// engine's knowledge base.
+func (e *Engine) Advise(t *table.Table, classColumn string) (kb.Advice, *Model, error) {
+	m, err := e.BuildModel(t, classColumn)
+	if err != nil {
+		return kb.Advice{}, nil, err
+	}
+	advice, err := e.KB.Advise(m.Profile)
+	if err != nil {
+		return kb.Advice{}, nil, err
+	}
+	return advice, m, nil
+}
+
+// ---- Experiments (Figure 2, left side; §3.1) ----
+
+// ExperimentReport summarizes a RunExperiments call.
+type ExperimentReport struct {
+	Phase1Records int
+	Phase2Records int
+	Mixed         []experiment.MixedResult
+}
+
+// RunExperiments executes Phase 1 (simple criteria) and Phase 2 (mixed
+// criteria pairs) on a clean dataset and merges all records into the
+// engine's knowledge base.
+func (e *Engine) RunExperiments(ds *mining.Dataset, datasetName string) (*ExperimentReport, error) {
+	cfg := experiment.Config{Folds: e.Folds, Seed: e.Seed, Workers: e.Workers}
+	p1, err := experiment.Phase1(cfg, ds, datasetName)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p1 {
+		e.KB.Add(r)
+	}
+	combos := experiment.DefaultCombos([]dq.Criterion{
+		dq.Completeness, dq.LabelNoise, dq.Imbalance, dq.Correlation,
+	})
+	mixed, p2, err := experiment.Phase2(cfg, ds, datasetName, e.KB, combos, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p2 {
+		e.KB.Add(r)
+	}
+	return &ExperimentReport{Phase1Records: len(p1), Phase2Records: len(p2), Mixed: mixed}, nil
+}
+
+// ---- Mining + sharing (§1 (i) and (ii)) ----
+
+// MiningResult is the outcome of MineWithAdvice.
+type MiningResult struct {
+	Algorithm string
+	Metrics   eval.Metrics
+	// Shared is the result re-exported as LOD: one entity per test
+	// instance with its predicted label.
+	Shared *rdf.Graph
+}
+
+// MineWithAdvice runs the full user path: advise on the source, train the
+// recommended algorithm on a stratified 70/30 split, evaluate, and share
+// predictions as LOD under the given base IRI.
+func (e *Engine) MineWithAdvice(t *table.Table, classColumn, baseIRI string) (*MiningResult, error) {
+	advice, _, err := e.Advise(t, classColumn)
+	if err != nil {
+		return nil, err
+	}
+	best := advice.Best().Algorithm
+	factory, err := mining.Lookup(best, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := mining.NewDatasetByName(t, classColumn)
+	if err != nil {
+		return nil, err
+	}
+	trainRows, testRows, err := eval.TrainTestSplit(ds, 0.3, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test := ds.Subset(trainRows), ds.Subset(testRows)
+	metrics, _, err := eval.Holdout(factory, train, test)
+	if err != nil {
+		return nil, err
+	}
+
+	// Share: predictions on the test split go back out as LOD.
+	clf := factory()
+	if err := clf.Fit(train); err != nil {
+		return nil, err
+	}
+	shared := t.SelectRows(testRows)
+	pred := table.NewNominalColumn("predicted_" + classColumn)
+	for r := 0; r < test.Len(); r++ {
+		pred.AppendLabel(test.ClassName(clf.Predict(test, r)))
+	}
+	shared.MustAddColumn(pred)
+	if baseIRI == "" {
+		baseIRI = "http://openbi.example.org/"
+	}
+	g := rdf.TableToGraph(shared, baseIRI, sanitizeClassName(t.Name))
+	return &MiningResult{Algorithm: best, Metrics: metrics, Shared: g}, nil
+}
+
+func sanitizeClassName(s string) string {
+	if s == "" {
+		return "result"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// ---- KB persistence ----
+
+// SaveKB writes the knowledge base to w.
+func (e *Engine) SaveKB(w io.Writer) error { return e.KB.Save(w) }
+
+// LoadKB replaces the engine's knowledge base with one read from r.
+func (e *Engine) LoadKB(r io.Reader) error {
+	loaded, err := kb.Load(r)
+	if err != nil {
+		return err
+	}
+	e.KB = loaded
+	return nil
+}
+
+// CorruptForDemo injects the given specs — exposed so examples and the CLI
+// can fabricate dirty sources without importing internal packages.
+func CorruptForDemo(t *table.Table, classColumn string, specs []inject.Spec, seed int64) (*table.Table, error) {
+	classIdx := -1
+	if classColumn != "" {
+		classIdx = t.ColumnIndex(classColumn)
+	}
+	return inject.Apply(t, classIdx, specs, seed)
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/experiment"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/rdf"
+	"openbi/internal/synth"
+)
+
+// writeTemp drops content into a temp file with the given name and returns
+// its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIngestFileCSV(t *testing.T) {
+	e := NewEngine(1)
+	path := writeTemp(t, "data.csv", "a,b\n1,x\n2,y\n")
+	tb, err := e.IngestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.Name != "data" {
+		t.Fatalf("csv ingest: %d rows name %q", tb.NumRows(), tb.Name)
+	}
+}
+
+func TestIngestFileXMLAndHTML(t *testing.T) {
+	e := NewEngine(1)
+	xml := writeTemp(t, "d.xml", "<r><e><v>1</v></e><e><v>2</v></e></r>")
+	if tb, err := e.IngestFile(xml); err != nil || tb.NumRows() != 2 {
+		t.Fatalf("xml ingest: %v", err)
+	}
+	html := writeTemp(t, "d.html", "<table><tr><th>v</th></tr><tr><td>1</td></tr></table>")
+	if tb, err := e.IngestFile(html); err != nil || tb.NumRows() != 1 {
+		t.Fatalf("html ingest: %v", err)
+	}
+}
+
+func TestIngestFileNTriplesProjectsLargestClass(t *testing.T) {
+	e := NewEngine(1)
+	nt := `<http://x/a1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Big> .
+<http://x/a2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Big> .
+<http://x/b1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Small> .
+<http://x/a1> <http://x/v> "1" .
+<http://x/a2> <http://x/v> "2" .
+<http://x/b1> <http://x/v> "9" .
+`
+	path := writeTemp(t, "d.nt", nt)
+	tb, err := e.IngestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "Big" || tb.NumRows() != 2 {
+		t.Fatalf("projected %q with %d rows, want Big/2", tb.Name, tb.NumRows())
+	}
+}
+
+func TestIngestFileUnsupported(t *testing.T) {
+	e := NewEngine(1)
+	path := writeTemp(t, "d.parquet", "xx")
+	if _, err := e.IngestFile(path); err == nil {
+		t.Fatal("unsupported extension should error")
+	}
+	if _, err := e.IngestFile(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
+		t.Fatal("absent file should error")
+	}
+}
+
+func TestBuildModelAnnotates(t *testing.T) {
+	e := NewEngine(1)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 120, Seed: 2})
+	m, err := e.BuildModel(ds.T, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := m.Catalog.Table(ds.T.Name)
+	if def == nil {
+		t.Fatal("catalog missing table def")
+	}
+	if _, ok := def.AnnotationValue(dq.AnnCompleteness); !ok {
+		t.Fatal("model not annotated")
+	}
+	sev := dq.SeveritiesFromModel(def)
+	for _, c := range dq.AllCriteria() {
+		if sev[c] != m.Profile.Severity(c) {
+			t.Fatalf("model severity mismatch for %v", c)
+		}
+	}
+}
+
+func TestBuildModelUnknownClass(t *testing.T) {
+	e := NewEngine(1)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 50, Seed: 3})
+	if _, err := e.BuildModel(ds.T, "ghost"); err == nil {
+		t.Fatal("unknown class column should error")
+	}
+}
+
+// populateKB runs a tiny Phase-1 so advice tests have a knowledge base.
+func populateKB(t *testing.T, e *Engine, ds *mining.Dataset) {
+	t.Helper()
+	cfg := experiment.Config{
+		Algorithms: map[string]mining.Factory{
+			"naive-bayes": func() mining.Classifier { return mining.NewNaiveBayes() },
+			"c45":         func() mining.Classifier { return mining.NewC45Tree() },
+		},
+		Criteria:   []dq.Criterion{dq.LabelNoise, dq.Completeness},
+		Severities: []float64{0, 0.25, 0.5},
+		Folds:      3,
+		Seed:       e.Seed,
+	}
+	recs, err := experiment.Phase1(cfg, ds, "core-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		e.KB.Add(r)
+	}
+}
+
+func TestAdviseEndToEnd(t *testing.T) {
+	e := NewEngine(4)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 240, Seed: 4})
+	populateKB(t, e, ds)
+
+	dirty, err := CorruptForDemo(ds.T, "class",
+		[]inject.Spec{{Criterion: dq.LabelNoise, Severity: 0.35}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice, model, err := e.Advise(dirty, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Ranked) != 2 {
+		t.Fatalf("ranked = %d", len(advice.Ranked))
+	}
+	if model.Profile.Severity(dq.LabelNoise) < 0.2 {
+		t.Fatalf("profile did not detect the injected noise: %v",
+			model.Profile.Severity(dq.LabelNoise))
+	}
+	best := advice.Best()
+	if best.PredictedKappa > best.BaselineKappa {
+		t.Fatal("noise should not improve predicted kappa")
+	}
+}
+
+func TestAdviseEmptyKBFails(t *testing.T) {
+	e := NewEngine(1)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 60, Seed: 5})
+	if _, _, err := e.Advise(ds.T, "class"); err == nil {
+		t.Fatal("advice without KB should error")
+	}
+}
+
+func TestRunExperimentsPopulatesKB(t *testing.T) {
+	e := NewEngine(6)
+	e.Folds = 3
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 150, Seed: 6})
+	rep, err := e.RunExperiments(ds, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phase1Records == 0 || rep.Phase2Records == 0 || len(rep.Mixed) == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if e.KB.Len() != rep.Phase1Records+rep.Phase2Records {
+		t.Fatalf("KB size %d != %d+%d", e.KB.Len(), rep.Phase1Records, rep.Phase2Records)
+	}
+}
+
+func TestMineWithAdviceSharesLOD(t *testing.T) {
+	e := NewEngine(7)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 240, Seed: 7})
+	populateKB(t, e, ds)
+
+	res, err := e.MineWithAdvice(ds.T, "class", "http://test.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == "" {
+		t.Fatal("no algorithm chosen")
+	}
+	if res.Metrics.Accuracy < 0.6 {
+		t.Fatalf("advised mining accuracy = %v", res.Metrics.Accuracy)
+	}
+	if res.Shared == nil || res.Shared.Len() == 0 {
+		t.Fatal("shared LOD empty")
+	}
+	// Shared graph contains predicted labels.
+	pred := rdf.NewIRI("http://test.example/def/predicted_class")
+	found := false
+	for _, tr := range res.Shared.Triples() {
+		if tr.P == pred {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("shared LOD lacks predicted_class triples")
+	}
+}
+
+func TestKBSaveLoadThroughEngine(t *testing.T) {
+	e := NewEngine(8)
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 150, Seed: 8})
+	populateKB(t, e, ds)
+
+	var buf bytes.Buffer
+	if err := e.SaveKB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(8)
+	if err := e2.LoadKB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if e2.KB.Len() != e.KB.Len() {
+		t.Fatalf("KB roundtrip %d != %d", e2.KB.Len(), e.KB.Len())
+	}
+	if err := e2.LoadKB(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk KB should error")
+	}
+	_ = kb.New() // keep import for clarity of what LoadKB replaces
+}
+
+func TestProjectLargestClassNoTypes(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.NewIRI("http://a"), P: rdf.NewIRI("http://p"), O: rdf.NewLiteral("1")})
+	tb, err := ProjectLargestClass(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("typeless projection rows = %d", tb.NumRows())
+	}
+}

@@ -1,0 +1,223 @@
+// Package cwm implements the "common representation of data structures"
+// of §3.2.1: a lightweight metamodel in the spirit of the OMG Common
+// Warehouse Metamodel (CWM) [12]. The paper's implementation sketch (§3.3)
+// builds this with Eclipse EMF; this package is the Go substitute — same
+// Catalog/Schema/Table/Column containment structure, the same role
+// (a structural model of a data source that data-quality measures can be
+// annotated onto, §3.2.2), and an XMI-like XML interchange format plus
+// JSON for tooling.
+package cwm
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"openbi/internal/table"
+)
+
+// Annotation is a named measurement attached to a model element — the
+// vehicle for the paper's "data quality criteria annotation" step.
+type Annotation struct {
+	Name  string  `json:"name" xml:"name,attr"`
+	Value float64 `json:"value" xml:"value,attr"`
+	// Source records which module produced the measure (e.g. "dq").
+	Source string `json:"source,omitempty" xml:"source,attr,omitempty"`
+}
+
+// ColumnDef describes one attribute of a table in the model.
+type ColumnDef struct {
+	Name string `json:"name" xml:"name,attr"`
+	// Type is "numeric" or "nominal" in this reproduction (CWM's SQL type
+	// zoo collapses to what the mining layer distinguishes).
+	Type string `json:"type" xml:"type,attr"`
+	// Levels carries the nominal dictionary size (0 for numeric columns).
+	Levels int `json:"levels,omitempty" xml:"levels,attr,omitempty"`
+	// Annotations hold per-column data-quality measures.
+	Annotations []Annotation `json:"annotations,omitempty" xml:"annotation"`
+}
+
+// TableDef describes one table (or projected LOD class) in the model.
+type TableDef struct {
+	Name        string       `json:"name" xml:"name,attr"`
+	Rows        int          `json:"rows" xml:"rows,attr"`
+	Columns     []*ColumnDef `json:"columns" xml:"column"`
+	Annotations []Annotation `json:"annotations,omitempty" xml:"annotation"`
+}
+
+// Schema groups tables, mirroring CWM's ownedElement containment.
+type Schema struct {
+	Name   string      `json:"name" xml:"name,attr"`
+	Tables []*TableDef `json:"tables" xml:"table"`
+}
+
+// Catalog is the model root: one per data source.
+type Catalog struct {
+	XMLName xml.Name  `json:"-" xml:"Catalog"`
+	Name    string    `json:"name" xml:"name,attr"`
+	Source  string    `json:"source,omitempty" xml:"source,attr,omitempty"`
+	Schemas []*Schema `json:"schemas" xml:"schema"`
+}
+
+// NewCatalog returns a catalog with one default schema.
+func NewCatalog(name, source string) *Catalog {
+	return &Catalog{Name: name, Source: source, Schemas: []*Schema{{Name: "default"}}}
+}
+
+// DefaultSchema returns the first schema, creating it when absent.
+func (c *Catalog) DefaultSchema() *Schema {
+	if len(c.Schemas) == 0 {
+		c.Schemas = []*Schema{{Name: "default"}}
+	}
+	return c.Schemas[0]
+}
+
+// Table returns the named table definition from any schema, or nil.
+func (c *Catalog) Table(name string) *TableDef {
+	for _, s := range c.Schemas {
+		for _, t := range s.Tables {
+			if t.Name == name {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Column returns the named column of a table definition, or nil.
+func (t *TableDef) Column(name string) *ColumnDef {
+	for _, col := range t.Columns {
+		if col.Name == name {
+			return col
+		}
+	}
+	return nil
+}
+
+// Annotate attaches (or replaces) a named annotation on the table.
+func (t *TableDef) Annotate(name string, value float64, source string) {
+	t.Annotations = upsert(t.Annotations, Annotation{Name: name, Value: value, Source: source})
+}
+
+// Annotate attaches (or replaces) a named annotation on the column.
+func (c *ColumnDef) Annotate(name string, value float64, source string) {
+	c.Annotations = upsert(c.Annotations, Annotation{Name: name, Value: value, Source: source})
+}
+
+// AnnotationValue returns the named annotation value and whether it exists.
+func (t *TableDef) AnnotationValue(name string) (float64, bool) {
+	return lookup(t.Annotations, name)
+}
+
+// AnnotationValue returns the named annotation value and whether it exists.
+func (c *ColumnDef) AnnotationValue(name string) (float64, bool) {
+	return lookup(c.Annotations, name)
+}
+
+func upsert(list []Annotation, a Annotation) []Annotation {
+	for i := range list {
+		if list[i].Name == a.Name {
+			list[i] = a
+			return list
+		}
+	}
+	list = append(list, a)
+	sort.SliceStable(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+func lookup(list []Annotation, name string) (float64, bool) {
+	for _, a := range list {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// FromTable builds a table definition (structure only, no annotations)
+// from an in-memory table — the "data source module" of §3.3.
+func FromTable(t *table.Table) *TableDef {
+	def := &TableDef{Name: t.Name, Rows: t.NumRows()}
+	for _, col := range t.Columns() {
+		cd := &ColumnDef{Name: col.Name, Type: col.Kind.String()}
+		if col.Kind == table.Nominal {
+			cd.Levels = col.NumLevels()
+		}
+		def.Columns = append(def.Columns, cd)
+	}
+	return def
+}
+
+// CatalogFromTable wraps FromTable in a single-table catalog.
+func CatalogFromTable(t *table.Table, source string) *Catalog {
+	c := NewCatalog(t.Name, source)
+	c.DefaultSchema().Tables = append(c.DefaultSchema().Tables, FromTable(t))
+	return c
+}
+
+// WriteXMI serializes the catalog in an XMI-like XML envelope, preserving
+// the model-interchange intent of the paper's EMF/CWM implementation.
+func WriteXMI(w io.Writer, c *Catalog) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w,
+		`<xmi:XMI xmi:version="2.1" xmlns:xmi="http://schema.omg.org/spec/XMI/2.1" xmlns:cwm="http://www.omg.org/cwm">`+"\n"); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("  ", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("cwm: encoding xmi: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n</xmi:XMI>\n")
+	return err
+}
+
+// ReadXMI parses a catalog from the WriteXMI format.
+func ReadXMI(r io.Reader) (*Catalog, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("cwm: decoding xmi: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if se.Name.Local == "XMI" {
+			continue
+		}
+		if se.Name.Local != "Catalog" {
+			return nil, fmt.Errorf("cwm: unexpected root element %q", se.Name.Local)
+		}
+		var c Catalog
+		if err := dec.DecodeElement(&c, &se); err != nil {
+			return nil, fmt.Errorf("cwm: decoding catalog: %w", err)
+		}
+		return &c, nil
+	}
+}
+
+// WriteJSON serializes the catalog as indented JSON.
+func WriteJSON(w io.Writer, c *Catalog) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON parses a catalog from JSON.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var c Catalog
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("cwm: decoding json: %w", err)
+	}
+	return &c, nil
+}

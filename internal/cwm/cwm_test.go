@@ -1,0 +1,142 @@
+package cwm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"openbi/internal/table"
+)
+
+func sampleTable() *table.Table {
+	t := table.New("budgets")
+	pop := table.NewNumericColumn("population")
+	lvl := table.NewNominalColumn("level", "low", "high")
+	for i := 0; i < 3; i++ {
+		pop.AppendFloat(float64(1000 * (i + 1)))
+		lvl.AppendCode(i % 2)
+	}
+	t.MustAddColumn(pop)
+	t.MustAddColumn(lvl)
+	return t
+}
+
+func TestFromTable(t *testing.T) {
+	def := FromTable(sampleTable())
+	if def.Name != "budgets" || def.Rows != 3 {
+		t.Fatalf("def = %+v", def)
+	}
+	if len(def.Columns) != 2 {
+		t.Fatalf("columns = %d", len(def.Columns))
+	}
+	if def.Columns[0].Type != "numeric" || def.Columns[1].Type != "nominal" {
+		t.Fatal("column types wrong")
+	}
+	if def.Columns[1].Levels != 2 {
+		t.Fatalf("levels = %d", def.Columns[1].Levels)
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := CatalogFromTable(sampleTable(), "unit-test")
+	if c.Table("budgets") == nil {
+		t.Fatal("table lookup failed")
+	}
+	if c.Table("nope") != nil {
+		t.Fatal("phantom table")
+	}
+	def := c.Table("budgets")
+	if def.Column("population") == nil || def.Column("ghost") != nil {
+		t.Fatal("column lookup wrong")
+	}
+}
+
+func TestAnnotateUpsert(t *testing.T) {
+	def := FromTable(sampleTable())
+	def.Annotate("dq.completeness", 0.9, "dq")
+	def.Annotate("dq.completeness", 0.95, "dq") // replace
+	def.Annotate("dq.balance", 1, "dq")
+	if len(def.Annotations) != 2 {
+		t.Fatalf("annotations = %v", def.Annotations)
+	}
+	if v, ok := def.AnnotationValue("dq.completeness"); !ok || v != 0.95 {
+		t.Fatalf("upsert failed: %v %v", v, ok)
+	}
+	if _, ok := def.AnnotationValue("absent"); ok {
+		t.Fatal("phantom annotation")
+	}
+	// Sorted by name.
+	if def.Annotations[0].Name != "dq.balance" {
+		t.Fatalf("annotation order: %v", def.Annotations)
+	}
+}
+
+func TestColumnAnnotate(t *testing.T) {
+	def := FromTable(sampleTable())
+	col := def.Column("population")
+	col.Annotate("dq.outlierRatio", 0.1, "dq")
+	if v, ok := col.AnnotationValue("dq.outlierRatio"); !ok || v != 0.1 {
+		t.Fatal("column annotation lost")
+	}
+}
+
+func TestXMIRoundtrip(t *testing.T) {
+	c := CatalogFromTable(sampleTable(), "unit-test")
+	c.Table("budgets").Annotate("dq.completeness", 0.87, "dq")
+	c.Table("budgets").Column("level").Annotate("dq.entropy", 0.99, "dq")
+
+	var buf bytes.Buffer
+	if err := WriteXMI(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "xmi:XMI") || !strings.Contains(out, "<Catalog") {
+		t.Fatalf("XMI envelope missing:\n%s", out)
+	}
+	back, err := ReadXMI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != c.Name {
+		t.Fatalf("catalog name = %q", back.Name)
+	}
+	def := back.Table("budgets")
+	if def == nil || def.Rows != 3 {
+		t.Fatalf("table def lost: %+v", def)
+	}
+	if v, ok := def.AnnotationValue("dq.completeness"); !ok || v != 0.87 {
+		t.Fatalf("annotation lost: %v %v", v, ok)
+	}
+	if v, ok := def.Column("level").AnnotationValue("dq.entropy"); !ok || v != 0.99 {
+		t.Fatalf("column annotation lost: %v %v", v, ok)
+	}
+}
+
+func TestReadXMIRejectsWrongRoot(t *testing.T) {
+	if _, err := ReadXMI(strings.NewReader("<other/>")); err == nil {
+		t.Fatal("wrong root should error")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	c := CatalogFromTable(sampleTable(), "unit-test")
+	c.Table("budgets").Annotate("dq.duplicateRatio", 0.25, "dq")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Table("budgets").AnnotationValue("dq.duplicateRatio"); !ok || v != 0.25 {
+		t.Fatal("JSON roundtrip lost annotation")
+	}
+}
+
+func TestDefaultSchemaCreation(t *testing.T) {
+	c := &Catalog{Name: "bare"}
+	if c.DefaultSchema() == nil || len(c.Schemas) != 1 {
+		t.Fatal("DefaultSchema should create a schema")
+	}
+}

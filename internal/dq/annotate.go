@@ -1,0 +1,73 @@
+package dq
+
+import (
+	"fmt"
+
+	"openbi/internal/cwm"
+)
+
+// Annotation names written onto CWM models. Table-level names carry the
+// whole-dataset measures; severity names carry the [0,1] coordinates the
+// advisor queries the knowledge base with.
+const (
+	AnnCompleteness   = "dq.completeness"
+	AnnDuplicateRatio = "dq.duplicateRatio"
+	AnnMeanAbsCorr    = "dq.meanAbsCorrelation"
+	AnnMaxAbsCorr     = "dq.maxAbsCorrelation"
+	AnnClassBalance   = "dq.classBalance"
+	AnnNoiseEstimate  = "dq.noiseEstimate"
+	AnnOutlierRatio   = "dq.outlierRatio"
+	AnnDimensionality = "dq.dimensionality"
+
+	annSource = "dq"
+)
+
+// SeverityAnnotation returns the model annotation name that carries the
+// severity of one criterion (e.g. "dq.severity.completeness").
+func SeverityAnnotation(c Criterion) string {
+	return fmt.Sprintf("dq.severity.%s", c)
+}
+
+// Annotate writes the profile onto a CWM table definition — the "data
+// quality criteria annotation" step of §3.2.2 that turns a structural
+// model into a quality-aware one. Column profiles are written onto the
+// matching column definitions.
+func Annotate(def *cwm.TableDef, p Profile) {
+	def.Annotate(AnnCompleteness, p.Completeness, annSource)
+	def.Annotate(AnnDuplicateRatio, p.DuplicateRatio, annSource)
+	def.Annotate(AnnMeanAbsCorr, p.MeanAbsCorrelation, annSource)
+	def.Annotate(AnnMaxAbsCorr, p.MaxAbsCorrelation, annSource)
+	def.Annotate(AnnClassBalance, p.ClassBalance, annSource)
+	def.Annotate(AnnNoiseEstimate, p.NoiseEstimate, annSource)
+	def.Annotate(AnnOutlierRatio, p.OutlierRatio, annSource)
+	def.Annotate(AnnDimensionality, p.Dimensionality, annSource)
+	for _, c := range AllCriteria() {
+		def.Annotate(SeverityAnnotation(c), p.Severity(c), annSource)
+	}
+	for _, cp := range p.Columns {
+		cd := def.Column(cp.Name)
+		if cd == nil {
+			continue
+		}
+		cd.Annotate("dq.completeness", cp.Completeness, annSource)
+		if cp.Kind == "numeric" {
+			cd.Annotate("dq.outlierRatio", cp.OutlierRatio, annSource)
+		} else {
+			cd.Annotate("dq.entropy", cp.Entropy, annSource)
+			cd.Annotate("dq.levels", float64(cp.Levels), annSource)
+		}
+	}
+}
+
+// SeveritiesFromModel reads the severity vector back out of an annotated
+// model, so advice can be produced from a shared model file without
+// re-profiling the data. Missing annotations read as severity 0.
+func SeveritiesFromModel(def *cwm.TableDef) []float64 {
+	out := make([]float64, numCriteria)
+	for _, c := range AllCriteria() {
+		if v, ok := def.AnnotationValue(SeverityAnnotation(c)); ok {
+			out[c] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Package dq implements the data-quality module of the paper (§3.2.2,
+// §3.3): it measures the data-quality criteria of a dataset ("fitness for
+// use" [14]), produces a Profile, and annotates a CWM-style model with the
+// measures so the advisor layer can pick a mining algorithm that is robust
+// to exactly the defects this source exhibits.
+package dq
+
+import "fmt"
+
+// Criterion identifies one data-quality criterion. The set follows the
+// criteria the paper and its companion experiments [6] manipulate:
+// incompleteness, duplication, attribute correlation, class imbalance,
+// noise (label and attribute) and dimensionality.
+type Criterion int
+
+const (
+	// Completeness: fraction of cells observed (1 = no missing values).
+	Completeness Criterion = iota
+	// Duplicates: fraction of rows that are exact duplicates of an
+	// earlier row.
+	Duplicates
+	// Correlation: strength of inter-attribute dependence (redundant
+	// attributes mislead e.g. Naive Bayes, the paper's §3.1 example).
+	Correlation
+	// Imbalance: skew of the class distribution.
+	Imbalance
+	// LabelNoise: estimated fraction of mislabeled instances.
+	LabelNoise
+	// AttributeNoise: corruption of attribute values (measured via
+	// outlier mass).
+	AttributeNoise
+	// Dimensionality: attribute count relative to row count — the
+	// LOD-specific "high dimensionality" problem of §1.
+	Dimensionality
+
+	numCriteria
+)
+
+// AllCriteria lists every criterion in canonical order.
+func AllCriteria() []Criterion {
+	out := make([]Criterion, numCriteria)
+	for i := range out {
+		out[i] = Criterion(i)
+	}
+	return out
+}
+
+// String returns the canonical lowercase name of the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case Completeness:
+		return "completeness"
+	case Duplicates:
+		return "duplicates"
+	case Correlation:
+		return "correlation"
+	case Imbalance:
+		return "imbalance"
+	case LabelNoise:
+		return "label-noise"
+	case AttributeNoise:
+		return "attribute-noise"
+	case Dimensionality:
+		return "dimensionality"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// ParseCriterion resolves a canonical name back to its Criterion.
+func ParseCriterion(s string) (Criterion, error) {
+	for _, c := range AllCriteria() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("dq: unknown criterion %q", s)
+}

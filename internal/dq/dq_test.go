@@ -1,0 +1,296 @@
+package dq
+
+import (
+	"math"
+	"testing"
+
+	"openbi/internal/cwm"
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// cleanTable builds a 200-row, well-behaved two-class dataset whose
+// classes are cleanly separated on x (so the 1-NN noise estimate is ~0).
+func cleanTable() *table.Table {
+	t := table.New("clean")
+	x := table.NewNumericColumn("x")
+	y := table.NewNumericColumn("y")
+	cls := table.NewNominalColumn("class", "a", "b")
+	rng := stats.NewRand(5)
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		x.AppendFloat(float64(c)*10 + rng.NormFloat64()*0.3)
+		y.AppendFloat(rng.NormFloat64())
+		cls.AppendCode(c)
+	}
+	t.MustAddColumn(x)
+	t.MustAddColumn(y)
+	t.MustAddColumn(cls)
+	return t
+}
+
+func TestCriterionNamesRoundtrip(t *testing.T) {
+	for _, c := range AllCriteria() {
+		back, err := ParseCriterion(c.String())
+		if err != nil || back != c {
+			t.Fatalf("roundtrip %v: %v %v", c, back, err)
+		}
+	}
+	if _, err := ParseCriterion("bogus"); err == nil {
+		t.Fatal("bogus criterion should error")
+	}
+}
+
+func TestMeasureCleanProfile(t *testing.T) {
+	tb := cleanTable()
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if p.Rows != 200 || p.Attributes != 2 {
+		t.Fatalf("shape: %+v", p)
+	}
+	if p.Completeness != 1 {
+		t.Fatalf("completeness = %v, want 1", p.Completeness)
+	}
+	if p.DuplicateRatio != 0 {
+		t.Fatalf("duplicates = %v, want 0", p.DuplicateRatio)
+	}
+	if p.ClassBalance < 0.99 {
+		t.Fatalf("balance = %v, want ~1", p.ClassBalance)
+	}
+	if p.NoiseEstimate > 0.05 {
+		t.Fatalf("noise estimate on separable data = %v, want ~0", p.NoiseEstimate)
+	}
+	if p.ClassLevels != 2 {
+		t.Fatalf("class levels = %d", p.ClassLevels)
+	}
+}
+
+func TestMeasureCompleteness(t *testing.T) {
+	tb := cleanTable()
+	// Blank 40 of 400 attribute cells -> completeness 0.9.
+	for i := 0; i < 40; i++ {
+		tb.SetMissing(i, i%2)
+	}
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if math.Abs(p.Completeness-0.9) > 1e-9 {
+		t.Fatalf("completeness = %v, want 0.9", p.Completeness)
+	}
+	if math.Abs(p.Severity(Completeness)-0.1) > 1e-9 {
+		t.Fatalf("severity = %v, want 0.1", p.Severity(Completeness))
+	}
+}
+
+func TestMeasureDuplicates(t *testing.T) {
+	tb := cleanTable()
+	rows := make([]int, 0, 250)
+	for i := 0; i < 200; i++ {
+		rows = append(rows, i)
+	}
+	for i := 0; i < 50; i++ {
+		rows = append(rows, i)
+	}
+	p := Measure(tb.SelectRows(rows), MeasureOptions{ClassColumn: 2})
+	if math.Abs(p.DuplicateRatio-0.2) > 1e-9 {
+		t.Fatalf("duplicate ratio = %v, want 0.2", p.DuplicateRatio)
+	}
+}
+
+func TestMeasureCorrelation(t *testing.T) {
+	tb := cleanTable()
+	// Add a near-copy of x.
+	copyCol := table.NewNumericColumn("x2")
+	for r := 0; r < tb.NumRows(); r++ {
+		copyCol.AppendFloat(tb.Float(r, 0) * 1.001)
+	}
+	tb.MustAddColumn(copyCol)
+	// Move class column index: class is still col 2; x2 appended at 3.
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if p.MaxAbsCorrelation < 0.99 {
+		t.Fatalf("max corr = %v, want ~1", p.MaxAbsCorrelation)
+	}
+	if p.CorrelatedPairs < 1 {
+		t.Fatalf("correlated pairs = %d, want >= 1", p.CorrelatedPairs)
+	}
+}
+
+func TestMeasureImbalance(t *testing.T) {
+	tb := cleanTable()
+	// Keep only 10 of 100 'b' rows.
+	var rows []int
+	kept := 0
+	cls := tb.Column(2)
+	for r := 0; r < tb.NumRows(); r++ {
+		if cls.Cats[r] == 1 {
+			if kept >= 10 {
+				continue
+			}
+			kept++
+		}
+		rows = append(rows, r)
+	}
+	p := Measure(tb.SelectRows(rows), MeasureOptions{ClassColumn: 2})
+	if p.ClassBalance > 0.65 {
+		t.Fatalf("balance = %v, want well below 1", p.ClassBalance)
+	}
+	if p.Severity(Imbalance) < 0.3 {
+		t.Fatalf("imbalance severity = %v, want substantial", p.Severity(Imbalance))
+	}
+	if math.Abs(p.MinorityFraction-10.0/110.0) > 1e-9 {
+		t.Fatalf("minority fraction = %v", p.MinorityFraction)
+	}
+}
+
+func TestMeasureNoiseEstimateRisesWithFlips(t *testing.T) {
+	tb := cleanTable()
+	clean := Measure(tb, MeasureOptions{ClassColumn: 2}).NoiseEstimate
+	// Flip 30% of labels.
+	rng := stats.NewRand(9)
+	cls := tb.Column(2)
+	for r := 0; r < tb.NumRows(); r++ {
+		if rng.Float64() < 0.3 {
+			cls.Cats[r] = 1 - cls.Cats[r]
+		}
+	}
+	noisy := Measure(tb, MeasureOptions{ClassColumn: 2}).NoiseEstimate
+	if noisy < clean+0.2 {
+		t.Fatalf("noise estimate clean=%v noisy=%v; want a clear rise", clean, noisy)
+	}
+}
+
+func TestMeasureOutliers(t *testing.T) {
+	tb := cleanTable()
+	for i := 0; i < 10; i++ {
+		tb.SetFloat(i, 1, 500+float64(i)) // y outliers
+	}
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if p.OutlierRatio <= 0 {
+		t.Fatalf("outlier ratio = %v, want > 0", p.OutlierRatio)
+	}
+}
+
+func TestMeasureDimensionality(t *testing.T) {
+	tb := cleanTable()
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if math.Abs(p.Dimensionality-2.0/200.0) > 1e-12 {
+		t.Fatalf("dimensionality = %v", p.Dimensionality)
+	}
+	// Severity scales by /0.5.
+	if math.Abs(p.Severity(Dimensionality)-(2.0/200.0)/0.5) > 1e-12 {
+		t.Fatalf("dim severity = %v", p.Severity(Dimensionality))
+	}
+}
+
+func TestMeasureNoClass(t *testing.T) {
+	tb := cleanTable()
+	p := Measure(tb, MeasureOptions{ClassColumn: -1})
+	if p.ClassBalance != 1 || p.NoiseEstimate != 0 {
+		t.Fatalf("class-less profile should default balance=1 noise=0: %+v", p)
+	}
+	if p.Attributes != 3 {
+		t.Fatalf("attributes without class = %d, want 3", p.Attributes)
+	}
+}
+
+func TestSeveritiesVectorOrder(t *testing.T) {
+	tb := cleanTable()
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	sev := p.Severities()
+	if len(sev) != len(AllCriteria()) {
+		t.Fatalf("severity vector length = %d", len(sev))
+	}
+	for _, c := range AllCriteria() {
+		if sev[c] != p.Severity(c) {
+			t.Fatalf("severity order mismatch at %v", c)
+		}
+	}
+}
+
+func TestDominantCriteria(t *testing.T) {
+	tb := cleanTable()
+	for i := 0; i < 100; i++ {
+		tb.SetMissing(i, 0)
+		tb.SetMissing(i, 1)
+	}
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	dom := p.DominantCriteria(0.2)
+	if len(dom) == 0 || dom[0] != Completeness {
+		t.Fatalf("dominant = %v, want completeness first", dom)
+	}
+}
+
+func TestColumnProfiles(t *testing.T) {
+	tb := cleanTable()
+	tb.SetMissing(0, 0)
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if len(p.Columns) != 2 {
+		t.Fatalf("column profiles = %d", len(p.Columns))
+	}
+	if p.Columns[0].Name != "x" || p.Columns[0].Kind != "numeric" {
+		t.Fatalf("col profile: %+v", p.Columns[0])
+	}
+	if p.Columns[0].Completeness >= 1 {
+		t.Fatal("missing cell not reflected in column completeness")
+	}
+	if math.IsNaN(p.Columns[0].Mean) {
+		t.Fatal("numeric column mean missing")
+	}
+}
+
+func TestAnnotateAndReadBack(t *testing.T) {
+	tb := cleanTable()
+	for i := 0; i < 20; i++ {
+		tb.SetMissing(i, 0)
+	}
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	cat := cwm.CatalogFromTable(tb, "test")
+	def := cat.Table("clean")
+	Annotate(def, p)
+
+	if v, ok := def.AnnotationValue(AnnCompleteness); !ok || math.Abs(v-p.Completeness) > 1e-12 {
+		t.Fatalf("completeness annotation = %v %v", v, ok)
+	}
+	sev := SeveritiesFromModel(def)
+	for _, c := range AllCriteria() {
+		if math.Abs(sev[c]-p.Severity(c)) > 1e-12 {
+			t.Fatalf("severity %v roundtrip: %v vs %v", c, sev[c], p.Severity(c))
+		}
+	}
+	// Column annotations.
+	if _, ok := def.Column("x").AnnotationValue("dq.completeness"); !ok {
+		t.Fatal("column annotation missing")
+	}
+	if _, ok := def.Column("class").AnnotationValue("dq.entropy"); ok {
+		// class column is not an attribute; profile shouldn't cover it
+		t.Fatal("class column should not carry attribute annotations")
+	}
+}
+
+func TestSeverityClamping(t *testing.T) {
+	p := Profile{Completeness: -0.5, DuplicateRatio: 2}
+	if p.Severity(Completeness) != 1 {
+		t.Fatalf("over-severity should clamp to 1, got %v", p.Severity(Completeness))
+	}
+	if p.Severity(Duplicates) != 1 {
+		t.Fatalf("duplicate severity clamp = %v", p.Severity(Duplicates))
+	}
+}
+
+func TestNominalAssociationCramers(t *testing.T) {
+	// Two perfectly associated nominal columns should register high
+	// correlation severity.
+	tb := table.New("nom")
+	a := table.NewNominalColumn("a", "x", "y")
+	b := table.NewNominalColumn("b", "p", "q")
+	cls := table.NewNominalColumn("class", "0", "1")
+	for i := 0; i < 100; i++ {
+		a.AppendCode(i % 2)
+		b.AppendCode(i % 2)
+		cls.AppendCode((i / 2) % 2)
+	}
+	tb.MustAddColumn(a)
+	tb.MustAddColumn(b)
+	tb.MustAddColumn(cls)
+	p := Measure(tb, MeasureOptions{ClassColumn: 2})
+	if p.MaxAbsCorrelation < 0.99 {
+		t.Fatalf("nominal association = %v, want ~1", p.MaxAbsCorrelation)
+	}
+}

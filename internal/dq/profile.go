@@ -1,0 +1,453 @@
+package dq
+
+import (
+	"math"
+	"sort"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// ColumnProfile holds the per-attribute measures.
+type ColumnProfile struct {
+	Name         string
+	Kind         string  // "numeric" | "nominal"
+	Completeness float64 // observed fraction
+	Levels       int     // nominal dictionary size
+	OutlierRatio float64 // Tukey-fence outliers (numeric only)
+	Mean         float64 // numeric only (NaN otherwise)
+	StdDev       float64 // numeric only (NaN otherwise)
+	Entropy      float64 // nominal only: Shannon entropy in bits
+}
+
+// Profile is the measured data-quality fingerprint of a dataset. Severity
+// accessors map each criterion onto [0,1] where 0 means pristine; this is
+// the coordinate system the DQ4DM knowledge base is indexed by.
+type Profile struct {
+	Rows       int
+	Attributes int // excluding the class column
+
+	Completeness       float64 // observed cell fraction over attribute columns
+	DuplicateRatio     float64 // rows that exactly repeat an earlier row / rows
+	MeanAbsCorrelation float64 // mean |association| over attribute pairs
+	MaxAbsCorrelation  float64
+	CorrelatedPairs    int // pairs with |association| >= 0.8
+
+	ClassBalance     float64 // normalized class entropy (1 = balanced); 1 when no class
+	MinorityFraction float64 // size of smallest class / rows; 0.5-ish when balanced binary
+	ClassLevels      int
+
+	NoiseEstimate  float64 // 1-NN label disagreement on a deterministic subsample
+	OutlierRatio   float64 // mean per-numeric-column Tukey outlier mass
+	Dimensionality float64 // attributes / rows
+
+	Columns []ColumnProfile
+}
+
+// MeasureOptions tunes profiling.
+type MeasureOptions struct {
+	// ClassColumn is the index of the class attribute, or -1 when the
+	// dataset has none (class-dependent measures are then skipped).
+	ClassColumn int
+	// MaxCorrelationColumns caps the pairwise-association computation;
+	// beyond it only the first N attribute columns enter the matrix
+	// (LOD projections can be very wide). 0 means 64.
+	MaxCorrelationColumns int
+	// MaxNoiseSample caps the O(n²) 1-NN noise estimate; 0 means 300.
+	MaxNoiseSample int
+}
+
+// Measure profiles t against every data-quality criterion. It is entirely
+// deterministic: subsampling uses fixed strides, not randomness, so the
+// same source always yields the same annotations.
+func Measure(t *table.Table, opts MeasureOptions) Profile {
+	if opts.MaxCorrelationColumns == 0 {
+		opts.MaxCorrelationColumns = 64
+	}
+	if opts.MaxNoiseSample == 0 {
+		opts.MaxNoiseSample = 300
+	}
+	rows := t.NumRows()
+	p := Profile{Rows: rows, ClassBalance: 1}
+
+	attrCols := make([]int, 0, t.NumCols())
+	for j := 0; j < t.NumCols(); j++ {
+		if j != opts.ClassColumn {
+			attrCols = append(attrCols, j)
+		}
+	}
+	p.Attributes = len(attrCols)
+	if rows > 0 {
+		p.Dimensionality = float64(p.Attributes) / float64(rows)
+	}
+
+	// Per-column profiles and completeness.
+	totalCells, observedCells := 0, 0
+	var outlierSum float64
+	numericCount := 0
+	for _, j := range attrCols {
+		c := t.Column(j)
+		cp := ColumnProfile{Name: c.Name, Kind: c.Kind.String(), Mean: math.NaN(), StdDev: math.NaN()}
+		miss := c.MissingCount()
+		totalCells += rows
+		observedCells += rows - miss
+		if rows > 0 {
+			cp.Completeness = float64(rows-miss) / float64(rows)
+		}
+		if c.Kind == table.Numeric {
+			cp.OutlierRatio = stats.IQROutlierRatio(c.Nums, 1.5)
+			cp.Mean = stats.Mean(c.Nums)
+			cp.StdDev = stats.StdDev(c.Nums)
+			outlierSum += cp.OutlierRatio
+			numericCount++
+		} else {
+			cp.Levels = c.NumLevels()
+			cp.Entropy = stats.Entropy(c.Counts())
+		}
+		p.Columns = append(p.Columns, cp)
+	}
+	if totalCells > 0 {
+		p.Completeness = float64(observedCells) / float64(totalCells)
+	} else {
+		p.Completeness = 1
+	}
+	if numericCount > 0 {
+		p.OutlierRatio = outlierSum / float64(numericCount)
+	}
+
+	// Duplicates.
+	if rows > 0 {
+		seen := make(map[string]bool, rows)
+		dups := 0
+		for r := 0; r < rows; r++ {
+			k := t.RowKey(r)
+			if seen[k] {
+				dups++
+			} else {
+				seen[k] = true
+			}
+		}
+		p.DuplicateRatio = float64(dups) / float64(rows)
+	}
+
+	// Pairwise association. Identifier-like nominal columns (near one
+	// level per row) are excluded: a contingency table against a unique
+	// key is degenerate, Cramér's V saturates at 1 and would report
+	// redundancy where there is none.
+	corrCols := make([]int, 0, len(attrCols))
+	for _, j := range attrCols {
+		c := t.Column(j)
+		if c.Kind == table.Nominal && rows > 4 && c.NumLevels() > rows/2 {
+			continue
+		}
+		corrCols = append(corrCols, j)
+	}
+	if len(corrCols) > opts.MaxCorrelationColumns {
+		corrCols = corrCols[:opts.MaxCorrelationColumns]
+	}
+	p.MeanAbsCorrelation, p.MaxAbsCorrelation, p.CorrelatedPairs = pairwiseAssociation(t, corrCols)
+
+	// Class-dependent measures.
+	if opts.ClassColumn >= 0 && opts.ClassColumn < t.NumCols() &&
+		t.Column(opts.ClassColumn).Kind == table.Nominal {
+		cls := t.Column(opts.ClassColumn)
+		counts := cls.Counts()
+		p.ClassLevels = nonZero(counts)
+		p.ClassBalance = stats.NormalizedEntropy(counts)
+		p.MinorityFraction = minorityFraction(counts, rows)
+		p.NoiseEstimate = oneNNDisagreement(t, attrCols, opts.ClassColumn, opts.MaxNoiseSample)
+	}
+	return p
+}
+
+// Severity maps the profile onto a [0,1] defect intensity for one
+// criterion; 0 means pristine. These are the coordinates used both when
+// recording experiment outcomes and when querying the knowledge base for
+// advice, so recording and querying agree by construction.
+func (p Profile) Severity(c Criterion) float64 {
+	switch c {
+	case Completeness:
+		return clamp01(1 - p.Completeness)
+	case Duplicates:
+		return clamp01(p.DuplicateRatio)
+	case Correlation:
+		return clamp01(p.MeanAbsCorrelation)
+	case Imbalance:
+		return clamp01(1 - p.ClassBalance)
+	case LabelNoise:
+		return clamp01(p.NoiseEstimate)
+	case AttributeNoise:
+		return clamp01(p.OutlierRatio)
+	case Dimensionality:
+		// attrs/rows of 0.5 or worse is fully severe; ~0.01 is benign.
+		return clamp01(p.Dimensionality / 0.5)
+	default:
+		return 0
+	}
+}
+
+// Severities returns the severity vector over AllCriteria order.
+func (p Profile) Severities() []float64 {
+	out := make([]float64, numCriteria)
+	for _, c := range AllCriteria() {
+		out[c] = p.Severity(c)
+	}
+	return out
+}
+
+// DominantCriteria returns the criteria with severity >= threshold, most
+// severe first — "the data quality problems this source actually has".
+func (p Profile) DominantCriteria(threshold float64) []Criterion {
+	type cs struct {
+		c Criterion
+		s float64
+	}
+	var list []cs
+	for _, c := range AllCriteria() {
+		if s := p.Severity(c); s >= threshold {
+			list = append(list, cs{c, s})
+		}
+	}
+	sort.SliceStable(list, func(i, j int) bool { return list[i].s > list[j].s })
+	out := make([]Criterion, len(list))
+	for i, e := range list {
+		out[i] = e.c
+	}
+	return out
+}
+
+// pairwiseAssociation computes mean/max absolute association and the count
+// of strongly associated pairs over the given columns. Numeric-numeric
+// pairs use |Pearson|; nominal-nominal use Cramér's V; mixed pairs use the
+// correlation ratio approximated by Cramér's V on a binned numeric side.
+func pairwiseAssociation(t *table.Table, cols []int) (mean, max float64, strong int) {
+	n := len(cols)
+	if n < 2 {
+		return 0, 0, 0
+	}
+	sum, cnt := 0.0, 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			v := association(t, cols[a], cols[b])
+			sum += v
+			cnt++
+			if v > max {
+				max = v
+			}
+			if v >= 0.8 {
+				strong++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0, 0, 0
+	}
+	return sum / float64(cnt), max, strong
+}
+
+// association returns |association| in [0,1] between two columns.
+func association(t *table.Table, a, b int) float64 {
+	ca, cb := t.Column(a), t.Column(b)
+	switch {
+	case ca.Kind == table.Numeric && cb.Kind == table.Numeric:
+		return math.Abs(stats.Pearson(ca.Nums, cb.Nums))
+	case ca.Kind == table.Nominal && cb.Kind == table.Nominal:
+		return stats.CramersV(crossTab(ca.Cats, ca.NumLevels(), cb.Cats, cb.NumLevels()))
+	case ca.Kind == table.Numeric:
+		return stats.CramersV(crossTab(binNumeric(ca.Nums, 4), 4, cb.Cats, cb.NumLevels()))
+	default:
+		return stats.CramersV(crossTab(ba(cb, ca))) // symmetric: swap
+	}
+}
+
+// ba adapts the mixed case with the numeric column second.
+func ba(num *table.Column, nom *table.Column) ([]int, int, []int, int) {
+	return binNumeric(num.Nums, 4), 4, nom.Cats, nom.NumLevels()
+}
+
+// crossTab builds a contingency table from two code vectors; negative
+// codes (missing) are skipped pairwise.
+func crossTab(as []int, aLevels int, bs []int, bLevels int) [][]int {
+	if aLevels < 1 {
+		aLevels = 1
+	}
+	if bLevels < 1 {
+		bLevels = 1
+	}
+	tab := make([][]int, aLevels)
+	for i := range tab {
+		tab[i] = make([]int, bLevels)
+	}
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if as[i] < 0 || bs[i] < 0 || as[i] >= aLevels || bs[i] >= bLevels {
+			continue
+		}
+		tab[as[i]][bs[i]]++
+	}
+	return tab
+}
+
+// binNumeric discretizes a numeric column into k quantile bins, returning
+// code -1 for missing cells.
+func binNumeric(xs []float64, k int) []int {
+	cuts := make([]float64, k-1)
+	for i := 1; i < k; i++ {
+		cuts[i-1] = stats.Quantile(xs, float64(i)/float64(k))
+	}
+	out := make([]int, len(xs))
+	for i, v := range xs {
+		if stats.IsMissing(v) {
+			out[i] = -1
+			continue
+		}
+		bin := 0
+		for bin < len(cuts) && v > cuts[bin] {
+			bin++
+		}
+		out[i] = bin
+	}
+	return out
+}
+
+// oneNNDisagreement estimates label noise as the fraction of sampled rows
+// whose nearest neighbour (heterogeneous Gower-style distance) carries a
+// different label. Clean separable data scores near 0; heavily mislabeled
+// data scores near the flip rate. Sampling is stride-based for determinism.
+func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) float64 {
+	rows := t.NumRows()
+	if rows < 4 || len(attrCols) == 0 {
+		return 0
+	}
+	cls := t.Column(classCol)
+	sample := strideSample(rows, maxSample)
+
+	// Precompute numeric ranges for scaling.
+	ranges := make(map[int]float64, len(attrCols))
+	for _, j := range attrCols {
+		c := t.Column(j)
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		if !stats.IsMissing(lo) && hi > lo {
+			ranges[j] = hi - lo
+		}
+	}
+
+	disagree, counted := 0, 0
+	for _, r := range sample {
+		if cls.IsMissing(r) {
+			continue
+		}
+		bestD := math.Inf(1)
+		bestRow := -1
+		for _, q := range sample {
+			if q == r || cls.IsMissing(q) {
+				continue
+			}
+			d := gowerDistance(t, attrCols, ranges, r, q)
+			if d < bestD {
+				bestD = d
+				bestRow = q
+			}
+		}
+		if bestRow < 0 {
+			continue
+		}
+		counted++
+		if cls.Cats[r] != cls.Cats[bestRow] {
+			disagree++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return float64(disagree) / float64(counted)
+}
+
+// gowerDistance is a heterogeneous distance: scaled absolute difference on
+// numeric attributes, 0/1 mismatch on nominal, averaged over attributes
+// observed on both rows; missing-on-either contributes maximal 1.
+func gowerDistance(t *table.Table, attrCols []int, ranges map[int]float64, a, b int) float64 {
+	sum := 0.0
+	for _, j := range attrCols {
+		c := t.Column(j)
+		if c.IsMissing(a) || c.IsMissing(b) {
+			sum += 1
+			continue
+		}
+		if c.Kind == table.Numeric {
+			rg := ranges[j]
+			if rg == 0 {
+				continue
+			}
+			d := math.Abs(c.Nums[a]-c.Nums[b]) / rg
+			if d > 1 {
+				d = 1
+			}
+			sum += d
+		} else if c.Cats[a] != c.Cats[b] {
+			sum += 1
+		}
+	}
+	return sum / float64(len(attrCols))
+}
+
+// strideSample returns up to max row indices spread evenly over [0,rows).
+func strideSample(rows, max int) []int {
+	if rows <= max {
+		out := make([]int, rows)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = i * rows / max
+	}
+	return out
+}
+
+func nonZero(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func minorityFraction(counts []int, rows int) float64 {
+	if rows == 0 {
+		return 0
+	}
+	min := -1
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return float64(min) / float64(rows)
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

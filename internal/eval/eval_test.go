@@ -1,0 +1,289 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"openbi/internal/mining"
+	"openbi/internal/synth"
+)
+
+// knownMatrix builds the 3-class confusion matrix
+//
+//	actual\pred  a  b  c
+//	a            5  1  0
+//	b            2  6  2
+//	c            0  1  3
+func knownMatrix() *ConfusionMatrix {
+	m := NewConfusionMatrix(3)
+	add := func(a, p, n int) {
+		for i := 0; i < n; i++ {
+			m.Add(a, p)
+		}
+	}
+	add(0, 0, 5)
+	add(0, 1, 1)
+	add(1, 0, 2)
+	add(1, 1, 6)
+	add(1, 2, 2)
+	add(2, 1, 1)
+	add(2, 2, 3)
+	return m
+}
+
+func TestConfusionAccuracy(t *testing.T) {
+	m := knownMatrix()
+	if m.Total() != 20 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if got := m.Accuracy(); math.Abs(got-14.0/20.0) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 0.7", got)
+	}
+}
+
+func TestConfusionKappa(t *testing.T) {
+	m := knownMatrix()
+	// po = 0.7; pe = (6*7 + 10*8 + 4*5)/400 = (42+80+20)/400 = 0.355
+	want := (0.7 - 0.355) / (1 - 0.355)
+	if got := m.Kappa(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("kappa = %v, want %v", got, want)
+	}
+}
+
+func TestConfusionPerClassF1(t *testing.T) {
+	m := knownMatrix()
+	p, r, f1 := m.PrecisionRecallF1(0)
+	if math.Abs(p-5.0/7.0) > 1e-12 || math.Abs(r-5.0/6.0) > 1e-12 {
+		t.Fatalf("class a precision/recall = %v/%v", p, r)
+	}
+	wantF1 := 2 * p * r / (p + r)
+	if math.Abs(f1-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", f1, wantF1)
+	}
+}
+
+func TestConfusionMacroF1(t *testing.T) {
+	m := knownMatrix()
+	sum := 0.0
+	for c := 0; c < 3; c++ {
+		_, _, f1 := m.PrecisionRecallF1(c)
+		sum += f1
+	}
+	if got := m.MacroF1(); math.Abs(got-sum/3) > 1e-12 {
+		t.Fatalf("macro F1 = %v, want %v", got, sum/3)
+	}
+}
+
+func TestMacroF1SkipsAbsentClasses(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.Add(0, 0)
+	m.Add(1, 1)
+	// Class 2 never occurs; macro must average over 2 classes = 1.0.
+	if got := m.MacroF1(); got != 1 {
+		t.Fatalf("macro F1 = %v, want 1", got)
+	}
+}
+
+func TestMinorityRecall(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	for i := 0; i < 90; i++ {
+		m.Add(0, 0)
+	}
+	m.Add(1, 0)
+	m.Add(1, 0)
+	m.Add(1, 1)
+	m.Add(1, 1)
+	// Minority class 1: 4 instances, 2 recalled.
+	if got := m.MinorityRecall(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("minority recall = %v, want 0.5", got)
+	}
+}
+
+func TestKappaZeroForChance(t *testing.T) {
+	// Predictions independent of truth -> kappa ~ 0.
+	m := NewConfusionMatrix(2)
+	for i := 0; i < 25; i++ {
+		m.Add(0, 0)
+		m.Add(0, 1)
+		m.Add(1, 0)
+		m.Add(1, 1)
+	}
+	if got := m.Kappa(); math.Abs(got) > 1e-12 {
+		t.Fatalf("chance kappa = %v, want 0", got)
+	}
+}
+
+func TestAddIgnoresInvalidCodes(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	m.Add(-1, 0)
+	m.Add(0, 5)
+	if m.Total() != 0 {
+		t.Fatal("invalid codes should be ignored")
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a, b := knownMatrix(), knownMatrix()
+	a.Merge(b)
+	if a.Total() != 40 {
+		t.Fatalf("merged total = %d", a.Total())
+	}
+	if math.Abs(a.Accuracy()-0.7) > 1e-12 {
+		t.Fatal("merge changed accuracy")
+	}
+}
+
+func TestBinaryAUCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	pos := []bool{true, true, false, false}
+	if got := BinaryAUC(scores, pos); got != 1 {
+		t.Fatalf("AUC = %v, want 1", got)
+	}
+}
+
+func TestBinaryAUCInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	pos := []bool{true, true, false, false}
+	if got := BinaryAUC(scores, pos); got != 0 {
+		t.Fatalf("AUC = %v, want 0", got)
+	}
+}
+
+func TestBinaryAUCTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	pos := []bool{true, false, true, false}
+	if got := BinaryAUC(scores, pos); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestBinaryAUCDegenerate(t *testing.T) {
+	if got := BinaryAUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := BinaryAUC([]float64{1}, []bool{true, false}); got != 0.5 {
+		t.Fatalf("mismatched lengths AUC = %v, want 0.5", got)
+	}
+}
+
+func TestStratifiedFoldsPreserveProportions(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{
+		Rows: 300, Seed: 1, ClassBalance: 0.4, Classes: 3,
+	})
+	folds, err := StratifiedFolds(ds, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ds.ClassCounts()
+	for f := 0; f < 5; f++ {
+		counts := make([]int, ds.NumClasses())
+		n := 0
+		for r, fr := range folds {
+			if fr == f {
+				counts[ds.Label(r)]++
+				n++
+			}
+		}
+		if n < 50 || n > 70 {
+			t.Fatalf("fold %d size = %d", f, n)
+		}
+		for c := range counts {
+			wantFrac := float64(total[c]) / float64(ds.Len())
+			gotFrac := float64(counts[c]) / float64(n)
+			if math.Abs(wantFrac-gotFrac) > 0.08 {
+				t.Fatalf("fold %d class %d fraction %v vs %v", f, c, gotFrac, wantFrac)
+			}
+		}
+	}
+}
+
+func TestStratifiedFoldsTooFewRows(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 3, Seed: 1})
+	if _, err := StratifiedFolds(ds, 5, 1); err == nil {
+		t.Fatal("folds > rows should error")
+	}
+}
+
+func TestHoldoutEvaluatesOnTestOnly(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 200, Seed: 2})
+	trainRows, testRows, err := TrainTestSplit(ds, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, cm, err := Holdout(func() mining.Classifier { return mining.NewNaiveBayes() },
+		ds.Subset(trainRows), ds.Subset(testRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != len(testRows) {
+		t.Fatalf("test outcomes = %d, want %d", cm.Total(), len(testRows))
+	}
+	if m.Accuracy < 0.8 {
+		t.Fatalf("holdout accuracy = %v on easy data", m.Accuracy)
+	}
+	if m.AUC <= 0.8 {
+		t.Fatalf("AUC = %v, want high on separable binary data", m.AUC)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 150, Seed: 4})
+	run := func() Metrics {
+		m, err := CrossValidate(func() mining.Classifier { return mining.NewC45Tree() }, ds, 5, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("CV not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCrossValidatePoolsAllRows(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 150, Seed: 5})
+	m, err := CrossValidate(func() mining.Classifier { return mining.NewZeroR() }, ds, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TestInstances != 150 {
+		t.Fatalf("pooled test instances = %d, want 150", m.TestInstances)
+	}
+}
+
+func TestCrossValidateRejectsBadFolds(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 50, Seed: 6})
+	if _, err := CrossValidate(func() mining.Classifier { return mining.NewZeroR() }, ds, 1, 1); err == nil {
+		t.Fatal("folds < 2 should error")
+	}
+}
+
+func TestTrainTestSplitValidation(t *testing.T) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 50, Seed: 7})
+	if _, _, err := TrainTestSplit(ds, 0, 1); err == nil {
+		t.Fatal("fraction 0 should error")
+	}
+	if _, _, err := TrainTestSplit(ds, 1, 1); err == nil {
+		t.Fatal("fraction 1 should error")
+	}
+	train, test, err := TrainTestSplit(ds, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != 50 {
+		t.Fatalf("split sizes %d+%d != 50", len(train), len(test))
+	}
+}
+
+func TestFromMatrixFields(t *testing.T) {
+	m := knownMatrix()
+	metrics := FromMatrix(m)
+	if metrics.Accuracy != m.Accuracy() || metrics.Kappa != m.Kappa() ||
+		metrics.MacroF1 != m.MacroF1() || metrics.TestInstances != m.Total() {
+		t.Fatalf("FromMatrix mismatch: %+v", metrics)
+	}
+	if metrics.AUC != 0.5 {
+		t.Fatal("FromMatrix AUC should default 0.5")
+	}
+}

@@ -1,0 +1,348 @@
+// Package eval implements the evaluation phase of the KDD process
+// (Figure 1, phase iii): confusion matrices, the classification metrics
+// the experiment grid records (accuracy, per-class and macro F1, Cohen's
+// kappa, binary AUC), and stratified k-fold cross-validation.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"openbi/internal/mining"
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// ConfusionMatrix accumulates prediction outcomes; Cell[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	Cell    [][]int
+}
+
+// NewConfusionMatrix returns an empty k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Classes: k, Cell: make([][]int, k)}
+	for i := range m.Cell {
+		m.Cell[i] = make([]int, k)
+	}
+	return m
+}
+
+// Add records one (actual, predicted) outcome; out-of-range codes are
+// ignored (they correspond to missing labels).
+func (m *ConfusionMatrix) Add(actual, predicted int) {
+	if actual < 0 || actual >= m.Classes || predicted < 0 || predicted >= m.Classes {
+		return
+	}
+	m.Cell[actual][predicted]++
+}
+
+// Merge adds another matrix of the same shape into m.
+func (m *ConfusionMatrix) Merge(other *ConfusionMatrix) {
+	for i := range m.Cell {
+		for j := range m.Cell[i] {
+			m.Cell[i][j] += other.Cell[i][j]
+		}
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (m *ConfusionMatrix) Total() int {
+	n := 0
+	for i := range m.Cell {
+		for j := range m.Cell[i] {
+			n += m.Cell[i][j]
+		}
+	}
+	return n
+}
+
+// Accuracy returns the fraction of correct predictions (0 on empty).
+func (m *ConfusionMatrix) Accuracy() float64 {
+	n := m.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range m.Cell {
+		correct += m.Cell[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// Kappa returns Cohen's kappa: chance-corrected agreement. It is the
+// imbalance-robust headline metric of the experiment tables, because under
+// heavy class skew raw accuracy rewards the degenerate majority guess.
+func (m *ConfusionMatrix) Kappa() float64 {
+	n := float64(m.Total())
+	if n == 0 {
+		return 0
+	}
+	po := m.Accuracy()
+	pe := 0.0
+	for c := 0; c < m.Classes; c++ {
+		rowSum, colSum := 0, 0
+		for j := 0; j < m.Classes; j++ {
+			rowSum += m.Cell[c][j]
+			colSum += m.Cell[j][c]
+		}
+		pe += float64(rowSum) / n * float64(colSum) / n
+	}
+	if pe >= 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// PrecisionRecallF1 returns the per-class precision, recall and F1 for
+// class c (zero when undefined).
+func (m *ConfusionMatrix) PrecisionRecallF1(c int) (precision, recall, f1 float64) {
+	tp := m.Cell[c][c]
+	fp, fn := 0, 0
+	for j := 0; j < m.Classes; j++ {
+		if j == c {
+			continue
+		}
+		fp += m.Cell[j][c]
+		fn += m.Cell[c][j]
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// MacroF1 averages F1 over classes that actually occur.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	sum, k := 0.0, 0
+	for c := 0; c < m.Classes; c++ {
+		occurs := false
+		for j := 0; j < m.Classes; j++ {
+			if m.Cell[c][j] > 0 {
+				occurs = true
+				break
+			}
+		}
+		if !occurs {
+			continue
+		}
+		_, _, f1 := m.PrecisionRecallF1(c)
+		sum += f1
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	return sum / float64(k)
+}
+
+// MinorityRecall returns the recall of the rarest occurring class — the
+// imbalance experiment's primary casualty.
+func (m *ConfusionMatrix) MinorityRecall() float64 {
+	minority, minCount := -1, math.MaxInt
+	for c := 0; c < m.Classes; c++ {
+		count := 0
+		for j := 0; j < m.Classes; j++ {
+			count += m.Cell[c][j]
+		}
+		if count > 0 && count < minCount {
+			minority, minCount = c, count
+		}
+	}
+	if minority < 0 {
+		return 0
+	}
+	_, recall, _ := m.PrecisionRecallF1(minority)
+	return recall
+}
+
+// Metrics is the flat record the experiment harness and knowledge base
+// store per run.
+type Metrics struct {
+	Accuracy       float64 `json:"accuracy"`
+	Kappa          float64 `json:"kappa"`
+	MacroF1        float64 `json:"macroF1"`
+	MinorityRecall float64 `json:"minorityRecall"`
+	AUC            float64 `json:"auc"` // binary only; 0.5 when undefined
+	TestInstances  int     `json:"testInstances"`
+}
+
+// FromMatrix summarizes a confusion matrix into Metrics (AUC left at 0.5;
+// use BinaryAUC separately when probabilities are available).
+func FromMatrix(m *ConfusionMatrix) Metrics {
+	return Metrics{
+		Accuracy:       m.Accuracy(),
+		Kappa:          m.Kappa(),
+		MacroF1:        m.MacroF1(),
+		MinorityRecall: m.MinorityRecall(),
+		AUC:            0.5,
+		TestInstances:  m.Total(),
+	}
+}
+
+// BinaryAUC computes the ROC AUC for the positive class from scores
+// (higher = more positive) and binary labels, via the rank-sum identity.
+// Ties receive average ranks. It returns 0.5 when a class is absent.
+func BinaryAUC(scores []float64, positive []bool) float64 {
+	if len(scores) != len(positive) {
+		return 0.5
+	}
+	nPos, nNeg := 0, 0
+	for _, p := range positive {
+		if p {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	ranks := stats.Ranks(scores)
+	sumPos := 0.0
+	for i, p := range positive {
+		if p {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Holdout fits a fresh classifier on train and evaluates on test,
+// returning the metrics and the confusion matrix.
+func Holdout(factory mining.Factory, train, test *mining.Dataset) (Metrics, *ConfusionMatrix, error) {
+	clf := factory()
+	if err := clf.Fit(train); err != nil {
+		return Metrics{}, nil, fmt.Errorf("eval: fitting %s: %w", clf.Name(), err)
+	}
+	k := train.NumClasses()
+	cm := NewConfusionMatrix(k)
+	var scores []float64
+	var positives []bool
+	prob, hasProba := clf.(mining.ProbClassifier)
+	binary := k == 2
+	for r := 0; r < test.Len(); r++ {
+		actual := test.Label(r)
+		if actual == table.MissingCat {
+			continue
+		}
+		cm.Add(actual, clf.Predict(test, r))
+		if binary && hasProba {
+			p := prob.Proba(test, r)
+			if len(p) == 2 {
+				scores = append(scores, p[1])
+				positives = append(positives, actual == 1)
+			}
+		}
+	}
+	metrics := FromMatrix(cm)
+	if binary && hasProba {
+		metrics.AUC = BinaryAUC(scores, positives)
+	}
+	return metrics, cm, nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// pooled metrics (confusion matrices merged across folds, AUC averaged).
+func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed int64) (Metrics, error) {
+	if folds < 2 {
+		return Metrics{}, fmt.Errorf("eval: need >= 2 folds, got %d", folds)
+	}
+	assignments, err := StratifiedFolds(ds, folds, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	pooled := NewConfusionMatrix(ds.NumClasses())
+	aucSum, aucFolds := 0.0, 0
+	for f := 0; f < folds; f++ {
+		var trainRows, testRows []int
+		for r, fold := range assignments {
+			if fold == f {
+				testRows = append(testRows, r)
+			} else {
+				trainRows = append(trainRows, r)
+			}
+		}
+		if len(trainRows) == 0 || len(testRows) == 0 {
+			continue
+		}
+		train := ds.Subset(trainRows)
+		test := ds.Subset(testRows)
+		m, cm, err := Holdout(factory, train, test)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		pooled.Merge(cm)
+		aucSum += m.AUC
+		aucFolds++
+	}
+	out := FromMatrix(pooled)
+	if aucFolds > 0 {
+		out.AUC = aucSum / float64(aucFolds)
+	}
+	return out, nil
+}
+
+// StratifiedFolds assigns every row a fold in [0,folds) preserving class
+// proportions; rows with missing labels are spread round-robin. The
+// assignment is deterministic for a seed.
+func StratifiedFolds(ds *mining.Dataset, folds int, seed int64) ([]int, error) {
+	n := ds.Len()
+	if n < folds {
+		return nil, fmt.Errorf("eval: %d rows < %d folds", n, folds)
+	}
+	rng := stats.NewRand(seed)
+	byClass := make(map[int][]int)
+	for r := 0; r < n; r++ {
+		byClass[ds.Label(r)] = append(byClass[ds.Label(r)], r)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	out := make([]int, n)
+	next := 0
+	for _, c := range classes {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for _, r := range rows {
+			out[r] = next % folds
+			next++
+		}
+	}
+	return out, nil
+}
+
+// TrainTestSplit returns stratified train/test row index sets with the
+// given test fraction.
+func TrainTestSplit(ds *mining.Dataset, testFraction float64, seed int64) (train, test []int, err error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, nil, fmt.Errorf("eval: test fraction %.3f out of (0,1)", testFraction)
+	}
+	folds := int(math.Round(1 / testFraction))
+	if folds < 2 {
+		folds = 2
+	}
+	assignment, err := StratifiedFolds(ds, folds, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for r, f := range assignment {
+		if f == 0 {
+			test = append(test, r)
+		} else {
+			train = append(train, r)
+		}
+	}
+	return train, test, nil
+}

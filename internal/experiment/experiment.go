@@ -1,0 +1,326 @@
+// Package experiment implements §3.1 of the paper — the experiment stage
+// of Figure 2 that generates the DQ4DM knowledge base. Phase 1 applies
+// algorithms "in the presence of data quality criteria" injected one at a
+// time over a severity sweep; Phase 2 applies "a mixed set of data quality
+// criteria"; the results populate kb.KnowledgeBase.
+//
+// Runs fan out over a bounded worker pool; every task derives its own
+// deterministic seed, so results are identical regardless of parallelism.
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Algorithms maps registry names to factories; nil means the standard
+	// suite (mining.StandardSuite).
+	Algorithms map[string]mining.Factory
+	// Criteria lists the criteria to sweep; nil means dq.AllCriteria().
+	Criteria []dq.Criterion
+	// Severities is the sweep grid; nil means {0, 0.1, 0.2, 0.3, 0.4, 0.5}.
+	// Severity 0 rows become the clean baselines.
+	Severities []float64
+	// Mechanism applies to the Completeness criterion (default MCAR).
+	Mechanism inject.Mechanism
+	// Folds is the cross-validation fold count (default 5).
+	Folds int
+	// Seed is the base seed; per-task seeds derive from it.
+	Seed int64
+	// Workers bounds parallelism (default runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Algorithms == nil {
+		c.Algorithms = mining.StandardSuite(c.Seed)
+	}
+	if c.Criteria == nil {
+		c.Criteria = dq.AllCriteria()
+	}
+	if c.Severities == nil {
+		c.Severities = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if c.Folds < 2 {
+		c.Folds = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// AlgorithmNames returns the configured algorithm names, sorted.
+func (c *Config) AlgorithmNames() []string {
+	out := make([]string, 0, len(c.Algorithms))
+	for n := range c.Algorithms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// taskSeed derives a stable per-task seed from the run seed and the task
+// coordinates, so adding workers or reordering tasks cannot change results.
+func taskSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// cell is one corrupted dataset shared by every algorithm — the paper's
+// method evaluates all techniques on the same prepared test datasets
+// (§3.1 step 2), which also lets the record carry the dq-measured severity
+// of the injected defect.
+type cell struct {
+	criterion dq.Criterion
+	severity  float64 // injected; 0 marks the clean cell
+	ds        *mining.Dataset
+	measured  float64            // measured severity of the injected criterion
+	measures  map[string]float64 // clean cell: measured severity per criterion
+}
+
+// prepareCells builds the clean cell plus one corrupted cell per
+// (criterion × non-zero severity).
+func prepareCells(cfg Config, ds *mining.Dataset) ([]cell, error) {
+	cleanProfile := dq.Measure(ds.T, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+	cleanMeasures := map[string]float64{}
+	for _, c := range dq.AllCriteria() {
+		cleanMeasures[c.String()] = cleanProfile.Severity(c)
+	}
+	cells := []cell{{severity: 0, ds: ds, measures: cleanMeasures}}
+	for _, crit := range cfg.Criteria {
+		for _, sev := range cfg.Severities {
+			if sev == 0 {
+				continue
+			}
+			seed := taskSeed(cfg.Seed, "inject", crit.String(), fmt.Sprintf("%.3f", sev))
+			corrupted, err := inject.Apply(ds.T, ds.ClassCol,
+				[]inject.Spec{{Criterion: crit, Severity: sev, Mechanism: cfg.Mechanism}}, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: injecting %s@%.2f: %w", crit, sev, err)
+			}
+			evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
+			if err != nil {
+				return nil, err
+			}
+			profile := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+			cells = append(cells, cell{
+				criterion: crit,
+				severity:  sev,
+				ds:        evalDS,
+				measured:  profile.Severity(crit),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Phase1 runs the simple-criterion grid on a clean dataset and returns one
+// kb.Record per (algorithm × criterion × severity) cell. The severity-0
+// cell is evaluated once per algorithm and recorded with Criterion
+// "clean"; its record carries the clean data's measured severity for every
+// criterion (the advisor's curve anchors).
+func Phase1(cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, error) {
+	cfg.applyDefaults()
+	cells, err := prepareCells(cfg, ds)
+	if err != nil {
+		return nil, err
+	}
+
+	type task struct {
+		algorithm string
+		cell      cell
+	}
+	var tasks []task
+	for _, alg := range cfg.AlgorithmNames() {
+		for _, cl := range cells {
+			tasks = append(tasks, task{alg, cl})
+		}
+	}
+
+	records := make([]kb.Record, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, tk := range tasks {
+		wg.Add(1)
+		go func(i int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			rec := kb.Record{
+				Algorithm:        tk.algorithm,
+				Criterion:        "clean",
+				Severity:         tk.cell.severity,
+				MeasuredSeverity: tk.cell.measured,
+				MeasuredAll:      tk.cell.measures,
+				Dataset:          datasetName,
+				Folds:            cfg.Folds,
+			}
+			if tk.cell.severity > 0 {
+				rec.Criterion = tk.cell.criterion.String()
+				if tk.cell.criterion == dq.Completeness {
+					rec.Mechanism = cfg.Mechanism.String()
+				}
+			}
+			cvSeed := taskSeed(cfg.Seed, "cv", tk.algorithm, rec.Criterion, fmt.Sprintf("%.3f", rec.Severity))
+			rec.Seed = cvSeed
+			m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], tk.cell.ds, cfg.Folds, cvSeed)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: %s on %s@%.2f: %w", tk.algorithm, rec.Criterion, rec.Severity, err)
+				return
+			}
+			rec.Metrics = m
+			records[i] = rec
+		}(i, tk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// MixedResult is one Phase-2 outcome: the measured metrics of a criteria
+// combination next to the additive prediction derived from Phase-1 curves,
+// quantifying interaction effects.
+type MixedResult struct {
+	Algorithm      string         `json:"algorithm"`
+	Criteria       []dq.Criterion `json:"criteria"`
+	Severity       float64        `json:"severity"`
+	Actual         eval.Metrics   `json:"actual"`
+	PredictedKappa float64        `json:"predictedKappa"`
+}
+
+// Interaction returns actual kappa minus predicted kappa: negative values
+// mean the combined defects hurt more than the sum of their parts
+// (super-additive degradation, the shape the paper's Phase 2 exists to
+// expose).
+func (m MixedResult) Interaction() float64 {
+	return m.Actual.Kappa - m.PredictedKappa
+}
+
+// Phase2 runs mixed-criteria combinations at a single severity per
+// criterion and compares against additive predictions from the Phase-1
+// knowledge base. It returns the mixed results and the kb records
+// (Criterion "a+b", Mixed=true) to be added to the knowledge base.
+func Phase2(cfg Config, ds *mining.Dataset, datasetName string, base *kb.KnowledgeBase,
+	combos [][]dq.Criterion, severity float64) ([]MixedResult, []kb.Record, error) {
+	cfg.applyDefaults()
+
+	type task struct {
+		algorithm string
+		combo     []dq.Criterion
+	}
+	var tasks []task
+	for _, alg := range cfg.AlgorithmNames() {
+		for _, combo := range combos {
+			tasks = append(tasks, task{alg, combo})
+		}
+	}
+	results := make([]MixedResult, len(tasks))
+	records := make([]kb.Record, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, tk := range tasks {
+		wg.Add(1)
+		go func(i int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			comboName := comboString(tk.combo)
+			specs := make([]inject.Spec, len(tk.combo))
+			for j, c := range tk.combo {
+				specs[j] = inject.Spec{Criterion: c, Severity: severity, Mechanism: cfg.Mechanism}
+			}
+			seed := taskSeed(cfg.Seed, "mix", comboName, fmt.Sprintf("%.3f", severity))
+			corrupted, err := inject.Apply(ds.T, ds.ClassCol, specs, seed)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: injecting %s: %w", comboName, err)
+				return
+			}
+			evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Predictions use the measured profile of the mixed data —
+			// exactly the coordinates the advisor sees in production.
+			severities := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol}).Severities()
+			cvSeed := taskSeed(cfg.Seed, "mixcv", tk.algorithm, comboName, fmt.Sprintf("%.3f", severity))
+			m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], evalDS, cfg.Folds, cvSeed)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: %s on %s: %w", tk.algorithm, comboName, err)
+				return
+			}
+			results[i] = MixedResult{
+				Algorithm:      tk.algorithm,
+				Criteria:       tk.combo,
+				Severity:       severity,
+				Actual:         m,
+				PredictedKappa: base.PredictKappa(tk.algorithm, severities),
+			}
+			records[i] = kb.Record{
+				Algorithm: tk.algorithm,
+				Criterion: comboName,
+				Severity:  severity,
+				Dataset:   datasetName,
+				Mixed:     true,
+				Folds:     cfg.Folds,
+				Seed:      cvSeed,
+				Metrics:   m,
+			}
+		}(i, tk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, records, nil
+}
+
+// comboString renders "completeness+label-noise".
+func comboString(combo []dq.Criterion) string {
+	s := ""
+	for i, c := range combo {
+		if i > 0 {
+			s += "+"
+		}
+		s += c.String()
+	}
+	return s
+}
+
+// DefaultCombos returns the canonical Phase-2 pairs: every pair of
+// distinct criteria from the given list.
+func DefaultCombos(criteria []dq.Criterion) [][]dq.Criterion {
+	var out [][]dq.Criterion
+	for i := 0; i < len(criteria); i++ {
+		for j := i + 1; j < len(criteria); j++ {
+			out = append(out, []dq.Criterion{criteria[i], criteria[j]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/synth"
+)
+
+// smallCfg keeps unit-test runs fast: 2 algorithms, 2 criteria, 3 severities.
+func smallCfg(seed int64) Config {
+	return Config{
+		Algorithms: map[string]mining.Factory{
+			"naive-bayes": func() mining.Classifier { return mining.NewNaiveBayes() },
+			"c45":         func() mining.Classifier { return mining.NewC45Tree() },
+		},
+		Criteria:   []dq.Criterion{dq.LabelNoise, dq.Completeness},
+		Severities: []float64{0, 0.2, 0.4},
+		Folds:      3,
+		Seed:       seed,
+	}
+}
+
+func fixture() *mining.Dataset {
+	return synth.MustMakeClassification(synth.ClassificationSpec{Rows: 240, Seed: 21})
+}
+
+func TestPhase1GridSize(t *testing.T) {
+	recs, err := Phase1(smallCfg(1), fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms × (1 clean + 2 criteria × 2 non-zero severities) = 10.
+	if len(recs) != 10 {
+		t.Fatalf("records = %d, want 10", len(recs))
+	}
+	cleans, corrupted := 0, 0
+	for _, r := range recs {
+		if r.Criterion == "clean" {
+			cleans++
+			if r.Severity != 0 || len(r.MeasuredAll) == 0 {
+				t.Fatalf("clean record malformed: %+v", r)
+			}
+		} else {
+			corrupted++
+			if r.Severity == 0 {
+				t.Fatalf("corrupted record without severity: %+v", r)
+			}
+		}
+		if r.Dataset != "unit" || r.Folds != 3 {
+			t.Fatalf("metadata wrong: %+v", r)
+		}
+	}
+	if cleans != 2 || corrupted != 8 {
+		t.Fatalf("cleans=%d corrupted=%d", cleans, corrupted)
+	}
+}
+
+func TestPhase1MeasuredSeverityRecorded(t *testing.T) {
+	recs, err := Phase1(smallCfg(2), fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Criterion == dq.LabelNoise.String() && r.Severity >= 0.2 {
+			if r.MeasuredSeverity <= 0 {
+				t.Fatalf("measured severity missing: %+v", r)
+			}
+		}
+		if r.Criterion == dq.Completeness.String() {
+			// Measured missing rate tracks the injected rate.
+			if d := r.MeasuredSeverity - r.Severity; d > 0.1 || d < -0.1 {
+				t.Fatalf("completeness measured %v vs injected %v", r.MeasuredSeverity, r.Severity)
+			}
+		}
+	}
+}
+
+func TestPhase1DeterministicAcrossWorkers(t *testing.T) {
+	cfg1 := smallCfg(3)
+	cfg1.Workers = 1
+	cfg8 := smallCfg(3)
+	cfg8.Workers = 8
+	a, err := Phase1(cfg1, fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Phase1(cfg8, fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("record counts differ")
+	}
+	for i := range a {
+		if a[i].Algorithm != b[i].Algorithm || a[i].Criterion != b[i].Criterion ||
+			a[i].Metrics != b[i].Metrics {
+			t.Fatalf("parallelism changed results at %d:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPhase1DegradationShape(t *testing.T) {
+	recs, err := Phase1(smallCfg(4), fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range recs {
+		base.Add(r)
+	}
+	// Label noise at 0.4 must hurt every algorithm vs its clean baseline.
+	for _, alg := range []string{"naive-bayes", "c45"} {
+		curve := base.Curve(alg, dq.LabelNoise)
+		if len(curve) != 3 {
+			t.Fatalf("curve points = %d", len(curve))
+		}
+		if curve[2].Kappa >= curve[0].Kappa-0.1 {
+			t.Fatalf("%s kappa did not degrade under 40%% label noise: %+v", alg, curve)
+		}
+	}
+}
+
+func TestPhase2InteractionAndRecords(t *testing.T) {
+	ds := fixture()
+	cfg := smallCfg(5)
+	p1, err := Phase1(cfg, ds, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range p1 {
+		base.Add(r)
+	}
+	combos := [][]dq.Criterion{{dq.LabelNoise, dq.Completeness}}
+	mixed, recs, err := Phase2(cfg, ds, "unit", base, combos, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 2 || len(recs) != 2 { // one per algorithm
+		t.Fatalf("mixed=%d recs=%d, want 2/2", len(mixed), len(recs))
+	}
+	for _, m := range mixed {
+		if m.Actual.Kappa > base.BaselineKappa(m.Algorithm) {
+			t.Fatalf("mixed corruption did not hurt %s", m.Algorithm)
+		}
+		if m.PredictedKappa == 0 {
+			t.Fatalf("prediction missing for %s", m.Algorithm)
+		}
+	}
+	for _, r := range recs {
+		if !r.Mixed || r.Criterion != "label-noise+completeness" {
+			t.Fatalf("mixed record malformed: %+v", r)
+		}
+	}
+}
+
+func TestDefaultCombos(t *testing.T) {
+	combos := DefaultCombos([]dq.Criterion{dq.Completeness, dq.LabelNoise, dq.Imbalance})
+	if len(combos) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(combos))
+	}
+	for _, c := range combos {
+		if len(c) != 2 || c[0] == c[1] {
+			t.Fatalf("bad combo %v", c)
+		}
+	}
+}
+
+func TestTaskSeedStable(t *testing.T) {
+	a := taskSeed(1, "x", "y")
+	b := taskSeed(1, "x", "y")
+	c := taskSeed(1, "x", "z")
+	d := taskSeed(2, "x", "y")
+	if a != b {
+		t.Fatal("same coordinates, different seed")
+	}
+	if a == c || a == d {
+		t.Fatal("different coordinates, same seed")
+	}
+	if a < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}
+
+func TestValidateAdvisorBeatsChanceAndRuns(t *testing.T) {
+	ds := fixture()
+	cfg := smallCfg(6)
+	cfg.Mechanism = inject.MCAR
+	p1, err := Phase1(cfg, ds, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range p1 {
+		base.Add(r)
+	}
+	res, err := Validate(cfg, ds, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 4 || len(res.Detail) != 4 {
+		t.Fatalf("trials = %d detail = %d", res.Trials, len(res.Detail))
+	}
+	if res.Top2Rate() < res.Top1Rate() {
+		t.Fatal("top2 rate cannot be below top1")
+	}
+	if res.MeanRegret < 0 {
+		t.Fatalf("negative regret %v", res.MeanRegret)
+	}
+	if res.StaticPolicy == "" {
+		t.Fatal("static policy missing")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.applyDefaults()
+	if cfg.Folds != 5 || cfg.Workers < 1 || len(cfg.Criteria) != len(dq.AllCriteria()) {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if len(cfg.Severities) == 0 || cfg.Severities[0] != 0 {
+		t.Fatalf("default severities: %v", cfg.Severities)
+	}
+	if len(cfg.AlgorithmNames()) != 8 {
+		t.Fatalf("default suite size: %v", cfg.AlgorithmNames())
+	}
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/stats"
+)
+
+// ValidationResult summarizes the advisor-validation experiment (F2-ADV):
+// on freshly corrupted held-out datasets, how often does the knowledge
+// base's recommendation match the empirically best algorithm?
+type ValidationResult struct {
+	Trials int `json:"trials"`
+	// Top1Hits counts trials where the advised algorithm was empirically
+	// best; Top2Hits where it was in the empirical top two.
+	Top1Hits int `json:"top1Hits"`
+	Top2Hits int `json:"top2Hits"`
+	// MeanRegret is the mean kappa gap between the empirically best
+	// algorithm and the advised one (0 = perfect advice).
+	MeanRegret float64 `json:"meanRegret"`
+	// StaticRegret is the same regret for the best static policy (always
+	// using the single algorithm with the best mean kappa across trials) —
+	// the baseline the advisor must beat for the paper's thesis to hold.
+	StaticRegret float64 `json:"staticRegret"`
+	// StaticPolicy names that static algorithm.
+	StaticPolicy string `json:"staticPolicy"`
+	// Trials detail.
+	Detail []ValidationTrial `json:"detail,omitempty"`
+}
+
+// ValidationTrial records one scenario.
+type ValidationTrial struct {
+	Scenario  string  `json:"scenario"`
+	Advised   string  `json:"advised"`
+	Empirical string  `json:"empirical"`
+	Regret    float64 `json:"regret"`
+}
+
+// Top1Rate returns Top1Hits / Trials.
+func (v ValidationResult) Top1Rate() float64 {
+	if v.Trials == 0 {
+		return 0
+	}
+	return float64(v.Top1Hits) / float64(v.Trials)
+}
+
+// Top2Rate returns Top2Hits / Trials.
+func (v ValidationResult) Top2Rate() float64 {
+	if v.Trials == 0 {
+		return 0
+	}
+	return float64(v.Top2Hits) / float64(v.Trials)
+}
+
+// Validate generates `trials` random corruption scenarios on the clean
+// dataset, asks the knowledge base for advice from the *measured* profile
+// of each corrupted copy (exactly the production path: profile →
+// severities → advice), then runs every algorithm to find the empirical
+// winner. Scenarios draw 1-3 criteria with severities in [0.1, 0.5].
+func Validate(cfg Config, ds *mining.Dataset, base *kb.KnowledgeBase, trials int) (ValidationResult, error) {
+	cfg.applyDefaults()
+	if trials <= 0 {
+		trials = 10
+	}
+	rng := stats.NewRand(cfg.Seed + 7331)
+	criteria := cfg.Criteria
+
+	out := ValidationResult{Trials: trials}
+	perAlgKappa := map[string][]float64{}
+	var advisedKappas []float64
+	var bestKappas []float64
+
+	for trial := 0; trial < trials; trial++ {
+		nDefects := 1 + rng.Intn(3)
+		perm := rng.Perm(len(criteria))
+		specs := make([]inject.Spec, 0, nDefects)
+		scenario := ""
+		for d := 0; d < nDefects && d < len(perm); d++ {
+			crit := criteria[perm[d]]
+			sev := 0.1 + 0.4*rng.Float64()
+			specs = append(specs, inject.Spec{Criterion: crit, Severity: sev, Mechanism: cfg.Mechanism})
+			if scenario != "" {
+				scenario += "+"
+			}
+			scenario += fmt.Sprintf("%s@%.2f", crit, sev)
+		}
+		corrupted, err := inject.Apply(ds.T, ds.ClassCol, specs, taskSeed(cfg.Seed, "validate", scenario))
+		if err != nil {
+			return ValidationResult{}, fmt.Errorf("experiment: validation scenario %s: %w", scenario, err)
+		}
+		evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
+		if err != nil {
+			return ValidationResult{}, err
+		}
+
+		// Production path: measure, advise.
+		profile := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+		advice, err := base.Advise(profile)
+		if err != nil {
+			return ValidationResult{}, err
+		}
+		advised := advice.Best().Algorithm
+
+		// Ground truth: run everything.
+		type algKappa struct {
+			name  string
+			kappa float64
+		}
+		var scores []algKappa
+		for _, alg := range cfg.AlgorithmNames() {
+			m, err := eval.CrossValidate(cfg.Algorithms[alg],
+				evalDS, cfg.Folds, taskSeed(cfg.Seed, "validate-cv", scenario, alg))
+			if err != nil {
+				return ValidationResult{}, fmt.Errorf("experiment: validating %s on %s: %w", alg, scenario, err)
+			}
+			scores = append(scores, algKappa{alg, m.Kappa})
+			perAlgKappa[alg] = append(perAlgKappa[alg], m.Kappa)
+		}
+		sort.SliceStable(scores, func(i, j int) bool {
+			if scores[i].kappa != scores[j].kappa {
+				return scores[i].kappa > scores[j].kappa
+			}
+			return scores[i].name < scores[j].name
+		})
+
+		advisedKappa := 0.0
+		for _, s := range scores {
+			if s.name == advised {
+				advisedKappa = s.kappa
+				break
+			}
+		}
+		regret := scores[0].kappa - advisedKappa
+		if advised == scores[0].name {
+			out.Top1Hits++
+		}
+		if advised == scores[0].name || (len(scores) > 1 && advised == scores[1].name) {
+			out.Top2Hits++
+		}
+		out.MeanRegret += regret
+		advisedKappas = append(advisedKappas, advisedKappa)
+		bestKappas = append(bestKappas, scores[0].kappa)
+		out.Detail = append(out.Detail, ValidationTrial{
+			Scenario:  scenario,
+			Advised:   advised,
+			Empirical: scores[0].name,
+			Regret:    regret,
+		})
+	}
+	out.MeanRegret /= float64(trials)
+
+	// Best static policy in hindsight.
+	bestStatic, bestMean := "", -2.0
+	for alg, ks := range perAlgKappa {
+		mean := stats.Mean(ks)
+		if mean > bestMean || (mean == bestMean && alg < bestStatic) {
+			bestStatic, bestMean = alg, mean
+		}
+	}
+	out.StaticPolicy = bestStatic
+	for i := range bestKappas {
+		out.StaticRegret += bestKappas[i] - perAlgKappa[bestStatic][i]
+	}
+	out.StaticRegret /= float64(trials)
+	return out, nil
+}

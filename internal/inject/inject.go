@@ -1,0 +1,393 @@
+// Package inject implements §3.1 step 2 of the paper: starting "from this
+// initial dataset we will introduce some data quality problems in a
+// controlled manner". Each operator corrupts a clean dataset along exactly
+// one data-quality criterion at a chosen severity in [0,1], deterministically
+// for a given seed, so that experiment outcomes are attributable to the
+// injected defect and reproducible.
+//
+// Operators never mutate their input; they return a corrupted copy.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"openbi/internal/dq"
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// Mechanism selects the missingness mechanism for the Completeness
+// criterion (Rubin's taxonomy; MCAR is the default).
+type Mechanism int
+
+const (
+	// MCAR deletes cells uniformly at random.
+	MCAR Mechanism = iota
+	// MAR deletes cells with probability driven by the value of another
+	// (fully observed) attribute.
+	MAR
+	// MNAR deletes cells with probability driven by the cell's own value
+	// (large values vanish), the hardest case for imputation.
+	MNAR
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MCAR:
+		return "MCAR"
+	case MAR:
+		return "MAR"
+	case MNAR:
+		return "MNAR"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Spec describes one controlled defect to inject.
+type Spec struct {
+	Criterion dq.Criterion
+	// Severity is the defect intensity in [0,1]; 0 is a no-op.
+	Severity float64
+	// Mechanism applies to Completeness only.
+	Mechanism Mechanism
+}
+
+// String renders "criterion@severity".
+func (s Spec) String() string {
+	if s.Criterion == dq.Completeness && s.Mechanism != MCAR {
+		return fmt.Sprintf("%s[%s]@%.2f", s.Criterion, s.Mechanism, s.Severity)
+	}
+	return fmt.Sprintf("%s@%.2f", s.Criterion, s.Severity)
+}
+
+// Apply injects every spec in order into a copy of t. classCol is the
+// class column index (-1 when absent); class cells are never deleted or
+// noised except by the LabelNoise operator, so each defect stays confined
+// to its criterion.
+func Apply(t *table.Table, classCol int, specs []Spec, seed int64) (*table.Table, error) {
+	out := t.Clone()
+	rng := stats.NewRand(seed)
+	for _, sp := range specs {
+		if sp.Severity < 0 || sp.Severity > 1 {
+			return nil, fmt.Errorf("inject: severity %.3f out of [0,1] for %s", sp.Severity, sp.Criterion)
+		}
+		if sp.Severity == 0 {
+			continue
+		}
+		var err error
+		switch sp.Criterion {
+		case dq.Completeness:
+			err = injectMissing(out, classCol, sp.Severity, sp.Mechanism, rng)
+		case dq.Duplicates:
+			out = injectDuplicates(out, sp.Severity, rng)
+		case dq.Correlation:
+			err = injectCorrelated(out, classCol, sp.Severity, rng)
+		case dq.Imbalance:
+			out, err = injectImbalance(out, classCol, sp.Severity, rng)
+		case dq.LabelNoise:
+			err = injectLabelNoise(out, classCol, sp.Severity, rng)
+		case dq.AttributeNoise:
+			injectAttributeNoise(out, classCol, sp.Severity, rng)
+		case dq.Dimensionality:
+			injectIrrelevant(out, sp.Severity, rng)
+		default:
+			err = fmt.Errorf("inject: unsupported criterion %s", sp.Criterion)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MustApply is Apply for construction code with known-valid specs.
+func MustApply(t *table.Table, classCol int, specs []Spec, seed int64) *table.Table {
+	out, err := Apply(t, classCol, specs, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// injectMissing deletes severity fraction of attribute cells under the
+// given mechanism.
+func injectMissing(t *table.Table, classCol int, severity float64, mech Mechanism, rng *rand.Rand) error {
+	rows := t.NumRows()
+	attrs := attrColumns(t, classCol)
+	if rows == 0 || len(attrs) == 0 {
+		return nil
+	}
+	switch mech {
+	case MCAR:
+		for _, j := range attrs {
+			for r := 0; r < rows; r++ {
+				if rng.Float64() < severity {
+					t.SetMissing(r, j)
+				}
+			}
+		}
+	case MAR:
+		// Missingness of column j is driven by the rank of the cell in the
+		// previous attribute column: rows in the top 2·severity quantile of
+		// the driver lose their cell with probability one-half each — the
+		// expected deleted mass is again ≈ severity.
+		for idx, j := range attrs {
+			driver := attrs[(idx+len(attrs)-1)%len(attrs)]
+			order := rankOrder(t, driver)
+			cut := int(2 * severity * float64(rows))
+			if cut > rows {
+				cut = rows
+			}
+			for k := 0; k < cut; k++ {
+				if rng.Float64() < 0.5 {
+					t.SetMissing(order[k], j)
+				}
+			}
+		}
+	case MNAR:
+		// Each column loses its own largest-valued cells.
+		for _, j := range attrs {
+			order := rankOrder(t, j)
+			cut := int(severity * float64(rows))
+			for k := 0; k < cut; k++ {
+				t.SetMissing(order[k], j)
+			}
+		}
+	default:
+		return fmt.Errorf("inject: unknown mechanism %v", mech)
+	}
+	return nil
+}
+
+// rankOrder returns row indices of column j sorted by descending cell
+// magnitude (numeric) or code (nominal); missing cells sort last. Ties are
+// broken by row index for determinism.
+func rankOrder(t *table.Table, j int) []int {
+	rows := t.NumRows()
+	c := t.Column(j)
+	order := make([]int, rows)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(r int) float64 {
+		if c.IsMissing(r) {
+			return math.Inf(-1)
+		}
+		if c.Kind == table.Numeric {
+			return c.Nums[r]
+		}
+		return float64(c.Cats[r])
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) > key(order[b]) })
+	return order
+}
+
+// injectDuplicates appends copied rows until the duplicate ratio of the
+// result is approximately severity. (Appending d = n·s/(1−s) copies of
+// existing rows makes d/(n+d) = s.)
+func injectDuplicates(t *table.Table, severity float64, rng *rand.Rand) *table.Table {
+	n := t.NumRows()
+	if n == 0 || severity >= 1 {
+		return t
+	}
+	d := int(math.Round(severity / (1 - severity) * float64(n)))
+	if d == 0 {
+		return t
+	}
+	rows := make([]int, 0, n+d)
+	for i := 0; i < n; i++ {
+		rows = append(rows, i)
+	}
+	for i := 0; i < d; i++ {
+		rows = append(rows, rng.Intn(n))
+	}
+	return t.SelectRows(rows)
+}
+
+// injectCorrelated adds near-copies of existing numeric attributes so that
+// the attribute set becomes redundant — the paper's own example of a
+// quality defect that yields "correct but useless" patterns (§3.1). The
+// number of redundant columns is ceil(severity · #numeric attributes) and
+// each copy correlates ≈ 0.95+ with its source.
+func injectCorrelated(t *table.Table, classCol int, severity float64, rng *rand.Rand) error {
+	var numeric []int
+	for _, j := range attrColumns(t, classCol) {
+		if t.Column(j).Kind == table.Numeric {
+			numeric = append(numeric, j)
+		}
+	}
+	if len(numeric) == 0 {
+		return fmt.Errorf("inject: correlation criterion needs at least one numeric attribute")
+	}
+	k := int(math.Ceil(severity * float64(len(numeric))))
+	for i := 0; i < k; i++ {
+		src := t.Column(numeric[i%len(numeric)])
+		sd := stats.StdDev(src.Nums)
+		if stats.IsMissing(sd) || sd == 0 {
+			sd = 1
+		}
+		col := table.NewNumericColumn(fmt.Sprintf("%s_corr%d", src.Name, i+1))
+		noise := 0.2 * sd // yields r ≈ 0.98 against the source
+		for r := 0; r < t.NumRows(); r++ {
+			if src.IsMissing(r) {
+				col.AppendMissing()
+				continue
+			}
+			col.AppendFloat(src.Nums[r] + stats.Gaussian(rng, 0, noise))
+		}
+		if err := t.AddColumn(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// injectImbalance subsamples minority classes so that every non-majority
+// class keeps only (1−severity) of its proportional share; severity 1
+// collapses the dataset to near single-class.
+func injectImbalance(t *table.Table, classCol int, severity float64, rng *rand.Rand) (*table.Table, error) {
+	if classCol < 0 {
+		return nil, fmt.Errorf("inject: imbalance criterion requires a class column")
+	}
+	cls := t.Column(classCol)
+	if cls.Kind != table.Nominal {
+		return nil, fmt.Errorf("inject: class column %q is not nominal", cls.Name)
+	}
+	counts := cls.Counts()
+	maj := 0
+	for code, c := range counts {
+		if c > counts[maj] {
+			maj = code
+		}
+	}
+	keepFrac := 1 - severity
+	var keep []int
+	for r := 0; r < t.NumRows(); r++ {
+		code := cls.Cats[r]
+		if code == maj || code == table.MissingCat {
+			keep = append(keep, r)
+			continue
+		}
+		if rng.Float64() < keepFrac {
+			keep = append(keep, r)
+		}
+	}
+	// Guarantee at least one instance of every originally present class so
+	// the task stays a classification problem.
+	present := make(map[int]bool)
+	for _, r := range keep {
+		present[cls.Cats[r]] = true
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		code := cls.Cats[r]
+		if code != table.MissingCat && !present[code] {
+			keep = append(keep, r)
+			present[code] = true
+		}
+	}
+	sort.Ints(keep)
+	return t.SelectRows(keep), nil
+}
+
+// injectLabelNoise flips severity fraction of class labels to a uniformly
+// chosen different class.
+func injectLabelNoise(t *table.Table, classCol int, severity float64, rng *rand.Rand) error {
+	if classCol < 0 {
+		return fmt.Errorf("inject: label-noise criterion requires a class column")
+	}
+	cls := t.Column(classCol)
+	if cls.Kind != table.Nominal {
+		return fmt.Errorf("inject: class column %q is not nominal", cls.Name)
+	}
+	k := cls.NumLevels()
+	if k < 2 {
+		return fmt.Errorf("inject: label noise needs >= 2 classes, have %d", k)
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		if cls.Cats[r] == table.MissingCat || rng.Float64() >= severity {
+			continue
+		}
+		nw := rng.Intn(k - 1)
+		if nw >= cls.Cats[r] {
+			nw++
+		}
+		cls.Cats[r] = nw
+	}
+	return nil
+}
+
+// injectAttributeNoise corrupts severity fraction of attribute cells:
+// numeric cells gain Gaussian noise at 2 column standard deviations,
+// nominal cells switch to a uniformly chosen other level.
+func injectAttributeNoise(t *table.Table, classCol int, severity float64, rng *rand.Rand) {
+	for _, j := range attrColumns(t, classCol) {
+		c := t.Column(j)
+		if c.Kind == table.Numeric {
+			sd := stats.StdDev(c.Nums)
+			if stats.IsMissing(sd) || sd == 0 {
+				sd = 1
+			}
+			for r := 0; r < t.NumRows(); r++ {
+				if c.IsMissing(r) || rng.Float64() >= severity {
+					continue
+				}
+				c.Nums[r] += stats.Gaussian(rng, 0, 2*sd)
+			}
+			continue
+		}
+		k := c.NumLevels()
+		if k < 2 {
+			continue
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			if c.IsMissing(r) || rng.Float64() >= severity {
+				continue
+			}
+			nw := rng.Intn(k - 1)
+			if nw >= c.Cats[r] {
+				nw++
+			}
+			c.Cats[r] = nw
+		}
+	}
+}
+
+// injectIrrelevant inflates dimensionality by appending
+// round(severity · 3 · #attributes) pure-noise columns (two thirds numeric
+// Gaussians, one third 4-level nominals), mimicking the attribute blow-up
+// of joining many LOD sources (§1's "high dimensionality").
+func injectIrrelevant(t *table.Table, severity float64, rng *rand.Rand) {
+	base := t.NumCols()
+	k := int(math.Round(severity * 3 * float64(base)))
+	for i := 0; i < k; i++ {
+		if i%3 == 2 {
+			col := table.NewNominalColumn(fmt.Sprintf("noise_cat%d", i+1), "a", "b", "c", "d")
+			for r := 0; r < t.NumRows(); r++ {
+				col.AppendCode(rng.Intn(4))
+			}
+			t.MustAddColumn(col)
+			continue
+		}
+		col := table.NewNumericColumn(fmt.Sprintf("noise_num%d", i+1))
+		for r := 0; r < t.NumRows(); r++ {
+			col.AppendFloat(rng.NormFloat64())
+		}
+		t.MustAddColumn(col)
+	}
+}
+
+// attrColumns lists every column index except the class column.
+func attrColumns(t *table.Table, classCol int) []int {
+	out := make([]int, 0, t.NumCols())
+	for j := 0; j < t.NumCols(); j++ {
+		if j != classCol {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/stats"
+	"openbi/internal/synth"
+	"openbi/internal/table"
+)
+
+// fixture returns a fresh clean dataset (300 rows, 6 numeric + 2 nominal
+// attributes, binary class at the last column).
+func fixture() (*table.Table, int) {
+	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 300, Seed: 11})
+	return ds.T, ds.ClassCol
+}
+
+func measure(t *table.Table, classCol int) dq.Profile {
+	return dq.Measure(t, dq.MeasureOptions{ClassColumn: classCol})
+}
+
+func TestApplyRejectsBadSeverity(t *testing.T) {
+	tb, cc := fixture()
+	if _, err := Apply(tb, cc, []Spec{{Criterion: dq.LabelNoise, Severity: 1.5}}, 1); err == nil {
+		t.Fatal("severity > 1 should error")
+	}
+	if _, err := Apply(tb, cc, []Spec{{Criterion: dq.LabelNoise, Severity: -0.1}}, 1); err == nil {
+		t.Fatal("negative severity should error")
+	}
+}
+
+func TestApplyZeroSeverityIsNoop(t *testing.T) {
+	tb, cc := fixture()
+	out, err := Apply(tb, cc, []Spec{{Criterion: dq.Completeness, Severity: 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(tb, out) {
+		t.Fatal("zero severity should be identity")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	tb, cc := fixture()
+	ref := tb.Clone()
+	_, err := Apply(tb, cc, []Spec{
+		{Criterion: dq.Completeness, Severity: 0.3},
+		{Criterion: dq.LabelNoise, Severity: 0.3},
+		{Criterion: dq.Dimensionality, Severity: 0.5},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(tb, ref) {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	tb, cc := fixture()
+	specs := []Spec{{Criterion: dq.AttributeNoise, Severity: 0.4}}
+	a := MustApply(tb, cc, specs, 42)
+	b := MustApply(tb, cc, specs, 42)
+	if !table.Equal(a, b) {
+		t.Fatal("same seed should give identical corruption")
+	}
+	c := MustApply(tb, cc, specs, 43)
+	if table.Equal(a, c) {
+		t.Fatal("different seed should differ")
+	}
+}
+
+func TestMissingMCARRate(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Completeness, Severity: 0.3}}, 7)
+	p := measure(out, cc)
+	if math.Abs((1-p.Completeness)-0.3) > 0.05 {
+		t.Fatalf("measured missing rate = %v, want ≈0.3", 1-p.Completeness)
+	}
+	// Class column untouched.
+	if out.Column(cc).MissingCount() != 0 {
+		t.Fatal("class labels must not be deleted")
+	}
+}
+
+func TestMissingMNARDeletesLargest(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Completeness, Severity: 0.2, Mechanism: MNAR}}, 7)
+	// In each numeric column the surviving max must be <= original max and
+	// the deletion mass concentrated at the top.
+	col := out.Column(0)
+	orig := tb.Column(0)
+	origMax, survMax := -math.MaxFloat64, -math.MaxFloat64
+	for r := 0; r < tb.NumRows(); r++ {
+		if orig.Nums[r] > origMax {
+			origMax = orig.Nums[r]
+		}
+		if !col.IsMissing(r) && col.Nums[r] > survMax {
+			survMax = col.Nums[r]
+		}
+	}
+	if survMax >= origMax {
+		t.Fatalf("MNAR should delete the top values (survMax=%v origMax=%v)", survMax, origMax)
+	}
+	if miss := col.MissingCount(); math.Abs(float64(miss)/300-0.2) > 0.02 {
+		t.Fatalf("MNAR deletion rate = %v", float64(miss)/300)
+	}
+}
+
+func TestMissingMARRate(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Completeness, Severity: 0.25, Mechanism: MAR}}, 7)
+	p := measure(out, cc)
+	if math.Abs((1-p.Completeness)-0.25) > 0.07 {
+		t.Fatalf("MAR missing rate = %v, want ≈0.25", 1-p.Completeness)
+	}
+}
+
+func TestDuplicatesRatio(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Duplicates, Severity: 0.3}}, 7)
+	p := measure(out, cc)
+	if math.Abs(p.DuplicateRatio-0.3) > 0.03 {
+		t.Fatalf("duplicate ratio = %v, want ≈0.3", p.DuplicateRatio)
+	}
+	if out.NumRows() <= tb.NumRows() {
+		t.Fatal("duplicates should add rows")
+	}
+}
+
+func TestCorrelatedAddsRedundantColumns(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Correlation, Severity: 0.5}}, 7)
+	added := out.NumCols() - tb.NumCols()
+	if added != 3 { // ceil(0.5 * 6 numeric)
+		t.Fatalf("added columns = %d, want 3", added)
+	}
+	// New column correlates strongly with its source.
+	src := out.Column(0)
+	cp := out.ColumnByName("num1_corr1")
+	if cp == nil {
+		t.Fatalf("expected num1_corr1, have %v", out.ColumnNames())
+	}
+	if r := stats.Pearson(src.Nums, cp.Nums); r < 0.9 {
+		t.Fatalf("copy correlation = %v, want > 0.9", r)
+	}
+}
+
+func TestCorrelatedRequiresNumeric(t *testing.T) {
+	tb := table.New("nom-only")
+	a := table.NewNominalColumn("a", "x", "y")
+	cls := table.NewNominalColumn("class", "0", "1")
+	for i := 0; i < 10; i++ {
+		a.AppendCode(i % 2)
+		cls.AppendCode(i % 2)
+	}
+	tb.MustAddColumn(a)
+	tb.MustAddColumn(cls)
+	if _, err := Apply(tb, 1, []Spec{{Criterion: dq.Correlation, Severity: 0.5}}, 1); err == nil {
+		t.Fatal("correlation on numeric-less table should error")
+	}
+}
+
+func TestImbalanceSkewsClasses(t *testing.T) {
+	tb, cc := fixture()
+	before := measure(tb, cc)
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Imbalance, Severity: 0.8}}, 7)
+	after := measure(out, cc)
+	if after.ClassBalance >= before.ClassBalance-0.1 {
+		t.Fatalf("balance before=%v after=%v; want clear drop", before.ClassBalance, after.ClassBalance)
+	}
+	// Every class still present.
+	counts := out.Column(cc).Counts()
+	for code, c := range counts {
+		if c == 0 {
+			t.Fatalf("class %d eliminated", code)
+		}
+	}
+}
+
+func TestImbalanceRequiresClass(t *testing.T) {
+	tb, _ := fixture()
+	if _, err := Apply(tb, -1, []Spec{{Criterion: dq.Imbalance, Severity: 0.5}}, 1); err == nil {
+		t.Fatal("imbalance without class should error")
+	}
+}
+
+func TestLabelNoiseFlipRate(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.LabelNoise, Severity: 0.3}}, 7)
+	flipped := 0
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cat(r, cc) != out.Cat(r, cc) {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(tb.NumRows())
+	if math.Abs(rate-0.3) > 0.06 {
+		t.Fatalf("flip rate = %v, want ≈0.3", rate)
+	}
+}
+
+func TestLabelNoiseRequiresTwoClasses(t *testing.T) {
+	tb := table.New("one-class")
+	x := table.NewNumericColumn("x")
+	cls := table.NewNominalColumn("class", "only")
+	for i := 0; i < 5; i++ {
+		x.AppendFloat(float64(i))
+		cls.AppendCode(0)
+	}
+	tb.MustAddColumn(x)
+	tb.MustAddColumn(cls)
+	if _, err := Apply(tb, 1, []Spec{{Criterion: dq.LabelNoise, Severity: 0.5}}, 1); err == nil {
+		t.Fatal("label noise on single class should error")
+	}
+}
+
+func TestAttributeNoisePerturbsCells(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.AttributeNoise, Severity: 0.4}}, 7)
+	changedNum := 0
+	col, origCol := out.Column(0), tb.Column(0)
+	for r := 0; r < tb.NumRows(); r++ {
+		if col.Nums[r] != origCol.Nums[r] {
+			changedNum++
+		}
+	}
+	rate := float64(changedNum) / float64(tb.NumRows())
+	if math.Abs(rate-0.4) > 0.08 {
+		t.Fatalf("numeric perturbation rate = %v, want ≈0.4", rate)
+	}
+	// Class labels untouched.
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cat(r, cc) != out.Cat(r, cc) {
+			t.Fatal("attribute noise must not flip labels")
+		}
+	}
+}
+
+func TestDimensionalityAddsNoiseColumns(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{{Criterion: dq.Dimensionality, Severity: 0.5}}, 7)
+	added := out.NumCols() - tb.NumCols()
+	want := int(math.Round(0.5 * 3 * float64(tb.NumCols())))
+	if added != want {
+		t.Fatalf("added = %d, want %d", added, want)
+	}
+	_ = cc
+}
+
+func TestMixedSpecsCompose(t *testing.T) {
+	tb, cc := fixture()
+	out := MustApply(tb, cc, []Spec{
+		{Criterion: dq.Completeness, Severity: 0.2},
+		{Criterion: dq.LabelNoise, Severity: 0.2},
+	}, 7)
+	p := measure(out, cc)
+	if p.Severity(dq.Completeness) < 0.1 {
+		t.Fatalf("mixed: completeness severity = %v", p.Severity(dq.Completeness))
+	}
+	if p.NoiseEstimate < 0.15 {
+		t.Fatalf("mixed: noise estimate = %v", p.NoiseEstimate)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Criterion: dq.LabelNoise, Severity: 0.25}
+	if s.String() != "label-noise@0.25" {
+		t.Fatalf("String = %q", s.String())
+	}
+	m := Spec{Criterion: dq.Completeness, Severity: 0.1, Mechanism: MNAR}
+	if m.String() != "completeness[MNAR]@0.10" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	if MCAR.String() != "MCAR" || MAR.String() != "MAR" || MNAR.String() != "MNAR" {
+		t.Fatal("mechanism names wrong")
+	}
+}

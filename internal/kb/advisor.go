@@ -1,0 +1,136 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"openbi/internal/dq"
+)
+
+// Recommendation is one ranked entry of the advisor's answer.
+type Recommendation struct {
+	Algorithm      string  `json:"algorithm"`
+	PredictedKappa float64 `json:"predictedKappa"`
+	BaselineKappa  float64 `json:"baselineKappa"`
+	// Penalties lists the predicted kappa loss per criterion that
+	// contributed (criterion name -> loss).
+	Penalties map[string]float64 `json:"penalties,omitempty"`
+}
+
+// Advice is the full advisor output for one data source.
+type Advice struct {
+	// Ranked is ordered best-first; Ranked[0] is "ALGORITHM X".
+	Ranked []Recommendation `json:"ranked"`
+	// Dominant lists the source's dominant quality defects, most severe
+	// first (severity >= 0.05).
+	Dominant []string `json:"dominant"`
+	// Warnings carries human-readable cautions (e.g. nothing beats ZeroR).
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Best returns the top recommendation ("the best option is ALGORITHM X").
+func (a Advice) Best() Recommendation {
+	if len(a.Ranked) == 0 {
+		return Recommendation{}
+	}
+	return a.Ranked[0]
+}
+
+// Advise ranks every algorithm in the knowledge base for a source with
+// the given measured profile. This is Figure 2's right-hand side: the
+// annotated common representation (its severity vector) meets the DQ4DM
+// knowledge base and yields guidance for the non-expert data miner.
+func (k *KnowledgeBase) Advise(p dq.Profile) (Advice, error) {
+	return k.AdviseSeverities(p.Severities())
+}
+
+// AdviseSeverities is Advise for a raw severity vector (dq.AllCriteria
+// order), used when the profile was read back from an annotated model.
+func (k *KnowledgeBase) AdviseSeverities(severities []float64) (Advice, error) {
+	algorithms := k.Algorithms()
+	if len(algorithms) == 0 {
+		return Advice{}, fmt.Errorf("kb: knowledge base is empty; run experiments first")
+	}
+	var advice Advice
+	for _, c := range dq.AllCriteria() {
+		if int(c) < len(severities) && severities[c] >= 0.05 {
+			advice.Dominant = append(advice.Dominant, c.String())
+		}
+	}
+	sort.SliceStable(advice.Dominant, func(i, j int) bool {
+		ci, _ := dq.ParseCriterion(advice.Dominant[i])
+		cj, _ := dq.ParseCriterion(advice.Dominant[j])
+		return severities[ci] > severities[cj]
+	})
+
+	for _, alg := range algorithms {
+		rec := Recommendation{
+			Algorithm:     alg,
+			BaselineKappa: k.BaselineKappa(alg),
+			Penalties:     map[string]float64{},
+		}
+		rec.PredictedKappa = k.PredictKappa(alg, severities)
+		for _, c := range dq.AllCriteria() {
+			s := 0.0
+			if int(c) < len(severities) {
+				s = severities[c]
+			}
+			if s <= 0 {
+				continue
+			}
+			loss := k.interpolatedLoss(alg, c, s)
+			if loss > 0.005 {
+				rec.Penalties[c.String()] = loss
+			}
+		}
+		advice.Ranked = append(advice.Ranked, rec)
+	}
+	sort.SliceStable(advice.Ranked, func(i, j int) bool {
+		if advice.Ranked[i].PredictedKappa != advice.Ranked[j].PredictedKappa {
+			return advice.Ranked[i].PredictedKappa > advice.Ranked[j].PredictedKappa
+		}
+		return advice.Ranked[i].Algorithm < advice.Ranked[j].Algorithm
+	})
+
+	if best := advice.Best(); best.PredictedKappa < 0.1 {
+		advice.Warnings = append(advice.Warnings,
+			"predicted agreement is near chance for every algorithm: the source's data quality problems should be repaired before mining (see internal/clean)")
+	}
+	return advice, nil
+}
+
+// Explain renders the advice as the plain-language report OpenBI shows a
+// citizen: the recommendation, why, and what to watch out for.
+func (a Advice) Explain() string {
+	var b strings.Builder
+	if len(a.Ranked) == 0 {
+		return "no advice available (empty knowledge base)\n"
+	}
+	best := a.Best()
+	fmt.Fprintf(&b, "The best option is %s (predicted kappa %.3f, clean baseline %.3f).\n",
+		strings.ToUpper(best.Algorithm), best.PredictedKappa, best.BaselineKappa)
+	if len(a.Dominant) > 0 {
+		fmt.Fprintf(&b, "Dominant data quality problems: %s.\n", strings.Join(a.Dominant, ", "))
+	}
+	if len(best.Penalties) > 0 {
+		names := make([]string, 0, len(best.Penalties))
+		for n := range best.Penalties {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s costs %.3f kappa", n, best.Penalties[n])
+		}
+		fmt.Fprintf(&b, "Expected quality impact on the recommendation: %s.\n", strings.Join(parts, "; "))
+	}
+	fmt.Fprintf(&b, "Full ranking:\n")
+	for i, r := range a.Ranked {
+		fmt.Fprintf(&b, "  %d. %-14s predicted kappa %.3f\n", i+1, r.Algorithm, r.PredictedKappa)
+	}
+	for _, w := range a.Warnings {
+		fmt.Fprintf(&b, "WARNING: %s\n", w)
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+// Package kb implements the DQ4DM knowledge base of Figure 2: the
+// persistent store of experiment outcomes ("applying algorithms in the
+// presence of data quality criteria") and the advisor that turns it into
+// the paper's promise to the non-expert user — "the best option is
+// ALGORITHM X".
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+)
+
+// Record is one experiment outcome: an algorithm evaluated by
+// cross-validation on a dataset corrupted along one criterion at one
+// severity. Severity 0 records are the clean baselines. Mixed-criteria
+// (Phase 2) runs store one record per involved criterion, flagged Mixed.
+type Record struct {
+	Algorithm string  `json:"algorithm"`
+	Criterion string  `json:"criterion"`
+	Severity  float64 `json:"severity"`
+	// MeasuredSeverity is the dq-measured severity of the injected
+	// criterion on the corrupted data. Injected and measured severities
+	// differ because measurement has an intrinsic floor (e.g. the 1-NN
+	// label-noise estimate reads the Bayes overlap of even clean data);
+	// tables report the injected axis, while the advisor interpolates on
+	// the measured axis so that recording and querying share coordinates.
+	MeasuredSeverity float64 `json:"measuredSeverity"`
+	// MeasuredAll, on clean (severity-0) records, carries the measured
+	// severity of *every* criterion on the clean data, keyed by criterion
+	// name — the left anchor of each measured-axis curve.
+	MeasuredAll map[string]float64 `json:"measuredAll,omitempty"`
+	Mechanism   string             `json:"mechanism,omitempty"` // completeness only
+	Dataset     string             `json:"dataset"`
+	Mixed       bool               `json:"mixed,omitempty"`
+	Folds       int                `json:"folds"`
+	Seed        int64              `json:"seed"`
+	Metrics     eval.Metrics       `json:"metrics"`
+}
+
+// KnowledgeBase stores experiment records and answers degradation and
+// advice queries over them. It is a value store: mutation is Add only.
+type KnowledgeBase struct {
+	Records []Record `json:"records"`
+}
+
+// New returns an empty knowledge base.
+func New() *KnowledgeBase { return &KnowledgeBase{} }
+
+// Add appends a record.
+func (k *KnowledgeBase) Add(r Record) { k.Records = append(k.Records, r) }
+
+// Len returns the number of records.
+func (k *KnowledgeBase) Len() int { return len(k.Records) }
+
+// Algorithms returns the distinct algorithm names, sorted.
+func (k *KnowledgeBase) Algorithms() []string {
+	set := map[string]bool{}
+	for _, r := range k.Records {
+		set[r.Algorithm] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CurvePoint is one (severity, mean metric) sample of a degradation curve.
+type CurvePoint struct {
+	Severity float64
+	Kappa    float64
+	Accuracy float64
+	MacroF1  float64
+	N        int // records averaged
+}
+
+// Curve returns the Phase-1 degradation curve of one algorithm under one
+// criterion on the *injected*-severity axis: records grouped by severity
+// (mixed-run records excluded), averaged, sorted. The severity-0 clean
+// baselines of every criterion are pooled into the first point. This is
+// the axis experiment tables report.
+func (k *KnowledgeBase) Curve(algorithm string, criterion dq.Criterion) []CurvePoint {
+	return k.curve(algorithm, criterion, false)
+}
+
+// MeasuredCurve is Curve on the *measured*-severity axis — the coordinate
+// system dq.Profile produces and therefore the one advice interpolates in.
+func (k *KnowledgeBase) MeasuredCurve(algorithm string, criterion dq.Criterion) []CurvePoint {
+	return k.curve(algorithm, criterion, true)
+}
+
+func (k *KnowledgeBase) curve(algorithm string, criterion dq.Criterion, measured bool) []CurvePoint {
+	groups := map[float64][]eval.Metrics{}
+	for _, r := range k.Records {
+		if r.Algorithm != algorithm || r.Mixed {
+			continue
+		}
+		if r.Severity == 0 || r.Criterion == criterion.String() {
+			x := r.Severity
+			if measured {
+				if r.Severity == 0 {
+					x = r.MeasuredAll[criterion.String()]
+				} else {
+					x = r.MeasuredSeverity
+				}
+			}
+			groups[x] = append(groups[x], r.Metrics)
+		}
+	}
+	sevs := make([]float64, 0, len(groups))
+	for s := range groups {
+		sevs = append(sevs, s)
+	}
+	sort.Float64s(sevs)
+	out := make([]CurvePoint, 0, len(sevs))
+	for _, s := range sevs {
+		ms := groups[s]
+		p := CurvePoint{Severity: s, N: len(ms)}
+		for _, m := range ms {
+			p.Kappa += m.Kappa
+			p.Accuracy += m.Accuracy
+			p.MacroF1 += m.MacroF1
+		}
+		n := float64(len(ms))
+		p.Kappa /= n
+		p.Accuracy /= n
+		p.MacroF1 /= n
+		out = append(out, p)
+	}
+	return out
+}
+
+// BaselineKappa returns the mean clean (severity-0, non-mixed) kappa of an
+// algorithm, or 0 when no baseline exists.
+func (k *KnowledgeBase) BaselineKappa(algorithm string) float64 {
+	sum, n := 0.0, 0
+	for _, r := range k.Records {
+		if r.Algorithm == algorithm && r.Severity == 0 && !r.Mixed {
+			sum += r.Metrics.Kappa
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Sensitivity returns the per-unit-severity kappa loss of an algorithm
+// under a criterion, estimated by least squares over the degradation
+// curve. Positive values mean degradation (kappa falls as severity rises);
+// this is the "algorithm × criterion sensitivity table" the F2-KB
+// experiment reports.
+func (k *KnowledgeBase) Sensitivity(algorithm string, criterion dq.Criterion) float64 {
+	return -slopeOf(k.Curve(algorithm, criterion))
+}
+
+// slopeOf is the least-squares slope of kappa on severity over a curve.
+func slopeOf(curve []CurvePoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range curve {
+		sx += p.Severity
+		sy += p.Kappa
+		sxx += p.Severity * p.Severity
+		sxy += p.Severity * p.Kappa
+	}
+	n := float64(len(curve))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// PredictKappa estimates the kappa an algorithm would achieve on a source
+// whose dq severity vector (dq.AllCriteria order) is given: clean baseline
+// minus the interpolated per-criterion losses, additive across criteria.
+// The additive composition is first-order; the Phase-2 mixed experiments
+// measure how far reality departs from it, and the advisor's validation
+// experiment (F2-ADV) shows it ranks algorithms well regardless.
+func (k *KnowledgeBase) PredictKappa(algorithm string, severities []float64) float64 {
+	base := k.BaselineKappa(algorithm)
+	pred := base
+	for _, c := range dq.AllCriteria() {
+		s := 0.0
+		if int(c) < len(severities) {
+			s = severities[c]
+		}
+		if s <= 0 {
+			continue
+		}
+		pred -= k.interpolatedLoss(algorithm, c, s)
+	}
+	if pred < -1 {
+		pred = -1
+	}
+	return pred
+}
+
+// interpolatedLoss reads the kappa loss at measured severity s off the
+// measured-axis degradation curve by piecewise-linear interpolation; below
+// the clean anchor the loss is zero, beyond the last point it is linearly
+// extrapolated with the curve's own slope. The loss is floored at zero:
+// a sampled curve can be locally non-monotone (cross-validation noise),
+// but a quality defect is never credited with *improving* an algorithm —
+// without the floor, predicted kappa could exceed the clean baseline,
+// which reads as nonsense in the advice shown to users.
+func (k *KnowledgeBase) interpolatedLoss(algorithm string, c dq.Criterion, s float64) float64 {
+	curve := k.MeasuredCurve(algorithm, c)
+	if len(curve) < 2 {
+		return 0
+	}
+	anchor := curve[0].Kappa
+	if s <= curve[0].Severity {
+		return 0
+	}
+	loss := 0.0
+	interpolated := false
+	for i := 1; i < len(curve); i++ {
+		if s <= curve[i].Severity {
+			lo, hi := curve[i-1], curve[i]
+			frac := 0.0
+			if hi.Severity > lo.Severity {
+				frac = (s - lo.Severity) / (hi.Severity - lo.Severity)
+			}
+			kappa := lo.Kappa + frac*(hi.Kappa-lo.Kappa)
+			loss = anchor - kappa
+			interpolated = true
+			break
+		}
+	}
+	if !interpolated {
+		last := curve[len(curve)-1]
+		loss = (anchor - last.Kappa) - (s-last.Severity)*slopeOf(curve)
+	}
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}
+
+// Save writes the knowledge base as indented JSON.
+func (k *KnowledgeBase) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(k)
+}
+
+// Load reads a knowledge base from JSON.
+func Load(r io.Reader) (*KnowledgeBase, error) {
+	var k KnowledgeBase
+	if err := json.NewDecoder(r).Decode(&k); err != nil {
+		return nil, fmt.Errorf("kb: decoding: %w", err)
+	}
+	return &k, nil
+}
+
+// SensitivityTable renders the algorithm × criterion sensitivity matrix:
+// rows keyed by algorithm name in sorted order, one column per criterion
+// in dq.AllCriteria order. NaN cells mean "no data".
+func (k *KnowledgeBase) SensitivityTable() (algorithms []string, criteria []dq.Criterion, cells [][]float64) {
+	algorithms = k.Algorithms()
+	criteria = dq.AllCriteria()
+	cells = make([][]float64, len(algorithms))
+	for i, a := range algorithms {
+		cells[i] = make([]float64, len(criteria))
+		for j, c := range criteria {
+			if len(k.Curve(a, c)) < 2 {
+				cells[i][j] = math.NaN()
+				continue
+			}
+			cells[i][j] = k.Sensitivity(a, c)
+		}
+	}
+	return algorithms, criteria, cells
+}

@@ -1,0 +1,298 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"openbi/internal/table"
+)
+
+// Item is one attribute=value condition over nominal columns.
+type Item struct {
+	Col   int // column index
+	Level int // nominal level code
+}
+
+// Rule is an association rule X => Y with its standard quality measures.
+// Berti-Equille's rule-quality programme [2] is the paper's related-work
+// anchor for measuring mined-pattern quality; Support/Confidence/Lift are
+// the measures the kb layer records for association experiments.
+type Rule struct {
+	Antecedent []Item
+	Consequent Item
+	Support    float64 // P(X ∪ Y)
+	Confidence float64 // P(Y | X)
+	Lift       float64 // Confidence / P(Y)
+}
+
+// Apriori mines association rules over the nominal columns of a table
+// with the classic level-wise frequent-itemset algorithm.
+type Apriori struct {
+	// MinSupport is the minimum itemset support in (0,1] (default 0.1).
+	MinSupport float64
+	// MinConfidence is the minimum rule confidence (default 0.6).
+	MinConfidence float64
+	// MaxLen bounds itemset length (default 4).
+	MaxLen int
+
+	// FrequentItemsets counts the frequent itemsets found, per level.
+	FrequentItemsets []int
+}
+
+// NewApriori returns an Apriori miner with conventional thresholds.
+func NewApriori() *Apriori {
+	return &Apriori{MinSupport: 0.1, MinConfidence: 0.6, MaxLen: 4}
+}
+
+// Mine returns all rules meeting the thresholds, sorted by descending
+// confidence then support (deterministic).
+func (ap *Apriori) Mine(t *table.Table) ([]Rule, error) {
+	if ap.MinSupport <= 0 || ap.MinSupport > 1 {
+		return nil, fmt.Errorf("apriori: MinSupport %.3f out of (0,1]", ap.MinSupport)
+	}
+	if ap.MaxLen <= 1 {
+		ap.MaxLen = 4
+	}
+	rows := t.NumRows()
+	if rows == 0 {
+		return nil, fmt.Errorf("apriori: empty table")
+	}
+	nominal := t.NominalColumnIndices()
+	if len(nominal) == 0 {
+		return nil, fmt.Errorf("apriori: table %q has no nominal columns", t.Name)
+	}
+
+	// Transactions: the set of items present per row.
+	txns := make([][]Item, rows)
+	for r := 0; r < rows; r++ {
+		for _, j := range nominal {
+			c := t.Column(j)
+			if c.IsMissing(r) {
+				continue
+			}
+			txns[r] = append(txns[r], Item{Col: j, Level: c.Cats[r]})
+		}
+	}
+
+	minCount := int(ap.MinSupport * float64(rows))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Level 1.
+	counts := map[string]int{}
+	itemOf := map[string][]Item{}
+	for _, tx := range txns {
+		for _, it := range tx {
+			k := itemsetKey([]Item{it})
+			counts[k]++
+			itemOf[k] = []Item{it}
+		}
+	}
+	frequent := map[string]int{}
+	var current []string
+	for k, c := range counts {
+		if c >= minCount {
+			frequent[k] = c
+			current = append(current, k)
+		}
+	}
+	sort.Strings(current)
+	ap.FrequentItemsets = []int{len(current)}
+
+	allFrequent := map[string]int{}
+	for k, c := range frequent {
+		allFrequent[k] = c
+	}
+
+	// Level-wise expansion.
+	for level := 2; level <= ap.MaxLen && len(current) > 1; level++ {
+		candidates := map[string][]Item{}
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				// current is sorted by string key, which need not agree
+				// with item order, so try the join both ways.
+				merged, ok := joinItemsets(itemOf[current[i]], itemOf[current[j]], level)
+				if !ok {
+					merged, ok = joinItemsets(itemOf[current[j]], itemOf[current[i]], level)
+				}
+				if !ok {
+					continue
+				}
+				candidates[itemsetKey(merged)] = merged
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		levelCounts := map[string]int{}
+		for _, tx := range txns {
+			for k, items := range candidates {
+				if containsAll(tx, items) {
+					levelCounts[k]++
+				}
+			}
+		}
+		current = current[:0]
+		next := map[string][]Item{}
+		for k, c := range levelCounts {
+			if c >= minCount {
+				allFrequent[k] = c
+				next[k] = candidates[k]
+				current = append(current, k)
+			}
+		}
+		sort.Strings(current)
+		itemOf = next
+		ap.FrequentItemsets = append(ap.FrequentItemsets, len(current))
+		if len(current) == 0 {
+			break
+		}
+	}
+
+	// Rule generation: for every frequent itemset of size >= 2, emit rules
+	// with a single-item consequent (the classification-rule shape OpenBI
+	// explains to users).
+	itemSupport := func(items []Item) (int, bool) {
+		c, ok := allFrequent[itemsetKey(items)]
+		return c, ok
+	}
+	var rules []Rule
+	for k, cnt := range allFrequent {
+		items := parseItemsetKey(k)
+		if len(items) < 2 {
+			continue
+		}
+		for i := range items {
+			conseq := items[i]
+			antecedent := make([]Item, 0, len(items)-1)
+			antecedent = append(antecedent, items[:i]...)
+			antecedent = append(antecedent, items[i+1:]...)
+			antCount, ok := itemSupport(antecedent)
+			if !ok || antCount == 0 {
+				continue
+			}
+			conf := float64(cnt) / float64(antCount)
+			if conf < ap.MinConfidence {
+				continue
+			}
+			conseqCount, ok := itemSupport([]Item{conseq})
+			lift := 0.0
+			if ok && conseqCount > 0 {
+				lift = conf / (float64(conseqCount) / float64(rows))
+			}
+			rules = append(rules, Rule{
+				Antecedent: antecedent,
+				Consequent: conseq,
+				Support:    float64(cnt) / float64(rows),
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Confidence != rules[b].Confidence {
+			return rules[a].Confidence > rules[b].Confidence
+		}
+		if rules[a].Support != rules[b].Support {
+			return rules[a].Support > rules[b].Support
+		}
+		return ruleKey(rules[a]) < ruleKey(rules[b])
+	})
+	return rules, nil
+}
+
+// Format renders a rule with human-readable attribute=value conditions.
+func (r Rule) Format(t *table.Table) string {
+	parts := make([]string, len(r.Antecedent))
+	for i, it := range r.Antecedent {
+		parts[i] = itemString(t, it)
+	}
+	return fmt.Sprintf("%s => %s (sup=%.2f conf=%.2f lift=%.2f)",
+		strings.Join(parts, " & "), itemString(t, r.Consequent),
+		r.Support, r.Confidence, r.Lift)
+}
+
+func itemString(t *table.Table, it Item) string {
+	c := t.Column(it.Col)
+	return fmt.Sprintf("%s=%s", c.Name, c.Label(it.Level))
+}
+
+// joinItemsets merges two sorted (k-1)-itemsets sharing a (k-2) prefix into
+// a k-itemset, rejecting merges with duplicate columns (one row cannot
+// have two values of the same attribute).
+func joinItemsets(a, b []Item, k int) ([]Item, bool) {
+	if len(a) != k-1 || len(b) != k-1 {
+		return nil, false
+	}
+	for i := 0; i < k-2; i++ {
+		if a[i] != b[i] {
+			return nil, false
+		}
+	}
+	last1, last2 := a[k-2], b[k-2]
+	if !lessItem(last1, last2) {
+		return nil, false
+	}
+	merged := append(append([]Item(nil), a...), last2)
+	seen := map[int]bool{}
+	for _, it := range merged {
+		if seen[it.Col] {
+			return nil, false
+		}
+		seen[it.Col] = true
+	}
+	return merged, true
+}
+
+func lessItem(a, b Item) bool {
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	return a.Level < b.Level
+}
+
+func containsAll(tx []Item, items []Item) bool {
+	for _, want := range items {
+		found := false
+		for _, have := range tx {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func itemsetKey(items []Item) string {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return lessItem(sorted[i], sorted[j]) })
+	parts := make([]string, len(sorted))
+	for i, it := range sorted {
+		parts[i] = fmt.Sprintf("%d:%d", it.Col, it.Level)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseItemsetKey(k string) []Item {
+	parts := strings.Split(k, ",")
+	out := make([]Item, len(parts))
+	for i, p := range parts {
+		var col, lvl int
+		fmt.Sscanf(p, "%d:%d", &col, &lvl)
+		out[i] = Item{Col: col, Level: lvl}
+	}
+	return out
+}
+
+// ruleKey totally orders rules: the consequent participates separately so
+// that the several rules generated from one frequent itemset (same items,
+// different consequent) still compare deterministically.
+func ruleKey(r Rule) string {
+	return itemsetKey(r.Antecedent) + "=>" + fmt.Sprintf("%d:%d", r.Consequent.Col, r.Consequent.Level)
+}

@@ -1,0 +1,232 @@
+// Package mining implements the data-mining step of the KDD process
+// (Figure 1) from scratch: a supervised Dataset view over tables, a common
+// Classifier interface, and the classifier families the paper's framework
+// arbitrates between — rules (ZeroR, OneR), Bayes (Naive Bayes), lazy
+// (kNN), trees (C4.5-style and CART-style, plus a random forest) and
+// functions (logistic regression) — along with k-means clustering and
+// Apriori association-rule mining for the unsupervised OpenBI paths.
+//
+// Everything is deterministic given its configured seed.
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// Dataset is a supervised view over a table: attribute columns plus one
+// nominal class column. It does not own the table; corrupting/splitting
+// code produces new tables and wraps them in new Datasets.
+type Dataset struct {
+	T        *table.Table
+	ClassCol int
+
+	attrCols []int
+}
+
+// NewDataset wraps t with the class at column classCol. It validates that
+// the class column exists and is nominal.
+func NewDataset(t *table.Table, classCol int) (*Dataset, error) {
+	if classCol < 0 || classCol >= t.NumCols() {
+		return nil, fmt.Errorf("mining: class column %d out of range (table has %d columns)", classCol, t.NumCols())
+	}
+	if t.Column(classCol).Kind != table.Nominal {
+		return nil, fmt.Errorf("mining: class column %q must be nominal", t.Column(classCol).Name)
+	}
+	ds := &Dataset{T: t, ClassCol: classCol}
+	for j := 0; j < t.NumCols(); j++ {
+		if j != classCol {
+			ds.attrCols = append(ds.attrCols, j)
+		}
+	}
+	return ds, nil
+}
+
+// NewDatasetByName wraps t with the named class column.
+func NewDatasetByName(t *table.Table, className string) (*Dataset, error) {
+	idx := t.ColumnIndex(className)
+	if idx < 0 {
+		return nil, fmt.Errorf("mining: class column %q not found", className)
+	}
+	return NewDataset(t, idx)
+}
+
+// MustNewDataset panics on error; for tests and generators with literal
+// schemas.
+func MustNewDataset(t *table.Table, classCol int) *Dataset {
+	ds, err := NewDataset(t, classCol)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return d.T.NumRows() }
+
+// AttrCols returns the attribute column indices (shared slice; read-only).
+func (d *Dataset) AttrCols() []int { return d.attrCols }
+
+// NumAttrs returns the number of attribute columns.
+func (d *Dataset) NumAttrs() int { return len(d.attrCols) }
+
+// Class returns the class column.
+func (d *Dataset) Class() *table.Column { return d.T.Column(d.ClassCol) }
+
+// NumClasses returns the class dictionary size (including levels that may
+// have zero instances in this particular split — dictionaries are shared
+// across splits so codes always agree).
+func (d *Dataset) NumClasses() int { return d.Class().NumLevels() }
+
+// Label returns the class code of row r (table.MissingCat when missing).
+func (d *Dataset) Label(r int) int { return d.Class().Cats[r] }
+
+// ClassName returns the label string for a class code.
+func (d *Dataset) ClassName(code int) string { return d.Class().Label(code) }
+
+// ClassCounts returns instance counts per class code.
+func (d *Dataset) ClassCounts() []int { return d.Class().Counts() }
+
+// MajorityClass returns the most frequent class code (ties break to the
+// lowest code) or 0 on an empty dataset.
+func (d *Dataset) MajorityClass() int {
+	counts := d.ClassCounts()
+	best := 0
+	for code, c := range counts {
+		if c > counts[best] {
+			best = code
+		}
+	}
+	return best
+}
+
+// Subset returns a Dataset over the selected rows (indices may repeat).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	return MustNewDataset(d.T.SelectRows(rows), d.ClassCol)
+}
+
+// LabeledRows returns the indices of rows whose class is observed;
+// classifiers train on these only.
+func (d *Dataset) LabeledRows() []int {
+	var out []int
+	cls := d.Class()
+	for r := 0; r < d.Len(); r++ {
+		if cls.Cats[r] != table.MissingCat {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Classifier is the common supervised-learning contract. Fit must be
+// called before Predict; Predict returns a class code valid for the
+// training dictionary (shared across splits by construction).
+type Classifier interface {
+	// Name returns the registry name of the algorithm ("naive-bayes", ...).
+	Name() string
+	// Fit trains on ds; it must cope with missing attribute values and
+	// must ignore instances with a missing class.
+	Fit(ds *Dataset) error
+	// Predict classifies row r of ds (any dataset schema-compatible with
+	// the training one).
+	Predict(ds *Dataset, r int) int
+}
+
+// ProbClassifier is implemented by classifiers that can emit a class
+// probability distribution (needed for AUC).
+type ProbClassifier interface {
+	Classifier
+	// Proba returns P(class=c | x) for each class code; the slice sums
+	// to 1 (up to rounding).
+	Proba(ds *Dataset, r int) []float64
+}
+
+// Factory builds a fresh, unfitted classifier; cross-validation calls it
+// once per fold so no state leaks between folds.
+type Factory func() Classifier
+
+// numericRange holds per-column scaling info shared by distance-based code.
+type numericRange struct {
+	lo, span float64 // span 0 means constant/unknown column
+}
+
+// computeRanges scans numeric attribute ranges for distance scaling.
+func computeRanges(ds *Dataset) map[int]numericRange {
+	out := make(map[int]numericRange)
+	for _, j := range ds.AttrCols() {
+		c := ds.T.Column(j)
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		r := numericRange{}
+		if !stats.IsMissing(lo) && hi > lo {
+			r.lo, r.span = lo, hi-lo
+		}
+		out[j] = r
+	}
+	return out
+}
+
+// heteroDistance is the shared Gower-style distance between row a of da
+// and row b of db over the attribute columns of da: scaled absolute
+// difference for numeric attributes, 0/1 for nominal, 1 for missing-on-
+// either-side. Distances are comparable across calls with the same ranges.
+func heteroDistance(da *Dataset, a int, db *Dataset, b int, ranges map[int]numericRange) float64 {
+	sum := 0.0
+	for _, j := range da.AttrCols() {
+		ca := da.T.Column(j)
+		cb := db.T.Column(j)
+		if ca.IsMissing(a) || cb.IsMissing(b) {
+			sum++
+			continue
+		}
+		if ca.Kind == table.Numeric {
+			rg := ranges[j]
+			if rg.span == 0 {
+				continue
+			}
+			d := math.Abs(ca.Nums[a]-cb.Nums[b]) / rg.span
+			if d > 1 {
+				d = 1
+			}
+			sum += d
+		} else if ca.Cats[a] != cb.Cats[b] {
+			sum++
+		}
+	}
+	return sum
+}
+
+// argmax returns the index of the largest value (lowest index on ties).
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// normalize scales xs to sum to 1 in place (uniform when the sum is 0).
+func normalize(xs []float64) []float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}

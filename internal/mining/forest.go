@@ -1,0 +1,109 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"openbi/internal/stats"
+)
+
+// RandomForest bags FeatureSample-randomized decision trees over bootstrap
+// resamples and classifies by majority vote. It is the suite's
+// variance-reduction representative: the Phase-1 grid shows it buying back
+// much of the single tree's label-noise fragility, at the price the
+// bench harness measures in fit time.
+type RandomForest struct {
+	// Trees is the ensemble size (default 25).
+	Trees int
+	// FeatureSample is the per-node attribute sample size; 0 means
+	// ceil(sqrt(#attributes)).
+	FeatureSample int
+	// MaxDepth bounds member depth (default 25).
+	MaxDepth int
+	// Seed drives bootstrapping and feature sampling.
+	Seed int64
+
+	members  []*DecisionTree
+	classes  int
+	fallback int
+}
+
+// NewRandomForest returns an unfitted forest with the given size and seed.
+func NewRandomForest(trees int, seed int64) *RandomForest {
+	return &RandomForest{Trees: trees, Seed: seed}
+}
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "random-forest" }
+
+// Fit grows the ensemble.
+func (rf *RandomForest) Fit(ds *Dataset) error {
+	labeled := ds.LabeledRows()
+	if len(labeled) == 0 {
+		return fmt.Errorf("random-forest: no labeled instances")
+	}
+	if rf.Trees <= 0 {
+		rf.Trees = 25
+	}
+	if rf.MaxDepth <= 0 {
+		rf.MaxDepth = 25
+	}
+	fs := rf.FeatureSample
+	if fs <= 0 {
+		fs = int(math.Ceil(math.Sqrt(float64(ds.NumAttrs()))))
+	}
+	rf.classes = ds.NumClasses()
+	rf.fallback = ds.MajorityClass()
+	rng := stats.NewRand(rf.Seed)
+
+	rf.members = make([]*DecisionTree, 0, rf.Trees)
+	for i := 0; i < rf.Trees; i++ {
+		// Bootstrap over labeled rows.
+		sample := make([]int, len(labeled))
+		for k := range sample {
+			sample[k] = labeled[rng.Intn(len(labeled))]
+		}
+		boot := ds.Subset(sample)
+		tree := &DecisionTree{
+			Criterion:     Gini,
+			MaxDepth:      rf.MaxDepth,
+			MinLeaf:       1,
+			Prune:         false, // bagging replaces pruning
+			FeatureSample: fs,
+			Seed:          rng.Int63(),
+		}
+		if err := tree.Fit(boot); err != nil {
+			return fmt.Errorf("random-forest: member %d: %w", i, err)
+		}
+		rf.members = append(rf.members, tree)
+	}
+	return nil
+}
+
+// votes accumulates the member probability mass for row r.
+func (rf *RandomForest) votes(ds *Dataset, r int) []float64 {
+	out := make([]float64, rf.classes)
+	for _, m := range rf.members {
+		p := m.Proba(ds, r)
+		for c := range out {
+			if c < len(p) {
+				out[c] += p[c]
+			}
+		}
+	}
+	return out
+}
+
+// Predict returns the probability-vote winner.
+func (rf *RandomForest) Predict(ds *Dataset, r int) int {
+	v := rf.votes(ds, r)
+	if len(v) == 0 {
+		return rf.fallback
+	}
+	return argmax(v)
+}
+
+// Proba returns the normalized ensemble vote distribution.
+func (rf *RandomForest) Proba(ds *Dataset, r int) []float64 {
+	return normalize(rf.votes(ds, r))
+}

@@ -1,0 +1,217 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// KMeans clusters the numeric attributes of a table with Lloyd's algorithm
+// and k-means++ seeding. It serves OpenBI's unsupervised analysis path
+// (segmenting open-data entities without a class attribute) and the E-DIM
+// experiment, where clustering quality collapses as irrelevant dimensions
+// are injected.
+type KMeans struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations (default 100).
+	MaxIter int
+	// Seed drives k-means++ seeding.
+	Seed int64
+
+	// Centroids are the fitted cluster centres, [k][numericCol].
+	Centroids [][]float64
+	// Inertia is the final within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations actually run.
+	Iterations int
+
+	cols   []int // numeric column indices used
+	means  []float64
+	scales []float64
+}
+
+// NewKMeans returns an unfitted k-means.
+func NewKMeans(k int, seed int64) *KMeans { return &KMeans{K: k, Seed: seed} }
+
+// Fit clusters t's numeric columns. Missing cells are mean-imputed in the
+// standardized space (i.e. contribute zero distance).
+func (km *KMeans) Fit(t *table.Table) error {
+	if km.K < 1 {
+		return fmt.Errorf("kmeans: K must be >= 1, got %d", km.K)
+	}
+	if km.MaxIter <= 0 {
+		km.MaxIter = 100
+	}
+	km.cols = t.NumericColumnIndices()
+	if len(km.cols) == 0 {
+		return fmt.Errorf("kmeans: table %q has no numeric columns", t.Name)
+	}
+	n := t.NumRows()
+	if n < km.K {
+		return fmt.Errorf("kmeans: %d rows < K=%d", n, km.K)
+	}
+
+	// Standardize columns so distance is scale-free.
+	d := len(km.cols)
+	km.means = make([]float64, d)
+	km.scales = make([]float64, d)
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = make([]float64, d)
+	}
+	for f, j := range km.cols {
+		c := t.Column(j)
+		km.means[f] = stats.Mean(c.Nums)
+		sd := stats.StdDev(c.Nums)
+		if stats.IsMissing(km.means[f]) {
+			km.means[f] = 0
+		}
+		if stats.IsMissing(sd) || sd == 0 {
+			sd = 1
+		}
+		km.scales[f] = sd
+		for i := 0; i < n; i++ {
+			if c.IsMissing(i) {
+				points[i][f] = 0
+			} else {
+				points[i][f] = (c.Nums[i] - km.means[f]) / sd
+			}
+		}
+	}
+
+	rng := stats.NewRand(km.Seed)
+	km.Centroids = kmeansPlusPlus(points, km.K, rng)
+
+	assign := make([]int, n)
+	for iter := 0; iter < km.MaxIter; iter++ {
+		km.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range km.Centroids {
+				dd := sqDist(p, cent)
+				if dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, km.K)
+		next := make([][]float64, km.K)
+		for c := range next {
+			next[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for f, v := range p {
+				next[c][f] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its centroid.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					dd := sqDist(p, km.Centroids[assign[i]])
+					if dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(next[c], points[far])
+				counts[c] = 1
+				continue
+			}
+			for f := range next[c] {
+				next[c][f] /= float64(counts[c])
+			}
+		}
+		km.Centroids = next
+	}
+
+	km.Inertia = 0
+	for i, p := range points {
+		km.Inertia += sqDist(p, km.Centroids[assign[i]])
+	}
+	return nil
+}
+
+// Assign returns the cluster index of row r of a table with the same
+// schema as the training table.
+func (km *KMeans) Assign(t *table.Table, r int) int {
+	p := make([]float64, len(km.cols))
+	for f, j := range km.cols {
+		c := t.Column(j)
+		if c.IsMissing(r) {
+			p[f] = 0
+			continue
+		}
+		p[f] = (c.Nums[r] - km.means[f]) / km.scales[f]
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range km.Centroids {
+		dd := sqDist(p, cent)
+		if dd < bestD {
+			best, bestD = c, dd
+		}
+	}
+	return best
+}
+
+// kmeansPlusPlus seeds k centroids with the k-means++ D² weighting.
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	cents := make([][]float64, 0, k)
+	cents = append(cents, clone(points[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if dd := sqDist(p, c); dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			cents = append(cents, clone(points[rng.Intn(n)]))
+			continue
+		}
+		u := rng.Float64() * total
+		cum := 0.0
+		pick := n - 1
+		for i, v := range d2 {
+			cum += v
+			if u < cum {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, clone(points[pick]))
+	}
+	return cents
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(xs []float64) []float64 { return append([]float64(nil), xs...) }

@@ -1,0 +1,99 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour classifier over the heterogeneous
+// Gower-style distance (scaled numeric difference + nominal mismatch).
+// As the lazy-learning representative it is the suite's canary for the
+// dimensionality and attribute-noise criteria: every irrelevant or noised
+// attribute dilutes its distance function directly, a dependence the E-DIM
+// and Phase-1 experiments make visible.
+type KNN struct {
+	// K is the neighbourhood size (default 5).
+	K int
+	// Weighted applies 1/(d+eps) distance weighting to votes.
+	Weighted bool
+
+	train    *Dataset
+	labeled  []int
+	ranges   map[int]numericRange
+	fallback int
+}
+
+// NewKNN returns an unfitted 5-NN.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Name implements Classifier.
+func (kn *KNN) Name() string {
+	return fmt.Sprintf("%d-nn", kn.k())
+}
+
+func (kn *KNN) k() int {
+	if kn.K <= 0 {
+		return 5
+	}
+	return kn.K
+}
+
+// Fit memorizes the training data and its numeric ranges.
+func (kn *KNN) Fit(ds *Dataset) error {
+	labeled := ds.LabeledRows()
+	if len(labeled) == 0 {
+		return fmt.Errorf("knn: no labeled instances")
+	}
+	kn.train = ds
+	kn.labeled = labeled
+	kn.ranges = computeRanges(ds)
+	kn.fallback = ds.MajorityClass()
+	return nil
+}
+
+// neighbourVotes returns per-class vote mass for row r of ds.
+func (kn *KNN) neighbourVotes(ds *Dataset, r int) []float64 {
+	type nd struct {
+		row int
+		d   float64
+	}
+	k := kn.k()
+	// Selection of k smallest by partial sort over a bounded slice.
+	best := make([]nd, 0, k+1)
+	for _, tr := range kn.labeled {
+		d := heteroDistance(kn.train, tr, ds, r, kn.ranges)
+		if len(best) < k {
+			best = append(best, nd{tr, d})
+			sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+			continue
+		}
+		if d < best[len(best)-1].d {
+			best[len(best)-1] = nd{tr, d}
+			sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+		}
+	}
+	votes := make([]float64, kn.train.NumClasses())
+	for _, nb := range best {
+		w := 1.0
+		if kn.Weighted {
+			w = 1 / (nb.d + 1e-9)
+		}
+		votes[kn.train.Label(nb.row)] += w
+	}
+	return votes
+}
+
+// Predict returns the (optionally distance-weighted) majority vote among
+// the k nearest training instances.
+func (kn *KNN) Predict(ds *Dataset, r int) int {
+	votes := kn.neighbourVotes(ds, r)
+	if len(votes) == 0 {
+		return kn.fallback
+	}
+	return argmax(votes)
+}
+
+// Proba returns the normalized vote distribution.
+func (kn *KNN) Proba(ds *Dataset, r int) []float64 {
+	return normalize(kn.neighbourVotes(ds, r))
+}

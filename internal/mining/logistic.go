@@ -1,0 +1,192 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// Logistic is multinomial logistic regression trained by mini-batch-free
+// SGD with L2 regularization. Nominal attributes are one-hot encoded,
+// numeric attributes standardized with training statistics; missing cells
+// encode as all-zero (i.e. the training mean / no level), the standard
+// "mean imputation in feature space" fallback. As the linear-model
+// representative it is the grid's probe for class imbalance (its decision
+// boundary follows the prior hard) and tolerates redundant attributes far
+// better than Naive Bayes.
+type Logistic struct {
+	// Epochs is the number of SGD passes (default 60).
+	Epochs int
+	// LearningRate is the initial step size (default 0.1, decayed 1/t).
+	LearningRate float64
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+	// Seed drives example shuffling.
+	Seed int64
+
+	weights  [][]float64 // [class][feature+1], last slot the bias
+	features []featureSpec
+	classes  int
+	fallback int
+}
+
+// featureSpec maps one input column onto dense feature slots.
+type featureSpec struct {
+	col     int
+	numeric bool
+	offset  int     // first feature index
+	width   int     // 1 for numeric, #levels for nominal
+	mean    float64 // numeric standardization
+	scale   float64
+}
+
+// NewLogistic returns an unfitted logistic regression.
+func NewLogistic(seed int64) *Logistic { return &Logistic{Seed: seed} }
+
+// Name implements Classifier.
+func (lg *Logistic) Name() string { return "logistic" }
+
+// Fit trains by SGD on the labeled rows.
+func (lg *Logistic) Fit(ds *Dataset) error {
+	labeled := ds.LabeledRows()
+	if len(labeled) == 0 {
+		return fmt.Errorf("logistic: no labeled instances")
+	}
+	if lg.Epochs <= 0 {
+		lg.Epochs = 60
+	}
+	if lg.LearningRate <= 0 {
+		lg.LearningRate = 0.1
+	}
+	if lg.L2 == 0 {
+		lg.L2 = 1e-4
+	}
+	lg.classes = ds.NumClasses()
+	lg.fallback = ds.MajorityClass()
+
+	// Build the feature layout.
+	lg.features = lg.features[:0]
+	width := 0
+	for _, j := range ds.AttrCols() {
+		c := ds.T.Column(j)
+		if c.Kind == table.Numeric {
+			fs := featureSpec{col: j, numeric: true, offset: width, width: 1}
+			fs.mean = stats.Mean(c.Nums)
+			sd := stats.StdDev(c.Nums)
+			if stats.IsMissing(fs.mean) {
+				fs.mean = 0
+			}
+			if stats.IsMissing(sd) || sd == 0 {
+				sd = 1
+			}
+			fs.scale = sd
+			lg.features = append(lg.features, fs)
+			width++
+			continue
+		}
+		levels := c.NumLevels()
+		if levels == 0 {
+			continue
+		}
+		lg.features = append(lg.features, featureSpec{col: j, offset: width, width: levels})
+		width += levels
+	}
+
+	lg.weights = make([][]float64, lg.classes)
+	for c := range lg.weights {
+		lg.weights[c] = make([]float64, width+1)
+	}
+
+	rng := stats.NewRand(lg.Seed)
+	x := make([]float64, width+1)
+	step := 0
+	for epoch := 0; epoch < lg.Epochs; epoch++ {
+		order := rng.Perm(len(labeled))
+		for _, oi := range order {
+			r := labeled[oi]
+			lg.encode(ds, r, x)
+			p := lg.softmax(x)
+			step++
+			lr := lg.LearningRate / (1 + 0.001*float64(step))
+			y := ds.Label(r)
+			for c := 0; c < lg.classes; c++ {
+				grad := p[c]
+				if c == y {
+					grad -= 1
+				}
+				w := lg.weights[c]
+				for f := range x {
+					if x[f] == 0 {
+						continue
+					}
+					w[f] -= lr * (grad*x[f] + lg.L2*w[f])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// encode fills x with the dense feature vector of row r (bias last).
+func (lg *Logistic) encode(ds *Dataset, r int, x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for _, fs := range lg.features {
+		c := ds.T.Column(fs.col)
+		if c.IsMissing(r) {
+			continue
+		}
+		if fs.numeric {
+			x[fs.offset] = (c.Nums[r] - fs.mean) / fs.scale
+			continue
+		}
+		lvl := c.Cats[r]
+		if lvl >= 0 && lvl < fs.width {
+			x[fs.offset+lvl] = 1
+		}
+	}
+	x[len(x)-1] = 1 // bias
+}
+
+// softmax returns the class distribution for feature vector x.
+func (lg *Logistic) softmax(x []float64) []float64 {
+	scores := make([]float64, lg.classes)
+	for c, w := range lg.weights {
+		s := 0.0
+		for f, v := range x {
+			if v != 0 {
+				s += w[f] * v
+			}
+		}
+		scores[c] = s
+	}
+	max := math.Inf(-1)
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	for c := range scores {
+		scores[c] = math.Exp(scores[c] - max)
+	}
+	return normalize(scores)
+}
+
+// Predict returns the argmax-probability class.
+func (lg *Logistic) Predict(ds *Dataset, r int) int {
+	p := lg.Proba(ds, r)
+	if len(p) == 0 {
+		return lg.fallback
+	}
+	return argmax(p)
+}
+
+// Proba returns the softmax class distribution.
+func (lg *Logistic) Proba(ds *Dataset, r int) []float64 {
+	x := make([]float64, len(lg.weights[0]))
+	lg.encode(ds, r, x)
+	return lg.softmax(x)
+}

@@ -1,0 +1,44 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StandardSuite returns the classifier factories the experiment harness
+// and advisor arbitrate between, keyed by registry name. This is the
+// "ALGORITHM 1 ... ALGORITHM N" box of Figure 2. Seeds are derived from
+// the supplied base seed so the whole suite is reproducible.
+func StandardSuite(seed int64) map[string]Factory {
+	return map[string]Factory{
+		"zero-r":        func() Classifier { return NewZeroR() },
+		"one-r":         func() Classifier { return NewOneR() },
+		"naive-bayes":   func() Classifier { return NewNaiveBayes() },
+		"5-nn":          func() Classifier { return NewKNN(5) },
+		"c45":           func() Classifier { return NewC45Tree() },
+		"cart":          func() Classifier { return NewCARTTree() },
+		"random-forest": func() Classifier { return NewRandomForest(25, seed) },
+		"logistic":      func() Classifier { return NewLogistic(seed + 1) },
+	}
+}
+
+// SuiteNames returns the registry names of StandardSuite in deterministic
+// (sorted) order; experiment tables iterate in this order.
+func SuiteNames() []string {
+	names := make([]string, 0, 8)
+	for name := range StandardSuite(0) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves a registry name, returning an error listing the valid
+// names on a miss (the CLI surfaces this to users).
+func Lookup(name string, seed int64) (Factory, error) {
+	suite := StandardSuite(seed)
+	if f, ok := suite[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("mining: unknown algorithm %q (have %v)", name, SuiteNames())
+}

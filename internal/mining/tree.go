@@ -1,0 +1,624 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// SplitCriterion selects the impurity function of a decision tree.
+type SplitCriterion int
+
+const (
+	// GainRatio is C4.5's normalized information gain.
+	GainRatio SplitCriterion = iota
+	// Gini is CART's Gini impurity decrease.
+	Gini
+)
+
+// String names the criterion.
+func (s SplitCriterion) String() string {
+	if s == Gini {
+		return "gini"
+	}
+	return "gain-ratio"
+}
+
+// DecisionTree is a top-down induced decision tree supporting numeric
+// (binary threshold) and nominal (multiway) splits, missing-value routing
+// to the majority branch, and C4.5-style pessimistic-error pruning.
+//
+// With Criterion GainRatio it plays the role of C4.5, with Gini the role
+// of CART; the ablation benches compare both. Trees embed the paper's
+// robustness story: they shrug off irrelevant attributes (a bad attribute
+// is simply never split on) but overfit label noise unless pruned — the
+// Phase-1 grid and the pruning ablation quantify exactly that.
+type DecisionTree struct {
+	// Criterion is the split quality measure (default GainRatio).
+	Criterion SplitCriterion
+	// MaxDepth bounds tree depth (default 25).
+	MaxDepth int
+	// MinLeaf is the minimum instances per leaf (default 2).
+	MinLeaf int
+	// Prune enables pessimistic-error subtree collapsing (default set by
+	// the constructors).
+	Prune bool
+	// CF is the pruning confidence factor z-score (default 0.69 ≈ C4.5's
+	// 25% confidence).
+	CF float64
+	// FeatureSample, when positive, evaluates only a random subset of
+	// that many attributes per node — the randomization hook used by
+	// RandomForest. 0 means all attributes.
+	FeatureSample int
+	// Seed drives feature sampling (unused when FeatureSample is 0).
+	Seed int64
+
+	root     *treeNode
+	classes  int
+	fallback int
+	rng      *rand.Rand
+}
+
+// NewC45Tree returns a pruned gain-ratio tree (the C4.5 stand-in).
+func NewC45Tree() *DecisionTree {
+	return &DecisionTree{Criterion: GainRatio, Prune: true}
+}
+
+// NewCARTTree returns a pruned Gini tree (the CART stand-in).
+func NewCARTTree() *DecisionTree {
+	return &DecisionTree{Criterion: Gini, Prune: true}
+}
+
+// Name implements Classifier.
+func (dt *DecisionTree) Name() string {
+	if dt.Criterion == Gini {
+		return "cart"
+	}
+	return "c45"
+}
+
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	class int
+	dist  []float64 // training class distribution at the node
+
+	// Split fields.
+	attr      int
+	numeric   bool
+	threshold float64     // numeric split: <= threshold goes left
+	children  []*treeNode // numeric: [left, right]; nominal: one per level
+	majority  int         // child index that missing/unseen values follow
+
+	n    float64 // training instances reaching the node
+	errs float64 // training errors if this node were a leaf
+}
+
+// Fit induces the tree on ds.
+func (dt *DecisionTree) Fit(ds *Dataset) error {
+	rows := ds.LabeledRows()
+	if len(rows) == 0 {
+		return fmt.Errorf("%s: no labeled instances", dt.Name())
+	}
+	if dt.MaxDepth <= 0 {
+		dt.MaxDepth = 25
+	}
+	if dt.MinLeaf <= 0 {
+		dt.MinLeaf = 2
+	}
+	if dt.CF == 0 {
+		dt.CF = 0.69
+	}
+	dt.classes = ds.NumClasses()
+	dt.fallback = ds.MajorityClass()
+	dt.rng = stats.NewRand(dt.Seed)
+	dt.root = dt.build(ds, rows, 0)
+	if dt.Prune {
+		dt.prune(dt.root)
+	}
+	return nil
+}
+
+// build grows the subtree over the given rows.
+func (dt *DecisionTree) build(ds *Dataset, rows []int, depth int) *treeNode {
+	dist := make([]float64, dt.classes)
+	for _, r := range rows {
+		dist[ds.Label(r)]++
+	}
+	node := &treeNode{dist: dist, class: argmax(dist), n: float64(len(rows))}
+	node.errs = node.n - dist[node.class]
+
+	if depth >= dt.MaxDepth || len(rows) < 2*dt.MinLeaf || isPure(dist) {
+		node.leaf = true
+		return node
+	}
+
+	attrs := dt.candidateAttrs(ds)
+	type candidate struct {
+		gain  float64
+		score float64
+		apply func() ([][]int, *treeNode)
+	}
+	var cands []candidate
+	for _, j := range attrs {
+		gain, score, apply := dt.evaluateSplit(ds, rows, j)
+		if apply != nil && gain > 1e-12 {
+			cands = append(cands, candidate{gain, score, apply})
+		}
+	}
+	if len(cands) == 0 {
+		node.leaf = true
+		return node
+	}
+	// C4.5's average-gain constraint: gain ratio inflates for splits with
+	// tiny split info (it rewards peeling off a couple of rows, producing
+	// degenerate chain trees), so the ratio only arbitrates between
+	// attributes whose raw gain is at least the average candidate gain.
+	// For Gini the score is the impurity decrease itself and needs no guard.
+	eligible := cands
+	if dt.Criterion == GainRatio {
+		avg := 0.0
+		for _, c := range cands {
+			avg += c.gain
+		}
+		avg /= float64(len(cands))
+		eligible = eligible[:0]
+		for _, c := range cands {
+			if c.gain >= avg-1e-12 {
+				eligible = append(eligible, c)
+			}
+		}
+	}
+	var bestSplit func() ([][]int, *treeNode)
+	bestScore := 0.0
+	for _, c := range eligible {
+		if c.score > bestScore+1e-12 {
+			bestScore = c.score
+			bestSplit = c.apply
+		}
+	}
+	if bestSplit == nil {
+		node.leaf = true
+		return node
+	}
+	parts, configured := bestSplit()
+	*node = *configured // copy split config; dist/n/errs preserved below
+	node.dist = dist
+	node.class = argmax(dist)
+	node.n = float64(len(rows))
+	node.errs = node.n - dist[node.class]
+
+	node.children = make([]*treeNode, len(parts))
+	biggest, biggestIdx := -1, 0
+	for i, part := range parts {
+		if len(part) > biggest {
+			biggest = len(part)
+			biggestIdx = i
+		}
+	}
+	node.majority = biggestIdx
+	for i, part := range parts {
+		if len(part) == 0 {
+			// Empty branch: predict the parent majority.
+			node.children[i] = &treeNode{leaf: true, class: node.class, dist: dist, n: 0}
+			continue
+		}
+		node.children[i] = dt.build(ds, part, depth+1)
+	}
+	return node
+}
+
+// candidateAttrs returns the attribute columns considered at a node,
+// honouring FeatureSample.
+func (dt *DecisionTree) candidateAttrs(ds *Dataset) []int {
+	all := ds.AttrCols()
+	if dt.FeatureSample <= 0 || dt.FeatureSample >= len(all) {
+		return all
+	}
+	idx := stats.SampleWithoutReplacement(dt.rng, len(all), dt.FeatureSample)
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = all[v]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// evaluateSplit scores the best split on attribute j over rows. It returns
+// the raw information gain (or Gini decrease), the criterion score used to
+// arbitrate between attributes, and a closure materializing the partition
+// and node config; a nil closure means no usable split.
+func (dt *DecisionTree) evaluateSplit(ds *Dataset, rows []int, j int) (gain, score float64, apply func() ([][]int, *treeNode)) {
+	col := ds.T.Column(j)
+	if col.Kind == table.Nominal {
+		return dt.evaluateNominal(ds, rows, j, col)
+	}
+	return dt.evaluateNumeric(ds, rows, j, col)
+}
+
+func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int, col *table.Column) (float64, float64, func() ([][]int, *treeNode)) {
+	levels := col.NumLevels()
+	if levels < 2 {
+		return 0, 0, nil
+	}
+	// counts[level][class]; missing rows excluded from the quality measure
+	// (they follow the majority branch at predict time).
+	counts := make([][]float64, levels)
+	for i := range counts {
+		counts[i] = make([]float64, dt.classes)
+	}
+	observed := 0
+	for _, r := range rows {
+		if col.IsMissing(r) {
+			continue
+		}
+		counts[col.Cats[r]][ds.Label(r)]++
+		observed++
+	}
+	if observed < 2*dt.MinLeaf {
+		return 0, 0, nil
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if sum(c) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return 0, 0, nil
+	}
+	gain, score := dt.partitionQuality(counts, float64(observed))
+	if score <= 0 {
+		return 0, 0, nil
+	}
+	apply := func() ([][]int, *treeNode) {
+		parts := make([][]int, levels)
+		biggest := 0
+		for lvl := range counts {
+			if sum(counts[lvl]) > sum(counts[biggest]) {
+				biggest = lvl
+			}
+		}
+		for _, r := range rows {
+			lvl := col.Cats[r]
+			if col.IsMissing(r) {
+				lvl = biggest
+			}
+			parts[lvl] = append(parts[lvl], r)
+		}
+		return parts, &treeNode{attr: j, numeric: false}
+	}
+	return gain, score, apply
+}
+
+func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int, col *table.Column) (float64, float64, func() ([][]int, *treeNode)) {
+	type vc struct {
+		v float64
+		c int
+	}
+	obs := make([]vc, 0, len(rows))
+	for _, r := range rows {
+		if !col.IsMissing(r) {
+			obs = append(obs, vc{col.Nums[r], ds.Label(r)})
+		}
+	}
+	if len(obs) < 2*dt.MinLeaf {
+		return 0, 0, nil
+	}
+	sort.Slice(obs, func(a, b int) bool { return obs[a].v < obs[b].v })
+
+	total := make([]float64, dt.classes)
+	for _, o := range obs {
+		total[o.c]++
+	}
+	left := make([]float64, dt.classes)
+	n := float64(len(obs))
+
+	// The threshold itself is chosen by raw gain (C4.5's rule for
+	// continuous attributes), not by gain ratio — ratio-based threshold
+	// selection degenerates into peeling extreme values.
+	bestGain, bestThreshold := 0.0, math.NaN()
+	var bestScore float64
+	candidates := 0
+	for i := 0; i < len(obs)-1; i++ {
+		left[obs[i].c]++
+		if obs[i].v == obs[i+1].v {
+			continue
+		}
+		candidates++
+		nl := float64(i + 1)
+		if nl < float64(dt.MinLeaf) || n-nl < float64(dt.MinLeaf) {
+			continue
+		}
+		right := make([]float64, dt.classes)
+		for c := range right {
+			right[c] = total[c] - left[c]
+		}
+		gain, score := dt.partitionQuality([][]float64{append([]float64(nil), left...), right}, n)
+		if gain > bestGain+1e-12 {
+			bestGain = gain
+			bestScore = score
+			bestThreshold = (obs[i].v + obs[i+1].v) / 2
+		}
+	}
+	if math.IsNaN(bestThreshold) {
+		return 0, 0, nil
+	}
+	if dt.Criterion == GainRatio && candidates > 1 {
+		// C4.5's MDL correction: the many evaluated thresholds must pay
+		// for themselves, log2(candidates)/n bits' worth.
+		bestGain -= math.Log2(float64(candidates)) / n
+		if bestGain <= 1e-12 {
+			return 0, 0, nil
+		}
+	}
+	threshold := bestThreshold
+	apply := func() ([][]int, *treeNode) {
+		parts := make([][]int, 2)
+		nl, nr := 0, 0
+		for _, r := range rows {
+			if col.IsMissing(r) {
+				continue
+			}
+			if col.Nums[r] <= threshold {
+				nl++
+			} else {
+				nr++
+			}
+		}
+		missTo := 0
+		if nr > nl {
+			missTo = 1
+		}
+		for _, r := range rows {
+			side := missTo
+			if !col.IsMissing(r) {
+				if col.Nums[r] <= threshold {
+					side = 0
+				} else {
+					side = 1
+				}
+			}
+			parts[side] = append(parts[side], r)
+		}
+		return parts, &treeNode{attr: j, numeric: true, threshold: threshold}
+	}
+	return bestGain, bestScore, apply
+}
+
+// partitionQuality computes, for a partition given as per-branch class
+// count vectors, the raw improvement (information gain, or Gini decrease)
+// and the criterion score (gain ratio, or again the Gini decrease).
+func (dt *DecisionTree) partitionQuality(branches [][]float64, n float64) (gain, score float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	total := make([]float64, dt.classes)
+	for _, b := range branches {
+		for c, v := range b {
+			total[c] += v
+		}
+	}
+	if dt.Criterion == Gini {
+		parentGini := giniOf(total)
+		childGini := 0.0
+		for _, b := range branches {
+			nb := sum(b)
+			if nb == 0 {
+				continue
+			}
+			childGini += nb / n * giniOf(b)
+		}
+		d := parentGini - childGini
+		return d, d
+	}
+	parentH := entropyOf(total)
+	childH, splitH := 0.0, 0.0
+	for _, b := range branches {
+		nb := sum(b)
+		if nb == 0 {
+			continue
+		}
+		p := nb / n
+		childH += p * entropyOf(b)
+		splitH -= p * math.Log2(p)
+	}
+	gain = parentH - childH
+	if gain <= 1e-12 || splitH <= 1e-12 {
+		return 0, 0
+	}
+	return gain, gain / splitH
+}
+
+// prune collapses subtrees whose pessimistic error estimate is no better
+// than predicting the node's majority class (C4.5's error-based pruning).
+// It returns the subtree's pessimistic error.
+func (dt *DecisionTree) prune(nd *treeNode) float64 {
+	if nd.leaf {
+		return pessimisticError(nd.errs, nd.n, dt.CF)
+	}
+	subtreeErr := 0.0
+	for _, ch := range nd.children {
+		subtreeErr += dt.prune(ch)
+	}
+	leafErr := pessimisticError(nd.errs, nd.n, dt.CF)
+	if leafErr <= subtreeErr+1e-12 {
+		nd.leaf = true
+		nd.children = nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// pessimisticError is the upper confidence bound on errors at a node with
+// n instances and e training errors (normal approximation, z = cf).
+func pessimisticError(e, n, cf float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	f := e / n
+	z := cf
+	ub := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return ub * n
+}
+
+// Predict routes row r down the tree.
+func (dt *DecisionTree) Predict(ds *Dataset, r int) int {
+	nd := dt.route(ds, r)
+	if nd == nil {
+		return dt.fallback
+	}
+	return nd.class
+}
+
+// Proba returns the training class distribution of the reached leaf.
+func (dt *DecisionTree) Proba(ds *Dataset, r int) []float64 {
+	nd := dt.route(ds, r)
+	if nd == nil || sum(nd.dist) == 0 {
+		out := make([]float64, dt.classes)
+		out[dt.fallback] = 1
+		return out
+	}
+	out := append([]float64(nil), nd.dist...)
+	return normalize(out)
+}
+
+func (dt *DecisionTree) route(ds *Dataset, r int) *treeNode {
+	nd := dt.root
+	for nd != nil && !nd.leaf {
+		col := ds.T.Column(nd.attr)
+		idx := nd.majority
+		if !col.IsMissing(r) {
+			if nd.numeric {
+				if col.Nums[r] <= nd.threshold {
+					idx = 0
+				} else {
+					idx = 1
+				}
+			} else if code := col.Cats[r]; code >= 0 && code < len(nd.children) {
+				idx = code
+			}
+		}
+		if idx >= len(nd.children) {
+			idx = nd.majority
+		}
+		nd = nd.children[idx]
+	}
+	return nd
+}
+
+// Depth returns the depth of the fitted tree (leaf-only tree has depth 0).
+func (dt *DecisionTree) Depth() int { return depthOf(dt.root) }
+
+// Leaves returns the number of leaves of the fitted tree.
+func (dt *DecisionTree) Leaves() int { return leavesOf(dt.root) }
+
+// Dump renders the fitted tree as an indented rule text — the
+// user-facing explanation surface for OpenBI's non-expert audience.
+func (dt *DecisionTree) Dump(ds *Dataset) string {
+	var b strings.Builder
+	dt.dump(&b, ds, dt.root, 0)
+	return b.String()
+}
+
+func (dt *DecisionTree) dump(b *strings.Builder, ds *Dataset, nd *treeNode, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if nd == nil {
+		return
+	}
+	if nd.leaf {
+		fmt.Fprintf(b, "%s-> %s (n=%.0f)\n", pad, ds.ClassName(nd.class), nd.n)
+		return
+	}
+	col := ds.T.Column(nd.attr)
+	if nd.numeric {
+		fmt.Fprintf(b, "%sif %s <= %.4g:\n", pad, col.Name, nd.threshold)
+		dt.dump(b, ds, nd.children[0], indent+1)
+		fmt.Fprintf(b, "%selse:\n", pad)
+		dt.dump(b, ds, nd.children[1], indent+1)
+		return
+	}
+	for lvl, ch := range nd.children {
+		fmt.Fprintf(b, "%sif %s = %s:\n", pad, col.Name, col.Label(lvl))
+		dt.dump(b, ds, ch, indent+1)
+	}
+}
+
+func depthOf(nd *treeNode) int {
+	if nd == nil || nd.leaf {
+		return 0
+	}
+	max := 0
+	for _, ch := range nd.children {
+		if d := depthOf(ch); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+func leavesOf(nd *treeNode) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.leaf {
+		return 1
+	}
+	n := 0
+	for _, ch := range nd.children {
+		n += leavesOf(ch)
+	}
+	return n
+}
+
+func isPure(dist []float64) bool {
+	nz := 0
+	for _, v := range dist {
+		if v > 0 {
+			nz++
+		}
+	}
+	return nz <= 1
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func entropyOf(dist []float64) float64 {
+	n := sum(dist)
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range dist {
+		if v == 0 {
+			continue
+		}
+		p := v / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func giniOf(dist []float64) float64 {
+	n := sum(dist)
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, v := range dist {
+		p := v / n
+		g -= p * p
+	}
+	return g
+}

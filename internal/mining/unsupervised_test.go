@@ -1,0 +1,229 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// blobs builds three well-separated Gaussian blobs in 2-D.
+func blobs(perCluster int, seed int64) *table.Table {
+	rng := stats.NewRand(seed)
+	t := table.New("blobs")
+	x := table.NewNumericColumn("x")
+	y := table.NewNumericColumn("y")
+	centers := [][2]float64{{0, 0}, {10, 10}, {-10, 10}}
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			x.AppendFloat(c[0] + rng.NormFloat64()*0.5)
+			y.AppendFloat(c[1] + rng.NormFloat64()*0.5)
+		}
+	}
+	t.MustAddColumn(x)
+	t.MustAddColumn(y)
+	return t
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	tb := blobs(50, 1)
+	km := NewKMeans(3, 7)
+	if err := km.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	// Every blob's 50 points must share a cluster; different blobs differ.
+	first := make([]int, 3)
+	for b := 0; b < 3; b++ {
+		first[b] = km.Assign(tb, b*50)
+		for i := 0; i < 50; i++ {
+			if km.Assign(tb, b*50+i) != first[b] {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	if first[0] == first[1] || first[1] == first[2] || first[0] == first[2] {
+		t.Fatalf("blobs merged: %v", first)
+	}
+}
+
+func TestKMeansInertiaDropsWithK(t *testing.T) {
+	tb := blobs(40, 2)
+	km1 := NewKMeans(1, 3)
+	km3 := NewKMeans(3, 3)
+	if err := km1.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := km3.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if km3.Inertia >= km1.Inertia {
+		t.Fatalf("inertia k=3 (%v) not below k=1 (%v)", km3.Inertia, km1.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	tb := blobs(2, 1)
+	if err := NewKMeans(0, 1).Fit(tb); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if err := NewKMeans(100, 1).Fit(tb); err == nil {
+		t.Fatal("K > rows should error")
+	}
+	nom := table.New("nom")
+	c := table.NewNominalColumn("c", "a")
+	c.AppendCode(0)
+	nom.MustAddColumn(c)
+	if err := NewKMeans(1, 1).Fit(nom); err == nil {
+		t.Fatal("numeric-less table should error")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	tb := blobs(30, 4)
+	a, b := NewKMeans(3, 11), NewKMeans(3, 11)
+	if err := a.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed, different inertia")
+	}
+}
+
+// basket builds the classic transactional fixture: bread+butter implies milk.
+func basket() *table.Table {
+	t := table.New("basket")
+	bread := table.NewNominalColumn("bread", "no", "yes")
+	butter := table.NewNominalColumn("butter", "no", "yes")
+	milk := table.NewNominalColumn("milk", "no", "yes")
+	rows := [][3]int{
+		{1, 1, 1}, {1, 1, 1}, {1, 1, 1}, {1, 0, 0}, {0, 1, 0},
+		{1, 1, 1}, {0, 0, 0}, {1, 1, 1}, {0, 1, 1}, {1, 0, 1},
+	}
+	for _, r := range rows {
+		bread.AppendCode(r[0])
+		butter.AppendCode(r[1])
+		milk.AppendCode(r[2])
+	}
+	t.MustAddColumn(bread)
+	t.MustAddColumn(butter)
+	t.MustAddColumn(milk)
+	return t
+}
+
+func TestAprioriFindsExpectedRule(t *testing.T) {
+	tb := basket()
+	ap := NewApriori()
+	ap.MinSupport = 0.3
+	ap.MinConfidence = 0.8
+	rules, err := ap.Mine(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules found")
+	}
+	found := false
+	for _, r := range rules {
+		s := r.Format(tb)
+		if strings.Contains(s, "bread=yes") && strings.Contains(s, "butter=yes") &&
+			strings.Contains(s, "=> milk=yes") {
+			found = true
+			if r.Confidence != 1 {
+				t.Fatalf("bread&butter=>milk confidence = %v, want 1 (5/5)", r.Confidence)
+			}
+			if r.Lift <= 1 {
+				t.Fatalf("lift = %v, want > 1", r.Lift)
+			}
+		}
+	}
+	if !found {
+		for _, r := range rules {
+			t.Log(r.Format(tb))
+		}
+		t.Fatal("expected rule bread=yes & butter=yes => milk=yes")
+	}
+}
+
+func TestAprioriSupportMonotone(t *testing.T) {
+	tb := basket()
+	ap := NewApriori()
+	ap.MinSupport = 0.2
+	ap.MinConfidence = 0.0001
+	rules, err := ap.Mine(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Support < 0.2-1e-9 {
+			t.Fatalf("rule below min support: %v", r.Format(tb))
+		}
+		if r.Confidence < r.Support-1e-9 {
+			t.Fatalf("confidence < support is impossible: %v", r.Format(tb))
+		}
+	}
+	// Frequent itemset counts decrease (or stay flat) per level.
+	for i := 1; i < len(ap.FrequentItemsets); i++ {
+		if ap.FrequentItemsets[i] > ap.FrequentItemsets[i-1]*3 {
+			t.Fatalf("itemset counts exploded: %v", ap.FrequentItemsets)
+		}
+	}
+}
+
+func TestAprioriRulesSorted(t *testing.T) {
+	tb := basket()
+	ap := NewApriori()
+	ap.MinSupport = 0.2
+	ap.MinConfidence = 0.3
+	rules, err := ap.Mine(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence+1e-12 {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	tb := basket()
+	ap := NewApriori()
+	ap.MinSupport = 0
+	if _, err := ap.Mine(tb); err == nil {
+		t.Fatal("MinSupport 0 should error")
+	}
+	num := table.New("num")
+	x := table.NewNumericColumn("x")
+	x.AppendFloat(1)
+	num.MustAddColumn(x)
+	ap2 := NewApriori()
+	if _, err := ap2.Mine(num); err == nil {
+		t.Fatal("nominal-less table should error")
+	}
+}
+
+func TestAprioriDeterministic(t *testing.T) {
+	tb := basket()
+	mine := func() string {
+		ap := NewApriori()
+		ap.MinSupport = 0.2
+		ap.MinConfidence = 0.5
+		rules, err := ap.Mine(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range rules {
+			b.WriteString(r.Format(tb))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if mine() != mine() {
+		t.Fatal("Apriori output not deterministic")
+	}
+}

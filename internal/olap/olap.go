@@ -1,0 +1,335 @@
+// Package olap implements the OpenBI analysis layer of §1(i): "reporting,
+// OLAP analysis, dashboards" over tables derived from open data. A Cube
+// aggregates measures over nominal dimensions and supports roll-up,
+// slice/dice and pivoting; the dashboard renderer produces the text
+// reports the examples and cmd/openbi show users.
+package olap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"openbi/internal/report"
+	"openbi/internal/table"
+)
+
+// Aggregation selects how a measure is folded.
+type Aggregation int
+
+const (
+	// Sum totals the measure.
+	Sum Aggregation = iota
+	// Count counts non-missing measure cells.
+	Count
+	// Avg averages the measure.
+	Avg
+	// Min takes the minimum.
+	Min
+	// Max takes the maximum.
+	Max
+)
+
+// String names the aggregation.
+func (a Aggregation) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// Measure is one aggregated column of a cube.
+type Measure struct {
+	Column string
+	Agg    Aggregation
+}
+
+// Label renders "avg(budget)".
+func (m Measure) Label() string { return fmt.Sprintf("%s(%s)", m.Agg, m.Column) }
+
+// Cube is an aggregation-ready view over a table: nominal dimensions plus
+// numeric measures. The cube keeps the base rows, so any dimension subset
+// can be rolled up on demand (a ROLAP-style cube rather than a
+// materialized lattice — adequate at open-data scale).
+type Cube struct {
+	t        *table.Table
+	dims     []int // nominal dimension column indices
+	dimNames []string
+	measures []Measure
+	mcols    []int
+	rows     []int // active rows after slicing
+}
+
+// NewCube builds a cube over t with the named dimensions and measures.
+func NewCube(t *table.Table, dimensions []string, measures []Measure) (*Cube, error) {
+	c := &Cube{t: t, measures: measures}
+	for _, d := range dimensions {
+		idx := t.ColumnIndex(d)
+		if idx < 0 {
+			return nil, fmt.Errorf("olap: dimension %q not found", d)
+		}
+		if t.Column(idx).Kind != table.Nominal {
+			return nil, fmt.Errorf("olap: dimension %q must be nominal", d)
+		}
+		c.dims = append(c.dims, idx)
+		c.dimNames = append(c.dimNames, d)
+	}
+	for _, m := range measures {
+		idx := t.ColumnIndex(m.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("olap: measure column %q not found", m.Column)
+		}
+		if t.Column(idx).Kind != table.Numeric && m.Agg != Count {
+			return nil, fmt.Errorf("olap: measure column %q must be numeric for %s", m.Column, m.Agg)
+		}
+		c.mcols = append(c.mcols, idx)
+	}
+	c.rows = make([]int, t.NumRows())
+	for i := range c.rows {
+		c.rows[i] = i
+	}
+	return c, nil
+}
+
+// Dimensions returns the dimension names.
+func (c *Cube) Dimensions() []string { return c.dimNames }
+
+// ActiveRows returns the number of rows after slicing.
+func (c *Cube) ActiveRows() int { return len(c.rows) }
+
+// Slice returns a sub-cube restricted to rows where dimension dim has the
+// given value (dice by chaining slices).
+func (c *Cube) Slice(dim, value string) (*Cube, error) {
+	di := -1
+	for i, n := range c.dimNames {
+		if n == dim {
+			di = i
+			break
+		}
+	}
+	if di < 0 {
+		return nil, fmt.Errorf("olap: slice dimension %q not in cube", dim)
+	}
+	col := c.t.Column(c.dims[di])
+	code := col.CodeOf(value)
+	if code == table.MissingCat {
+		return nil, fmt.Errorf("olap: value %q not found in dimension %q", value, dim)
+	}
+	out := *c
+	out.rows = nil
+	for _, r := range c.rows {
+		if !col.IsMissing(r) && col.Cats[r] == code {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return &out, nil
+}
+
+// Cell is one aggregated result row.
+type Cell struct {
+	// Keys holds the dimension values in roll-up dimension order.
+	Keys []string
+	// Values holds one aggregate per cube measure.
+	Values []float64
+	// Rows is the number of base rows folded into the cell.
+	Rows int
+}
+
+// RollUp aggregates the cube's measures grouped by the named dimensions
+// (a subset of the cube's dimensions; empty means the grand total). The
+// result is sorted by key, deterministic.
+func (c *Cube) RollUp(dimensions ...string) ([]Cell, error) {
+	var groupCols []int
+	for _, d := range dimensions {
+		found := false
+		for i, n := range c.dimNames {
+			if n == d {
+				groupCols = append(groupCols, c.dims[i])
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("olap: roll-up dimension %q not in cube", d)
+		}
+	}
+
+	type acc struct {
+		keys   []string
+		sums   []float64
+		counts []int
+		mins   []float64
+		maxs   []float64
+		rows   int
+	}
+	groups := map[string]*acc{}
+	for _, r := range c.rows {
+		keyParts := make([]string, len(groupCols))
+		for i, gc := range groupCols {
+			col := c.t.Column(gc)
+			if col.IsMissing(r) {
+				keyParts[i] = "?"
+			} else {
+				keyParts[i] = col.Label(col.Cats[r])
+			}
+		}
+		key := strings.Join(keyParts, "\x1f")
+		g, ok := groups[key]
+		if !ok {
+			g = &acc{
+				keys:   keyParts,
+				sums:   make([]float64, len(c.measures)),
+				counts: make([]int, len(c.measures)),
+				mins:   make([]float64, len(c.measures)),
+				maxs:   make([]float64, len(c.measures)),
+			}
+			for i := range g.mins {
+				g.mins[i] = math.Inf(1)
+				g.maxs[i] = math.Inf(-1)
+			}
+			groups[key] = g
+		}
+		g.rows++
+		for i, mc := range c.mcols {
+			col := c.t.Column(mc)
+			if col.IsMissing(r) {
+				continue
+			}
+			v := 1.0
+			if col.Kind == table.Numeric {
+				v = col.Nums[r]
+			}
+			g.sums[i] += v
+			g.counts[i]++
+			if v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Cell, 0, len(groups))
+	for _, k := range keys {
+		g := groups[k]
+		cell := Cell{Keys: g.keys, Rows: g.rows, Values: make([]float64, len(c.measures))}
+		for i, m := range c.measures {
+			switch m.Agg {
+			case Sum:
+				cell.Values[i] = g.sums[i]
+			case Count:
+				cell.Values[i] = float64(g.counts[i])
+			case Avg:
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.sums[i] / float64(g.counts[i])
+				} else {
+					cell.Values[i] = math.NaN()
+				}
+			case Min:
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.mins[i]
+				} else {
+					cell.Values[i] = math.NaN()
+				}
+			case Max:
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.maxs[i]
+				} else {
+					cell.Values[i] = math.NaN()
+				}
+			}
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// RollUpTable renders a roll-up as a report table.
+func (c *Cube) RollUpTable(title string, dimensions ...string) (*report.Table, error) {
+	cells, err := c.RollUp(dimensions...)
+	if err != nil {
+		return nil, err
+	}
+	header := append([]string{}, dimensions...)
+	for _, m := range c.measures {
+		header = append(header, m.Label())
+	}
+	header = append(header, "rows")
+	t := report.NewTable(title, header...)
+	for _, cell := range cells {
+		vals := make([]any, 0, len(header))
+		for _, k := range cell.Keys {
+			vals = append(vals, k)
+		}
+		for _, v := range cell.Values {
+			vals = append(vals, v)
+		}
+		vals = append(vals, cell.Rows)
+		t.AddRowf(vals...)
+	}
+	return t, nil
+}
+
+// Pivot renders a 2-D pivot of one measure: rows by rowDim, columns by
+// colDim values.
+func (c *Cube) Pivot(title, rowDim, colDim string, measure int) (*report.Table, error) {
+	if measure < 0 || measure >= len(c.measures) {
+		return nil, fmt.Errorf("olap: measure index %d out of range", measure)
+	}
+	cells, err := c.RollUp(rowDim, colDim)
+	if err != nil {
+		return nil, err
+	}
+	colSet := map[string]bool{}
+	rowSet := map[string]bool{}
+	val := map[[2]string]float64{}
+	for _, cell := range cells {
+		rowSet[cell.Keys[0]] = true
+		colSet[cell.Keys[1]] = true
+		val[[2]string{cell.Keys[0], cell.Keys[1]}] = cell.Values[measure]
+	}
+	colKeys := sortedStrings(colSet)
+	rowKeys := sortedStrings(rowSet)
+
+	header := append([]string{rowDim + `\` + colDim}, colKeys...)
+	t := report.NewTable(title, header...)
+	for _, rk := range rowKeys {
+		row := make([]any, 0, len(header))
+		row = append(row, rk)
+		for _, ck := range colKeys {
+			if v, ok := val[[2]string{rk, ck}]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,267 @@
+package olap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"openbi/internal/table"
+)
+
+// budgets is a small fact table: region × type with spend and population.
+func budgets() *table.Table {
+	t := table.New("budgets")
+	region := table.NewNominalColumn("region", "north", "south")
+	kind := table.NewNominalColumn("kind", "edu", "health")
+	spend := table.NewNumericColumn("spend")
+	pop := table.NewNumericColumn("pop")
+	add := func(r, k int, s, p float64) {
+		region.AppendCode(r)
+		kind.AppendCode(k)
+		spend.AppendFloat(s)
+		pop.AppendFloat(p)
+	}
+	add(0, 0, 100, 10)
+	add(0, 1, 200, 10)
+	add(1, 0, 50, 5)
+	add(1, 1, 70, 5)
+	add(0, 0, 140, 12)
+	t.MustAddColumn(region)
+	t.MustAddColumn(kind)
+	t.MustAddColumn(spend)
+	t.MustAddColumn(pop)
+	return t
+}
+
+func newCube(t *testing.T) *Cube {
+	t.Helper()
+	c, err := NewCube(budgets(), []string{"region", "kind"}, []Measure{
+		{Column: "spend", Agg: Sum},
+		{Column: "spend", Agg: Avg},
+		{Column: "pop", Agg: Max},
+		{Column: "spend", Agg: Count},
+		{Column: "spend", Agg: Min},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCubeValidation(t *testing.T) {
+	tb := budgets()
+	if _, err := NewCube(tb, []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	if _, err := NewCube(tb, []string{"spend"}, nil); err == nil {
+		t.Fatal("numeric dimension should error")
+	}
+	if _, err := NewCube(tb, []string{"region"}, []Measure{{Column: "ghost", Agg: Sum}}); err == nil {
+		t.Fatal("unknown measure should error")
+	}
+	if _, err := NewCube(tb, []string{"region"}, []Measure{{Column: "kind", Agg: Sum}}); err == nil {
+		t.Fatal("nominal sum measure should error")
+	}
+}
+
+func TestRollUpGrandTotal(t *testing.T) {
+	c := newCube(t)
+	cells, err := c.RollUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("grand total cells = %d", len(cells))
+	}
+	g := cells[0]
+	if g.Values[0] != 560 { // sum spend
+		t.Fatalf("sum = %v, want 560", g.Values[0])
+	}
+	if math.Abs(g.Values[1]-112) > 1e-9 { // avg spend
+		t.Fatalf("avg = %v, want 112", g.Values[1])
+	}
+	if g.Values[2] != 12 { // max pop
+		t.Fatalf("max = %v, want 12", g.Values[2])
+	}
+	if g.Values[3] != 5 { // count
+		t.Fatalf("count = %v, want 5", g.Values[3])
+	}
+	if g.Values[4] != 50 { // min
+		t.Fatalf("min = %v, want 50", g.Values[4])
+	}
+	if g.Rows != 5 {
+		t.Fatalf("rows = %d", g.Rows)
+	}
+}
+
+func TestRollUpByOneDimension(t *testing.T) {
+	c := newCube(t)
+	cells, err := c.RollUp("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Sorted: north then south.
+	if cells[0].Keys[0] != "north" || cells[0].Values[0] != 440 {
+		t.Fatalf("north sum = %v", cells[0].Values[0])
+	}
+	if cells[1].Keys[0] != "south" || cells[1].Values[0] != 120 {
+		t.Fatalf("south sum = %v", cells[1].Values[0])
+	}
+}
+
+func TestRollUpByTwoDimensions(t *testing.T) {
+	c := newCube(t)
+	cells, err := c.RollUp("region", "kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// north/edu = 100 + 140.
+	if cells[0].Keys[0] != "north" || cells[0].Keys[1] != "edu" || cells[0].Values[0] != 240 {
+		t.Fatalf("north/edu = %+v", cells[0])
+	}
+}
+
+func TestRollUpUnknownDimension(t *testing.T) {
+	c := newCube(t)
+	if _, err := c.RollUp("ghost"); err == nil {
+		t.Fatal("unknown roll-up dimension should error")
+	}
+}
+
+func TestSliceRestrictsRows(t *testing.T) {
+	c := newCube(t)
+	s, err := c.Slice("region", "north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveRows() != 3 {
+		t.Fatalf("sliced rows = %d, want 3", s.ActiveRows())
+	}
+	cells, err := s.RollUp("kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Values[0] != 240 || cells[1].Values[0] != 200 {
+		t.Fatalf("sliced sums = %v / %v", cells[0].Values[0], cells[1].Values[0])
+	}
+	// Dice: chain a second slice.
+	d, err := s.Slice("kind", "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveRows() != 2 {
+		t.Fatalf("diced rows = %d", d.ActiveRows())
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	c := newCube(t)
+	if _, err := c.Slice("ghost", "x"); err == nil {
+		t.Fatal("unknown slice dimension should error")
+	}
+	if _, err := c.Slice("region", "mars"); err == nil {
+		t.Fatal("unknown slice value should error")
+	}
+}
+
+func TestSliceHandlesMissingDimensionCells(t *testing.T) {
+	tb := budgets()
+	tb.SetMissing(0, 0) // region missing on row 0
+	c, err := NewCube(tb, []string{"region"}, []Measure{{Column: "spend", Agg: Sum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Slice("region", "north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveRows() != 2 {
+		t.Fatalf("missing-dim slice rows = %d, want 2", s.ActiveRows())
+	}
+	// The missing cell groups under "?" in a roll-up.
+	cells, _ := c.RollUp("region")
+	found := false
+	for _, cell := range cells {
+		if cell.Keys[0] == "?" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing dimension value should group under ?")
+	}
+}
+
+func TestRollUpTableRendering(t *testing.T) {
+	c := newCube(t)
+	tab, err := c.RollUpTable("Spend by region", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sum(spend)") || !strings.Contains(out, "north") {
+		t.Fatalf("rendered table:\n%s", out)
+	}
+}
+
+func TestPivot(t *testing.T) {
+	c := newCube(t)
+	tab, err := c.Pivot("Spend", "region", "kind", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "edu") || !strings.Contains(out, "health") {
+		t.Fatalf("pivot columns missing:\n%s", out)
+	}
+	if !strings.Contains(out, "240.000") {
+		t.Fatalf("pivot cell missing:\n%s", out)
+	}
+}
+
+func TestPivotValidation(t *testing.T) {
+	c := newCube(t)
+	if _, err := c.Pivot("x", "region", "kind", 99); err == nil {
+		t.Fatal("bad measure index should error")
+	}
+}
+
+func TestMeasureLabels(t *testing.T) {
+	m := Measure{Column: "spend", Agg: Avg}
+	if m.Label() != "avg(spend)" {
+		t.Fatalf("label = %q", m.Label())
+	}
+	if Sum.String() != "sum" || Count.String() != "count" || Min.String() != "min" || Max.String() != "max" {
+		t.Fatal("aggregation names wrong")
+	}
+}
+
+func TestAvgIgnoresMissingMeasureCells(t *testing.T) {
+	tb := budgets()
+	tb.SetMissing(0, 2) // spend missing on row 0
+	c, err := NewCube(tb, []string{"region"}, []Measure{{Column: "spend", Agg: Avg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := c.RollUp("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// north: (200+140)/2 = 170.
+	if math.Abs(cells[0].Values[0]-170) > 1e-9 {
+		t.Fatalf("avg with missing = %v, want 170", cells[0].Values[0])
+	}
+}

@@ -1,0 +1,241 @@
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+
+	"openbi/internal/table"
+)
+
+// ProjectOptions controls the entity→table projection.
+type ProjectOptions struct {
+	// Class restricts the projection to subjects with rdf:type Class.
+	// Zero-value Class (no IRI) projects every subject in the graph.
+	Class Term
+	// IncludeSubject adds a leading nominal "@id" column with subject IRIs.
+	IncludeSubject bool
+	// NumericThreshold is the fraction of observed values that must be
+	// numeric literals for a property column to be typed Numeric
+	// (default 0.9).
+	NumericThreshold float64
+	// MaxLevels drops property columns whose nominal dictionary would
+	// exceed this many levels — an identifier-like property carries no
+	// mining signal (default 0: keep everything).
+	MaxLevels int
+}
+
+// Project flattens a graph into the "common representation" table of
+// §3.2.1: one row per entity (subject), one column per predicate. This is
+// the LOD integration module of the paper's implementation sketch (§3.3).
+//
+// Multi-valued properties keep their first value and are additionally
+// summarized by a "<name>#count" numeric column when any subject has more
+// than one value, so the link multiplicity the paper worries about is not
+// silently discarded. Numeric-literal-dominated properties become Numeric
+// columns; everything else (IRIs, strings, mixed) becomes Nominal on the
+// object's local name.
+func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
+	if opts.NumericThreshold == 0 {
+		opts.NumericThreshold = 0.9
+	}
+	var subjects []Term
+	hasClass := opts.Class.IsIRI() && opts.Class.Value != ""
+	if hasClass {
+		subjects = g.SubjectsOfType(opts.Class)
+	} else {
+		subjects = g.Subjects()
+	}
+	if len(subjects) == 0 {
+		return nil, fmt.Errorf("rdf: projection found no subjects")
+	}
+
+	// Collect predicates in deterministic order, skipping rdf:type (it is
+	// the class selector, not an attribute).
+	preds := g.Predicates()
+	typeIRI := NewIRI(RDFType)
+
+	name := "lod"
+	if hasClass {
+		name = opts.Class.LocalName()
+	}
+	t := table.New(name)
+	if opts.IncludeSubject {
+		idCol := table.NewNominalColumn("@id")
+		for _, s := range subjects {
+			idCol.AppendLabel(s.Value)
+		}
+		if err := t.AddColumn(idCol); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, p := range preds {
+		if p == typeIRI {
+			continue
+		}
+		firstVals := make([]Term, len(subjects))
+		present := make([]bool, len(subjects))
+		counts := make([]int, len(subjects))
+		numeric, observed, multi := 0, 0, false
+		for i, s := range subjects {
+			vals := g.PropertyValues(s, p)
+			counts[i] = len(vals)
+			if len(vals) == 0 {
+				continue
+			}
+			if len(vals) > 1 {
+				multi = true
+			}
+			present[i] = true
+			firstVals[i] = vals[0]
+			observed++
+			if isNumericTerm(vals[0]) {
+				numeric++
+			}
+		}
+		if observed == 0 {
+			continue // predicate never applies to this class
+		}
+		colName := p.LocalName()
+		if t.ColumnIndex(colName) >= 0 {
+			colName = colName + "_" + shortHash(p.Value)
+		}
+		if float64(numeric) >= opts.NumericThreshold*float64(observed) {
+			col := table.NewNumericColumn(colName)
+			for i := range subjects {
+				if !present[i] {
+					col.AppendMissing()
+					continue
+				}
+				v, err := numericValue(firstVals[i])
+				if err != nil {
+					col.AppendMissing()
+					continue
+				}
+				col.AppendFloat(v)
+			}
+			if err := t.AddColumn(col); err != nil {
+				return nil, err
+			}
+		} else {
+			col := table.NewNominalColumn(colName)
+			for i := range subjects {
+				if !present[i] {
+					col.AppendMissing()
+					continue
+				}
+				col.AppendLabel(termCellLabel(firstVals[i]))
+			}
+			if opts.MaxLevels > 0 && col.NumLevels() > opts.MaxLevels {
+				continue // identifier-like: drop
+			}
+			if err := t.AddColumn(col); err != nil {
+				return nil, err
+			}
+		}
+		if multi {
+			cc := table.NewNumericColumn(colName + "#count")
+			for i := range subjects {
+				cc.AppendFloat(float64(counts[i]))
+			}
+			if err := t.AddColumn(cc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if t.NumCols() == 0 {
+		return nil, fmt.Errorf("rdf: projection produced no columns")
+	}
+	return t, nil
+}
+
+// isNumericTerm reports whether a term projects to a number: either a
+// numerically typed literal or a plain literal that parses as a float.
+func isNumericTerm(t Term) bool {
+	if !t.IsLiteral() {
+		return false
+	}
+	if t.IsNumericLiteral() {
+		return true
+	}
+	if t.Lang != "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(t.Value, 64)
+	return err == nil
+}
+
+func numericValue(t Term) (float64, error) {
+	return strconv.ParseFloat(t.Value, 64)
+}
+
+// termCellLabel renders a term as a nominal cell label: IRIs shorten to
+// their local name (keeping the link target's identity while staying
+// readable), literals keep their lexical form.
+func termCellLabel(t Term) string {
+	if t.IsIRI() {
+		return t.LocalName()
+	}
+	return t.Value
+}
+
+// shortHash returns a 6-hex-digit FNV hash of s, used to disambiguate
+// clashing local names from different namespaces.
+func shortHash(s string) string {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return fmt.Sprintf("%06x", h&0xffffff)
+}
+
+// TableToGraph re-exports a table as LOD, implementing the paper's second
+// OpenBI duty: "share the new acquired information as LOD to be reused by
+// anyone" (§1(ii)). Every row becomes a subject IRI under base, every
+// column a predicate under base+"def/", numeric cells become xsd:double
+// literals and nominal cells plain literals. Missing cells emit nothing.
+func TableToGraph(t *table.Table, base string, class string) *Graph {
+	g := NewGraph()
+	classTerm := NewIRI(base + "def/" + class)
+	typePred := NewIRI(RDFType)
+	preds := make([]Term, t.NumCols())
+	for j, c := range t.Columns() {
+		preds[j] = NewIRI(base + "def/" + sanitizeLocal(c.Name))
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		subj := NewIRI(fmt.Sprintf("%s%s/%d", base, class, r))
+		g.Add(Triple{S: subj, P: typePred, O: classTerm})
+		for j, c := range t.Columns() {
+			if c.IsMissing(r) {
+				continue
+			}
+			var obj Term
+			if c.Kind == table.Numeric {
+				obj = NewDouble(c.Nums[r])
+			} else {
+				obj = NewLiteral(c.Label(c.Cats[r]))
+			}
+			g.Add(Triple{S: subj, P: preds[j], O: obj})
+		}
+	}
+	return g
+}
+
+// sanitizeLocal makes a column name safe as an IRI local part.
+func sanitizeLocal(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			out = append(out, c)
+		case c == ' ', c == '.', c == '/', c == '#':
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "col"
+	}
+	return string(out)
+}

@@ -1,0 +1,258 @@
+// Package report renders the tables and "figures" of the reproduction:
+// aligned plain-text tables, Markdown tables, CSV export and ASCII line /
+// bar charts. Every experiment's output goes through this package so that
+// CLI output, EXPERIMENTS.md extracts and test goldens agree.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple row-major string table with a header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns an empty table with the given title and header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 format as %.3f, ints as %d.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			if math.IsNaN(x) {
+				cells[i] = "-"
+			} else {
+				cells[i] = fmt.Sprintf("%.3f", x)
+			}
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case int64:
+			cells[i] = fmt.Sprintf("%d", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as CSV (no quoting beyond the minimum: cells with
+// commas or quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders series as an ASCII chart of the given size — the
+// "figure" rendering for degradation curves. Each series draws with its
+// own marker; a legend follows the plot.
+func LineChart(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 16 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("report: chart %q has no data", title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			grid[row][cx] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			plot(s.X[i], s.Y[i], m)
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.3f ", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.3f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.3g%*s\n", minX, width-2, fmt.Sprintf("%.3g", maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChart renders a horizontal ASCII bar chart of labelled values.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: bar chart %q: %d labels vs %d values", title, len(labels), len(values))
+	}
+	if width < 10 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if math.Abs(v) > maxV {
+			maxV = math.Abs(v)
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxV * float64(width)))
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", maxL, labels[i], strings.Repeat("=", n), v)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

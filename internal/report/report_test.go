@@ -1,0 +1,166 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Results", "algorithm", "kappa", "n")
+	t.AddRowf("naive-bayes", 0.8125, 200)
+	t.AddRowf("c45", 0.54, 200)
+	t.AddRowf("zero-r", math.NaN(), 200)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Results" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "algorithm") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "0.812") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	if !strings.Contains(out, "-\n") && !strings.Contains(lines[5], "-") {
+		t.Fatal("NaN should render as -")
+	}
+	// Alignment: all rows equal width per column -> header starts of col 2 align.
+	idx := strings.Index(lines[1], "kappa")
+	for _, ln := range lines[3:] {
+		if len(ln) < idx {
+			t.Fatalf("row shorter than header: %q", ln)
+		}
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| algorithm | kappa | n |") {
+		t.Fatalf("markdown header:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatalf("markdown separator:\n%s", out)
+	}
+	if !strings.Contains(out, "**Results**") {
+		t.Fatalf("markdown title:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("", "name", "note")
+	tab.AddRow("a,b", `say "hi"`)
+	var b strings.Builder
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestLineChartRendersSeries(t *testing.T) {
+	var b strings.Builder
+	err := LineChart(&b, "Degradation", []Series{
+		{Name: "nb", X: []float64{0, 0.2, 0.4}, Y: []float64{0.8, 0.6, 0.3}},
+		{Name: "tree", X: []float64{0, 0.2, 0.4}, Y: []float64{0.7, 0.65, 0.6}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Degradation") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* nb") || !strings.Contains(out, "o tree") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	// Axis labels carry min/max of Y.
+	if !strings.Contains(out, "0.800") || !strings.Contains(out, "0.300") {
+		t.Fatalf("y labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := LineChart(&b, "x", []Series{{Name: "e"}}, 20, 5); err == nil {
+		t.Fatal("empty chart should error")
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	var b strings.Builder
+	err := LineChart(&b, "n", []Series{
+		{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	err := BarChart(&b, "Sensitivity", []string{"nb", "knn"}, []float64{0.5, 1.0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	linesOut := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(linesOut) != 3 {
+		t.Fatalf("bar chart lines = %d:\n%s", len(linesOut), out)
+	}
+	nbBars := strings.Count(linesOut[1], "=")
+	knnBars := strings.Count(linesOut[2], "=")
+	if knnBars != 20 || nbBars != 10 {
+		t.Fatalf("bar lengths nb=%d knn=%d, want 10/20", nbBars, knnBars)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	var b strings.Builder
+	if err := BarChart(&b, "x", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("mismatched labels/values should error")
+	}
+}
+
+func TestTableCSVRoundLines(t *testing.T) {
+	var b strings.Builder
+	if err := sample().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+}

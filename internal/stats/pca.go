@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PCA holds the result of a principal component analysis: the column means
+// used for centring, the eigenvalues of the covariance matrix in decreasing
+// order, and the matching unit-length eigenvectors (components, one per row).
+//
+// The paper motivates PCA as the classical answer to LOD's high
+// dimensionality (§1, ref [8]) — and criticises it for destroying data
+// structure. The E-DIM experiment uses this implementation as the
+// "structure-destroying" baseline against attribute selection.
+type PCA struct {
+	Means      []float64   // per-input-column mean
+	Eigenvalue []float64   // decreasing
+	Component  [][]float64 // Component[k][j]: weight of input column j in PC k
+}
+
+// FitPCA computes a PCA of the given column-major data (cols[j][i] is the
+// i-th observation of variable j). Missing entries are replaced by the
+// column mean before the covariance matrix is formed (mean imputation is
+// the standard PCA fallback and keeps the fit defined on dirty data).
+// It returns an error when there are no columns or no rows.
+func FitPCA(cols [][]float64) (*PCA, error) {
+	p := len(cols)
+	if p == 0 {
+		return nil, errors.New("stats: PCA requires at least one column")
+	}
+	n := len(cols[0])
+	if n == 0 {
+		return nil, errors.New("stats: PCA requires at least one row")
+	}
+
+	means := make([]float64, p)
+	centered := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		means[j] = Mean(cols[j])
+		m := means[j]
+		if IsMissing(m) {
+			m = 0
+			means[j] = 0
+		}
+		cj := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := cols[j][i]
+			if IsMissing(v) {
+				v = m
+			}
+			cj[i] = v - m
+		}
+		centered[j] = cj
+	}
+
+	// Covariance matrix (p×p, symmetric).
+	cov := make([][]float64, p)
+	for j := range cov {
+		cov[j] = make([]float64, p)
+	}
+	denom := float64(n - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	for a := 0; a < p; a++ {
+		for b := a; b < p; b++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += centered[a][i] * centered[b][i]
+			}
+			s /= denom
+			cov[a][b] = s
+			cov[b][a] = s
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+
+	// Order by decreasing eigenvalue.
+	idx := make([]int, p)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	out := &PCA{Means: means, Eigenvalue: make([]float64, p), Component: make([][]float64, p)}
+	for k, id := range idx {
+		out.Eigenvalue[k] = vals[id]
+		comp := make([]float64, p)
+		for j := 0; j < p; j++ {
+			comp[j] = vecs[j][id] // column id of the eigenvector matrix
+		}
+		out.Component[k] = comp
+	}
+	return out, nil
+}
+
+// ExplainedVariance returns, for each component, the fraction of total
+// variance it explains.
+func (p *PCA) ExplainedVariance() []float64 {
+	total := 0.0
+	for _, v := range p.Eigenvalue {
+		if v > 0 {
+			total += v
+		}
+	}
+	out := make([]float64, len(p.Eigenvalue))
+	if total == 0 {
+		return out
+	}
+	for i, v := range p.Eigenvalue {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}
+
+// ComponentsFor returns the smallest number of leading components whose
+// cumulative explained variance reaches the given fraction (0..1).
+func (p *PCA) ComponentsFor(fraction float64) int {
+	ev := p.ExplainedVariance()
+	cum := 0.0
+	for i, v := range ev {
+		cum += v
+		if cum >= fraction {
+			return i + 1
+		}
+	}
+	return len(ev)
+}
+
+// Transform projects column-major data onto the first k principal
+// components, returning k new column-major columns. Missing values are
+// mean-imputed exactly as in FitPCA.
+func (p *PCA) Transform(cols [][]float64, k int) [][]float64 {
+	if k > len(p.Component) {
+		k = len(p.Component)
+	}
+	if len(cols) == 0 || k <= 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		out[c] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			s := 0.0
+			for j := range cols {
+				v := cols[j][i]
+				if IsMissing(v) {
+					v = p.Means[j]
+				}
+				s += (v - p.Means[j]) * p.Component[c][j]
+			}
+			out[c][i] = s
+		}
+	}
+	return out
+}
+
+// jacobiEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi rotation method. It returns the eigenvalues
+// and a matrix whose COLUMNS are the corresponding eigenvectors.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	// Work on a copy; a caller's covariance matrix must not be clobbered.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v
+}

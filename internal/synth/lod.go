@@ -1,0 +1,270 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"openbi/internal/rdf"
+	"openbi/internal/stats"
+)
+
+// LODSpec parameterizes the open-government LOD generators. Dirtiness in
+// [0,1] injects realistic source-level defects directly into the graph
+// (dangling property gaps, duplicated entities under alternate IRIs with
+// owl:sameAs links, inconsistent label spellings) so that the LOD
+// integration path is exercised on data as messy as real portals.
+type LODSpec struct {
+	// Entities is the number of primary entities (required).
+	Entities int
+	// Dirtiness in [0,1] controls injected source defects (default 0).
+	Dirtiness float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Namespaces used by the generators.
+const (
+	NSBase = "http://opendata.example.org/"
+	NSDef  = NSBase + "def/"
+)
+
+// MunicipalBudgetLOD generates a municipal-finance LOD graph: one
+// Municipality entity per row with population, per-capita budget figures,
+// an unemployment rate, a link to its Region entity, and a fundingLevel
+// classification target driven by the numeric signal. Regions form a
+// second entity layer with their own properties, giving the graph genuine
+// multi-hop structure.
+func MunicipalBudgetLOD(spec LODSpec) (*rdf.Graph, error) {
+	if spec.Entities <= 0 {
+		return nil, fmt.Errorf("synth: Entities must be positive, got %d", spec.Entities)
+	}
+	rng := stats.NewRand(spec.Seed)
+	g := rdf.NewGraph()
+
+	typePred := rdf.NewIRI(rdf.RDFType)
+	labelPred := rdf.NewIRI(rdf.RDFSLabel)
+	munClass := rdf.NewIRI(NSDef + "Municipality")
+	regClass := rdf.NewIRI(NSDef + "Region")
+
+	population := rdf.NewIRI(NSDef + "population")
+	budgetEdu := rdf.NewIRI(NSDef + "budgetEducationPerCapita")
+	budgetHealth := rdf.NewIRI(NSDef + "budgetHealthPerCapita")
+	unemployment := rdf.NewIRI(NSDef + "unemploymentRate")
+	inRegion := rdf.NewIRI(NSDef + "inRegion")
+	fundingLevel := rdf.NewIRI(NSDef + "fundingLevel")
+	gdp := rdf.NewIRI(NSDef + "gdpPerCapita")
+	sameAs := rdf.NewIRI(rdf.OWLSameAs)
+
+	// Region layer.
+	const regions = 8
+	regionTerms := make([]rdf.Term, regions)
+	regionWealth := make([]float64, regions)
+	for i := 0; i < regions; i++ {
+		regionTerms[i] = rdf.NewIRI(fmt.Sprintf("%sregion/%d", NSBase, i+1))
+		regionWealth[i] = 20000 + 2500*float64(i) + stats.Gaussian(rng, 0, 1500)
+		g.Add(rdf.Triple{S: regionTerms[i], P: typePred, O: regClass})
+		g.Add(rdf.Triple{S: regionTerms[i], P: labelPred, O: rdf.NewLangLiteral(fmt.Sprintf("Region %d", i+1), "en")})
+		g.Add(rdf.Triple{S: regionTerms[i], P: gdp, O: rdf.NewDouble(round2(regionWealth[i]))})
+	}
+
+	for i := 0; i < spec.Entities; i++ {
+		mun := rdf.NewIRI(fmt.Sprintf("%smunicipality/%d", NSBase, i+1))
+		g.Add(rdf.Triple{S: mun, P: typePred, O: munClass})
+
+		region := rng.Intn(regions)
+		pop := math.Exp(stats.Gaussian(rng, 9.5, 1.1)) // log-normal population
+		wealth := regionWealth[region] / 25000         // 0.8 .. 1.6-ish
+		edu := 300*wealth + stats.Gaussian(rng, 0, 40)
+		health := 420*wealth + stats.Gaussian(rng, 0, 55)
+		unemp := clampF(22-12*wealth+stats.Gaussian(rng, 0, 2.5), 1, 35)
+
+		// Target: per-capita funding tier, a noisy function of the signal.
+		score := edu + health - 18*unemp
+		level := "low"
+		switch {
+		case score > 640:
+			level = "high"
+		case score > 480:
+			level = "medium"
+		}
+
+		label := fmt.Sprintf("Municipality %d", i+1)
+		if spec.Dirtiness > 0 && rng.Float64() < spec.Dirtiness/2 {
+			label = fmt.Sprintf("MUNICIPALITY %d ", i+1) // inconsistent spelling
+		}
+		g.Add(rdf.Triple{S: mun, P: labelPred, O: rdf.NewLangLiteral(label, "en")})
+		g.Add(rdf.Triple{S: mun, P: inRegion, O: regionTerms[region]})
+		g.Add(rdf.Triple{S: mun, P: fundingLevel, O: rdf.NewLiteral(level)})
+
+		// Dirtiness: drop properties (source-level incompleteness).
+		emit := func(p rdf.Term, v float64) {
+			if spec.Dirtiness > 0 && rng.Float64() < spec.Dirtiness {
+				return
+			}
+			g.Add(rdf.Triple{S: mun, P: p, O: rdf.NewDouble(round2(v))})
+		}
+		emit(population, math.Round(pop))
+		emit(budgetEdu, edu)
+		emit(budgetHealth, health)
+		emit(unemployment, unemp)
+
+		// Dirtiness: duplicate entity published under an alternate IRI by a
+		// second "portal", linked (sometimes) with owl:sameAs.
+		if spec.Dirtiness > 0 && rng.Float64() < spec.Dirtiness/3 {
+			alt := rdf.NewIRI(fmt.Sprintf("%smirror/mun-%d", NSBase, i+1))
+			g.Add(rdf.Triple{S: alt, P: typePred, O: munClass})
+			g.Add(rdf.Triple{S: alt, P: labelPred, O: rdf.NewLangLiteral(label, "en")})
+			g.Add(rdf.Triple{S: alt, P: fundingLevel, O: rdf.NewLiteral(level)})
+			g.Add(rdf.Triple{S: alt, P: budgetEdu, O: rdf.NewDouble(round2(edu))})
+			if rng.Float64() < 0.7 {
+				g.Add(rdf.Triple{S: alt, P: sameAs, O: mun})
+			}
+		}
+	}
+	return g, nil
+}
+
+// AirQualityLOD generates an air-quality monitoring LOD graph: Station
+// entities with pollutant concentrations, traffic intensity, an
+// industrial-zone flag and an alertLevel target, linked to City entities.
+func AirQualityLOD(spec LODSpec) (*rdf.Graph, error) {
+	if spec.Entities <= 0 {
+		return nil, fmt.Errorf("synth: Entities must be positive, got %d", spec.Entities)
+	}
+	rng := stats.NewRand(spec.Seed)
+	g := rdf.NewGraph()
+
+	typePred := rdf.NewIRI(rdf.RDFType)
+	labelPred := rdf.NewIRI(rdf.RDFSLabel)
+	stationClass := rdf.NewIRI(NSDef + "Station")
+	cityClass := rdf.NewIRI(NSDef + "City")
+
+	no2 := rdf.NewIRI(NSDef + "no2")
+	pm10 := rdf.NewIRI(NSDef + "pm10")
+	o3 := rdf.NewIRI(NSDef + "o3")
+	traffic := rdf.NewIRI(NSDef + "trafficIntensity")
+	zone := rdf.NewIRI(NSDef + "zoneType")
+	inCity := rdf.NewIRI(NSDef + "inCity")
+	alert := rdf.NewIRI(NSDef + "alertLevel")
+
+	const cities = 6
+	cityTerms := make([]rdf.Term, cities)
+	cityPollution := make([]float64, cities)
+	for i := 0; i < cities; i++ {
+		cityTerms[i] = rdf.NewIRI(fmt.Sprintf("%scity/%d", NSBase, i+1))
+		cityPollution[i] = 0.7 + 0.15*float64(i)
+		g.Add(rdf.Triple{S: cityTerms[i], P: typePred, O: cityClass})
+		g.Add(rdf.Triple{S: cityTerms[i], P: labelPred, O: rdf.NewLangLiteral(fmt.Sprintf("City %d", i+1), "en")})
+	}
+
+	zones := []string{"residential", "industrial", "suburban"}
+	for i := 0; i < spec.Entities; i++ {
+		st := rdf.NewIRI(fmt.Sprintf("%sstation/%d", NSBase, i+1))
+		g.Add(rdf.Triple{S: st, P: typePred, O: stationClass})
+		g.Add(rdf.Triple{S: st, P: labelPred, O: rdf.NewLangLiteral(fmt.Sprintf("Station %d", i+1), "en")})
+
+		city := rng.Intn(cities)
+		zi := rng.Intn(len(zones))
+		base := cityPollution[city]
+		zoneFactor := 1.0
+		if zones[zi] == "industrial" {
+			zoneFactor = 1.5
+		} else if zones[zi] == "suburban" {
+			zoneFactor = 0.75
+		}
+		traf := clampF(stats.Gaussian(rng, 50*base, 15), 2, 100)
+		vNO2 := clampF(stats.Gaussian(rng, 30*base*zoneFactor+0.3*traf, 8), 1, 200)
+		vPM10 := clampF(stats.Gaussian(rng, 25*base*zoneFactor, 7), 1, 180)
+		vO3 := clampF(stats.Gaussian(rng, 60-0.2*vNO2, 10), 5, 160)
+
+		idx := vNO2/40 + vPM10/50
+		level := "good"
+		switch {
+		case idx > 2.0:
+			level = "poor"
+		case idx > 1.3:
+			level = "moderate"
+		}
+
+		g.Add(rdf.Triple{S: st, P: inCity, O: cityTerms[city]})
+		g.Add(rdf.Triple{S: st, P: zone, O: rdf.NewLiteral(zones[zi])})
+		g.Add(rdf.Triple{S: st, P: alert, O: rdf.NewLiteral(level)})
+		emit := func(p rdf.Term, v float64) {
+			if spec.Dirtiness > 0 && rng.Float64() < spec.Dirtiness {
+				return
+			}
+			g.Add(rdf.Triple{S: st, P: p, O: rdf.NewDouble(round2(v))})
+		}
+		emit(no2, vNO2)
+		emit(pm10, vPM10)
+		emit(o3, vO3)
+		emit(traffic, traf)
+	}
+	return g, nil
+}
+
+// EducationLOD generates a school-statistics LOD graph: School entities
+// with staffing and socio-economic attributes and a performance target.
+func EducationLOD(spec LODSpec) (*rdf.Graph, error) {
+	if spec.Entities <= 0 {
+		return nil, fmt.Errorf("synth: Entities must be positive, got %d", spec.Entities)
+	}
+	rng := stats.NewRand(spec.Seed)
+	g := rdf.NewGraph()
+
+	typePred := rdf.NewIRI(rdf.RDFType)
+	schoolClass := rdf.NewIRI(NSDef + "School")
+	students := rdf.NewIRI(NSDef + "students")
+	ratio := rdf.NewIRI(NSDef + "studentTeacherRatio")
+	income := rdf.NewIRI(NSDef + "medianFamilyIncome")
+	dropout := rdf.NewIRI(NSDef + "dropoutRate")
+	kind := rdf.NewIRI(NSDef + "schoolType")
+	performance := rdf.NewIRI(NSDef + "performance")
+
+	kinds := []string{"public", "charter", "private"}
+	for i := 0; i < spec.Entities; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("%sschool/%d", NSBase, i+1))
+		g.Add(rdf.Triple{S: s, P: typePred, O: schoolClass})
+
+		ki := rng.Intn(len(kinds))
+		inc := math.Exp(stats.Gaussian(rng, 10.6, 0.4))
+		rat := clampF(stats.Gaussian(rng, 24-inc/15000, 3), 8, 40)
+		drp := clampF(stats.Gaussian(rng, 18-inc/9000+0.5*rat, 3), 0, 60)
+		stu := math.Round(clampF(stats.Gaussian(rng, 600, 220), 40, 2500))
+
+		score := inc/1000 - 1.2*drp - 0.8*rat
+		level := "low"
+		switch {
+		case score > 12:
+			level = "high"
+		case score > -4:
+			level = "medium"
+		}
+
+		g.Add(rdf.Triple{S: s, P: kind, O: rdf.NewLiteral(kinds[ki])})
+		g.Add(rdf.Triple{S: s, P: performance, O: rdf.NewLiteral(level)})
+		emit := func(p rdf.Term, v float64) {
+			if spec.Dirtiness > 0 && rng.Float64() < spec.Dirtiness {
+				return
+			}
+			g.Add(rdf.Triple{S: s, P: p, O: rdf.NewDouble(round2(v))})
+		}
+		emit(students, stu)
+		emit(ratio, rat)
+		emit(income, inc)
+		emit(dropout, drp)
+	}
+	return g, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

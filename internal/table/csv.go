@@ -1,0 +1,209 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// missingTokens are the cell spellings treated as missing by all readers.
+// The set matches what open-data portals actually emit.
+var missingTokens = map[string]bool{
+	"": true, "?": true, "NA": true, "N/A": true, "na": true, "n/a": true,
+	"null": true, "NULL": true, "Null": true, "nil": true, "-": true,
+	"missing": true, "MISSING": true,
+}
+
+// IsMissingToken reports whether a raw cell string denotes a missing value.
+func IsMissingToken(s string) bool { return missingTokens[strings.TrimSpace(s)] }
+
+// ReadCSVOptions controls CSV ingestion.
+type ReadCSVOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// HasHeader indicates the first record carries column names.
+	// Without a header, columns are named c0, c1, ...
+	HasHeader bool
+	// NumericThreshold is the minimum fraction of non-missing cells that
+	// must parse as numbers for a column to be typed Numeric; 0 means 0.95.
+	NumericThreshold float64
+	// Name is the resulting table name; "" means "csv".
+	Name string
+}
+
+// ReadCSV ingests a CSV stream into a typed Table, inferring per-column
+// types. Type inference is per the paper's motivation: open data arrives
+// "without paying attention in structure nor semantics", so the reader must
+// decide structure itself. A column becomes Numeric when at least
+// NumericThreshold of its observed cells parse as floats; numeric-looking
+// cells in a column voted Nominal are kept as their string spelling.
+func ReadCSV(r io.Reader, opts ReadCSVOptions) (*Table, error) {
+	if opts.Comma == 0 {
+		opts.Comma = ','
+	}
+	if opts.NumericThreshold == 0 {
+		opts.NumericThreshold = 0.95
+	}
+	if opts.Name == "" {
+		opts.Name = "csv"
+	}
+	cr := csv.NewReader(r)
+	cr.Comma = opts.Comma
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: empty csv input")
+	}
+
+	var header []string
+	rows := records
+	if opts.HasHeader {
+		header = records[0]
+		rows = records[1:]
+	}
+	width := 0
+	for _, rec := range records {
+		if len(rec) > width {
+			width = len(rec)
+		}
+	}
+	if header == nil {
+		header = make([]string, width)
+		for i := range header {
+			header[i] = fmt.Sprintf("c%d", i)
+		}
+	}
+	for len(header) < width {
+		header = append(header, fmt.Sprintf("c%d", len(header)))
+	}
+
+	cells := make([][]string, width) // column-major raw cells
+	for j := 0; j < width; j++ {
+		cells[j] = make([]string, len(rows))
+		for i, rec := range rows {
+			if j < len(rec) {
+				cells[j][i] = strings.TrimSpace(rec[j])
+			}
+		}
+	}
+	return fromRawColumns(opts.Name, dedupeNames(header), cells, opts.NumericThreshold)
+}
+
+// fromRawColumns performs type inference and builds the table from raw
+// column-major string cells. It is shared by the CSV, XML and HTML readers.
+func fromRawColumns(name string, header []string, cells [][]string, numericThreshold float64) (*Table, error) {
+	t := New(name)
+	for j, raw := range cells {
+		numeric, observed := 0, 0
+		for _, s := range raw {
+			if IsMissingToken(s) {
+				continue
+			}
+			observed++
+			if _, err := parseNumber(s); err == nil {
+				numeric++
+			}
+		}
+		isNumeric := observed > 0 && float64(numeric) >= numericThreshold*float64(observed)
+		var col *Column
+		if isNumeric {
+			col = NewNumericColumn(header[j])
+			for _, s := range raw {
+				if IsMissingToken(s) {
+					col.AppendFloat(math.NaN())
+					continue
+				}
+				v, err := parseNumber(s)
+				if err != nil {
+					// Below-threshold stragglers in a numeric column become missing.
+					col.AppendFloat(math.NaN())
+					continue
+				}
+				col.AppendFloat(v)
+			}
+		} else {
+			col = NewNominalColumn(header[j])
+			for _, s := range raw {
+				if IsMissingToken(s) {
+					col.AppendMissing()
+					continue
+				}
+				col.AppendLabel(s)
+			}
+		}
+		if err := t.AddColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// parseNumber parses a float allowing thousands separators and a trailing
+// percent sign, two ubiquitous open-data spellings.
+func parseNumber(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	if pct {
+		s = strings.TrimSuffix(s, "%")
+	}
+	s = strings.ReplaceAll(s, ",", "")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}
+
+// dedupeNames makes column names unique by suffixing duplicates with _2,
+// _3, ... — open-data HTML tables repeat header labels constantly.
+func dedupeNames(names []string) []string {
+	seen := make(map[string]int, len(names))
+	out := make([]string, len(names))
+	for i, n := range names {
+		if n == "" {
+			n = fmt.Sprintf("c%d", i)
+		}
+		if k := seen[n]; k > 0 {
+			out[i] = fmt.Sprintf("%s_%d", n, k+1)
+		} else {
+			out[i] = n
+		}
+		seen[n]++
+	}
+	return out
+}
+
+// WriteCSV writes the table as CSV with a header row; missing cells are
+// written as empty fields.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for j, c := range t.Columns() {
+			if c.IsMissing(r) {
+				rec[j] = ""
+			} else {
+				rec[j] = c.CellString(r)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,292 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is an in-memory columnar table: a named, ordered collection of
+// equally long typed columns. It is the "common representation of data
+// structures" every OpenBI stage works on once raw open data has been
+// ingested.
+type Table struct {
+	Name   string
+	cols   []*Column
+	byName map[string]int
+}
+
+// New returns an empty table with the given name.
+func New(name string) *Table {
+	return &Table{Name: name, byName: make(map[string]int)}
+}
+
+// NumRows returns the number of rows (0 for a column-less table).
+func (t *Table) NumRows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// AddColumn appends col to the table. It returns an error when a column of
+// the same name exists or when the length disagrees with existing columns.
+func (t *Table) AddColumn(col *Column) error {
+	if _, dup := t.byName[col.Name]; dup {
+		return fmt.Errorf("table %q: duplicate column %q", t.Name, col.Name)
+	}
+	if len(t.cols) > 0 && col.Len() != t.NumRows() {
+		return fmt.Errorf("table %q: column %q has %d rows, table has %d",
+			t.Name, col.Name, col.Len(), t.NumRows())
+	}
+	t.byName[col.Name] = len(t.cols)
+	t.cols = append(t.cols, col)
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error; intended for
+// construction code whose column names are literals.
+func (t *Table) MustAddColumn(col *Column) {
+	if err := t.AddColumn(col); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) *Column { return t.cols[i] }
+
+// Columns returns the backing column slice (do not mutate its structure).
+func (t *Table) Columns() []*Column { return t.cols }
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnByName returns the named column or nil.
+func (t *Table) ColumnByName(name string) *Column {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// ColumnNames returns the names of all columns in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Float returns the numeric value at (row, col); NaN when missing.
+// It panics when the column is nominal.
+func (t *Table) Float(row, col int) float64 {
+	c := t.cols[col]
+	if c.Kind != Numeric {
+		panic(fmt.Sprintf("table %q: Float on nominal column %q", t.Name, c.Name))
+	}
+	return c.Nums[row]
+}
+
+// Cat returns the nominal code at (row, col); MissingCat when missing.
+// It panics when the column is numeric.
+func (t *Table) Cat(row, col int) int {
+	c := t.cols[col]
+	if c.Kind != Nominal {
+		panic(fmt.Sprintf("table %q: Cat on numeric column %q", t.Name, c.Name))
+	}
+	return c.Cats[row]
+}
+
+// IsMissing reports whether the cell at (row, col) is missing.
+func (t *Table) IsMissing(row, col int) bool { return t.cols[col].IsMissing(row) }
+
+// SetFloat stores v at (row, col) of a numeric column.
+func (t *Table) SetFloat(row, col int, v float64) { t.cols[col].Nums[row] = v }
+
+// SetCat stores nominal code v at (row, col).
+func (t *Table) SetCat(row, col int, v int) { t.cols[col].Cats[row] = v }
+
+// SetMissing marks the cell at (row, col) missing.
+func (t *Table) SetMissing(row, col int) { t.cols[col].SetMissing(row) }
+
+// AppendEmptyRow appends one all-missing row and returns its index.
+func (t *Table) AppendEmptyRow() int {
+	for _, c := range t.cols {
+		c.AppendMissing()
+	}
+	return t.NumRows() - 1
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := New(t.Name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.Clone())
+	}
+	return out
+}
+
+// SelectRows returns a new table containing the given rows in order.
+// Row indices may repeat, which makes this the primitive behind sampling,
+// duplication injection and stratified splits alike.
+func (t *Table) SelectRows(rows []int) *Table {
+	out := New(t.Name)
+	for _, c := range t.cols {
+		out.MustAddColumn(c.Select(rows))
+	}
+	return out
+}
+
+// SelectColumns returns a new table containing only the columns at the
+// given indices (data shared is deep-copied).
+func (t *Table) SelectColumns(cols []int) *Table {
+	out := New(t.Name)
+	for _, i := range cols {
+		out.MustAddColumn(t.cols[i].Clone())
+	}
+	return out
+}
+
+// DropColumn returns a copy of the table without the named column; the
+// receiver is unchanged. Unknown names are ignored.
+func (t *Table) DropColumn(name string) *Table {
+	out := New(t.Name)
+	for _, c := range t.cols {
+		if c.Name == name {
+			continue
+		}
+		out.MustAddColumn(c.Clone())
+	}
+	return out
+}
+
+// AppendRows appends all rows of other, matching columns by name.
+// Columns present in t but absent in other receive missing cells; nominal
+// labels are re-interned so dictionaries need not agree.
+func (t *Table) AppendRows(other *Table) error {
+	for r := 0; r < other.NumRows(); r++ {
+		t.AppendEmptyRow()
+		last := t.NumRows() - 1
+		for j, c := range t.cols {
+			oj := other.ColumnIndex(c.Name)
+			if oj < 0 || other.IsMissing(r, oj) {
+				continue
+			}
+			oc := other.cols[oj]
+			if oc.Kind != c.Kind {
+				return fmt.Errorf("table %q: column %q kind mismatch on append", t.Name, c.Name)
+			}
+			if c.Kind == Numeric {
+				t.SetFloat(last, j, oc.Nums[r])
+			} else {
+				t.SetCat(last, j, c.Code(oc.Label(oc.Cats[r])))
+			}
+		}
+	}
+	return nil
+}
+
+// RowString renders row r as comma-separated cell strings (for debugging
+// and golden tests).
+func (t *Table) RowString(r int) string {
+	parts := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		parts[i] = c.CellString(r)
+	}
+	return strings.Join(parts, ",")
+}
+
+// MissingCells returns the total number of missing cells in the table.
+func (t *Table) MissingCells() int {
+	n := 0
+	for _, c := range t.cols {
+		n += c.MissingCount()
+	}
+	return n
+}
+
+// NumericColumnIndices returns the indices of all numeric columns.
+func (t *Table) NumericColumnIndices() []int {
+	var out []int
+	for i, c := range t.cols {
+		if c.Kind == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NominalColumnIndices returns the indices of all nominal columns.
+func (t *Table) NominalColumnIndices() []int {
+	var out []int
+	for i, c := range t.cols {
+		if c.Kind == Nominal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RowKey returns a canonical string for row r used by duplicate detection:
+// cell renderings joined by unit separators. Numeric cells are rounded to
+// 9 significant digits so that float noise below that threshold still keys
+// identically.
+func (t *Table) RowKey(r int) string {
+	var b strings.Builder
+	for i, c := range t.cols {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		if c.IsMissing(r) {
+			b.WriteByte('?')
+			continue
+		}
+		if c.Kind == Numeric {
+			fmt.Fprintf(&b, "%.9g", c.Nums[r])
+		} else {
+			b.WriteString(c.Label(c.Cats[r]))
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two tables have identical schema and cell values
+// (NaN cells compare equal to NaN cells). It is intended for tests.
+func Equal(a, b *Table) bool {
+	if a.NumCols() != b.NumCols() || a.NumRows() != b.NumRows() {
+		return false
+	}
+	for j := 0; j < a.NumCols(); j++ {
+		ca, cb := a.cols[j], b.cols[j]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+			return false
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			switch {
+			case ca.IsMissing(r) != cb.IsMissing(r):
+				return false
+			case ca.IsMissing(r):
+				// both missing: equal
+			case ca.Kind == Numeric:
+				if ca.Nums[r] != cb.Nums[r] && !(math.IsNaN(ca.Nums[r]) && math.IsNaN(cb.Nums[r])) {
+					return false
+				}
+			default:
+				if ca.Label(ca.Cats[r]) != cb.Label(cb.Cats[r]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package table
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadXML ingests a record-oriented XML document of the shape
+//
+//	<root>
+//	  <record><field>value</field>...</record>
+//	  ...
+//	</root>
+//
+// which is the dominant structure of XML open-data exports. The element
+// names of the record children become column names; records may omit
+// fields (they become missing cells) and may introduce new fields at any
+// point. Nested elements below field level are flattened with '.'
+// separators (e.g. address.city).
+func ReadXML(r io.Reader, name string) (*Table, error) {
+	dec := xml.NewDecoder(r)
+
+	// Find the root start element.
+	var root xml.StartElement
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("table: reading xml: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			root = se
+			break
+		}
+	}
+	_ = root
+
+	type record map[string]string
+	var records []record
+	fieldSet := make(map[string]bool)
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading xml: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		rec := record{}
+		if err := readXMLRecord(dec, se, "", rec); err != nil {
+			return nil, err
+		}
+		if len(rec) > 0 {
+			records = append(records, rec)
+			for k := range rec {
+				fieldSet[k] = true
+			}
+		}
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: xml input has no records")
+	}
+
+	fields := make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	cells := make([][]string, len(fields))
+	for j, f := range fields {
+		cells[j] = make([]string, len(records))
+		for i, rec := range records {
+			cells[j][i] = rec[f]
+		}
+	}
+	if name == "" {
+		name = "xml"
+	}
+	return fromRawColumns(name, dedupeNames(fields), cells, 0.95)
+}
+
+// readXMLRecord consumes the element opened by se and stores its leaf text
+// content into rec under prefixed field names.
+func readXMLRecord(dec *xml.Decoder, se xml.StartElement, prefix string, rec map[string]string) error {
+	var text strings.Builder
+	sawChild := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("table: reading xml record: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			sawChild = true
+			childName := t.Name.Local
+			if prefix != "" {
+				childName = prefix + "." + childName
+			}
+			if err := readXMLRecord(dec, t, childName, rec); err != nil {
+				return err
+			}
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			if !sawChild && prefix != "" {
+				rec[prefix] = strings.TrimSpace(text.String())
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package openbi is the public facade of the OpenBI reproduction — an
+// implementation of "Open Business Intelligence: on the importance of data
+// quality awareness in user-friendly data mining" (Mazón et al., LWDM @
+// EDBT 2012).
+//
+// The paper's pipeline, end to end:
+//
+//	eng := openbi.NewEngine(42)
+//	ds, _ := synth-or-ingested dataset
+//	eng.RunExperiments(ds, "reference")          // Figure 2, left: build DQ4DM KB
+//	advice, model, _ := eng.Advise(t, "class")   // Figure 2, right: "the best option is ALGORITHM X"
+//	result, _ := eng.MineWithAdvice(t, "class", base) // mine + share back as LOD
+//
+// The heavy lifting lives in internal packages (table, rdf, cwm, dq,
+// inject, clean, mining, eval, kb, experiment, olap, synth, report); this
+// package re-exports the surface a downstream user needs.
+package openbi
+
+import (
+	"openbi/internal/core"
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/inject"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/rdf"
+	"openbi/internal/synth"
+	"openbi/internal/table"
+)
+
+// Engine is the OpenBI session object; see core.Engine.
+type Engine = core.Engine
+
+// NewEngine returns an Engine with an empty DQ4DM knowledge base.
+func NewEngine(seed int64) *Engine { return core.NewEngine(seed) }
+
+// Re-exported model types.
+type (
+	// Table is the columnar open-data table.
+	Table = table.Table
+	// Column is one typed table column.
+	Column = table.Column
+	// Dataset is a supervised view over a Table.
+	Dataset = mining.Dataset
+	// Graph is an in-memory RDF graph (Linked Open Data).
+	Graph = rdf.Graph
+	// Profile is a measured data-quality fingerprint.
+	Profile = dq.Profile
+	// Criterion identifies one data-quality criterion.
+	Criterion = dq.Criterion
+	// Advice is the advisor's ranked recommendation.
+	Advice = kb.Advice
+	// KnowledgeBase is the DQ4DM experiment store.
+	KnowledgeBase = kb.KnowledgeBase
+	// Metrics is a classification quality record.
+	Metrics = eval.Metrics
+	// InjectSpec describes one controlled data-quality defect.
+	InjectSpec = inject.Spec
+	// Model is an annotated common representation (CWM catalog + profile).
+	Model = core.Model
+	// MiningResult is the outcome of Engine.MineWithAdvice.
+	MiningResult = core.MiningResult
+	// ClassificationSpec parameterizes the synthetic dataset generator.
+	ClassificationSpec = synth.ClassificationSpec
+	// LODSpec parameterizes the synthetic LOD generators.
+	LODSpec = synth.LODSpec
+)
+
+// Data-quality criteria (dq.AllCriteria order).
+const (
+	Completeness   = dq.Completeness
+	Duplicates     = dq.Duplicates
+	Correlation    = dq.Correlation
+	Imbalance      = dq.Imbalance
+	LabelNoise     = dq.LabelNoise
+	AttributeNoise = dq.AttributeNoise
+	Dimensionality = dq.Dimensionality
+)
+
+// AllCriteria lists every data-quality criterion in canonical order.
+func AllCriteria() []Criterion { return dq.AllCriteria() }
+
+// MeasureQuality profiles a table against every criterion; classColumn may
+// be "" when there is no classification target.
+func MeasureQuality(t *Table, classColumn string) Profile {
+	idx := -1
+	if classColumn != "" {
+		idx = t.ColumnIndex(classColumn)
+	}
+	return dq.Measure(t, dq.MeasureOptions{ClassColumn: idx})
+}
+
+// Corrupt injects controlled data-quality defects into a copy of t
+// (§3.1's "introduce some data quality problems in a controlled manner").
+func Corrupt(t *Table, classColumn string, specs []InjectSpec, seed int64) (*Table, error) {
+	return core.CorruptForDemo(t, classColumn, specs, seed)
+}
+
+// MakeClassification generates a clean synthetic classification dataset.
+func MakeClassification(spec ClassificationSpec) (*Dataset, error) {
+	return synth.MakeClassification(spec)
+}
+
+// MunicipalBudgetLOD generates an open-government municipal-finance LOD
+// graph (see synth.MunicipalBudgetLOD).
+func MunicipalBudgetLOD(spec LODSpec) (*Graph, error) { return synth.MunicipalBudgetLOD(spec) }
+
+// AirQualityLOD generates an air-quality monitoring LOD graph.
+func AirQualityLOD(spec LODSpec) (*Graph, error) { return synth.AirQualityLOD(spec) }
+
+// EducationLOD generates a school-statistics LOD graph.
+func EducationLOD(spec LODSpec) (*Graph, error) { return synth.EducationLOD(spec) }
+
+// ProjectLargestClass flattens an RDF graph onto its most populous entity
+// class — the default LOD → common-representation step.
+func ProjectLargestClass(g *Graph) (*Table, error) { return core.ProjectLargestClass(g) }
+
+// SuiteNames lists the registry names of the mining suite the advisor
+// arbitrates between.
+func SuiteNames() []string { return mining.SuiteNames() }

@@ -1,0 +1,100 @@
+package openbi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole paper pipeline through the public
+// facade only: experiments → KB → dirty source → profile → advice →
+// advised mining → LOD sharing.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	eng := NewEngine(42)
+	eng.Folds = 3
+
+	ref, err := MakeClassification(ClassificationSpec{Rows: 240, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.RunExperiments(ref, "reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phase1Records == 0 || rep.Phase2Records == 0 {
+		t.Fatalf("experiment report: %+v", rep)
+	}
+
+	dirty, err := Corrupt(ref.T, "class", []InjectSpec{
+		{Criterion: LabelNoise, Severity: 0.3},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice, model, err := eng.Advise(dirty, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Profile.Severity(LabelNoise) < 0.2 {
+		t.Fatalf("noise severity = %v", model.Profile.Severity(LabelNoise))
+	}
+	if len(advice.Ranked) != 8 {
+		t.Fatalf("ranking size = %d", len(advice.Ranked))
+	}
+	if !strings.Contains(advice.Explain(), "The best option is") {
+		t.Fatal("explanation missing the paper's phrase")
+	}
+
+	result, err := eng.MineWithAdvice(dirty, "class", "http://t.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Shared.Len() == 0 {
+		t.Fatal("no LOD shared")
+	}
+}
+
+func TestPublicLODPath(t *testing.T) {
+	g, err := MunicipalBudgetLOD(LODSpec{Entities: 120, Seed: 1, Dirtiness: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ProjectLargestClass(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "Municipality" {
+		t.Fatalf("largest class = %q", tb.Name)
+	}
+	p := MeasureQuality(tb, "fundingLevel")
+	if p.Completeness >= 1 {
+		t.Fatal("dirty LOD should show incompleteness")
+	}
+}
+
+func TestPublicSuiteAndCriteria(t *testing.T) {
+	if len(SuiteNames()) != 8 {
+		t.Fatalf("suite = %v", SuiteNames())
+	}
+	if len(AllCriteria()) != 7 {
+		t.Fatalf("criteria = %v", AllCriteria())
+	}
+	if Completeness.String() != "completeness" || Dimensionality.String() != "dimensionality" {
+		t.Fatal("criterion constants wrong")
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	for name, gen := range map[string]func(LODSpec) (*Graph, error){
+		"municipal": MunicipalBudgetLOD,
+		"air":       AirQualityLOD,
+		"education": EducationLOD,
+	} {
+		g, err := gen(LODSpec{Entities: 30, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Len() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+}
