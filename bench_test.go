@@ -323,7 +323,7 @@ func BenchmarkE_DimReduction(b *testing.B) {
 		numIdx := ds.T.NumericColumnIndices()
 		cols := make([][]float64, 0, len(numIdx))
 		for _, j := range numIdx {
-			cols = append(cols, ds.T.Column(j).Nums)
+			cols = append(cols, table.Floats(ds.T, j))
 		}
 		pca, err := stats.FitPCA(cols)
 		if err != nil {
@@ -367,7 +367,7 @@ func BenchmarkE_DimReduction(b *testing.B) {
 			}
 		}
 		if len(keep) > 1 {
-			st := ds.T.SelectColumns(keep)
+			st := table.ColumnView(ds.T, keep)
 			sds, err := mining.NewDatasetByName(st, "class")
 			if err != nil {
 				b.Fatal(err)

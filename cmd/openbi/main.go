@@ -9,7 +9,7 @@
 //
 //	openbi generate  -kind municipal -n 500 -dirty 0.2 -out data.nt
 //	openbi profile   -in data.nt [-class fundingLevel] [-model model.xmi]
-//	openbi experiments -rows 500 -out kb.json
+//	openbi experiments -rows 500 -workers 8 -out kb.json
 //	openbi advise    -in data.nt -class fundingLevel -kb kb.json
 //	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
@@ -234,11 +234,13 @@ func cmdExperiments(args []string) error {
 	rows := fs.Int("rows", 500, "reference dataset rows")
 	folds := fs.Int("folds", 5, "cross-validation folds")
 	seed := fs.Int64("seed", 42, "random seed")
+	workers := fs.Int("workers", 0, "parallel experiment workers (0 = all CPUs); results are identical for any value")
 	out := fs.String("out", "kb.json", "knowledge base output path")
 	fs.Parse(args)
 
 	eng := core.NewEngine(*seed)
 	eng.Folds = *folds
+	eng.Workers = *workers
 	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: *rows, Seed: *seed})
 	if err != nil {
 		return err
@@ -489,5 +491,5 @@ func cmdValidate(args []string) error {
 
 // writeCSV writes a generated dataset's table as CSV.
 func writeCSV(f *os.File, ds *mining.Dataset) error {
-	return table.WriteCSV(f, ds.T)
+	return table.WriteCSV(f, ds.Table())
 }

@@ -143,3 +143,35 @@ func TestCLIAdviseRequiresKB(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestCLIExperimentsWorkersFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid")
+	}
+	dir := t.TempDir()
+	kb1 := filepath.Join(dir, "kb1.json")
+	kb2 := filepath.Join(dir, "kb2.json")
+	run := func(kbPath, workers string) {
+		out := captureStdout(t, func() error {
+			return cmdExperiments([]string{"-rows", "60", "-folds", "2", "-seed", "5",
+				"-workers", workers, "-out", kbPath})
+		})
+		if !strings.Contains(out, "knowledge base") {
+			t.Fatalf("experiments output:\n%s", out)
+		}
+	}
+	// The Workers knob must be wired through AND must not change results.
+	run(kb1, "1")
+	run(kb2, "4")
+	b1, err := os.ReadFile(kb1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(kb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("knowledge base depends on -workers; per-task seeds must make it invariant")
+	}
+}

@@ -1,0 +1,3 @@
+module openbi
+
+go 1.24

@@ -18,7 +18,9 @@ import (
 )
 
 // Step is a cleaning operation over a table; steps never mutate their
-// input.
+// input. Steps are copy-on-write: the returned table may share untouched
+// columns with the input (cloning them lazily if written later), so only
+// the columns a repair actually changes are copied.
 type Step interface {
 	// Name identifies the step in reports.
 	Name() string
@@ -89,9 +91,10 @@ func (im Imputer) Name() string {
 	}
 }
 
-// Apply fills missing cells per the strategy.
+// Apply fills missing cells per the strategy. Copy-on-write: columns with
+// nothing to impute stay shared with the input.
 func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
-	out := t.Clone()
+	out := t.ShallowClone()
 	excluded := map[string]bool{}
 	for _, n := range im.ExcludeColumns {
 		excluded[n] = true
@@ -100,7 +103,8 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 		return im.applyKNN(out, excluded)
 	}
 	changed := 0
-	for _, c := range out.Columns() {
+	for j := 0; j < out.NumCols(); j++ {
+		c := out.Column(j)
 		if excluded[c.Name] {
 			continue
 		}
@@ -112,9 +116,13 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 			if stats.IsMissing(fill) {
 				continue
 			}
+			var owned *table.Column // cloned on the first write only
 			for r := range c.Nums {
 				if c.IsMissing(r) {
-					c.Nums[r] = fill
+					if owned == nil {
+						owned = out.OwnedColumn(j)
+					}
+					owned.Nums[r] = fill
 					changed++
 				}
 			}
@@ -130,9 +138,13 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 		if mode < 0 {
 			continue
 		}
+		var owned *table.Column
 		for r := range c.Cats {
 			if c.Cats[r] == table.MissingCat {
-				c.Cats[r] = mode
+				if owned == nil {
+					owned = out.OwnedColumn(j)
+				}
+				owned.Cats[r] = mode
 				changed++
 			}
 		}
@@ -142,6 +154,9 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 
 // applyKNN fills each incomplete row's gaps from its k nearest complete-ish
 // neighbours (numeric: mean of observed neighbour values; nominal: mode).
+// out is a shallow clone; columns promote to owned copies on first write,
+// and the cols slice tracks promotions because Columns() exposes the live
+// backing array.
 func (im Imputer) applyKNN(out *table.Table, excluded map[string]bool) (*table.Table, int, error) {
 	k := im.K
 	if k <= 0 {
@@ -227,7 +242,8 @@ func (im Imputer) applyKNN(out *table.Table, excluded map[string]bool) (*table.T
 		if len(best) > k {
 			best = best[:k]
 		}
-		for _, c := range cols {
+		for j := range cols {
+			c := cols[j] // re-read: reflects promotions from earlier rows
 			if excluded[c.Name] || !c.IsMissing(r) {
 				continue
 			}
@@ -240,7 +256,7 @@ func (im Imputer) applyKNN(out *table.Table, excluded map[string]bool) (*table.T
 					}
 				}
 				if n > 0 {
-					c.Nums[r] = sum / float64(n)
+					out.OwnedColumn(j).Nums[r] = sum / float64(n)
 					changed++
 				}
 				continue
@@ -263,7 +279,7 @@ func (im Imputer) applyKNN(out *table.Table, excluded map[string]bool) (*table.T
 				}
 			}
 			if mode >= 0 {
-				c.Cats[r] = mode
+				out.OwnedColumn(j).Cats[r] = mode
 				changed++
 			}
 		}
@@ -465,13 +481,14 @@ var dateLayouts = []string{
 }
 
 // Apply rewrites labels; the nominal dictionary is rebuilt so merged
-// spellings share one code.
+// spellings share one code. Numeric columns are untouched and stay shared
+// with the input (copy-on-write).
 func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
-	out := table.New(t.Name)
+	out := t.ShallowClone()
 	changed := 0
-	for _, c := range t.Columns() {
+	for j := 0; j < out.NumCols(); j++ {
+		c := out.Column(j)
 		if c.Kind == table.Numeric {
-			out.MustAddColumn(c.Clone())
 			continue
 		}
 		nc := table.NewNominalColumn(c.Name)
@@ -495,7 +512,9 @@ func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
 			}
 			nc.AppendLabel(lbl)
 		}
-		out.MustAddColumn(nc)
+		if err := out.ReplaceColumn(j, nc); err != nil {
+			return nil, 0, err
+		}
 	}
 	return out, changed, nil
 }

@@ -17,7 +17,7 @@ func dirtyFixture(t *testing.T, specs []inject.Spec) (*table.Table, *table.Table
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ds.T, dirty, ds.ClassCol
+	return ds.Table(), dirty, ds.ClassCol
 }
 
 func TestImputerMeanMode(t *testing.T) {

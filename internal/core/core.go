@@ -105,10 +105,12 @@ type Model struct {
 	Profile dq.Profile
 }
 
-// BuildModel profiles t and returns the CWM catalog annotated with every
-// data-quality measure (§3.2.1 + §3.2.2 in one call). classColumn may be
-// "" when the source has no classification target.
-func (e *Engine) BuildModel(t *table.Table, classColumn string) (*Model, error) {
+// BuildModel profiles a source and returns the CWM catalog annotated with
+// every data-quality measure (§3.2.1 + §3.2.2 in one call). classColumn
+// may be "" when the source has no classification target. a may be a
+// concrete table or a zero-copy view (views are materialized once here).
+func (e *Engine) BuildModel(a table.Access, classColumn string) (*Model, error) {
+	t := a.Materialize()
 	classIdx := -1
 	if classColumn != "" {
 		classIdx = t.ColumnIndex(classColumn)
@@ -124,10 +126,10 @@ func (e *Engine) BuildModel(t *table.Table, classColumn string) (*Model, error) 
 
 // ---- Advice (Figure 2, right side) ----
 
-// Advise measures t and ranks the suite's algorithms for it using the
-// engine's knowledge base.
-func (e *Engine) Advise(t *table.Table, classColumn string) (kb.Advice, *Model, error) {
-	m, err := e.BuildModel(t, classColumn)
+// Advise measures a source and ranks the suite's algorithms for it using
+// the engine's knowledge base.
+func (e *Engine) Advise(a table.Access, classColumn string) (kb.Advice, *Model, error) {
+	m, err := e.BuildModel(a, classColumn)
 	if err != nil {
 		return kb.Advice{}, nil, err
 	}
@@ -186,7 +188,8 @@ type MiningResult struct {
 // MineWithAdvice runs the full user path: advise on the source, train the
 // recommended algorithm on a stratified 70/30 split, evaluate, and share
 // predictions as LOD under the given base IRI.
-func (e *Engine) MineWithAdvice(t *table.Table, classColumn, baseIRI string) (*MiningResult, error) {
+func (e *Engine) MineWithAdvice(a table.Access, classColumn, baseIRI string) (*MiningResult, error) {
+	t := a.Materialize()
 	advice, _, err := e.Advise(t, classColumn)
 	if err != nil {
 		return nil, err
@@ -258,8 +261,9 @@ func (e *Engine) LoadKB(r io.Reader) error {
 }
 
 // CorruptForDemo injects the given specs — exposed so examples and the CLI
-// can fabricate dirty sources without importing internal packages.
-func CorruptForDemo(t *table.Table, classColumn string, specs []inject.Spec, seed int64) (*table.Table, error) {
+// can fabricate dirty sources without importing internal packages. t may be
+// a concrete table or a zero-copy view (e.g. a Dataset's backing Access).
+func CorruptForDemo(t table.Access, classColumn string, specs []inject.Spec, seed int64) (*table.Table, error) {
 	classIdx := -1
 	if classColumn != "" {
 		classIdx = t.ColumnIndex(classColumn)

@@ -87,7 +87,7 @@ func TestBuildModelAnnotates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	def := m.Catalog.Table(ds.T.Name)
+	def := m.Catalog.Table(ds.Table().Name)
 	if def == nil {
 		t.Fatal("catalog missing table def")
 	}

@@ -252,6 +252,10 @@ func Holdout(factory mining.Factory, train, test *mining.Dataset) (Metrics, *Con
 
 // CrossValidate runs stratified k-fold cross-validation and returns the
 // pooled metrics (confusion matrices merged across folds, AUC averaged).
+// Train and test splits are zero-copy views over ds (mining.Dataset.Subset)
+// — per fold the only allocations are the row-index slices, not cell
+// copies, which is what keeps the 7-criteria × severities × algorithms ×
+// folds experiment grid cheap.
 func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed int64) (Metrics, error) {
 	if folds < 2 {
 		return Metrics{}, fmt.Errorf("eval: need >= 2 folds, got %d", folds)

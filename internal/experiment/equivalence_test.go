@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/synth"
+)
+
+// runKB executes Phase 1 + Phase 2 on a fixed seed and serializes the
+// resulting knowledge base.
+func runKB(t *testing.T) []byte {
+	t.Helper()
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: 120, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 42, Folds: 3, Severities: []float64{0, 0.3}}
+	recs, err := Phase1(cfg, ds, "equiv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range recs {
+		base.Add(r)
+	}
+	combos := DefaultCombos([]dq.Criterion{dq.Completeness, dq.LabelNoise})
+	_, p2, err := Phase2(cfg, ds, "equiv", base, combos, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p2 {
+		base.Add(r)
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestViewPipelineMatchesMaterializedPipeline is the zero-copy refactor's
+// safety net: the experiment grid run over view-backed fold splits and
+// subsets must produce a byte-identical knowledge base to the same run
+// with every subset deep-copied (the pre-view behavior). A view is the
+// same cells behind an index mapping, so any divergence is a bug in the
+// view layer, not an acceptable numerical drift.
+func TestViewPipelineMatchesMaterializedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid twice")
+	}
+	viewKB := runKB(t)
+
+	mining.MaterializeSubsets(true)
+	defer mining.MaterializeSubsets(false)
+	copyKB := runKB(t)
+
+	if !bytes.Equal(viewKB, copyKB) {
+		t.Fatalf("view-backed KB differs from materialized KB:\nview: %d bytes\ncopy: %d bytes",
+			len(viewKB), len(copyKB))
+	}
+}

@@ -86,6 +86,13 @@ func taskSeed(base int64, parts ...string) int64 {
 // method evaluates all techniques on the same prepared test datasets
 // (§3.1 step 2), which also lets the record carry the dq-measured severity
 // of the injected defect.
+//
+// Cells are the only materialization point of the grid: inject.Apply
+// copy-on-writes exactly the columns a defect touches, the clean cell is
+// the caller's dataset itself, and every split below a cell (fold train/
+// test sets, bootstrap resamples) is a zero-copy view into it. The cell's
+// table is never mutated after construction, which is what makes sharing
+// it across the worker pool safe.
 type cell struct {
 	criterion dq.Criterion
 	severity  float64 // injected; 0 marks the clean cell
@@ -97,7 +104,7 @@ type cell struct {
 // prepareCells builds the clean cell plus one corrupted cell per
 // (criterion × non-zero severity).
 func prepareCells(cfg Config, ds *mining.Dataset) ([]cell, error) {
-	cleanProfile := dq.Measure(ds.T, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+	cleanProfile := dq.Measure(ds.Table(), dq.MeasureOptions{ClassColumn: ds.ClassCol})
 	cleanMeasures := map[string]float64{}
 	for _, c := range dq.AllCriteria() {
 		cleanMeasures[c.String()] = cleanProfile.Severity(c)

@@ -5,7 +5,12 @@
 // for a given seed, so that experiment outcomes are attributable to the
 // injected defect and reproducible.
 //
-// Operators never mutate their input; they return a corrupted copy.
+// Operators never mutate their input; they return a corrupted copy. The
+// copy is taken lazily (copy-on-write): Apply starts from a shallow clone
+// sharing every column with the input, and an operator clones exactly the
+// columns it writes. Criteria that only append rows or columns (duplicates,
+// correlation, dimensionality) or only touch the class column (label noise)
+// therefore no longer pay for a full-table deep copy.
 package inject
 
 import (
@@ -65,12 +70,15 @@ func (s Spec) String() string {
 	return fmt.Sprintf("%s@%.2f", s.Criterion, s.Severity)
 }
 
-// Apply injects every spec in order into a copy of t. classCol is the
-// class column index (-1 when absent); class cells are never deleted or
-// noised except by the LabelNoise operator, so each defect stays confined
-// to its criterion.
-func Apply(t *table.Table, classCol int, specs []Spec, seed int64) (*table.Table, error) {
-	out := t.Clone()
+// Apply injects every spec in order into a copy of t (a concrete table or
+// a zero-copy view). classCol is the class column index (-1 when absent);
+// class cells are never deleted or noised except by the LabelNoise
+// operator, so each defect stays confined to its criterion. The returned
+// table owns every column it has written; untouched columns may share
+// storage with the input, so the input must not be mutated afterwards (the
+// experiment pipeline never mutates its reference datasets).
+func Apply(t table.Access, classCol int, specs []Spec, seed int64) (*table.Table, error) {
+	out := table.CopyOnWrite(t)
 	rng := stats.NewRand(seed)
 	for _, sp := range specs {
 		if sp.Severity < 0 || sp.Severity > 1 {
@@ -106,7 +114,7 @@ func Apply(t *table.Table, classCol int, specs []Spec, seed int64) (*table.Table
 }
 
 // MustApply is Apply for construction code with known-valid specs.
-func MustApply(t *table.Table, classCol int, specs []Spec, seed int64) *table.Table {
+func MustApply(t table.Access, classCol int, specs []Spec, seed int64) *table.Table {
 	out, err := Apply(t, classCol, specs, seed)
 	if err != nil {
 		panic(err)
@@ -308,6 +316,7 @@ func injectLabelNoise(t *table.Table, classCol int, severity float64, rng *rand.
 	if k < 2 {
 		return fmt.Errorf("inject: label noise needs >= 2 classes, have %d", k)
 	}
+	cls = t.OwnedColumn(classCol) // about to flip labels in place
 	for r := 0; r < t.NumRows(); r++ {
 		if cls.Cats[r] == table.MissingCat || rng.Float64() >= severity {
 			continue
@@ -332,6 +341,7 @@ func injectAttributeNoise(t *table.Table, classCol int, severity float64, rng *r
 			if stats.IsMissing(sd) || sd == 0 {
 				sd = 1
 			}
+			c = t.OwnedColumn(j) // about to noise cells in place
 			for r := 0; r < t.NumRows(); r++ {
 				if c.IsMissing(r) || rng.Float64() >= severity {
 					continue
@@ -344,6 +354,7 @@ func injectAttributeNoise(t *table.Table, classCol int, severity float64, rng *r
 		if k < 2 {
 			continue
 		}
+		c = t.OwnedColumn(j)
 		for r := 0; r < t.NumRows(); r++ {
 			if c.IsMissing(r) || rng.Float64() >= severity {
 				continue

@@ -14,7 +14,7 @@ import (
 // attributes, binary class at the last column).
 func fixture() (*table.Table, int) {
 	ds := synth.MustMakeClassification(synth.ClassificationSpec{Rows: 300, Seed: 11})
-	return ds.T, ds.ClassCol
+	return ds.Table(), ds.ClassCol
 }
 
 func measure(t *table.Table, classCol int) dq.Profile {

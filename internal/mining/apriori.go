@@ -46,8 +46,9 @@ func NewApriori() *Apriori {
 }
 
 // Mine returns all rules meeting the thresholds, sorted by descending
-// confidence then support (deterministic).
-func (ap *Apriori) Mine(t *table.Table) ([]Rule, error) {
+// confidence then support (deterministic). t may be a concrete table or a
+// zero-copy view.
+func (ap *Apriori) Mine(t table.Access) ([]Rule, error) {
 	if ap.MinSupport <= 0 || ap.MinSupport > 1 {
 		return nil, fmt.Errorf("apriori: MinSupport %.3f out of (0,1]", ap.MinSupport)
 	}
@@ -60,18 +61,17 @@ func (ap *Apriori) Mine(t *table.Table) ([]Rule, error) {
 	}
 	nominal := t.NominalColumnIndices()
 	if len(nominal) == 0 {
-		return nil, fmt.Errorf("apriori: table %q has no nominal columns", t.Name)
+		return nil, fmt.Errorf("apriori: table has no nominal columns")
 	}
 
 	// Transactions: the set of items present per row.
 	txns := make([][]Item, rows)
 	for r := 0; r < rows; r++ {
 		for _, j := range nominal {
-			c := t.Column(j)
-			if c.IsMissing(r) {
+			if t.IsMissing(r, j) {
 				continue
 			}
-			txns[r] = append(txns[r], Item{Col: j, Level: c.Cats[r]})
+			txns[r] = append(txns[r], Item{Col: j, Level: t.Cat(r, j)})
 		}
 	}
 
@@ -204,7 +204,7 @@ func (ap *Apriori) Mine(t *table.Table) ([]Rule, error) {
 }
 
 // Format renders a rule with human-readable attribute=value conditions.
-func (r Rule) Format(t *table.Table) string {
+func (r Rule) Format(t table.Access) string {
 	parts := make([]string, len(r.Antecedent))
 	for i, it := range r.Antecedent {
 		parts[i] = itemString(t, it)
@@ -214,9 +214,8 @@ func (r Rule) Format(t *table.Table) string {
 		r.Support, r.Confidence, r.Lift)
 }
 
-func itemString(t *table.Table, it Item) string {
-	c := t.Column(it.Col)
-	return fmt.Sprintf("%s=%s", c.Name, c.Label(it.Level))
+func itemString(t table.Access, it Item) string {
+	return fmt.Sprintf("%s=%s", t.ColumnName(it.Col), t.Label(it.Col, it.Level))
 }
 
 // joinItemsets merges two sorted (k-1)-itemsets sharing a (k-2) prefix into

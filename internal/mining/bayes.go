@@ -59,7 +59,7 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 	nb.gaussSd = make(map[int][]float64)
 
 	for _, j := range ds.AttrCols() {
-		col := ds.T.Column(j)
+		col := ds.col(j)
 		if col.Kind == table.Nominal {
 			levels := col.NumLevels()
 			if levels == 0 {
@@ -71,10 +71,11 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 			}
 			perClass := make([]float64, nb.classes)
 			for _, r := range labeled {
-				if col.IsMissing(r) {
+				br := ds.row(r)
+				if col.IsMissing(br) {
 					continue
 				}
-				freq[ds.Label(r)][col.Cats[r]]++
+				freq[ds.Label(r)][col.Cats[br]]++
 				perClass[ds.Label(r)]++
 			}
 			for c := 0; c < nb.classes; c++ {
@@ -89,11 +90,12 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 		sd := make([]float64, nb.classes)
 		n := make([]float64, nb.classes)
 		for _, r := range labeled {
-			if col.IsMissing(r) {
+			br := ds.row(r)
+			if col.IsMissing(br) {
 				continue
 			}
 			c := ds.Label(r)
-			mu[c] += col.Nums[r]
+			mu[c] += col.Nums[br]
 			n[c]++
 		}
 		for c := range mu {
@@ -102,11 +104,12 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 			}
 		}
 		for _, r := range labeled {
-			if col.IsMissing(r) {
+			br := ds.row(r)
+			if col.IsMissing(br) {
 				continue
 			}
 			c := ds.Label(r)
-			d := col.Nums[r] - mu[c]
+			d := col.Nums[br] - mu[c]
 			sd[c] += d * d
 		}
 		for c := range sd {
@@ -131,9 +134,10 @@ func (nb *NaiveBayes) logLikelihoods(ds *Dataset, r int) []float64 {
 	for c := range ll {
 		ll[c] = math.Log(nb.priors[c])
 	}
+	br := ds.row(r)
 	for _, j := range ds.AttrCols() {
-		col := ds.T.Column(j)
-		if col.IsMissing(r) {
+		col := ds.col(j)
+		if col.IsMissing(br) {
 			continue // NB's native missing handling: marginalize the attribute out
 		}
 		if col.Kind == table.Nominal {
@@ -141,7 +145,7 @@ func (nb *NaiveBayes) logLikelihoods(ds *Dataset, r int) []float64 {
 			if !ok {
 				continue
 			}
-			lvl := col.Cats[r]
+			lvl := col.Cats[br]
 			for c := range ll {
 				if lvl < len(freq[c]) {
 					ll[c] += freq[c][lvl]
@@ -154,7 +158,7 @@ func (nb *NaiveBayes) logLikelihoods(ds *Dataset, r int) []float64 {
 			continue
 		}
 		sd := nb.gaussSd[j]
-		x := col.Nums[r]
+		x := col.Nums[br]
 		for c := range ll {
 			d := (x - mu[c]) / sd[c]
 			ll[c] += -0.5*d*d - math.Log(sd[c]) - 0.5*math.Log(2*math.Pi)

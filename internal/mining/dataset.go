@@ -17,27 +17,86 @@ import (
 	"openbi/internal/table"
 )
 
-// Dataset is a supervised view over a table: attribute columns plus one
-// nominal class column. It does not own the table; corrupting/splitting
-// code produces new tables and wraps them in new Datasets.
+// Dataset is a supervised view over tabular data: attribute columns plus
+// one nominal class column. It is written against table.Access, so it can
+// wrap either a concrete *table.Table or a zero-copy *table.View — fold
+// splits and bootstrap resamples produced by Subset share cell storage
+// with the root table instead of copying it. It does not own the data;
+// corrupting code produces new tables and wraps them in new Datasets.
 type Dataset struct {
-	T        *table.Table
+	// T is the backing data. Treat it (and ClassCol) as read-only after
+	// construction: attribute indices and the resolved fast-path fields
+	// below are derived from it in NewDataset, so rebinding a Dataset to
+	// other data means constructing a new one, not reassigning T.
+	T        table.Access
 	ClassCol int
 
 	attrCols []int
+
+	// Resolved fast path: the concrete table behind T plus the row/column
+	// indirection (nil = identity). Classifier hot loops read column
+	// storage through col/row instead of paying interface dispatch per
+	// cell; results are identical because a view is, by definition, the
+	// same cells behind an index mapping.
+	base  *table.Table
+	rowIx []int
+	colIx []int
 }
 
-// NewDataset wraps t with the class at column classCol. It validates that
+// resolve fills the fast-path fields from T.
+func (d *Dataset) resolve() {
+	switch s := d.T.(type) {
+	case *table.Table:
+		d.base = s
+	case *table.View:
+		d.base, d.rowIx, d.colIx = s.Base(), s.RowIndex(), s.ColIndex()
+	default:
+		// Unknown Access implementation: materialize once so reads are
+		// plain column reads either way.
+		d.base = d.T.Materialize()
+	}
+}
+
+// col returns the concrete column behind attribute/class column j; cell
+// reads must go through row to honour the view's row indirection.
+func (d *Dataset) col(j int) *table.Column {
+	if d.colIx != nil {
+		j = d.colIx[j]
+	}
+	return d.base.Column(j)
+}
+
+// row maps a dataset row index onto the backing table's row index.
+func (d *Dataset) row(r int) int {
+	if d.rowIx != nil {
+		return d.rowIx[r]
+	}
+	return r
+}
+
+// materializeSubsets forces Subset to deep-copy (the pre-view behavior);
+// see MaterializeSubsets.
+var materializeSubsets bool
+
+// MaterializeSubsets toggles a testing hook: when on, Subset materializes
+// every row selection into a fresh table instead of returning a zero-copy
+// view. Equivalence tests run the experiment pipeline both ways and assert
+// identical knowledge-base output. Not safe to toggle while runs are in
+// flight.
+func MaterializeSubsets(on bool) { materializeSubsets = on }
+
+// NewDataset wraps a with the class at column classCol. It validates that
 // the class column exists and is nominal.
-func NewDataset(t *table.Table, classCol int) (*Dataset, error) {
-	if classCol < 0 || classCol >= t.NumCols() {
-		return nil, fmt.Errorf("mining: class column %d out of range (table has %d columns)", classCol, t.NumCols())
+func NewDataset(a table.Access, classCol int) (*Dataset, error) {
+	if classCol < 0 || classCol >= a.NumCols() {
+		return nil, fmt.Errorf("mining: class column %d out of range (table has %d columns)", classCol, a.NumCols())
 	}
-	if t.Column(classCol).Kind != table.Nominal {
-		return nil, fmt.Errorf("mining: class column %q must be nominal", t.Column(classCol).Name)
+	if a.ColumnKind(classCol) != table.Nominal {
+		return nil, fmt.Errorf("mining: class column %q must be nominal", a.ColumnName(classCol))
 	}
-	ds := &Dataset{T: t, ClassCol: classCol}
-	for j := 0; j < t.NumCols(); j++ {
+	ds := &Dataset{T: a, ClassCol: classCol}
+	ds.resolve()
+	for j := 0; j < a.NumCols(); j++ {
 		if j != classCol {
 			ds.attrCols = append(ds.attrCols, j)
 		}
@@ -45,19 +104,19 @@ func NewDataset(t *table.Table, classCol int) (*Dataset, error) {
 	return ds, nil
 }
 
-// NewDatasetByName wraps t with the named class column.
-func NewDatasetByName(t *table.Table, className string) (*Dataset, error) {
-	idx := t.ColumnIndex(className)
+// NewDatasetByName wraps a with the named class column.
+func NewDatasetByName(a table.Access, className string) (*Dataset, error) {
+	idx := a.ColumnIndex(className)
 	if idx < 0 {
 		return nil, fmt.Errorf("mining: class column %q not found", className)
 	}
-	return NewDataset(t, idx)
+	return NewDataset(a, idx)
 }
 
 // MustNewDataset panics on error; for tests and generators with literal
 // schemas.
-func MustNewDataset(t *table.Table, classCol int) *Dataset {
-	ds, err := NewDataset(t, classCol)
+func MustNewDataset(a table.Access, classCol int) *Dataset {
+	ds, err := NewDataset(a, classCol)
 	if err != nil {
 		panic(err)
 	}
@@ -73,22 +132,44 @@ func (d *Dataset) AttrCols() []int { return d.attrCols }
 // NumAttrs returns the number of attribute columns.
 func (d *Dataset) NumAttrs() int { return len(d.attrCols) }
 
-// Class returns the class column.
-func (d *Dataset) Class() *table.Column { return d.T.Column(d.ClassCol) }
+// Table returns the concrete table behind the dataset. For a dataset over
+// a *table.Table this is the live table itself; for a view-backed dataset
+// it is a materialized copy, so mutations to it are not reflected in the
+// dataset.
+func (d *Dataset) Table() *table.Table { return d.T.Materialize() }
+
+// Class returns the class column. For a dataset over a *table.Table this
+// is the live column; for a view-backed dataset it is a materialized
+// snapshot that callers must treat as read-only.
+func (d *Dataset) Class() *table.Column {
+	if t, ok := d.T.(*table.Table); ok {
+		return t.Column(d.ClassCol)
+	}
+	return table.MaterializeColumn(d.T, d.ClassCol)
+}
 
 // NumClasses returns the class dictionary size (including levels that may
 // have zero instances in this particular split — dictionaries are shared
 // across splits so codes always agree).
-func (d *Dataset) NumClasses() int { return d.Class().NumLevels() }
+func (d *Dataset) NumClasses() int { return d.T.NumLevels(d.ClassCol) }
 
 // Label returns the class code of row r (table.MissingCat when missing).
-func (d *Dataset) Label(r int) int { return d.Class().Cats[r] }
+func (d *Dataset) Label(r int) int { return d.col(d.ClassCol).Cats[d.row(r)] }
 
 // ClassName returns the label string for a class code.
-func (d *Dataset) ClassName(code int) string { return d.Class().Label(code) }
+func (d *Dataset) ClassName(code int) string { return d.T.Label(d.ClassCol, code) }
 
-// ClassCounts returns instance counts per class code.
-func (d *Dataset) ClassCounts() []int { return d.Class().Counts() }
+// ClassCounts returns instance counts per class code (missing excluded).
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses())
+	cls := d.col(d.ClassCol)
+	for r, n := 0, d.Len(); r < n; r++ {
+		if code := cls.Cats[d.row(r)]; code >= 0 && code < len(counts) {
+			counts[code]++
+		}
+	}
+	return counts
+}
 
 // MajorityClass returns the most frequent class code (ties break to the
 // lowest code) or 0 on an empty dataset.
@@ -104,17 +185,27 @@ func (d *Dataset) MajorityClass() int {
 }
 
 // Subset returns a Dataset over the selected rows (indices may repeat).
+// The rows are served through a zero-copy view sharing cell storage with
+// this dataset; the rows slice is retained, so callers must not mutate it
+// afterwards. Subsets of subsets compose into a single indirection.
 func (d *Dataset) Subset(rows []int) *Dataset {
-	return MustNewDataset(d.T.SelectRows(rows), d.ClassCol)
+	if rows == nil {
+		rows = []int{} // a nil selection means empty, not identity
+	}
+	view := table.RowView(d.T, rows)
+	if materializeSubsets {
+		return MustNewDataset(view.Materialize(), d.ClassCol)
+	}
+	return MustNewDataset(view, d.ClassCol)
 }
 
 // LabeledRows returns the indices of rows whose class is observed;
 // classifiers train on these only.
 func (d *Dataset) LabeledRows() []int {
-	var out []int
-	cls := d.Class()
-	for r := 0; r < d.Len(); r++ {
-		if cls.Cats[r] != table.MissingCat {
+	out := make([]int, 0, d.Len())
+	cls := d.col(d.ClassCol)
+	for r, n := 0, d.Len(); r < n; r++ {
+		if cls.Cats[d.row(r)] != table.MissingCat {
 			out = append(out, r)
 		}
 	}
@@ -157,11 +248,10 @@ type numericRange struct {
 func computeRanges(ds *Dataset) map[int]numericRange {
 	out := make(map[int]numericRange)
 	for _, j := range ds.AttrCols() {
-		c := ds.T.Column(j)
-		if c.Kind != table.Numeric {
+		if ds.T.ColumnKind(j) != table.Numeric {
 			continue
 		}
-		lo, hi := stats.MinMax(c.Nums)
+		lo, hi := stats.MinMax(table.Floats(ds.T, j))
 		r := numericRange{}
 		if !stats.IsMissing(lo) && hi > lo {
 			r.lo, r.span = lo, hi-lo
@@ -176,11 +266,11 @@ func computeRanges(ds *Dataset) map[int]numericRange {
 // difference for numeric attributes, 0/1 for nominal, 1 for missing-on-
 // either-side. Distances are comparable across calls with the same ranges.
 func heteroDistance(da *Dataset, a int, db *Dataset, b int, ranges map[int]numericRange) float64 {
+	ra, rb := da.row(a), db.row(b)
 	sum := 0.0
 	for _, j := range da.AttrCols() {
-		ca := da.T.Column(j)
-		cb := db.T.Column(j)
-		if ca.IsMissing(a) || cb.IsMissing(b) {
+		ca, cb := da.col(j), db.col(j)
+		if ca.IsMissing(ra) || cb.IsMissing(rb) {
 			sum++
 			continue
 		}
@@ -189,12 +279,12 @@ func heteroDistance(da *Dataset, a int, db *Dataset, b int, ranges map[int]numer
 			if rg.span == 0 {
 				continue
 			}
-			d := math.Abs(ca.Nums[a]-cb.Nums[b]) / rg.span
+			d := math.Abs(ca.Nums[ra]-cb.Nums[rb]) / rg.span
 			if d > 1 {
 				d = 1
 			}
 			sum += d
-		} else if ca.Cats[a] != cb.Cats[b] {
+		} else if ca.Cats[ra] != cb.Cats[rb] {
 			sum++
 		}
 	}

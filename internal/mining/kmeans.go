@@ -37,9 +37,10 @@ type KMeans struct {
 // NewKMeans returns an unfitted k-means.
 func NewKMeans(k int, seed int64) *KMeans { return &KMeans{K: k, Seed: seed} }
 
-// Fit clusters t's numeric columns. Missing cells are mean-imputed in the
-// standardized space (i.e. contribute zero distance).
-func (km *KMeans) Fit(t *table.Table) error {
+// Fit clusters t's numeric columns (t may be a concrete table or a
+// zero-copy view). Missing cells are mean-imputed in the standardized
+// space (i.e. contribute zero distance).
+func (km *KMeans) Fit(t table.Access) error {
 	if km.K < 1 {
 		return fmt.Errorf("kmeans: K must be >= 1, got %d", km.K)
 	}
@@ -48,7 +49,7 @@ func (km *KMeans) Fit(t *table.Table) error {
 	}
 	km.cols = t.NumericColumnIndices()
 	if len(km.cols) == 0 {
-		return fmt.Errorf("kmeans: table %q has no numeric columns", t.Name)
+		return fmt.Errorf("kmeans: table has no numeric columns")
 	}
 	n := t.NumRows()
 	if n < km.K {
@@ -64,9 +65,9 @@ func (km *KMeans) Fit(t *table.Table) error {
 		points[i] = make([]float64, d)
 	}
 	for f, j := range km.cols {
-		c := t.Column(j)
-		km.means[f] = stats.Mean(c.Nums)
-		sd := stats.StdDev(c.Nums)
+		nums := table.Floats(t, j)
+		km.means[f] = stats.Mean(nums)
+		sd := stats.StdDev(nums)
 		if stats.IsMissing(km.means[f]) {
 			km.means[f] = 0
 		}
@@ -75,10 +76,10 @@ func (km *KMeans) Fit(t *table.Table) error {
 		}
 		km.scales[f] = sd
 		for i := 0; i < n; i++ {
-			if c.IsMissing(i) {
+			if stats.IsMissing(nums[i]) {
 				points[i][f] = 0
 			} else {
-				points[i][f] = (c.Nums[i] - km.means[f]) / sd
+				points[i][f] = (nums[i] - km.means[f]) / sd
 			}
 		}
 	}
@@ -148,15 +149,14 @@ func (km *KMeans) Fit(t *table.Table) error {
 
 // Assign returns the cluster index of row r of a table with the same
 // schema as the training table.
-func (km *KMeans) Assign(t *table.Table, r int) int {
+func (km *KMeans) Assign(t table.Access, r int) int {
 	p := make([]float64, len(km.cols))
 	for f, j := range km.cols {
-		c := t.Column(j)
-		if c.IsMissing(r) {
+		if t.IsMissing(r, j) {
 			p[f] = 0
 			continue
 		}
-		p[f] = (c.Nums[r] - km.means[f]) / km.scales[f]
+		p[f] = (t.Float(r, j) - km.means[f]) / km.scales[f]
 	}
 	best, bestD := 0, math.Inf(1)
 	for c, cent := range km.Centroids {

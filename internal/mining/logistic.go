@@ -70,11 +70,11 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 	lg.features = lg.features[:0]
 	width := 0
 	for _, j := range ds.AttrCols() {
-		c := ds.T.Column(j)
-		if c.Kind == table.Numeric {
+		if ds.T.ColumnKind(j) == table.Numeric {
+			nums := table.Floats(ds.T, j)
 			fs := featureSpec{col: j, numeric: true, offset: width, width: 1}
-			fs.mean = stats.Mean(c.Nums)
-			sd := stats.StdDev(c.Nums)
+			fs.mean = stats.Mean(nums)
+			sd := stats.StdDev(nums)
 			if stats.IsMissing(fs.mean) {
 				fs.mean = 0
 			}
@@ -86,7 +86,7 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 			width++
 			continue
 		}
-		levels := c.NumLevels()
+		levels := ds.T.NumLevels(j)
 		if levels == 0 {
 			continue
 		}
@@ -134,16 +134,17 @@ func (lg *Logistic) encode(ds *Dataset, r int, x []float64) {
 	for i := range x {
 		x[i] = 0
 	}
+	br := ds.row(r)
 	for _, fs := range lg.features {
-		c := ds.T.Column(fs.col)
-		if c.IsMissing(r) {
+		c := ds.col(fs.col)
+		if c.IsMissing(br) {
 			continue
 		}
 		if fs.numeric {
-			x[fs.offset] = (c.Nums[r] - fs.mean) / fs.scale
+			x[fs.offset] = (c.Nums[br] - fs.mean) / fs.scale
 			continue
 		}
-		lvl := c.Cats[r]
+		lvl := c.Cats[br]
 		if lvl >= 0 && lvl < fs.width {
 			x[fs.offset+lvl] = 1
 		}

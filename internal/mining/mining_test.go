@@ -76,10 +76,11 @@ func TestEveryClassifierLearnsSeparableData(t *testing.T) {
 func TestEveryClassifierHandlesMissingCells(t *testing.T) {
 	ds := separable(200, 2)
 	rng := stats.NewRand(3)
+	tb := ds.Table() // table-backed dataset: this is the live table
 	for r := 0; r < ds.Len(); r++ {
 		for _, j := range ds.AttrCols() {
 			if rng.Float64() < 0.2 {
-				ds.T.SetMissing(r, j)
+				tb.SetMissing(r, j)
 			}
 		}
 	}
@@ -182,12 +183,17 @@ func TestNaiveBayesRobustToMissingAtPredict(t *testing.T) {
 	if err := nb.Fit(ds); err != nil {
 		t.Fatal(err)
 	}
-	probe := ds.Subset([]int{0, 1, 2, 3})
-	for _, j := range probe.AttrCols() {
-		for r := 0; r < probe.Len(); r++ {
-			probe.T.SetMissing(r, j)
+	// Materialize the subset so it can be mutated without touching ds.
+	probeT := ds.Subset([]int{0, 1, 2, 3}).Table()
+	for j := 0; j < probeT.NumCols(); j++ {
+		if j == ds.ClassCol {
+			continue
+		}
+		for r := 0; r < probeT.NumRows(); r++ {
+			probeT.SetMissing(r, j)
 		}
 	}
+	probe := MustNewDataset(probeT, ds.ClassCol)
 	// All attributes missing: prediction must fall back to the prior
 	// without panicking, and Proba must stay a distribution.
 	for r := 0; r < probe.Len(); r++ {

@@ -137,37 +137,41 @@ func (o *OneR) Fit(ds *Dataset) error {
 // returning codes (−1 for missing), numeric cut points (nil for nominal)
 // and the number of levels.
 func (o *OneR) codesFor(ds *Dataset, j int) (codes []int, cuts []float64, levels int) {
-	c := ds.T.Column(j)
+	col := ds.col(j)
 	codes = make([]int, ds.Len())
-	if c.Kind == table.Nominal {
-		copy(codes, c.Cats)
-		return codes, nil, maxInt(c.NumLevels(), 1)
+	if col.Kind == table.Nominal {
+		for r := range codes {
+			codes[r] = col.Cats[ds.row(r)]
+		}
+		return codes, nil, maxInt(col.NumLevels(), 1)
 	}
+	nums := table.Floats(ds.T, j)
 	cuts = make([]float64, o.Bins-1)
 	for i := 1; i < o.Bins; i++ {
-		cuts[i-1] = stats.Quantile(c.Nums, float64(i)/float64(o.Bins))
+		cuts[i-1] = stats.Quantile(nums, float64(i)/float64(o.Bins))
 	}
 	for r := 0; r < ds.Len(); r++ {
-		if c.IsMissing(r) {
+		br := ds.row(r)
+		if col.IsMissing(br) {
 			codes[r] = -1
 			continue
 		}
-		codes[r] = binOf(c.Nums[r], cuts)
+		codes[r] = binOf(col.Nums[br], cuts)
 	}
 	return codes, cuts, o.Bins
 }
 
 // Predict applies the learned single-attribute rule.
 func (o *OneR) Predict(ds *Dataset, r int) int {
-	c := ds.T.Column(o.attr)
-	if c.IsMissing(r) {
+	col, br := ds.col(o.attr), ds.row(r)
+	if col.IsMissing(br) {
 		return o.missing
 	}
 	var code int
-	if c.Kind == table.Nominal {
-		code = c.Cats[r]
+	if col.Kind == table.Nominal {
+		code = col.Cats[br]
 	} else {
-		code = binOf(c.Nums[r], o.cuts)
+		code = binOf(col.Nums[br], o.cuts)
 	}
 	if code < 0 || code >= len(o.ruleFor) {
 		return o.fallback
@@ -177,7 +181,7 @@ func (o *OneR) Predict(ds *Dataset, r int) int {
 
 // Attribute returns the name of the selected attribute (after Fit) — the
 // user-facing explanation OpenBI shows a citizen.
-func (o *OneR) Attribute(ds *Dataset) string { return ds.T.Column(o.attr).Name }
+func (o *OneR) Attribute(ds *Dataset) string { return ds.T.ColumnName(o.attr) }
 
 func binOf(v float64, cuts []float64) int {
 	b := 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -62,6 +63,24 @@ type DecisionTree struct {
 	classes  int
 	fallback int
 	rng      *rand.Rand
+
+	// Scratch buffers reused across split evaluations. Numeric threshold
+	// search runs once per (node × attribute × candidate) and dominated
+	// the whole experiment grid's allocation profile before these were
+	// hoisted; the arithmetic is unchanged (class counts are small exact
+	// integers in float64, so reuse cannot perturb results).
+	obsBuf    []valClass
+	leftBuf   []float64
+	rightBuf  []float64
+	sumBuf    []float64
+	totalBuf  []float64
+	branchBuf [][]float64
+}
+
+// valClass pairs one observed numeric cell with its row's class code.
+type valClass struct {
+	v float64
+	c int
 }
 
 // NewC45Tree returns a pruned gain-ratio tree (the C4.5 stand-in).
@@ -117,6 +136,11 @@ func (dt *DecisionTree) Fit(ds *Dataset) error {
 	dt.classes = ds.NumClasses()
 	dt.fallback = ds.MajorityClass()
 	dt.rng = stats.NewRand(dt.Seed)
+	dt.leftBuf = make([]float64, dt.classes)
+	dt.rightBuf = make([]float64, dt.classes)
+	dt.sumBuf = make([]float64, dt.classes)
+	dt.totalBuf = make([]float64, dt.classes)
+	dt.branchBuf = make([][]float64, 2)
 	dt.root = dt.build(ds, rows, 0)
 	if dt.Prune {
 		dt.prune(dt.root)
@@ -234,14 +258,14 @@ func (dt *DecisionTree) candidateAttrs(ds *Dataset) []int {
 // arbitrate between attributes, and a closure materializing the partition
 // and node config; a nil closure means no usable split.
 func (dt *DecisionTree) evaluateSplit(ds *Dataset, rows []int, j int) (gain, score float64, apply func() ([][]int, *treeNode)) {
-	col := ds.T.Column(j)
-	if col.Kind == table.Nominal {
-		return dt.evaluateNominal(ds, rows, j, col)
+	if ds.T.ColumnKind(j) == table.Nominal {
+		return dt.evaluateNominal(ds, rows, j)
 	}
-	return dt.evaluateNumeric(ds, rows, j, col)
+	return dt.evaluateNumeric(ds, rows, j)
 }
 
-func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int, col *table.Column) (float64, float64, func() ([][]int, *treeNode)) {
+func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int) (float64, float64, func() ([][]int, *treeNode)) {
+	col := ds.col(j)
 	levels := col.NumLevels()
 	if levels < 2 {
 		return 0, 0, nil
@@ -254,10 +278,11 @@ func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int, col *tab
 	}
 	observed := 0
 	for _, r := range rows {
-		if col.IsMissing(r) {
+		br := ds.row(r)
+		if col.IsMissing(br) {
 			continue
 		}
-		counts[col.Cats[r]][ds.Label(r)]++
+		counts[col.Cats[br]][ds.Label(r)]++
 		observed++
 	}
 	if observed < 2*dt.MinLeaf {
@@ -285,8 +310,8 @@ func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int, col *tab
 			}
 		}
 		for _, r := range rows {
-			lvl := col.Cats[r]
-			if col.IsMissing(r) {
+			lvl := col.Cats[ds.row(r)]
+			if lvl == table.MissingCat {
 				lvl = biggest
 			}
 			parts[lvl] = append(parts[lvl], r)
@@ -296,27 +321,47 @@ func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int, col *tab
 	return gain, score, apply
 }
 
-func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int, col *table.Column) (float64, float64, func() ([][]int, *treeNode)) {
-	type vc struct {
-		v float64
-		c int
+func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int) (float64, float64, func() ([][]int, *treeNode)) {
+	col := ds.col(j)
+	if cap(dt.obsBuf) < len(rows) {
+		dt.obsBuf = make([]valClass, 0, len(rows))
 	}
-	obs := make([]vc, 0, len(rows))
+	obs := dt.obsBuf[:0]
 	for _, r := range rows {
-		if !col.IsMissing(r) {
-			obs = append(obs, vc{col.Nums[r], ds.Label(r)})
+		if br := ds.row(r); !col.IsMissing(br) {
+			obs = append(obs, valClass{col.Nums[br], ds.Label(r)})
 		}
 	}
 	if len(obs) < 2*dt.MinLeaf {
 		return 0, 0, nil
 	}
-	sort.Slice(obs, func(a, b int) bool { return obs[a].v < obs[b].v })
+	// slices.SortFunc rather than sort.Slice: same pdqsort, no per-call
+	// reflection allocations. Rows with equal values may land in either
+	// order; the threshold scan only acts at value boundaries, so the
+	// chosen split is unaffected.
+	slices.SortFunc(obs, func(a, b valClass) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
 
-	total := make([]float64, dt.classes)
+	total := dt.sumBuf
+	for i := range total {
+		total[i] = 0
+	}
 	for _, o := range obs {
 		total[o.c]++
 	}
-	left := make([]float64, dt.classes)
+	left := dt.leftBuf
+	for i := range left {
+		left[i] = 0
+	}
+	right := dt.rightBuf
 	n := float64(len(obs))
 
 	// The threshold itself is chosen by raw gain (C4.5's rule for
@@ -335,11 +380,11 @@ func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int, col *tab
 		if nl < float64(dt.MinLeaf) || n-nl < float64(dt.MinLeaf) {
 			continue
 		}
-		right := make([]float64, dt.classes)
 		for c := range right {
 			right[c] = total[c] - left[c]
 		}
-		gain, score := dt.partitionQuality([][]float64{append([]float64(nil), left...), right}, n)
+		dt.branchBuf[0], dt.branchBuf[1] = left, right
+		gain, score := dt.partitionQuality(dt.branchBuf, n)
 		if gain > bestGain+1e-12 {
 			bestGain = gain
 			bestScore = score
@@ -362,10 +407,11 @@ func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int, col *tab
 		parts := make([][]int, 2)
 		nl, nr := 0, 0
 		for _, r := range rows {
-			if col.IsMissing(r) {
+			br := ds.row(r)
+			if col.IsMissing(br) {
 				continue
 			}
-			if col.Nums[r] <= threshold {
+			if col.Nums[br] <= threshold {
 				nl++
 			} else {
 				nr++
@@ -375,10 +421,18 @@ func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int, col *tab
 		if nr > nl {
 			missTo = 1
 		}
+		cap0, cap1 := nl, nr
+		if missTo == 0 {
+			cap0 = len(rows) - nr
+		} else {
+			cap1 = len(rows) - nl
+		}
+		parts[0] = make([]int, 0, cap0)
+		parts[1] = make([]int, 0, cap1)
 		for _, r := range rows {
 			side := missTo
-			if !col.IsMissing(r) {
-				if col.Nums[r] <= threshold {
+			if br := ds.row(r); !col.IsMissing(br) {
+				if col.Nums[br] <= threshold {
 					side = 0
 				} else {
 					side = 1
@@ -398,7 +452,13 @@ func (dt *DecisionTree) partitionQuality(branches [][]float64, n float64) (gain,
 	if n <= 0 {
 		return 0, 0
 	}
-	total := make([]float64, dt.classes)
+	total := dt.totalBuf
+	if len(total) != dt.classes {
+		total = make([]float64, dt.classes)
+	}
+	for i := range total {
+		total[i] = 0
+	}
 	for _, b := range branches {
 		for c, v := range b {
 			total[c] += v
@@ -489,18 +549,19 @@ func (dt *DecisionTree) Proba(ds *Dataset, r int) []float64 {
 }
 
 func (dt *DecisionTree) route(ds *Dataset, r int) *treeNode {
+	br := ds.row(r)
 	nd := dt.root
 	for nd != nil && !nd.leaf {
-		col := ds.T.Column(nd.attr)
+		col := ds.col(nd.attr)
 		idx := nd.majority
-		if !col.IsMissing(r) {
+		if !col.IsMissing(br) {
 			if nd.numeric {
-				if col.Nums[r] <= nd.threshold {
+				if col.Nums[br] <= nd.threshold {
 					idx = 0
 				} else {
 					idx = 1
 				}
-			} else if code := col.Cats[r]; code >= 0 && code < len(nd.children) {
+			} else if code := col.Cats[br]; code >= 0 && code < len(nd.children) {
 				idx = code
 			}
 		}
@@ -535,16 +596,16 @@ func (dt *DecisionTree) dump(b *strings.Builder, ds *Dataset, nd *treeNode, inde
 		fmt.Fprintf(b, "%s-> %s (n=%.0f)\n", pad, ds.ClassName(nd.class), nd.n)
 		return
 	}
-	col := ds.T.Column(nd.attr)
+	name := ds.T.ColumnName(nd.attr)
 	if nd.numeric {
-		fmt.Fprintf(b, "%sif %s <= %.4g:\n", pad, col.Name, nd.threshold)
+		fmt.Fprintf(b, "%sif %s <= %.4g:\n", pad, name, nd.threshold)
 		dt.dump(b, ds, nd.children[0], indent+1)
 		fmt.Fprintf(b, "%selse:\n", pad)
 		dt.dump(b, ds, nd.children[1], indent+1)
 		return
 	}
 	for lvl, ch := range nd.children {
-		fmt.Fprintf(b, "%sif %s = %s:\n", pad, col.Name, col.Label(lvl))
+		fmt.Fprintf(b, "%sif %s = %s:\n", pad, name, ds.T.Label(nd.attr, lvl))
 		dt.dump(b, ds, ch, indent+1)
 	}
 }

@@ -26,7 +26,7 @@ func TestMakeClassificationDefaults(t *testing.T) {
 	if ds.NumClasses() != 2 {
 		t.Fatalf("classes = %d", ds.NumClasses())
 	}
-	if ds.T.Column(ds.ClassCol).Name != "class" {
+	if ds.T.ColumnName(ds.ClassCol) != "class" {
 		t.Fatal("class column name wrong")
 	}
 }

@@ -1,0 +1,85 @@
+package table
+
+// Access is the read-only table contract shared by *Table and *View. The
+// mining, eval and experiment layers are written against it, so a fold
+// split or attribute projection can be served by a zero-copy view while
+// ingestion and injection keep producing concrete tables.
+//
+// Cell accessors follow Table semantics exactly: Float panics on a nominal
+// column, Cat panics on a numeric one, and missing cells read as NaN /
+// MissingCat. Implementations are safe for concurrent readers as long as
+// nobody mutates the backing table.
+type Access interface {
+	NumRows() int
+	NumCols() int
+
+	// Column metadata.
+	ColumnIndex(name string) int
+	ColumnName(col int) string
+	ColumnKind(col int) Kind
+	ColumnNames() []string
+	NumericColumnIndices() []int
+	NominalColumnIndices() []int
+	NumLevels(col int) int
+	Label(col, code int) string
+
+	// Cell reads.
+	Float(row, col int) float64
+	Cat(row, col int) int
+	IsMissing(row, col int) bool
+
+	// Materialize returns a concrete *Table with the same contents. A
+	// *Table returns itself (zero cost); a *View gathers its cells into a
+	// freshly owned table. Callers that intend to mutate the result must
+	// take ownership first (Clone or CopyOnWrite).
+	Materialize() *Table
+}
+
+// Floats returns the numeric cell values of column col of a. For a concrete
+// *Table this is the live backing slice — callers must treat it as
+// read-only. For a view the cells are gathered through the row indirection
+// into a fresh slice. Either way the result matches what Materialize()
+// would expose, so statistics computed from it are identical between the
+// view-backed and copying pipelines.
+func Floats(a Access, col int) []float64 {
+	if t, ok := a.(*Table); ok {
+		c := t.cols[col]
+		if c.Kind != Numeric {
+			panic("table: Floats on nominal column " + c.Name)
+		}
+		return c.Nums
+	}
+	out := make([]float64, a.NumRows())
+	for r := range out {
+		out[r] = a.Float(r, col)
+	}
+	return out
+}
+
+// MaterializeColumn extracts column col of a as a freshly owned *Column
+// (dictionary included for nominal columns).
+func MaterializeColumn(a Access, col int) *Column {
+	if t, ok := a.(*Table); ok {
+		return t.cols[col].Clone()
+	}
+	if v, ok := a.(*View); ok {
+		c := v.base.cols[v.baseCol(col)]
+		if v.rows == nil {
+			return c.Clone()
+		}
+		return c.Select(v.rows)
+	}
+	return a.Materialize().cols[col]
+}
+
+// CopyOnWrite returns a mutable *Table over the contents of a that clones
+// column storage lazily: for a concrete *Table the result shares every
+// column until it is first written (see Table.OwnedColumn), so mutators
+// that touch few columns pay for few columns. Views have no safe way to
+// share storage under row indirection, so they materialize fully.
+func CopyOnWrite(a Access) *Table {
+	if t, ok := a.(*Table); ok {
+		return t.ShallowClone()
+	}
+	return a.Materialize()
+}

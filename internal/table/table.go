@@ -14,6 +14,11 @@ type Table struct {
 	Name   string
 	cols   []*Column
 	byName map[string]int
+
+	// shared marks columns whose storage is still shared with another
+	// table (see ShallowClone); such a column is cloned on first write.
+	// nil for fully owned tables, which is the common case.
+	shared []bool
 }
 
 // New returns an empty table with the given name.
@@ -44,6 +49,9 @@ func (t *Table) AddColumn(col *Column) error {
 	}
 	t.byName[col.Name] = len(t.cols)
 	t.cols = append(t.cols, col)
+	if t.shared != nil {
+		t.shared = append(t.shared, false)
+	}
 	return nil
 }
 
@@ -87,6 +95,23 @@ func (t *Table) ColumnNames() []string {
 	return out
 }
 
+// ColumnName returns the name of column col (Access).
+func (t *Table) ColumnName(col int) string { return t.cols[col].Name }
+
+// ColumnKind returns the kind of column col (Access).
+func (t *Table) ColumnKind(col int) Kind { return t.cols[col].Kind }
+
+// NumLevels returns the nominal dictionary size of column col (Access).
+func (t *Table) NumLevels(col int) int { return t.cols[col].NumLevels() }
+
+// Label returns the label of a nominal code in column col (Access).
+func (t *Table) Label(col, code int) string { return t.cols[col].Label(code) }
+
+// Materialize implements Access; a table already is materialized, so it
+// returns the receiver. Callers that intend to mutate the result must take
+// ownership first (Clone or CopyOnWrite).
+func (t *Table) Materialize() *Table { return t }
+
 // Float returns the numeric value at (row, col); NaN when missing.
 // It panics when the column is nominal.
 func (t *Table) Float(row, col int) float64 {
@@ -111,23 +136,92 @@ func (t *Table) Cat(row, col int) int {
 func (t *Table) IsMissing(row, col int) bool { return t.cols[col].IsMissing(row) }
 
 // SetFloat stores v at (row, col) of a numeric column.
-func (t *Table) SetFloat(row, col int, v float64) { t.cols[col].Nums[row] = v }
+func (t *Table) SetFloat(row, col int, v float64) { t.OwnedColumn(col).Nums[row] = v }
 
 // SetCat stores nominal code v at (row, col).
-func (t *Table) SetCat(row, col int, v int) { t.cols[col].Cats[row] = v }
+func (t *Table) SetCat(row, col int, v int) { t.OwnedColumn(col).Cats[row] = v }
 
 // SetMissing marks the cell at (row, col) missing.
-func (t *Table) SetMissing(row, col int) { t.cols[col].SetMissing(row) }
+func (t *Table) SetMissing(row, col int) { t.OwnedColumn(col).SetMissing(row) }
 
 // AppendEmptyRow appends one all-missing row and returns its index.
 func (t *Table) AppendEmptyRow() int {
-	for _, c := range t.cols {
-		c.AppendMissing()
+	for i := range t.cols {
+		t.OwnedColumn(i).AppendMissing()
 	}
 	return t.NumRows() - 1
 }
 
-// Clone returns a deep copy of the table.
+// ShallowClone returns a new table sharing every column with t. Shared
+// columns are cloned lazily on first write (through the Set* mutators or
+// OwnedColumn), so a pipeline stage that touches two of fifty columns pays
+// for two column copies instead of fifty. The receiver itself is never
+// written through the clone.
+//
+// The sharing is one-directional by design: the receiver is NOT marked
+// shared (many goroutines shallow-clone one base table concurrently, so
+// the receiver must stay read-only here), which means callers must not
+// mutate the base after handing out clones — doing so would reach every
+// clone's untouched columns. The experiment pipeline treats reference
+// tables as immutable once views or clones of them exist.
+func (t *Table) ShallowClone() *Table {
+	out := &Table{
+		Name:   t.Name,
+		cols:   append([]*Column(nil), t.cols...),
+		byName: make(map[string]int, len(t.byName)),
+		shared: make([]bool, len(t.cols)),
+	}
+	for name, i := range t.byName {
+		out.byName[name] = i
+	}
+	for i := range out.shared {
+		out.shared[i] = true
+	}
+	return out
+}
+
+// OwnedColumn returns column i, first cloning it if its storage is still
+// shared with another table. Every code path that mutates column data in
+// place must obtain the column through this method (the Table-level Set*
+// mutators already do).
+func (t *Table) OwnedColumn(i int) *Column {
+	if i < len(t.shared) && t.shared[i] {
+		t.cols[i] = t.cols[i].Clone()
+		t.shared[i] = false
+	}
+	return t.cols[i]
+}
+
+// ReplaceColumn swaps column i for col, which must have the same length;
+// the byName index is updated when the name changes. The new column is
+// owned by the table.
+func (t *Table) ReplaceColumn(i int, col *Column) error {
+	if i < 0 || i >= len(t.cols) {
+		return fmt.Errorf("table %q: ReplaceColumn index %d out of range", t.Name, i)
+	}
+	if col.Len() != t.NumRows() {
+		return fmt.Errorf("table %q: column %q has %d rows, table has %d",
+			t.Name, col.Name, col.Len(), t.NumRows())
+	}
+	old := t.cols[i]
+	if old.Name != col.Name {
+		if j, dup := t.byName[col.Name]; dup && j != i {
+			return fmt.Errorf("table %q: duplicate column %q", t.Name, col.Name)
+		}
+		delete(t.byName, old.Name)
+		t.byName[col.Name] = i
+	}
+	t.cols[i] = col
+	if t.shared != nil {
+		t.shared[i] = false
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the table: every column's cell storage and
+// nominal dictionary is copied, so the result is fully owned and mutations
+// never reach the receiver. For read-only row/column windows prefer the
+// zero-copy View (RowView, ColumnView).
 func (t *Table) Clone() *Table {
 	out := New(t.Name)
 	for _, c := range t.cols {
@@ -136,9 +230,11 @@ func (t *Table) Clone() *Table {
 	return out
 }
 
-// SelectRows returns a new table containing the given rows in order.
-// Row indices may repeat, which makes this the primitive behind sampling,
-// duplication injection and stratified splits alike.
+// SelectRows returns a new table containing the given rows in order, with
+// all cell data copied (row indices may repeat). It is the materializing
+// primitive behind duplication injection and row filtering; callers that
+// only need to read a row subset — fold splits, subsamples — should use the
+// zero-copy RowView instead.
 func (t *Table) SelectRows(rows []int) *Table {
 	out := New(t.Name)
 	for _, c := range t.cols {
@@ -148,7 +244,9 @@ func (t *Table) SelectRows(rows []int) *Table {
 }
 
 // SelectColumns returns a new table containing only the columns at the
-// given indices (data shared is deep-copied).
+// given indices, with cell data and dictionaries deep-copied so the result
+// is independently mutable. For read-only projections use the zero-copy
+// ColumnView instead.
 func (t *Table) SelectColumns(cols []int) *Table {
 	out := New(t.Name)
 	for _, i := range cols {
@@ -157,8 +255,8 @@ func (t *Table) SelectColumns(cols []int) *Table {
 	return out
 }
 
-// DropColumn returns a copy of the table without the named column; the
-// receiver is unchanged. Unknown names are ignored.
+// DropColumn returns a deep copy of the table without the named column;
+// the receiver is unchanged. Unknown names are ignored.
 func (t *Table) DropColumn(name string) *Table {
 	out := New(t.Name)
 	for _, c := range t.cols {
@@ -260,29 +358,31 @@ func (t *Table) RowKey(r int) string {
 	return b.String()
 }
 
-// Equal reports whether two tables have identical schema and cell values
-// (NaN cells compare equal to NaN cells). It is intended for tests.
-func Equal(a, b *Table) bool {
+// Equal reports whether two sources have identical schema and cell values
+// (NaN cells compare equal to NaN cells; nominal cells compare by label,
+// so dictionaries need not agree code-for-code). It accepts any mix of
+// tables and views and is intended for tests.
+func Equal(a, b Access) bool {
 	if a.NumCols() != b.NumCols() || a.NumRows() != b.NumRows() {
 		return false
 	}
 	for j := 0; j < a.NumCols(); j++ {
-		ca, cb := a.cols[j], b.cols[j]
-		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+		if a.ColumnName(j) != b.ColumnName(j) || a.ColumnKind(j) != b.ColumnKind(j) {
 			return false
 		}
 		for r := 0; r < a.NumRows(); r++ {
 			switch {
-			case ca.IsMissing(r) != cb.IsMissing(r):
+			case a.IsMissing(r, j) != b.IsMissing(r, j):
 				return false
-			case ca.IsMissing(r):
+			case a.IsMissing(r, j):
 				// both missing: equal
-			case ca.Kind == Numeric:
-				if ca.Nums[r] != cb.Nums[r] && !(math.IsNaN(ca.Nums[r]) && math.IsNaN(cb.Nums[r])) {
+			case a.ColumnKind(j) == Numeric:
+				va, vb := a.Float(r, j), b.Float(r, j)
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
 					return false
 				}
 			default:
-				if ca.Label(ca.Cats[r]) != cb.Label(cb.Cats[r]) {
+				if a.Label(j, a.Cat(r, j)) != b.Label(j, b.Cat(r, j)) {
 					return false
 				}
 			}

@@ -1,0 +1,184 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+// viewFixture builds a small mixed table:
+//
+//	n:   0, 1, 2, NaN, 4
+//	c:   a, b, ?, a,   c
+func viewFixture() *Table {
+	t := New("fix")
+	nc := NewNumericColumn("n")
+	for _, v := range []float64{0, 1, 2, math.NaN(), 4} {
+		nc.AppendFloat(v)
+	}
+	t.MustAddColumn(nc)
+	cc := NewNominalColumn("c")
+	for _, l := range []string{"a", "b"} {
+		cc.AppendLabel(l)
+	}
+	cc.AppendMissing()
+	cc.AppendLabel("a")
+	cc.AppendLabel("c")
+	t.MustAddColumn(cc)
+	return t
+}
+
+func TestRowViewReadsThroughIndirection(t *testing.T) {
+	tb := viewFixture()
+	v := RowView(tb, []int{4, 0, 3})
+	if v.NumRows() != 3 || v.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", v.NumRows(), v.NumCols())
+	}
+	if got := v.Float(0, 0); got != 4 {
+		t.Fatalf("Float(0,0) = %v, want 4", got)
+	}
+	if got := v.Cat(1, 1); tb.Label(1, got) != "a" {
+		t.Fatalf("Cat(1,1) label = %q, want a", tb.Label(1, got))
+	}
+	if !v.IsMissing(2, 0) {
+		t.Fatal("row 3 of n is NaN; view row 2 must be missing")
+	}
+	// Dictionaries are shared: codes agree with the base.
+	if v.NumLevels(1) != tb.NumLevels(1) {
+		t.Fatal("view must share the base dictionary")
+	}
+}
+
+func TestViewComposition(t *testing.T) {
+	tb := viewFixture()
+	v1 := RowView(tb, []int{4, 3, 2, 1, 0}) // reverse
+	v2 := RowView(v1, []int{0, 2})          // base rows 4, 2
+	if v2.Float(0, 0) != 4 || v2.Float(1, 0) != 2 {
+		t.Fatalf("composed view reads %v, %v; want 4, 2", v2.Float(0, 0), v2.Float(1, 0))
+	}
+	vw, ok := v2.(*View)
+	if !ok {
+		t.Fatal("composition should stay a *View")
+	}
+	if vw.Base() != tb {
+		t.Fatal("composition must rebase onto the concrete table, not nest views")
+	}
+	c := ColumnView(v2, []int{1})
+	if c.NumCols() != 1 || c.ColumnName(0) != "c" {
+		t.Fatalf("column view = %v", c.ColumnNames())
+	}
+	if c.ColumnIndex("c") != 0 || c.ColumnIndex("n") != -1 {
+		t.Fatal("ColumnIndex must be view-relative")
+	}
+}
+
+func TestViewMaterializeMatchesSelect(t *testing.T) {
+	tb := viewFixture()
+	rows := []int{1, 1, 4}
+	got := RowView(tb, rows).Materialize()
+	want := tb.SelectRows(rows)
+	if !Equal(got, want) {
+		t.Fatalf("materialized view differs from SelectRows copy")
+	}
+	cols := []int{1}
+	gotC := ColumnView(tb, cols).Materialize()
+	wantC := tb.SelectColumns(cols)
+	if !Equal(gotC, wantC) {
+		t.Fatalf("materialized column view differs from SelectColumns copy")
+	}
+	// Materialize must detach: mutating the result leaves the base alone.
+	got.SetFloat(0, 0, 99)
+	if tb.Float(1, 0) != 1 {
+		t.Fatal("materialized table still shares storage with the base")
+	}
+}
+
+func TestViewIsZeroCopy(t *testing.T) {
+	tb := viewFixture()
+	v := RowView(tb, []int{0, 1})
+	// Views observe base mutations — that is the sharing contract.
+	tb.SetFloat(0, 0, 7)
+	if v.Float(0, 0) != 7 {
+		t.Fatal("view should read through to base storage")
+	}
+}
+
+func TestShallowCloneCopyOnWrite(t *testing.T) {
+	tb := viewFixture()
+	cow := tb.ShallowClone()
+	if cow.Column(0) != tb.Column(0) {
+		t.Fatal("shallow clone must share columns before any write")
+	}
+	cow.SetFloat(0, 0, 42)
+	if cow.Column(0) == tb.Column(0) {
+		t.Fatal("first write must promote the column to an owned copy")
+	}
+	if tb.Float(0, 0) != 0 {
+		t.Fatalf("base mutated through COW clone: %v", tb.Float(0, 0))
+	}
+	if cow.Float(0, 0) != 42 {
+		t.Fatalf("COW clone lost its write: %v", cow.Float(0, 0))
+	}
+	if cow.Column(1) != tb.Column(1) {
+		t.Fatal("untouched column should remain shared")
+	}
+	// Structural ops stay independent.
+	extra := NewNumericColumn("extra")
+	for i := 0; i < cow.NumRows(); i++ {
+		extra.AppendFloat(float64(i))
+	}
+	cow.MustAddColumn(extra)
+	if tb.NumCols() != 2 {
+		t.Fatal("adding a column to the clone must not grow the base")
+	}
+}
+
+func TestShallowCloneAppendRowPromotes(t *testing.T) {
+	tb := viewFixture()
+	cow := tb.ShallowClone()
+	cow.AppendEmptyRow()
+	if tb.NumRows() != 5 {
+		t.Fatalf("base grew to %d rows through COW clone", tb.NumRows())
+	}
+	if cow.NumRows() != 6 {
+		t.Fatalf("clone rows = %d, want 6", cow.NumRows())
+	}
+}
+
+func TestReplaceColumn(t *testing.T) {
+	tb := viewFixture()
+	nc := NewNominalColumn("c")
+	for i := 0; i < tb.NumRows(); i++ {
+		nc.AppendLabel("x")
+	}
+	if err := tb.ReplaceColumn(1, nc); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Label(1, tb.Cat(0, 1)) != "x" {
+		t.Fatal("ReplaceColumn did not take effect")
+	}
+	short := NewNumericColumn("n2")
+	if err := tb.ReplaceColumn(0, short); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}
+
+func TestCopyOnWriteOfView(t *testing.T) {
+	tb := viewFixture()
+	v := RowView(tb, []int{4, 0})
+	cow := CopyOnWrite(v)
+	cow.SetFloat(0, 0, -1)
+	if tb.Float(4, 0) != 4 {
+		t.Fatal("writing a materialized view reached the base")
+	}
+}
+
+func TestFloatsSharedForTableGatheredForView(t *testing.T) {
+	tb := viewFixture()
+	if &Floats(tb, 0)[0] != &tb.Column(0).Nums[0] {
+		t.Fatal("Floats on a table should return the live backing slice")
+	}
+	got := Floats(RowView(tb, []int{4, 1}), 0)
+	if len(got) != 2 || got[0] != 4 || got[1] != 1 {
+		t.Fatalf("Floats via view = %v, want [4 1]", got)
+	}
+}

@@ -38,6 +38,12 @@ func NewEngine(seed int64) *Engine { return core.NewEngine(seed) }
 type (
 	// Table is the columnar open-data table.
 	Table = table.Table
+	// Access is the read-only contract shared by *Table and the zero-copy
+	// *TableView; pipeline entry points accept it so callers can pass
+	// either without copying.
+	Access = table.Access
+	// TableView is an immutable zero-copy row/column window onto a Table.
+	TableView = table.View
 	// Column is one typed table column.
 	Column = table.Column
 	// Dataset is a supervised view over a Table.
@@ -92,7 +98,9 @@ func MeasureQuality(t *Table, classColumn string) Profile {
 
 // Corrupt injects controlled data-quality defects into a copy of t
 // (§3.1's "introduce some data quality problems in a controlled manner").
-func Corrupt(t *Table, classColumn string, specs []InjectSpec, seed int64) (*Table, error) {
+// Only the columns a defect touches are deep-copied; the rest share
+// storage with t, so t must not be mutated afterwards.
+func Corrupt(t Access, classColumn string, specs []InjectSpec, seed int64) (*Table, error) {
 	return core.CorruptForDemo(t, classColumn, specs, seed)
 }
 
