@@ -8,6 +8,7 @@
 package openbi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -47,10 +48,10 @@ func benchDataset(b *testing.B, rows int) *mining.Dataset {
 }
 
 // buildKB runs Phase 1 once (outside the timer) for benches that need a
-// populated knowledge base.
-func buildKB(b *testing.B, ds *mining.Dataset) *kb.KnowledgeBase {
+// populated knowledge base, returning its immutable serving snapshot.
+func buildKB(b *testing.B, ds *mining.Dataset) *kb.Snapshot {
 	b.Helper()
-	recs, err := experiment.Phase1(benchCfg(42), ds, "bench")
+	recs, err := experiment.Phase1(context.Background(), benchCfg(42), ds, "bench")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func buildKB(b *testing.B, ds *mining.Dataset) *kb.KnowledgeBase {
 	for _, r := range recs {
 		base.Add(r)
 	}
-	return base
+	return base.Snapshot()
 }
 
 // ---- F1: the KDD pipeline of Figure 1 ----
@@ -114,7 +115,7 @@ func benchPhase1Criterion(b *testing.B, crit dq.Criterion) {
 	var drop float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		recs, err := experiment.Phase1(cfg, ds, "bench")
+		recs, err := experiment.Phase1(context.Background(), cfg, ds, "bench")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkF2_Phase2_Mixed(b *testing.B) {
 	var interaction float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mixed, _, err := experiment.Phase2(cfg, ds, "bench", base, combos, 0.3)
+		mixed, _, err := experiment.Phase2(context.Background(), cfg, ds, "bench", base, combos, 0.3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +203,7 @@ func BenchmarkF2_Advisor(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := experiment.Validate(benchCfg(42), ds, base, 5)
+	res, err := experiment.Validate(context.Background(), benchCfg(42), ds, base, 5)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,18 +9,26 @@
 //
 //	openbi generate  -kind municipal -n 500 -dirty 0.2 -out data.nt
 //	openbi profile   -in data.nt [-class fundingLevel] [-model model.xmi]
-//	openbi experiments -rows 500 -workers 8 -out kb.json
+//	openbi experiments -rows 500 -workers 8 [-timeout 10m] [-progress] -out kb.json
 //	openbi advise    -in data.nt -class fundingLevel -kb kb.json
-//	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt
+//	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt [-timeout 1m]
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
-//	openbi validate  -kb kb.json -rows 400 -trials 10
+//	openbi validate  -kb kb.json -rows 400 -trials 10 [-timeout 5m]
+//
+// experiments, mine and validate honour ^C (SIGINT) and -timeout:
+// cancellation takes effect between experiment grid cells.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"openbi/internal/clean"
 	"openbi/internal/core"
@@ -35,6 +43,30 @@ import (
 	"openbi/internal/synth"
 	"openbi/internal/table"
 )
+
+// runContext returns a context for one long-running command: canceled on
+// SIGINT/SIGTERM (so ^C stops the experiment grid between cells instead of
+// killing it mid-write) and, when timeout > 0, after the deadline.
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// explainRunError rewrites context terminations into actionable messages.
+func explainRunError(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("interrupted (partial work discarded): %w", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("-timeout exceeded before the run finished: %w", err)
+	default:
+		return err
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -148,7 +180,6 @@ func cmdProfile(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("profile: -in is required")
 	}
-	eng := core.NewEngine(1)
 
 	// RDF inputs get the graph-level profile first — link problems are
 	// invisible after projection.
@@ -180,11 +211,11 @@ func cmdProfile(args []string) error {
 		fmt.Println()
 	}
 
-	tb, err := eng.IngestFile(*in)
+	tb, err := core.IngestFile(*in)
 	if err != nil {
 		return err
 	}
-	m, err := eng.BuildModel(tb, *class)
+	m, err := core.BuildModel(tb, *class)
 	if err != nil {
 		return err
 	}
@@ -235,25 +266,41 @@ func cmdExperiments(args []string) error {
 	folds := fs.Int("folds", 5, "cross-validation folds")
 	seed := fs.Int64("seed", 42, "random seed")
 	workers := fs.Int("workers", 0, "parallel experiment workers (0 = all CPUs); results are identical for any value")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit); ^C also cancels between cells")
+	progress := fs.Bool("progress", false, "stream per-record progress to stderr")
 	out := fs.String("out", "kb.json", "knowledge base output path")
 	fs.Parse(args)
 
-	eng := core.NewEngine(*seed)
-	eng.Folds = *folds
-	eng.Workers = *workers
+	eng, err := core.New(core.WithSeed(*seed), core.WithFolds(*folds), core.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
 	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: *rows, Seed: *seed})
 	if err != nil {
 		return err
 	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	var runOpts []core.RunOption
+	if *progress {
+		runOpts = append(runOpts, core.WithProgress(func(ev experiment.Event) {
+			fmt.Fprintf(os.Stderr, "\rphase %d: %4d/%4d  %-14s %-28s", ev.Phase, ev.Completed, ev.Total,
+				ev.Algorithm, fmt.Sprintf("%s@%.2f", ev.Criterion, ev.Severity))
+			if ev.Completed == ev.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
 	fmt.Printf("running Phase 1 + Phase 2 on a %d-row reference dataset...\n", *rows)
-	rep, err := eng.RunExperiments(ds, "reference")
+	rep, err := eng.RunExperiments(ctx, ds, "reference", runOpts...)
 	if err != nil {
-		return err
+		return explainRunError(err)
 	}
 	fmt.Printf("phase 1: %d records; phase 2: %d records\n", rep.Phase1Records, rep.Phase2Records)
 
 	// Sensitivity table — the knowledge the advisor runs on.
-	algs, crits, cells := eng.KB.SensitivityTable()
+	algs, crits, cells := eng.KB().SensitivityTable()
 	header := append([]string{"algorithm"}, criteriaNames(crits)...)
 	t := report.NewTable("Sensitivity (kappa lost per unit severity)", header...)
 	for i, a := range algs {
@@ -274,7 +321,7 @@ func cmdExperiments(args []string) error {
 	if err := eng.SaveKB(f); err != nil {
 		return err
 	}
-	fmt.Printf("knowledge base (%d records) written to %s\n", eng.KB.Len(), *out)
+	fmt.Printf("knowledge base (%d records) written to %s\n", eng.KB().Len(), *out)
 	return nil
 }
 
@@ -304,17 +351,19 @@ func cmdAdvise(args []string) error {
 	if *in == "" || *class == "" {
 		return fmt.Errorf("advise: -in and -class are required")
 	}
-	eng := core.NewEngine(1)
 	base, err := loadKB(*kbPath)
 	if err != nil {
 		return err
 	}
-	eng.KB = base
-	tb, err := eng.IngestFile(*in)
+	tb, err := core.IngestFile(*in)
 	if err != nil {
 		return err
 	}
-	advice, m, err := eng.Advise(tb, *class)
+	m, err := core.BuildModel(tb, *class)
+	if err != nil {
+		return err
+	}
+	advice, err := base.Snapshot().Advise(m.Profile)
 	if err != nil {
 		return err
 	}
@@ -331,23 +380,37 @@ func cmdMine(args []string) error {
 	kbPath := fs.String("kb", "kb.json", "knowledge base path")
 	share := fs.String("share", "", "write predictions as LOD (.nt) here")
 	base := fs.String("base", "http://openbi.example.org/", "base IRI for shared LOD")
+	timeout := fs.Duration("timeout", 0, "abort mining after this long (0 = no limit); ^C also cancels")
 	fs.Parse(args)
 	if *in == "" || *class == "" {
 		return fmt.Errorf("mine: -in and -class are required")
 	}
-	eng := core.NewEngine(1)
-	loaded, err := loadKB(*kbPath)
+	eng, err := core.New(core.WithSeed(1))
 	if err != nil {
 		return err
 	}
-	eng.KB = loaded
-	tb, err := eng.IngestFile(*in)
+	kbFile, err := os.Open(*kbPath)
+	if err != nil {
+		return fmt.Errorf("opening knowledge base: %w (run `openbi experiments` first)", err)
+	}
+	err = eng.LoadKB(kbFile)
+	kbFile.Close()
 	if err != nil {
 		return err
 	}
-	res, err := eng.MineWithAdvice(tb, *class, *base)
+	tb, err := core.IngestFile(*in)
 	if err != nil {
 		return err
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	adv, err := eng.Advisor()
+	if err != nil {
+		return err
+	}
+	res, err := adv.MineWithAdvice(ctx, tb, *class, *base)
+	if err != nil {
+		return explainRunError(err)
 	}
 	fmt.Printf("mined with %s: accuracy %.3f, kappa %.3f, macro-F1 %.3f on %d held-out instances\n",
 		res.Algorithm, res.Metrics.Accuracy, res.Metrics.Kappa, res.Metrics.MacroF1, res.Metrics.TestInstances)
@@ -374,8 +437,7 @@ func cmdOLAP(args []string) error {
 	if *in == "" || *dims == "" || *measures == "" {
 		return fmt.Errorf("olap: -in, -dims and -measure are required")
 	}
-	eng := core.NewEngine(1)
-	tb, err := eng.IngestFile(*in)
+	tb, err := core.IngestFile(*in)
 	if err != nil {
 		return err
 	}
@@ -424,8 +486,7 @@ func cmdRepair(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("repair: -in is required")
 	}
-	eng := core.NewEngine(1)
-	tb, err := eng.IngestFile(*in)
+	tb, err := core.IngestFile(*in)
 	if err != nil {
 		return err
 	}
@@ -464,6 +525,7 @@ func cmdValidate(args []string) error {
 	rows := fs.Int("rows", 400, "held-out dataset rows")
 	trials := fs.Int("trials", 10, "random corruption scenarios")
 	seed := fs.Int64("seed", 1234, "random seed")
+	timeout := fs.Duration("timeout", 0, "abort validation after this long (0 = no limit); ^C also cancels")
 	fs.Parse(args)
 
 	base, err := loadKB(*kbPath)
@@ -474,10 +536,12 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
 	cfg := experiment.Config{Seed: *seed, Folds: 5}
-	res, err := experiment.Validate(cfg, ds, base, *trials)
+	res, err := experiment.Validate(ctx, cfg, ds, base.Snapshot(), *trials)
 	if err != nil {
-		return err
+		return explainRunError(err)
 	}
 	t := report.NewTable("Advisor validation", "scenario", "advised", "empirical best", "regret")
 	for _, d := range res.Detail {

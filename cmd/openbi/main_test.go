@@ -175,3 +175,41 @@ func TestCLIExperimentsWorkersFlag(t *testing.T) {
 		t.Fatal("knowledge base depends on -workers; per-task seeds must make it invariant")
 	}
 }
+
+func TestCLIExperimentsTimeout(t *testing.T) {
+	// A 1ns budget expires before the first grid cell: the run must stop
+	// with a deadline explanation instead of writing a knowledge base.
+	out := filepath.Join(t.TempDir(), "kb.json")
+	err := cmdExperiments([]string{"-rows", "60", "-folds", "2", "-timeout", "1ns", "-out", out})
+	if err == nil || !strings.Contains(err.Error(), "-timeout exceeded") {
+		t.Fatalf("err = %v, want -timeout exceeded", err)
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Fatal("timed-out run must not write a knowledge base")
+	}
+}
+
+func TestCLIMineTimeoutFlagParses(t *testing.T) {
+	// Missing KB is reported before the deadline matters; the flag must
+	// parse without tripping flag.ExitOnError.
+	err := cmdMine([]string{"-in", "x.csv", "-class", "c", "-timeout", "5s",
+		"-kb", filepath.Join(t.TempDir(), "absent.json")})
+	if err == nil || !strings.Contains(err.Error(), "knowledge base") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLIValidateTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small experiment grid")
+	}
+	dir := t.TempDir()
+	kbPath := filepath.Join(dir, "kb.json")
+	captureStdout(t, func() error {
+		return cmdExperiments([]string{"-rows", "60", "-folds", "2", "-seed", "5", "-out", kbPath})
+	})
+	err := cmdValidate([]string{"-kb", kbPath, "-rows", "60", "-trials", "3", "-timeout", "1ns"})
+	if err == nil || !strings.Contains(err.Error(), "-timeout exceeded") {
+		t.Fatalf("err = %v, want -timeout exceeded", err)
+	}
+}

@@ -1,0 +1,38 @@
+package openbi
+
+import "openbi/internal/oberr"
+
+// Typed error taxonomy. Every pipeline failure wraps one of these
+// sentinels; branch with errors.Is. The structured detail types
+// (which column, which algorithm, which option) are recoverable with
+// errors.As via the *Error types below.
+var (
+	// ErrColumnNotFound: a named class or attribute column is absent from
+	// the table (BuildModel, Advise, Corrupt, dataset construction).
+	ErrColumnNotFound = oberr.ErrColumnNotFound
+	// ErrEmptyKB: advice was requested before any experiments were run or
+	// loaded (Advisor, Advise, MineWithAdvice).
+	ErrEmptyKB = oberr.ErrEmptyKB
+	// ErrUnknownAlgorithm: a mining-registry name missed (WithAlgorithms,
+	// algorithm lookup).
+	ErrUnknownAlgorithm = oberr.ErrUnknownAlgorithm
+	// ErrUnsupportedFormat: IngestFile met an extension it cannot read.
+	ErrUnsupportedFormat = oberr.ErrUnsupportedFormat
+	// ErrBadConfig: an option or parameter failed validation (New,
+	// cross-validation folds, split fractions).
+	ErrBadConfig = oberr.ErrBadConfig
+	// ErrTooFewRows: a dataset is too small for the requested split.
+	ErrTooFewRows = oberr.ErrTooFewRows
+)
+
+// Structured error detail types, recoverable with errors.As.
+type (
+	// ColumnNotFoundError carries the missing column and table names.
+	ColumnNotFoundError = oberr.ColumnNotFoundError
+	// UnknownAlgorithmError carries the missed name and the valid ones.
+	UnknownAlgorithmError = oberr.UnknownAlgorithmError
+	// ConfigError carries the offending option or field.
+	ConfigError = oberr.ConfigError
+	// UnsupportedFormatError carries the input path and its format.
+	UnsupportedFormatError = oberr.UnsupportedFormatError
+)

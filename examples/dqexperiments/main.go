@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	seed := int64(42)
 	ds, err := openbi.MakeClassification(openbi.ClassificationSpec{Rows: 400, Seed: seed})
 	if err != nil {
@@ -28,7 +30,7 @@ func main() {
 
 	// ---- Phase 1: simple criteria ----
 	fmt.Println("Phase 1: applying algorithms in the presence of single data quality criteria...")
-	recs, err := experiment.Phase1(cfg, ds, "reference")
+	recs, err := experiment.Phase1(ctx, cfg, ds, "reference")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,14 +38,18 @@ func main() {
 	for _, r := range recs {
 		base.Add(r)
 	}
+	// Freeze the write-side store into an immutable snapshot; every read
+	// below (curves, sensitivities, Phase-2 predictions, validation) is a
+	// precomputed lookup on it.
+	snap := base.Snapshot()
 
 	for _, crit := range dq.AllCriteria() {
 		tab := report.NewTable(
 			fmt.Sprintf("Kappa vs injected %s severity", crit),
 			append([]string{"algorithm"}, "0.0", "0.1", "0.2", "0.3", "0.4", "0.5")...)
 		var series []report.Series
-		for _, alg := range base.Algorithms() {
-			curve := base.Curve(alg, crit)
+		for _, alg := range snap.Algorithms() {
+			curve := snap.Curve(alg, crit)
 			row := []any{alg}
 			s := report.Series{Name: alg}
 			for _, p := range curve {
@@ -64,7 +70,7 @@ func main() {
 	}
 
 	// ---- Sensitivity matrix (the DQ4DM knowledge) ----
-	algs, crits, cells := base.SensitivityTable()
+	algs, crits, cells := snap.SensitivityTable()
 	header := []string{"algorithm"}
 	for _, c := range crits {
 		header = append(header, c.String())
@@ -85,7 +91,7 @@ func main() {
 	combos := experiment.DefaultCombos([]dq.Criterion{
 		dq.Completeness, dq.LabelNoise, dq.Imbalance, dq.Correlation,
 	})
-	mixed, _, err := experiment.Phase2(cfg, ds, "reference", base, combos, 0.3)
+	mixed, _, err := experiment.Phase2(ctx, cfg, ds, "reference", snap, combos, 0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +112,7 @@ func main() {
 
 	// ---- Advisor validation ----
 	fmt.Println("Validating the advisor on random corruption scenarios...")
-	res, err := experiment.Validate(cfg, ds, base, 10)
+	res, err := experiment.Validate(ctx, cfg, ds, snap, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,15 +21,25 @@ import (
 )
 
 func main() {
-	eng := openbi.NewEngine(7)
-	eng.Folds = 3
+	ctx := context.Background()
+	eng, err := openbi.New(openbi.WithSeed(7), openbi.WithFolds(3))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Knowledge base from a reference dataset.
 	ref, err := openbi.MakeClassification(openbi.ClassificationSpec{Rows: 300, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := eng.RunExperiments(ref, "reference"); err != nil {
+	if _, err := eng.RunExperiments(ctx, ref, "reference"); err != nil {
+		log.Fatal(err)
+	}
+
+	// One advice session serves both portal scenarios from the same
+	// immutable KB snapshot.
+	advisor, err := eng.Advisor()
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -61,7 +72,7 @@ func main() {
 		fmt.Printf("common representation: %d rows × %d columns\n", tb.NumRows(), tb.NumCols())
 
 		// Data quality module: annotate the model, then advise from it.
-		advice, model, err := eng.Advise(tb, "fundingLevel")
+		advice, model, err := advisor.Advise(ctx, tb, "fundingLevel")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,7 +96,7 @@ func main() {
 
 			// Advice can be reproduced from the model alone, without the data.
 			def := model.Catalog.Table(tb.Name)
-			fromModel, err := eng.KB.AdviseSeverities(dq.SeveritiesFromModel(def))
+			fromModel, err := advisor.KB().AdviseSeverities(dq.SeveritiesFromModel(def))
 			if err != nil {
 				log.Fatal(err)
 			}

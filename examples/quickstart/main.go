@@ -1,24 +1,33 @@
 // Quickstart: the OpenBI pipeline in one page.
 //
 //  1. Build the DQ4DM knowledge base from controlled experiments (Figure 2,
-//     left side).
+//     left side), streaming progress as the grid completes.
 //  2. Fabricate a dirty open-data source.
-//  3. Ask the advisor which algorithm to use ("the best option is
-//     ALGORITHM X"), mine with it, and share the result as Linked Open Data.
+//  3. Open an advisor session and ask which algorithm to use ("the best
+//     option is ALGORITHM X"), mine with it, and share the result as
+//     Linked Open Data.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"openbi"
 )
 
 func main() {
-	eng := openbi.NewEngine(42)
-	eng.Folds = 3 // keep the demo fast
+	ctx := context.Background()
+	eng, err := openbi.New(
+		openbi.WithSeed(42),
+		openbi.WithFolds(3), // keep the demo fast
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A clean, representative reference dataset (§3.1: "initial and
 	// representative sample ... manually cleaned").
@@ -28,7 +37,12 @@ func main() {
 	}
 
 	fmt.Println("building the DQ4DM knowledge base (Phase 1 + Phase 2)...")
-	rep, err := eng.RunExperiments(ref, "reference")
+	rep, err := eng.RunExperiments(ctx, ref, "reference",
+		openbi.WithProgress(func(ev openbi.Event) {
+			if ev.Completed%50 == 0 || ev.Completed == ev.Total {
+				fmt.Fprintf(os.Stderr, "  phase %d: %d/%d records\n", ev.Phase, ev.Completed, ev.Total)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,8 +58,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Open an advice session — pinned to the KB snapshot as of now, so its
+	// answers stay consistent even if experiments re-run concurrently.
+	advisor, err := eng.Advisor()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Profile → advise.
-	advice, model, err := eng.Advise(dirty, "class")
+	advice, model, err := advisor.Advise(ctx, dirty, "class")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,8 +74,9 @@ func main() {
 		model.Profile.Completeness, model.Profile.NoiseEstimate)
 	fmt.Print(advice.Explain())
 
-	// Mine with the advice and share the outcome as LOD (§1(ii)).
-	result, err := eng.MineWithAdvice(dirty, "class", "http://quickstart.example/")
+	// Mine with the advice and share the outcome as LOD (§1(ii)). The
+	// result carries the model and advice, so nothing is profiled twice.
+	result, err := advisor.MineWithAdvice(ctx, dirty, "class", "http://quickstart.example/")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,51 +4,33 @@
 // → consult the DQ4DM knowledge base for advice → mine → share the result
 // back as Linked Open Data. The root package openbi re-exports this as the
 // library's public API.
+//
+// This file holds the stateless pipeline stages (ingestion, common
+// representation, controlled corruption); engine.go holds the Engine that
+// composes them with a knowledge base for serving.
 package core
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"openbi/internal/cwm"
 	"openbi/internal/dq"
-	"openbi/internal/eval"
-	"openbi/internal/experiment"
 	"openbi/internal/inject"
-	"openbi/internal/kb"
-	"openbi/internal/mining"
+	"openbi/internal/oberr"
 	"openbi/internal/rdf"
 	"openbi/internal/table"
 )
-
-// Engine is the OpenBI session object: a knowledge base plus the
-// configuration shared by profiling, advice and experiment runs.
-type Engine struct {
-	// KB is the DQ4DM knowledge base consulted for advice. A fresh Engine
-	// starts empty; populate it with RunExperiments or LoadKB.
-	KB *kb.KnowledgeBase
-	// Folds is the cross-validation folds used everywhere (default 5).
-	Folds int
-	// Seed drives all stochastic components.
-	Seed int64
-	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
-	Workers int
-}
-
-// NewEngine returns an Engine with an empty knowledge base.
-func NewEngine(seed int64) *Engine {
-	return &Engine{KB: kb.New(), Folds: 5, Seed: seed}
-}
 
 // ---- Ingestion (Figure 1, phase i) ----
 
 // IngestFile reads one open-data file into a table, dispatching on the
 // extension: .csv, .xml, .html/.htm, .nt (N-Triples) and .ttl (Turtle).
-// RDF inputs are projected to the most frequent entity class.
-func (e *Engine) IngestFile(path string) (*table.Table, error) {
+// RDF inputs are projected to the most frequent entity class. Unknown
+// extensions return an error matching oberr.ErrUnsupportedFormat.
+func IngestFile(path string) (*table.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening %s: %w", path, err)
@@ -75,7 +57,8 @@ func (e *Engine) IngestFile(path string) (*table.Table, error) {
 		}
 		return ProjectLargestClass(g)
 	default:
-		return nil, fmt.Errorf("core: unsupported input extension %q", filepath.Ext(path))
+		return nil, fmt.Errorf("core: %w",
+			&oberr.UnsupportedFormatError{Input: path, Format: filepath.Ext(path)})
 	}
 }
 
@@ -107,15 +90,18 @@ type Model struct {
 
 // BuildModel profiles a source and returns the CWM catalog annotated with
 // every data-quality measure (§3.2.1 + §3.2.2 in one call). classColumn
-// may be "" when the source has no classification target. a may be a
-// concrete table or a zero-copy view (views are materialized once here).
-func (e *Engine) BuildModel(a table.Access, classColumn string) (*Model, error) {
+// may be "" when the source has no classification target; a non-empty
+// classColumn absent from the table returns an error matching
+// oberr.ErrColumnNotFound. a may be a concrete table or a zero-copy view
+// (views are materialized once here).
+func BuildModel(a table.Access, classColumn string) (*Model, error) {
 	t := a.Materialize()
 	classIdx := -1
 	if classColumn != "" {
 		classIdx = t.ColumnIndex(classColumn)
 		if classIdx < 0 {
-			return nil, fmt.Errorf("core: class column %q not found in %q", classColumn, t.Name)
+			return nil, fmt.Errorf("core: class %w",
+				&oberr.ColumnNotFoundError{Column: classColumn, Table: t.Name})
 		}
 	}
 	profile := dq.Measure(t, dq.MeasureOptions{ClassColumn: classIdx})
@@ -124,111 +110,25 @@ func (e *Engine) BuildModel(a table.Access, classColumn string) (*Model, error) 
 	return &Model{Catalog: catalog, Profile: profile}, nil
 }
 
-// ---- Advice (Figure 2, right side) ----
+// ---- Controlled corruption (§3.1 step 1) ----
 
-// Advise measures a source and ranks the suite's algorithms for it using
-// the engine's knowledge base.
-func (e *Engine) Advise(a table.Access, classColumn string) (kb.Advice, *Model, error) {
-	m, err := e.BuildModel(a, classColumn)
-	if err != nil {
-		return kb.Advice{}, nil, err
+// CorruptForDemo injects the given specs — exposed so examples and the CLI
+// can fabricate dirty sources without importing internal packages. t may be
+// a concrete table or a zero-copy view (e.g. a Dataset's backing Access).
+// A non-empty classColumn that does not exist returns an error matching
+// oberr.ErrColumnNotFound instead of silently corrupting without class
+// protection.
+func CorruptForDemo(t table.Access, classColumn string, specs []inject.Spec, seed int64) (*table.Table, error) {
+	classIdx := -1
+	if classColumn != "" {
+		classIdx = t.ColumnIndex(classColumn)
+		if classIdx < 0 {
+			// Access carries no table name; the column alone identifies the miss.
+			return nil, fmt.Errorf("core: class %w",
+				&oberr.ColumnNotFoundError{Column: classColumn})
+		}
 	}
-	advice, err := e.KB.Advise(m.Profile)
-	if err != nil {
-		return kb.Advice{}, nil, err
-	}
-	return advice, m, nil
-}
-
-// ---- Experiments (Figure 2, left side; §3.1) ----
-
-// ExperimentReport summarizes a RunExperiments call.
-type ExperimentReport struct {
-	Phase1Records int
-	Phase2Records int
-	Mixed         []experiment.MixedResult
-}
-
-// RunExperiments executes Phase 1 (simple criteria) and Phase 2 (mixed
-// criteria pairs) on a clean dataset and merges all records into the
-// engine's knowledge base.
-func (e *Engine) RunExperiments(ds *mining.Dataset, datasetName string) (*ExperimentReport, error) {
-	cfg := experiment.Config{Folds: e.Folds, Seed: e.Seed, Workers: e.Workers}
-	p1, err := experiment.Phase1(cfg, ds, datasetName)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range p1 {
-		e.KB.Add(r)
-	}
-	combos := experiment.DefaultCombos([]dq.Criterion{
-		dq.Completeness, dq.LabelNoise, dq.Imbalance, dq.Correlation,
-	})
-	mixed, p2, err := experiment.Phase2(cfg, ds, datasetName, e.KB, combos, 0.3)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range p2 {
-		e.KB.Add(r)
-	}
-	return &ExperimentReport{Phase1Records: len(p1), Phase2Records: len(p2), Mixed: mixed}, nil
-}
-
-// ---- Mining + sharing (§1 (i) and (ii)) ----
-
-// MiningResult is the outcome of MineWithAdvice.
-type MiningResult struct {
-	Algorithm string
-	Metrics   eval.Metrics
-	// Shared is the result re-exported as LOD: one entity per test
-	// instance with its predicted label.
-	Shared *rdf.Graph
-}
-
-// MineWithAdvice runs the full user path: advise on the source, train the
-// recommended algorithm on a stratified 70/30 split, evaluate, and share
-// predictions as LOD under the given base IRI.
-func (e *Engine) MineWithAdvice(a table.Access, classColumn, baseIRI string) (*MiningResult, error) {
-	t := a.Materialize()
-	advice, _, err := e.Advise(t, classColumn)
-	if err != nil {
-		return nil, err
-	}
-	best := advice.Best().Algorithm
-	factory, err := mining.Lookup(best, e.Seed)
-	if err != nil {
-		return nil, err
-	}
-	ds, err := mining.NewDatasetByName(t, classColumn)
-	if err != nil {
-		return nil, err
-	}
-	trainRows, testRows, err := eval.TrainTestSplit(ds, 0.3, e.Seed)
-	if err != nil {
-		return nil, err
-	}
-	train, test := ds.Subset(trainRows), ds.Subset(testRows)
-	metrics, _, err := eval.Holdout(factory, train, test)
-	if err != nil {
-		return nil, err
-	}
-
-	// Share: predictions on the test split go back out as LOD.
-	clf := factory()
-	if err := clf.Fit(train); err != nil {
-		return nil, err
-	}
-	shared := t.SelectRows(testRows)
-	pred := table.NewNominalColumn("predicted_" + classColumn)
-	for r := 0; r < test.Len(); r++ {
-		pred.AppendLabel(test.ClassName(clf.Predict(test, r)))
-	}
-	shared.MustAddColumn(pred)
-	if baseIRI == "" {
-		baseIRI = "http://openbi.example.org/"
-	}
-	g := rdf.TableToGraph(shared, baseIRI, sanitizeClassName(t.Name))
-	return &MiningResult{Algorithm: best, Metrics: metrics, Shared: g}, nil
+	return inject.Apply(t, classIdx, specs, seed)
 }
 
 func sanitizeClassName(s string) string {
@@ -243,30 +143,4 @@ func sanitizeClassName(s string) string {
 			return '_'
 		}
 	}, s)
-}
-
-// ---- KB persistence ----
-
-// SaveKB writes the knowledge base to w.
-func (e *Engine) SaveKB(w io.Writer) error { return e.KB.Save(w) }
-
-// LoadKB replaces the engine's knowledge base with one read from r.
-func (e *Engine) LoadKB(r io.Reader) error {
-	loaded, err := kb.Load(r)
-	if err != nil {
-		return err
-	}
-	e.KB = loaded
-	return nil
-}
-
-// CorruptForDemo injects the given specs — exposed so examples and the CLI
-// can fabricate dirty sources without importing internal packages. t may be
-// a concrete table or a zero-copy view (e.g. a Dataset's backing Access).
-func CorruptForDemo(t table.Access, classColumn string, specs []inject.Spec, seed int64) (*table.Table, error) {
-	classIdx := -1
-	if classColumn != "" {
-		classIdx = t.ColumnIndex(classColumn)
-	}
-	return inject.Apply(t, classIdx, specs, seed)
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"openbi/internal/mining"
+	"openbi/internal/oberr"
 	"openbi/internal/stats"
 	"openbi/internal/table"
 )
@@ -258,7 +259,8 @@ func Holdout(factory mining.Factory, train, test *mining.Dataset) (Metrics, *Con
 // folds experiment grid cheap.
 func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed int64) (Metrics, error) {
 	if folds < 2 {
-		return Metrics{}, fmt.Errorf("eval: need >= 2 folds, got %d", folds)
+		return Metrics{}, fmt.Errorf("eval: %w", &oberr.ConfigError{
+			Field: "folds", Reason: fmt.Sprintf("need >= 2, got %d", folds)})
 	}
 	assignments, err := StratifiedFolds(ds, folds, seed)
 	if err != nil {
@@ -301,7 +303,7 @@ func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed i
 func StratifiedFolds(ds *mining.Dataset, folds int, seed int64) ([]int, error) {
 	n := ds.Len()
 	if n < folds {
-		return nil, fmt.Errorf("eval: %d rows < %d folds", n, folds)
+		return nil, fmt.Errorf("eval: %w: %d rows < %d folds", oberr.ErrTooFewRows, n, folds)
 	}
 	rng := stats.NewRand(seed)
 	byClass := make(map[int][]int)
@@ -331,7 +333,8 @@ func StratifiedFolds(ds *mining.Dataset, folds int, seed int64) ([]int, error) {
 // given test fraction.
 func TrainTestSplit(ds *mining.Dataset, testFraction float64, seed int64) (train, test []int, err error) {
 	if testFraction <= 0 || testFraction >= 1 {
-		return nil, nil, fmt.Errorf("eval: test fraction %.3f out of (0,1)", testFraction)
+		return nil, nil, fmt.Errorf("eval: %w", &oberr.ConfigError{
+			Field: "testFraction", Reason: fmt.Sprintf("%.3f out of (0,1)", testFraction)})
 	}
 	folds := int(math.Round(1 / testFraction))
 	if folds < 2 {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"openbi/internal/dq"
@@ -19,7 +20,7 @@ func runKB(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	cfg := Config{Seed: 42, Folds: 3, Severities: []float64{0, 0.3}}
-	recs, err := Phase1(cfg, ds, "equiv")
+	recs, err := Phase1(context.Background(), cfg, ds, "equiv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func runKB(t *testing.T) []byte {
 		base.Add(r)
 	}
 	combos := DefaultCombos([]dq.Criterion{dq.Completeness, dq.LabelNoise})
-	_, p2, err := Phase2(cfg, ds, "equiv", base, combos, 0.3)
+	_, p2, err := Phase2(context.Background(), cfg, ds, "equiv", base.Snapshot(), combos, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}

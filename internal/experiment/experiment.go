@@ -6,9 +6,14 @@
 //
 // Runs fan out over a bounded worker pool; every task derives its own
 // deterministic seed, so results are identical regardless of parallelism.
+// Both phases honour context cancellation between grid cells — an
+// in-flight cross-validation finishes, but no new cell starts once the
+// context is done — and can stream per-record completion through
+// Config.Progress for observability.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -21,6 +26,23 @@ import (
 	"openbi/internal/kb"
 	"openbi/internal/mining"
 )
+
+// Event is one progress notification: a grid record finished. Events are
+// emitted serially (never two at once), so sinks need no locking of their
+// own, but they run on the worker's goroutine — keep them fast.
+type Event struct {
+	// Phase is 1 for the simple-criterion sweep, 2 for mixed combinations.
+	Phase int
+	// Algorithm, Criterion and Severity locate the finished record;
+	// Criterion is "clean" for baselines and "a+b" for Phase-2 combos.
+	Algorithm string
+	Criterion string
+	Severity  float64
+	// Completed counts records finished in this phase so far (including
+	// this one); Total is the phase's full grid size.
+	Completed int
+	Total     int
+}
 
 // Config parameterizes a run.
 type Config struct {
@@ -40,6 +62,9 @@ type Config struct {
 	Seed int64
 	// Workers bounds parallelism (default runtime.GOMAXPROCS(0)).
 	Workers int
+	// Progress, when non-nil, receives one Event per completed record.
+	// Calls are serialized across workers.
+	Progress func(Event)
 }
 
 func (c *Config) applyDefaults() {
@@ -68,6 +93,37 @@ func (c *Config) AlgorithmNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// progress serializes Event delivery from concurrent workers and owns the
+// per-phase Completed counter.
+type progress struct {
+	mu    sync.Mutex
+	sink  func(Event)
+	phase int
+	total int
+	done  int
+}
+
+func newProgress(sink func(Event), phase, total int) *progress {
+	return &progress{sink: sink, phase: phase, total: total}
+}
+
+func (p *progress) record(algorithm, criterion string, severity float64) {
+	if p == nil || p.sink == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.sink(Event{
+		Phase:     p.phase,
+		Algorithm: algorithm,
+		Criterion: criterion,
+		Severity:  severity,
+		Completed: p.done,
+		Total:     p.total,
+	})
 }
 
 // taskSeed derives a stable per-task seed from the run seed and the task
@@ -102,8 +158,8 @@ type cell struct {
 }
 
 // prepareCells builds the clean cell plus one corrupted cell per
-// (criterion × non-zero severity).
-func prepareCells(cfg Config, ds *mining.Dataset) ([]cell, error) {
+// (criterion × non-zero severity), honouring ctx between cells.
+func prepareCells(ctx context.Context, cfg Config, ds *mining.Dataset) ([]cell, error) {
 	cleanProfile := dq.Measure(ds.Table(), dq.MeasureOptions{ClassColumn: ds.ClassCol})
 	cleanMeasures := map[string]float64{}
 	for _, c := range dq.AllCriteria() {
@@ -114,6 +170,9 @@ func prepareCells(cfg Config, ds *mining.Dataset) ([]cell, error) {
 		for _, sev := range cfg.Severities {
 			if sev == 0 {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			seed := taskSeed(cfg.Seed, "inject", crit.String(), fmt.Sprintf("%.3f", sev))
 			corrupted, err := inject.Apply(ds.T, ds.ClassCol,
@@ -142,9 +201,15 @@ func prepareCells(cfg Config, ds *mining.Dataset) ([]cell, error) {
 // cell is evaluated once per algorithm and recorded with Criterion
 // "clean"; its record carries the clean data's measured severity for every
 // criterion (the advisor's curve anchors).
-func Phase1(cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, error) {
+//
+// Cancellation is honoured between grid cells: when ctx is done, running
+// cells finish, no new cell starts, and Phase1 returns ctx.Err().
+func Phase1(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.applyDefaults()
-	cells, err := prepareCells(cfg, ds)
+	cells, err := prepareCells(ctx, cfg, ds)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +225,7 @@ func Phase1(cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, er
 		}
 	}
 
+	prog := newProgress(cfg.Progress, 1, len(tasks))
 	records := make([]kb.Record, len(tasks))
 	errs := make([]error, len(tasks))
 	var wg sync.WaitGroup
@@ -168,8 +234,15 @@ func Phase1(cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, er
 		wg.Add(1)
 		go func(i int, tk task) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 
 			rec := kb.Record{
 				Algorithm:        tk.algorithm,
@@ -195,9 +268,13 @@ func Phase1(cfg Config, ds *mining.Dataset, datasetName string) ([]kb.Record, er
 			}
 			rec.Metrics = m
 			records[i] = rec
+			prog.record(rec.Algorithm, rec.Criterion, rec.Severity)
 		}(i, tk)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -226,11 +303,15 @@ func (m MixedResult) Interaction() float64 {
 }
 
 // Phase2 runs mixed-criteria combinations at a single severity per
-// criterion and compares against additive predictions from the Phase-1
-// knowledge base. It returns the mixed results and the kb records
-// (Criterion "a+b", Mixed=true) to be added to the knowledge base.
-func Phase2(cfg Config, ds *mining.Dataset, datasetName string, base *kb.KnowledgeBase,
+// criterion and compares against additive predictions read from a
+// Phase-1 knowledge-base snapshot. It returns the mixed results and the
+// kb records (Criterion "a+b", Mixed=true) to be added to the knowledge
+// base. Cancellation follows the same cell-boundary rule as Phase1.
+func Phase2(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName string, base *kb.Snapshot,
 	combos [][]dq.Criterion, severity float64) ([]MixedResult, []kb.Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.applyDefaults()
 
 	type task struct {
@@ -243,6 +324,7 @@ func Phase2(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Knowled
 			tasks = append(tasks, task{alg, combo})
 		}
 	}
+	prog := newProgress(cfg.Progress, 2, len(tasks))
 	results := make([]MixedResult, len(tasks))
 	records := make([]kb.Record, len(tasks))
 	errs := make([]error, len(tasks))
@@ -252,8 +334,15 @@ func Phase2(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Knowled
 		wg.Add(1)
 		go func(i int, tk task) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 
 			comboName := comboString(tk.combo)
 			specs := make([]inject.Spec, len(tk.combo))
@@ -297,9 +386,13 @@ func Phase2(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Knowled
 				Seed:      cvSeed,
 				Metrics:   m,
 			}
+			prog.record(tk.algorithm, comboName, severity)
 		}(i, tk)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

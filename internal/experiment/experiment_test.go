@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 
 	"openbi/internal/dq"
@@ -29,7 +32,7 @@ func fixture() *mining.Dataset {
 }
 
 func TestPhase1GridSize(t *testing.T) {
-	recs, err := Phase1(smallCfg(1), fixture(), "unit")
+	recs, err := Phase1(context.Background(), smallCfg(1), fixture(), "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestPhase1GridSize(t *testing.T) {
 }
 
 func TestPhase1MeasuredSeverityRecorded(t *testing.T) {
-	recs, err := Phase1(smallCfg(2), fixture(), "unit")
+	recs, err := Phase1(context.Background(), smallCfg(2), fixture(), "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +87,11 @@ func TestPhase1DeterministicAcrossWorkers(t *testing.T) {
 	cfg1.Workers = 1
 	cfg8 := smallCfg(3)
 	cfg8.Workers = 8
-	a, err := Phase1(cfg1, fixture(), "unit")
+	a, err := Phase1(context.Background(), cfg1, fixture(), "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Phase1(cfg8, fixture(), "unit")
+	b, err := Phase1(context.Background(), cfg8, fixture(), "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +107,7 @@ func TestPhase1DeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestPhase1DegradationShape(t *testing.T) {
-	recs, err := Phase1(smallCfg(4), fixture(), "unit")
+	recs, err := Phase1(context.Background(), smallCfg(4), fixture(), "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestPhase1DegradationShape(t *testing.T) {
 func TestPhase2InteractionAndRecords(t *testing.T) {
 	ds := fixture()
 	cfg := smallCfg(5)
-	p1, err := Phase1(cfg, ds, "unit")
+	p1, err := Phase1(context.Background(), cfg, ds, "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestPhase2InteractionAndRecords(t *testing.T) {
 		base.Add(r)
 	}
 	combos := [][]dq.Criterion{{dq.LabelNoise, dq.Completeness}}
-	mixed, recs, err := Phase2(cfg, ds, "unit", base, combos, 0.3)
+	mixed, recs, err := Phase2(context.Background(), cfg, ds, "unit", base.Snapshot(), combos, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +193,7 @@ func TestValidateAdvisorBeatsChanceAndRuns(t *testing.T) {
 	ds := fixture()
 	cfg := smallCfg(6)
 	cfg.Mechanism = inject.MCAR
-	p1, err := Phase1(cfg, ds, "unit")
+	p1, err := Phase1(context.Background(), cfg, ds, "unit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +201,7 @@ func TestValidateAdvisorBeatsChanceAndRuns(t *testing.T) {
 	for _, r := range p1 {
 		base.Add(r)
 	}
-	res, err := Validate(cfg, ds, base, 4)
+	res, err := Validate(context.Background(), cfg, ds, base.Snapshot(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,5 +230,109 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if len(cfg.AlgorithmNames()) != 8 {
 		t.Fatalf("default suite size: %v", cfg.AlgorithmNames())
+	}
+}
+
+// TestPhase1CancellationStopsMidGrid cancels the context from the progress
+// sink after the first completed record: Phase1 must stop between grid
+// cells, return ctx.Err(), and leave most of the grid unrun.
+func TestPhase1CancellationStopsMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed atomic.Int64
+	cfg := smallCfg(7)
+	cfg.Workers = 1 // serialize so "stops mid-grid" is deterministic
+	cfg.Progress = func(ev Event) {
+		completed.Store(int64(ev.Completed))
+		cancel()
+	}
+	recs, err := Phase1(ctx, cfg, fixture(), "unit")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if recs != nil {
+		t.Fatal("canceled run must not return records")
+	}
+	// 10 tasks total (2 algorithms x 5 cells); cancellation after the first
+	// completion must prevent the grid from finishing.
+	if n := completed.Load(); n == 0 || n >= 10 {
+		t.Fatalf("completed %d records, want mid-grid stop", n)
+	}
+}
+
+// TestPhase1PreCanceledContext: a context canceled before the call stops
+// even cell preparation.
+func TestPhase1PreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Phase1(ctx, smallCfg(8), fixture(), "unit"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPhase2CancellationReturnsCtxErr mirrors the Phase-1 test for the
+// mixed-criteria grid.
+func TestPhase2CancellationReturnsCtxErr(t *testing.T) {
+	ds := fixture()
+	cfg := smallCfg(9)
+	p1, err := Phase1(context.Background(), cfg, ds, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range p1 {
+		base.Add(r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Workers = 1
+	cfg.Progress = func(Event) { cancel() }
+	combos := [][]dq.Criterion{{dq.LabelNoise, dq.Completeness}, {dq.LabelNoise, dq.Imbalance}}
+	_, _, err = Phase2(ctx, cfg, ds, "unit", base.Snapshot(), combos, 0.3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressEventsCoverTheGrid: every record completion emits exactly one
+// event, serially, with a monotonically increasing Completed counter.
+func TestProgressEventsCoverTheGrid(t *testing.T) {
+	var events []Event
+	cfg := smallCfg(10)
+	cfg.Workers = 4
+	cfg.Progress = func(ev Event) { events = append(events, ev) } // serial by contract
+	recs, err := Phase1(context.Background(), cfg, fixture(), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(recs) {
+		t.Fatalf("%d events for %d records", len(events), len(recs))
+	}
+	for i, ev := range events {
+		if ev.Phase != 1 || ev.Total != len(recs) || ev.Completed != i+1 {
+			t.Fatalf("event %d malformed: %+v", i, ev)
+		}
+		if ev.Algorithm == "" || ev.Criterion == "" {
+			t.Fatalf("event %d lacks coordinates: %+v", i, ev)
+		}
+	}
+}
+
+// TestValidateCancellation: Validate honours ctx between trials.
+func TestValidateCancellation(t *testing.T) {
+	ds := fixture()
+	cfg := smallCfg(11)
+	p1, err := Phase1(context.Background(), cfg, ds, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range p1 {
+		base.Add(r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Validate(ctx, cfg, ds, base.Snapshot(), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,11 +60,15 @@ func (v ValidationResult) Top2Rate() float64 {
 }
 
 // Validate generates `trials` random corruption scenarios on the clean
-// dataset, asks the knowledge base for advice from the *measured* profile
-// of each corrupted copy (exactly the production path: profile →
+// dataset, asks the knowledge-base snapshot for advice from the *measured*
+// profile of each corrupted copy (exactly the production path: profile →
 // severities → advice), then runs every algorithm to find the empirical
 // winner. Scenarios draw 1-3 criteria with severities in [0.1, 0.5].
-func Validate(cfg Config, ds *mining.Dataset, base *kb.KnowledgeBase, trials int) (ValidationResult, error) {
+// Cancellation is honoured between trials and between per-algorithm runs.
+func Validate(ctx context.Context, cfg Config, ds *mining.Dataset, base *kb.Snapshot, trials int) (ValidationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.applyDefaults()
 	if trials <= 0 {
 		trials = 10
@@ -77,6 +82,9 @@ func Validate(cfg Config, ds *mining.Dataset, base *kb.KnowledgeBase, trials int
 	var bestKappas []float64
 
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return ValidationResult{}, err
+		}
 		nDefects := 1 + rng.Intn(3)
 		perm := rng.Perm(len(criteria))
 		specs := make([]inject.Spec, 0, nDefects)
@@ -114,6 +122,9 @@ func Validate(cfg Config, ds *mining.Dataset, base *kb.KnowledgeBase, trials int
 		}
 		var scores []algKappa
 		for _, alg := range cfg.AlgorithmNames() {
+			if err := ctx.Err(); err != nil {
+				return ValidationResult{}, err
+			}
 			m, err := eval.CrossValidate(cfg.Algorithms[alg],
 				evalDS, cfg.Folds, taskSeed(cfg.Seed, "validate-cv", scenario, alg))
 			if err != nil {

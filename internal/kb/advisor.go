@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"openbi/internal/dq"
+	"openbi/internal/oberr"
 )
 
 // Recommendation is one ranked entry of the advisor's answer.
@@ -37,20 +38,22 @@ func (a Advice) Best() Recommendation {
 	return a.Ranked[0]
 }
 
-// Advise ranks every algorithm in the knowledge base for a source with
-// the given measured profile. This is Figure 2's right-hand side: the
+// Advise ranks every algorithm in the snapshot for a source with the
+// given measured profile. This is Figure 2's right-hand side: the
 // annotated common representation (its severity vector) meets the DQ4DM
-// knowledge base and yields guidance for the non-expert data miner.
-func (k *KnowledgeBase) Advise(p dq.Profile) (Advice, error) {
-	return k.AdviseSeverities(p.Severities())
+// knowledge base and yields guidance for the non-expert data miner. The
+// call is a pure read over precomputed curves — lock-free and safe from
+// any number of goroutines.
+func (s *Snapshot) Advise(p dq.Profile) (Advice, error) {
+	return s.AdviseSeverities(p.Severities())
 }
 
 // AdviseSeverities is Advise for a raw severity vector (dq.AllCriteria
 // order), used when the profile was read back from an annotated model.
-func (k *KnowledgeBase) AdviseSeverities(severities []float64) (Advice, error) {
-	algorithms := k.Algorithms()
-	if len(algorithms) == 0 {
-		return Advice{}, fmt.Errorf("kb: knowledge base is empty; run experiments first")
+// It returns oberr.ErrEmptyKB when the snapshot holds no experiments.
+func (s *Snapshot) AdviseSeverities(severities []float64) (Advice, error) {
+	if len(s.algorithms) == 0 {
+		return Advice{}, fmt.Errorf("kb: %w; run experiments first", oberr.ErrEmptyKB)
 	}
 	var advice Advice
 	for _, c := range dq.AllCriteria() {
@@ -64,22 +67,22 @@ func (k *KnowledgeBase) AdviseSeverities(severities []float64) (Advice, error) {
 		return severities[ci] > severities[cj]
 	})
 
-	for _, alg := range algorithms {
+	for _, alg := range s.algorithms {
 		rec := Recommendation{
 			Algorithm:     alg,
-			BaselineKappa: k.BaselineKappa(alg),
+			BaselineKappa: s.BaselineKappa(alg),
 			Penalties:     map[string]float64{},
 		}
-		rec.PredictedKappa = k.PredictKappa(alg, severities)
+		rec.PredictedKappa = s.PredictKappa(alg, severities)
 		for _, c := range dq.AllCriteria() {
-			s := 0.0
+			sev := 0.0
 			if int(c) < len(severities) {
-				s = severities[c]
+				sev = severities[c]
 			}
-			if s <= 0 {
+			if sev <= 0 {
 				continue
 			}
-			loss := k.interpolatedLoss(alg, c, s)
+			loss := s.interpolatedLoss(alg, c, sev)
 			if loss > 0.005 {
 				rec.Penalties[c.String()] = loss
 			}

@@ -3,13 +3,22 @@
 // presence of data quality criteria") and the advisor that turns it into
 // the paper's promise to the non-expert user — "the best option is
 // ALGORITHM X".
+//
+// The package is split along the paper's offline/online boundary:
+//
+//   - KnowledgeBase is the write side — an append-only record store that
+//     experiment runs populate and Save/Load persist. It is not safe for
+//     concurrent use; one writer owns it.
+//   - Snapshot is the read side — an immutable view with every curve,
+//     baseline and sensitivity precomputed at construction, so Advise and
+//     PredictKappa are lock-free lookups that any number of goroutines can
+//     share (see Snapshot).
 package kb
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 
 	"openbi/internal/dq"
@@ -43,8 +52,10 @@ type Record struct {
 	Metrics     eval.Metrics       `json:"metrics"`
 }
 
-// KnowledgeBase stores experiment records and answers degradation and
-// advice queries over them. It is a value store: mutation is Add only.
+// KnowledgeBase is the write side of the DQ4DM store: an append-only
+// sequence of experiment records. Mutation is Add only; reads for serving
+// go through Snapshot(). A KnowledgeBase is owned by a single writer —
+// it does no internal locking (core.Engine serializes its writes).
 type KnowledgeBase struct {
 	Records []Record `json:"records"`
 }
@@ -59,9 +70,11 @@ func (k *KnowledgeBase) Add(r Record) { k.Records = append(k.Records, r) }
 func (k *KnowledgeBase) Len() int { return len(k.Records) }
 
 // Algorithms returns the distinct algorithm names, sorted.
-func (k *KnowledgeBase) Algorithms() []string {
+func (k *KnowledgeBase) Algorithms() []string { return algorithmsOf(k.Records) }
+
+func algorithmsOf(records []Record) []string {
 	set := map[string]bool{}
-	for _, r := range k.Records {
+	for _, r := range records {
 		set[r.Algorithm] = true
 	}
 	out := make([]string, 0, len(set))
@@ -81,24 +94,14 @@ type CurvePoint struct {
 	N        int // records averaged
 }
 
-// Curve returns the Phase-1 degradation curve of one algorithm under one
-// criterion on the *injected*-severity axis: records grouped by severity
-// (mixed-run records excluded), averaged, sorted. The severity-0 clean
-// baselines of every criterion are pooled into the first point. This is
-// the axis experiment tables report.
-func (k *KnowledgeBase) Curve(algorithm string, criterion dq.Criterion) []CurvePoint {
-	return k.curve(algorithm, criterion, false)
-}
-
-// MeasuredCurve is Curve on the *measured*-severity axis — the coordinate
-// system dq.Profile produces and therefore the one advice interpolates in.
-func (k *KnowledgeBase) MeasuredCurve(algorithm string, criterion dq.Criterion) []CurvePoint {
-	return k.curve(algorithm, criterion, true)
-}
-
-func (k *KnowledgeBase) curve(algorithm string, criterion dq.Criterion, measured bool) []CurvePoint {
+// curveOf computes the Phase-1 degradation curve of one algorithm under
+// one criterion over a record sequence: records grouped by severity
+// (mixed-run records excluded), averaged in record order, sorted by
+// severity. With measured set, severities come from the measured axis
+// (MeasuredAll anchors for clean records, MeasuredSeverity otherwise).
+func curveOf(records []Record, algorithm string, criterion dq.Criterion, measured bool) []CurvePoint {
 	groups := map[float64][]eval.Metrics{}
-	for _, r := range k.Records {
+	for _, r := range records {
 		if r.Algorithm != algorithm || r.Mixed {
 			continue
 		}
@@ -137,11 +140,11 @@ func (k *KnowledgeBase) curve(algorithm string, criterion dq.Criterion, measured
 	return out
 }
 
-// BaselineKappa returns the mean clean (severity-0, non-mixed) kappa of an
-// algorithm, or 0 when no baseline exists.
-func (k *KnowledgeBase) BaselineKappa(algorithm string) float64 {
+// baselineOf computes the mean clean (severity-0, non-mixed) kappa of an
+// algorithm over a record sequence, or 0 when no baseline exists.
+func baselineOf(records []Record, algorithm string) float64 {
 	sum, n := 0.0, 0
-	for _, r := range k.Records {
+	for _, r := range records {
 		if r.Algorithm == algorithm && r.Severity == 0 && !r.Mixed {
 			sum += r.Metrics.Kappa
 			n++
@@ -151,15 +154,6 @@ func (k *KnowledgeBase) BaselineKappa(algorithm string) float64 {
 		return 0
 	}
 	return sum / float64(n)
-}
-
-// Sensitivity returns the per-unit-severity kappa loss of an algorithm
-// under a criterion, estimated by least squares over the degradation
-// curve. Positive values mean degradation (kappa falls as severity rises);
-// this is the "algorithm × criterion sensitivity table" the F2-KB
-// experiment reports.
-func (k *KnowledgeBase) Sensitivity(algorithm string, criterion dq.Criterion) float64 {
-	return -slopeOf(k.Curve(algorithm, criterion))
 }
 
 // slopeOf is the least-squares slope of kappa on severity over a curve.
@@ -182,41 +176,15 @@ func slopeOf(curve []CurvePoint) float64 {
 	return (n*sxy - sx*sy) / den
 }
 
-// PredictKappa estimates the kappa an algorithm would achieve on a source
-// whose dq severity vector (dq.AllCriteria order) is given: clean baseline
-// minus the interpolated per-criterion losses, additive across criteria.
-// The additive composition is first-order; the Phase-2 mixed experiments
-// measure how far reality departs from it, and the advisor's validation
-// experiment (F2-ADV) shows it ranks algorithms well regardless.
-func (k *KnowledgeBase) PredictKappa(algorithm string, severities []float64) float64 {
-	base := k.BaselineKappa(algorithm)
-	pred := base
-	for _, c := range dq.AllCriteria() {
-		s := 0.0
-		if int(c) < len(severities) {
-			s = severities[c]
-		}
-		if s <= 0 {
-			continue
-		}
-		pred -= k.interpolatedLoss(algorithm, c, s)
-	}
-	if pred < -1 {
-		pred = -1
-	}
-	return pred
-}
-
-// interpolatedLoss reads the kappa loss at measured severity s off the
-// measured-axis degradation curve by piecewise-linear interpolation; below
-// the clean anchor the loss is zero, beyond the last point it is linearly
+// lossAt reads the kappa loss at measured severity s off a measured-axis
+// degradation curve by piecewise-linear interpolation; below the clean
+// anchor the loss is zero, beyond the last point it is linearly
 // extrapolated with the curve's own slope. The loss is floored at zero:
 // a sampled curve can be locally non-monotone (cross-validation noise),
 // but a quality defect is never credited with *improving* an algorithm —
 // without the floor, predicted kappa could exceed the clean baseline,
 // which reads as nonsense in the advice shown to users.
-func (k *KnowledgeBase) interpolatedLoss(algorithm string, c dq.Criterion, s float64) float64 {
-	curve := k.MeasuredCurve(algorithm, c)
+func lossAt(curve []CurvePoint, s float64) float64 {
 	if len(curve) < 2 {
 		return 0
 	}
@@ -249,6 +217,73 @@ func (k *KnowledgeBase) interpolatedLoss(algorithm string, c dq.Criterion, s flo
 	return loss
 }
 
+// ---- Deprecated read shims ----
+//
+// The methods below predate the builder/Snapshot split. They delegate to a
+// freshly built Snapshot per call, which recomputes every curve — fine for
+// a one-off query or a test fixture, wasteful in a loop. Serving paths
+// should hold a Snapshot and query it instead.
+
+// Curve returns the degradation curve on the injected-severity axis.
+//
+// Deprecated: use Snapshot().Curve; hold the snapshot across queries.
+func (k *KnowledgeBase) Curve(algorithm string, criterion dq.Criterion) []CurvePoint {
+	return curveOf(k.Records, algorithm, criterion, false)
+}
+
+// MeasuredCurve returns the degradation curve on the measured-severity axis.
+//
+// Deprecated: use Snapshot().MeasuredCurve; hold the snapshot across queries.
+func (k *KnowledgeBase) MeasuredCurve(algorithm string, criterion dq.Criterion) []CurvePoint {
+	return curveOf(k.Records, algorithm, criterion, true)
+}
+
+// BaselineKappa returns the mean clean kappa of an algorithm.
+//
+// Deprecated: use Snapshot().BaselineKappa; hold the snapshot across queries.
+func (k *KnowledgeBase) BaselineKappa(algorithm string) float64 {
+	return baselineOf(k.Records, algorithm)
+}
+
+// Sensitivity returns the per-unit-severity kappa loss of an algorithm
+// under a criterion.
+//
+// Deprecated: use Snapshot().Sensitivity; hold the snapshot across queries.
+func (k *KnowledgeBase) Sensitivity(algorithm string, criterion dq.Criterion) float64 {
+	return -slopeOf(k.Curve(algorithm, criterion))
+}
+
+// PredictKappa estimates the kappa an algorithm would achieve on a source
+// with the given severity vector.
+//
+// Deprecated: use Snapshot().PredictKappa; hold the snapshot across queries.
+func (k *KnowledgeBase) PredictKappa(algorithm string, severities []float64) float64 {
+	return k.Snapshot().PredictKappa(algorithm, severities)
+}
+
+// SensitivityTable renders the algorithm × criterion sensitivity matrix.
+//
+// Deprecated: use Snapshot().SensitivityTable; hold the snapshot across queries.
+func (k *KnowledgeBase) SensitivityTable() (algorithms []string, criteria []dq.Criterion, cells [][]float64) {
+	return k.Snapshot().SensitivityTable()
+}
+
+// Advise ranks every algorithm for a source with the given profile.
+//
+// Deprecated: use Snapshot().Advise; hold the snapshot across queries.
+func (k *KnowledgeBase) Advise(p dq.Profile) (Advice, error) {
+	return k.Snapshot().Advise(p)
+}
+
+// AdviseSeverities is Advise for a raw severity vector.
+//
+// Deprecated: use Snapshot().AdviseSeverities; hold the snapshot across queries.
+func (k *KnowledgeBase) AdviseSeverities(severities []float64) (Advice, error) {
+	return k.Snapshot().AdviseSeverities(severities)
+}
+
+// ---- Persistence ----
+
 // Save writes the knowledge base as indented JSON.
 func (k *KnowledgeBase) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -263,24 +298,4 @@ func Load(r io.Reader) (*KnowledgeBase, error) {
 		return nil, fmt.Errorf("kb: decoding: %w", err)
 	}
 	return &k, nil
-}
-
-// SensitivityTable renders the algorithm × criterion sensitivity matrix:
-// rows keyed by algorithm name in sorted order, one column per criterion
-// in dq.AllCriteria order. NaN cells mean "no data".
-func (k *KnowledgeBase) SensitivityTable() (algorithms []string, criteria []dq.Criterion, cells [][]float64) {
-	algorithms = k.Algorithms()
-	criteria = dq.AllCriteria()
-	cells = make([][]float64, len(algorithms))
-	for i, a := range algorithms {
-		cells[i] = make([]float64, len(criteria))
-		for j, c := range criteria {
-			if len(k.Curve(a, c)) < 2 {
-				cells[i][j] = math.NaN()
-				continue
-			}
-			cells[i][j] = k.Sensitivity(a, c)
-		}
-	}
-	return algorithms, criteria, cells
 }

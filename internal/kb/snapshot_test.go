@@ -1,0 +1,127 @@
+package kb
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/eval"
+	"openbi/internal/oberr"
+)
+
+// TestSnapshotMatchesBuilderReads pins the builder/snapshot split: every
+// precomputed read must equal the legacy on-the-fly computation over the
+// same records, bit for bit.
+func TestSnapshotMatchesBuilderReads(t *testing.T) {
+	k := seedKB()
+	s := k.Snapshot()
+	if s.Len() != k.Len() {
+		t.Fatalf("snapshot size %d != %d", s.Len(), k.Len())
+	}
+	algs := k.Algorithms()
+	if got := s.Algorithms(); len(got) != len(algs) || got[0] != algs[0] || got[1] != algs[1] {
+		t.Fatalf("algorithms %v != %v", got, algs)
+	}
+	for _, alg := range algs {
+		if s.BaselineKappa(alg) != k.BaselineKappa(alg) {
+			t.Fatalf("%s baseline differs", alg)
+		}
+		for _, crit := range dq.AllCriteria() {
+			for name, pair := range map[string][2][]CurvePoint{
+				"injected": {s.Curve(alg, crit), k.Curve(alg, crit)},
+				"measured": {s.MeasuredCurve(alg, crit), k.MeasuredCurve(alg, crit)},
+			} {
+				snap, legacy := pair[0], pair[1]
+				if len(snap) != len(legacy) {
+					t.Fatalf("%s/%s %s curve length %d != %d", alg, crit, name, len(snap), len(legacy))
+				}
+				for i := range snap {
+					if snap[i] != legacy[i] {
+						t.Fatalf("%s/%s %s curve point %d: %+v != %+v", alg, crit, name, i, snap[i], legacy[i])
+					}
+				}
+			}
+			if s.Sensitivity(alg, crit) != k.Sensitivity(alg, crit) {
+				t.Fatalf("%s/%s sensitivity differs", alg, crit)
+			}
+		}
+	}
+	sev := make([]float64, len(dq.AllCriteria()))
+	sev[dq.LabelNoise] = 0.4
+	sev[dq.Completeness] = 0.2
+	for _, alg := range algs {
+		if s.PredictKappa(alg, sev) != k.PredictKappa(alg, sev) {
+			t.Fatalf("%s prediction differs", alg)
+		}
+	}
+	sa, err := s.AdviseSeverities(sev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := k.AdviseSeverities(sev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Best().Algorithm != ka.Best().Algorithm || sa.Best().PredictedKappa != ka.Best().PredictedKappa {
+		t.Fatalf("advice differs: %+v vs %+v", sa.Best(), ka.Best())
+	}
+}
+
+// TestSnapshotDetachedFromBuilder: records added after Snapshot() must not
+// leak into it — that isolation is what makes lock-free serving sound.
+func TestSnapshotDetachedFromBuilder(t *testing.T) {
+	k := seedKB()
+	s := k.Snapshot()
+	before := s.BaselineKappa("robust")
+	k.Add(Record{Algorithm: "robust", Criterion: "clean", Severity: 0,
+		Dataset: "late", Metrics: eval.Metrics{Kappa: -1}})
+	k.Add(Record{Algorithm: "newcomer", Criterion: "clean", Severity: 0,
+		Dataset: "late", Metrics: eval.Metrics{Kappa: 0.9}})
+	if s.BaselineKappa("robust") != before {
+		t.Fatal("later Add mutated a snapshot baseline")
+	}
+	if len(s.Algorithms()) != 2 || s.Len() != 10 {
+		t.Fatalf("later Add changed snapshot shape: %v, %d records", s.Algorithms(), s.Len())
+	}
+}
+
+func TestSnapshotEmptyKBTypedError(t *testing.T) {
+	_, err := New().Snapshot().AdviseSeverities(make([]float64, 7))
+	if !errors.Is(err, oberr.ErrEmptyKB) {
+		t.Fatalf("err = %v, want ErrEmptyKB", err)
+	}
+}
+
+// TestSnapshotConcurrentReads hammers one snapshot from many goroutines;
+// run under -race this asserts the read side is genuinely lock-free safe.
+func TestSnapshotConcurrentReads(t *testing.T) {
+	s := seedKB().Snapshot()
+	sev := make([]float64, len(dq.AllCriteria()))
+	sev[dq.LabelNoise] = 0.5
+	want, err := s.AdviseSeverities(sev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				adv, err := s.AdviseSeverities(sev)
+				if err != nil || adv.Best().Algorithm != want.Best().Algorithm {
+					t.Errorf("concurrent advice diverged: %v %v", adv.Best(), err)
+					return
+				}
+				s.SensitivityTable()
+				if math.IsNaN(s.PredictKappa("robust", sev)) {
+					t.Error("NaN prediction")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"openbi/internal/oberr"
 	"openbi/internal/stats"
 	"openbi/internal/table"
 )
@@ -104,11 +105,12 @@ func NewDataset(a table.Access, classCol int) (*Dataset, error) {
 	return ds, nil
 }
 
-// NewDatasetByName wraps a with the named class column.
+// NewDatasetByName wraps a with the named class column. A missing column
+// returns an error matching oberr.ErrColumnNotFound.
 func NewDatasetByName(a table.Access, className string) (*Dataset, error) {
 	idx := a.ColumnIndex(className)
 	if idx < 0 {
-		return nil, fmt.Errorf("mining: class column %q not found", className)
+		return nil, fmt.Errorf("mining: class %w", &oberr.ColumnNotFoundError{Column: className})
 	}
 	return NewDataset(a, idx)
 }

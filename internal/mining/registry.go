@@ -3,6 +3,8 @@ package mining
 import (
 	"fmt"
 	"sort"
+
+	"openbi/internal/oberr"
 )
 
 // StandardSuite returns the classifier factories the experiment harness
@@ -33,12 +35,13 @@ func SuiteNames() []string {
 	return names
 }
 
-// Lookup resolves a registry name, returning an error listing the valid
-// names on a miss (the CLI surfaces this to users).
+// Lookup resolves a registry name. A miss returns an error matching
+// oberr.ErrUnknownAlgorithm whose oberr.UnknownAlgorithmError detail lists
+// the valid names (the CLI surfaces this to users).
 func Lookup(name string, seed int64) (Factory, error) {
 	suite := StandardSuite(seed)
 	if f, ok := suite[name]; ok {
 		return f, nil
 	}
-	return nil, fmt.Errorf("mining: unknown algorithm %q (have %v)", name, SuiteNames())
+	return nil, fmt.Errorf("mining: %w", &oberr.UnknownAlgorithmError{Name: name, Known: SuiteNames()})
 }

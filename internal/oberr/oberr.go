@@ -1,0 +1,88 @@
+// Package oberr defines the typed error taxonomy shared across the OpenBI
+// pipeline. Every layer (core, kb, mining, eval, experiment) wraps its
+// failures around these sentinels so callers can branch with errors.Is
+// without parsing messages, and around the structured error types so
+// errors.As recovers the offending identifiers. The public facade
+// re-exports the sentinels as openbi.Err*.
+package oberr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors. Match with errors.Is; the structured types below carry
+// the detail and report Is(sentinel) == true.
+var (
+	// ErrColumnNotFound reports a named column absent from a table.
+	ErrColumnNotFound = errors.New("column not found")
+	// ErrEmptyKB reports an advice query against a knowledge base with no
+	// experiment records ("run experiments first").
+	ErrEmptyKB = errors.New("knowledge base is empty")
+	// ErrUnknownAlgorithm reports a mining-registry name miss.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+	// ErrUnsupportedFormat reports an ingestion input whose format or
+	// extension the pipeline cannot read.
+	ErrUnsupportedFormat = errors.New("unsupported input format")
+	// ErrBadConfig reports an invalid engine or experiment configuration
+	// (fold counts, worker counts, severities, option values).
+	ErrBadConfig = errors.New("invalid configuration")
+	// ErrTooFewRows reports a dataset too small for the requested split.
+	ErrTooFewRows = errors.New("too few rows")
+)
+
+// ColumnNotFoundError is the structured form of ErrColumnNotFound.
+type ColumnNotFoundError struct {
+	Column string // the column that was asked for
+	Table  string // the table it was looked up in ("" when unnamed)
+}
+
+func (e *ColumnNotFoundError) Error() string {
+	if e.Table == "" {
+		return fmt.Sprintf("column %q not found", e.Column)
+	}
+	return fmt.Sprintf("column %q not found in %q", e.Column, e.Table)
+}
+
+// Is makes errors.Is(err, ErrColumnNotFound) match.
+func (e *ColumnNotFoundError) Is(target error) bool { return target == ErrColumnNotFound }
+
+// UnknownAlgorithmError is the structured form of ErrUnknownAlgorithm.
+type UnknownAlgorithmError struct {
+	Name  string   // the name that missed
+	Known []string // valid registry names, sorted
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("unknown algorithm %q (have %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// Is makes errors.Is(err, ErrUnknownAlgorithm) match.
+func (e *UnknownAlgorithmError) Is(target error) bool { return target == ErrUnknownAlgorithm }
+
+// ConfigError is the structured form of ErrBadConfig.
+type ConfigError struct {
+	Field  string // the option or field that failed validation
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("invalid configuration: %s: %s", e.Field, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrBadConfig) match.
+func (e *ConfigError) Is(target error) bool { return target == ErrBadConfig }
+
+// UnsupportedFormatError is the structured form of ErrUnsupportedFormat.
+type UnsupportedFormatError struct {
+	Input  string // the offending path or source name
+	Format string // the extension or detected format
+}
+
+func (e *UnsupportedFormatError) Error() string {
+	return fmt.Sprintf("unsupported input format %q for %s", e.Format, e.Input)
+}
+
+// Is makes errors.Is(err, ErrUnsupportedFormat) match.
+func (e *UnsupportedFormatError) Is(target error) bool { return target == ErrUnsupportedFormat }

@@ -1,0 +1,66 @@
+package oberr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStructuredErrorsMatchSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{&ColumnNotFoundError{Column: "class", Table: "budget"}, ErrColumnNotFound},
+		{&UnknownAlgorithmError{Name: "j48", Known: []string{"c45"}}, ErrUnknownAlgorithm},
+		{&ConfigError{Field: "folds", Reason: "must be >= 2"}, ErrBadConfig},
+		{&UnsupportedFormatError{Input: "d.parquet", Format: ".parquet"}, ErrUnsupportedFormat},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Fatalf("%T does not match its sentinel", c.err)
+		}
+		// Wrapping must preserve the match.
+		wrapped := fmt.Errorf("core: %w", c.err)
+		if !errors.Is(wrapped, c.sentinel) {
+			t.Fatalf("wrapped %T lost its sentinel", c.err)
+		}
+	}
+}
+
+func TestErrorsAsRecoversDetail(t *testing.T) {
+	err := fmt.Errorf("mining: %w", &UnknownAlgorithmError{Name: "j48", Known: []string{"c45", "cart"}})
+	var ua *UnknownAlgorithmError
+	if !errors.As(err, &ua) {
+		t.Fatal("errors.As failed")
+	}
+	if ua.Name != "j48" || len(ua.Known) != 2 {
+		t.Fatalf("detail lost: %+v", ua)
+	}
+}
+
+func TestMessagesNameTheOffender(t *testing.T) {
+	e := &ColumnNotFoundError{Column: "ghost", Table: "t"}
+	if !strings.Contains(e.Error(), "ghost") || !strings.Contains(e.Error(), "t") {
+		t.Fatalf("message = %q", e.Error())
+	}
+	if msg := (&ColumnNotFoundError{Column: "ghost"}).Error(); strings.Contains(msg, `in "`) {
+		t.Fatalf("unnamed table leaked into message: %q", msg)
+	}
+	if msg := (&UnknownAlgorithmError{Name: "x", Known: []string{"a", "b"}}).Error(); !strings.Contains(msg, "a, b") {
+		t.Fatalf("known algorithms missing: %q", msg)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrColumnNotFound, ErrEmptyKB, ErrUnknownAlgorithm,
+		ErrUnsupportedFormat, ErrBadConfig, ErrTooFewRows}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("sentinels %d and %d alias", i, j)
+			}
+		}
+	}
+}

@@ -5,11 +5,20 @@
 //
 // The paper's pipeline, end to end:
 //
-//	eng := openbi.NewEngine(42)
+//	eng, _ := openbi.New(openbi.WithSeed(42))
 //	ds, _ := synth-or-ingested dataset
-//	eng.RunExperiments(ds, "reference")          // Figure 2, left: build DQ4DM KB
-//	advice, model, _ := eng.Advise(t, "class")   // Figure 2, right: "the best option is ALGORITHM X"
-//	result, _ := eng.MineWithAdvice(t, "class", base) // mine + share back as LOD
+//	eng.RunExperiments(ctx, ds, "reference")          // Figure 2, left: build DQ4DM KB
+//	adv, _ := eng.Advisor()                           // online session, pinned KB snapshot
+//	advice, model, _ := adv.Advise(ctx, t, "class")   // Figure 2, right: "the best option is ALGORITHM X"
+//	result, _ := adv.MineWithAdvice(ctx, t, "class", base) // mine + share back as LOD
+//
+// The Engine's configuration is immutable after New (functional options
+// replace the old mutable fields), the knowledge base is served through
+// atomically-swapped immutable snapshots, and every pipeline entry point
+// takes a context.Context — so one populated Engine safely serves any
+// number of concurrent Advise/MineWithAdvice callers while experiments
+// re-run. Failures across the pipeline match the exported Err* sentinels
+// via errors.Is.
 //
 // The heavy lifting lives in internal packages (table, rdf, cwm, dq,
 // inject, clean, mining, eval, kb, experiment, olap, synth, report); this
@@ -20,6 +29,7 @@ import (
 	"openbi/internal/core"
 	"openbi/internal/dq"
 	"openbi/internal/eval"
+	"openbi/internal/experiment"
 	"openbi/internal/inject"
 	"openbi/internal/kb"
 	"openbi/internal/mining"
@@ -28,10 +38,39 @@ import (
 	"openbi/internal/table"
 )
 
-// Engine is the OpenBI session object; see core.Engine.
+// Engine is the OpenBI serving object; see core.Engine.
 type Engine = core.Engine
 
+// Option configures an Engine at construction time; see With*.
+type Option = core.Option
+
+// New builds an immutable, concurrency-safe Engine with an empty DQ4DM
+// knowledge base. It fails eagerly on invalid options (ErrBadConfig,
+// ErrUnknownAlgorithm).
+func New(opts ...Option) (*Engine, error) { return core.New(opts...) }
+
+// WithSeed sets the seed driving all stochastic components.
+func WithSeed(seed int64) Option { return core.WithSeed(seed) }
+
+// WithFolds sets the cross-validation fold count (default 5).
+func WithFolds(folds int) Option { return core.WithFolds(folds) }
+
+// WithWorkers bounds experiment parallelism (0 = GOMAXPROCS).
+func WithWorkers(workers int) Option { return core.WithWorkers(workers) }
+
+// WithCombos sets the Phase-2 mixed-criteria combinations.
+func WithCombos(combos [][]Criterion) Option { return core.WithCombos(combos) }
+
+// WithAlgorithms restricts the mining suite to the named algorithms.
+func WithAlgorithms(names ...string) Option { return core.WithAlgorithms(names...) }
+
+// WithProgress streams per-record Events from a RunExperiments call.
+func WithProgress(sink func(Event)) RunOption { return core.WithProgress(sink) }
+
 // NewEngine returns an Engine with an empty DQ4DM knowledge base.
+//
+// Deprecated: use New(WithSeed(seed)) and the WithFolds / WithWorkers
+// options instead of the removed mutable fields.
 func NewEngine(seed int64) *Engine { return core.NewEngine(seed) }
 
 // Re-exported model types.
@@ -56,15 +95,26 @@ type (
 	Criterion = dq.Criterion
 	// Advice is the advisor's ranked recommendation.
 	Advice = kb.Advice
-	// KnowledgeBase is the DQ4DM experiment store.
+	// Advisor is a read-only advice session pinned to one KB snapshot.
+	Advisor = core.Advisor
+	// KnowledgeBase is the write-side DQ4DM experiment store.
 	KnowledgeBase = kb.KnowledgeBase
+	// Snapshot is the immutable, lock-free read side of the knowledge
+	// base, as served by Engine.KB and Advisor sessions.
+	Snapshot = kb.Snapshot
+	// Event is one experiment-progress notification (see WithProgress).
+	Event = experiment.Event
+	// RunOption configures one RunExperiments call.
+	RunOption = core.RunOption
 	// Metrics is a classification quality record.
 	Metrics = eval.Metrics
 	// InjectSpec describes one controlled data-quality defect.
 	InjectSpec = inject.Spec
 	// Model is an annotated common representation (CWM catalog + profile).
 	Model = core.Model
-	// MiningResult is the outcome of Engine.MineWithAdvice.
+	// MiningResult is the outcome of MineWithAdvice: chosen algorithm,
+	// holdout metrics, the advice and model that picked it, and the
+	// predictions shared back as LOD.
 	MiningResult = core.MiningResult
 	// ClassificationSpec parameterizes the synthetic dataset generator.
 	ClassificationSpec = synth.ClassificationSpec
@@ -99,7 +149,8 @@ func MeasureQuality(t *Table, classColumn string) Profile {
 // Corrupt injects controlled data-quality defects into a copy of t
 // (§3.1's "introduce some data quality problems in a controlled manner").
 // Only the columns a defect touches are deep-copied; the rest share
-// storage with t, so t must not be mutated afterwards.
+// storage with t, so t must not be mutated afterwards. A non-empty
+// classColumn absent from t fails with ErrColumnNotFound.
 func Corrupt(t Access, classColumn string, specs []InjectSpec, seed int64) (*Table, error) {
 	return core.CorruptForDemo(t, classColumn, specs, seed)
 }

@@ -1,27 +1,38 @@
 package openbi
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
 // TestPublicAPIEndToEnd drives the whole paper pipeline through the public
-// facade only: experiments → KB → dirty source → profile → advice →
-// advised mining → LOD sharing.
+// facade only: experiments → KB → dirty source → profile → advisor session
+// → advice → advised mining → LOD sharing.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	eng := NewEngine(42)
-	eng.Folds = 3
+	ctx := context.Background()
+	eng, err := New(WithSeed(42), WithFolds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ref, err := MakeClassification(ClassificationSpec{Rows: 240, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := eng.RunExperiments(ref, "reference")
+	var events int
+	rep, err := eng.RunExperiments(ctx, ref, "reference",
+		WithProgress(func(Event) { events++ }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Phase1Records == 0 || rep.Phase2Records == 0 {
 		t.Fatalf("experiment report: %+v", rep)
+	}
+	if events != rep.Phase1Records+rep.Phase2Records {
+		t.Fatalf("progress events %d != %d records", events, rep.Phase1Records+rep.Phase2Records)
 	}
 
 	dirty, err := Corrupt(ref.T, "class", []InjectSpec{
@@ -30,7 +41,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	advice, model, err := eng.Advise(dirty, "class")
+
+	advisor, err := eng.Advisor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice, model, err := advisor.Advise(ctx, dirty, "class")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +60,108 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("explanation missing the paper's phrase")
 	}
 
-	result, err := eng.MineWithAdvice(dirty, "class", "http://t.example/")
+	result, err := advisor.MineWithAdvice(ctx, dirty, "class", "http://t.example/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if result.Shared.Len() == 0 {
 		t.Fatal("no LOD shared")
 	}
+	if result.Model == nil || result.Advice.Best().Algorithm != result.Algorithm {
+		t.Fatal("mining result lacks the threaded model/advice")
+	}
+}
+
+// TestPublicTypedErrors asserts the exported sentinels match failures
+// produced by the facade entry points.
+func TestPublicTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := New(WithFolds(0)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("WithFolds(0) err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(WithAlgorithms("weka")); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("WithAlgorithms err = %v, want ErrUnknownAlgorithm", err)
+	}
+
+	eng, err := New(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := MakeClassification(ClassificationSpec{Rows: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Advise(ctx, ds.T, "class"); !errors.Is(err, ErrEmptyKB) {
+		t.Fatalf("empty-KB advise err = %v, want ErrEmptyKB", err)
+	}
+	if _, err := eng.Advisor(); !errors.Is(err, ErrEmptyKB) {
+		t.Fatalf("empty-KB advisor err = %v, want ErrEmptyKB", err)
+	}
+	_, err = Corrupt(ds.T, "ghost", []InjectSpec{{Criterion: LabelNoise, Severity: 0.2}}, 1)
+	if !errors.Is(err, ErrColumnNotFound) {
+		t.Fatalf("corrupt err = %v, want ErrColumnNotFound", err)
+	}
+	var cnf *ColumnNotFoundError
+	if !errors.As(err, &cnf) || cnf.Column != "ghost" {
+		t.Fatalf("structured detail lost: %v", err)
+	}
+}
+
+// TestPublicConcurrentServing is the redesign's acceptance scenario: many
+// goroutines calling Advise and MineWithAdvice against one populated
+// snapshot, under -race.
+func TestPublicConcurrentServing(t *testing.T) {
+	ctx := context.Background()
+	eng, err := New(WithSeed(3), WithFolds(2),
+		WithAlgorithms("naive-bayes", "c45"),
+		WithCombos([][]Criterion{{Completeness, LabelNoise}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MakeClassification(ClassificationSpec{Rows: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunExperiments(ctx, ref, "reference"); err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Corrupt(ref.T, "class", []InjectSpec{
+		{Criterion: Completeness, Severity: 0.2},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	advisor, err := eng.Advisor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := advisor.Advise(ctx, dirty, "class")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				advice, _, err := advisor.Advise(ctx, dirty, "class")
+				if err != nil || advice.Best().Algorithm != want.Best().Algorithm {
+					t.Errorf("goroutine %d: advice diverged: %v", g, err)
+					return
+				}
+			}
+			if g%3 == 0 {
+				res, err := advisor.MineWithAdvice(ctx, dirty, "class", "http://t.example/")
+				if err != nil || res.Shared.Len() == 0 {
+					t.Errorf("goroutine %d: mine: %v", g, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestPublicLODPath(t *testing.T) {
