@@ -8,10 +8,15 @@
 package openbi
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"openbi/internal/clean"
 	"openbi/internal/dq"
@@ -484,4 +489,130 @@ func BenchmarkE_OLAP(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tb.NumRows()), "stations")
+}
+
+// ---- Serving: the HTTP advice service of internal/server ----
+
+// benchServer builds a serving stack over a Phase-1 knowledge base: the
+// engine loads real experiment records, the server fronts it exactly as
+// `openbi serve` would.
+func benchServer(b *testing.B, opts ...ServerOption) *Server {
+	b.Helper()
+	ds := benchDataset(b, 160)
+	recs, err := experiment.Phase1(context.Background(), benchCfg(42), ds, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range recs {
+		base.Add(r)
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.LoadKB(&buf); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(eng, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// discardWriter is a zero-allocation ResponseWriter so the benchmark
+// numbers are the server's own cost, not the test recorder's.
+type discardWriter struct {
+	h    http.Header
+	code int
+}
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) WriteHeader(code int)        { d.code = code }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+var adviseURL = &url.URL{Path: "/v1/advise"}
+
+// adviseClient reuses one request and body reader across calls, so the
+// benchmark charges the server's work, not per-call harness construction.
+type adviseClient struct {
+	w      discardWriter
+	reader *bytes.Reader
+	req    *http.Request
+}
+
+func newAdviseClient() *adviseClient {
+	c := &adviseClient{w: discardWriter{h: http.Header{}}, reader: bytes.NewReader(nil)}
+	c.req = &http.Request{Method: "POST", URL: adviseURL, Body: io.NopCloser(c.reader)}
+	return c
+}
+
+func (c *adviseClient) advise(b *testing.B, srv *Server, body []byte) {
+	c.reader.Reset(body)
+	c.w.code = 0
+	srv.ServeHTTP(&c.w, c.req)
+	if c.w.code != 200 {
+		b.Fatalf("status %d", c.w.code)
+	}
+}
+
+// BenchmarkServeAdvise measures the three advise paths end to end through
+// the handler stack: cold (every request scores the full suite), cache-hit
+// (repeated profiles answered from the LRU with the serialized bytes), and
+// batched (concurrent requests coalesced into shared scoring passes). The
+// cache-hit path must be an order of magnitude lighter in allocations than
+// cold — that is the point of caching serialized responses.
+func BenchmarkServeAdvise(b *testing.B) {
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		bodies[i] = []byte(fmt.Sprintf(`{"severities": [%.2f, 0, 0, 0, %.2f, 0, 0]}`,
+			float64(i%8)/10, float64(i/8)/10))
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		srv := benchServer(b, WithCacheSize(0), WithBatchWindow(0))
+		c := newAdviseClient()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.advise(b, srv, bodies[i%len(bodies)])
+		}
+	})
+
+	b.Run("cache-hit", func(b *testing.B) {
+		srv := benchServer(b, WithBatchWindow(0))
+		c := newAdviseClient()
+		c.advise(b, srv, bodies[0]) // warm the entry
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.advise(b, srv, bodies[0])
+		}
+		b.StopTimer()
+		m := srv.Metrics()
+		b.ReportMetric(m.CacheHitRate, "hit-rate")
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		srv := benchServer(b, WithCacheSize(0), WithBatchWindow(200*time.Microsecond))
+		b.SetParallelism(16) // 16 concurrent clients even on one CPU
+		b.ReportAllocs()
+		b.ResetTimer()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			c := newAdviseClient()
+			for pb.Next() {
+				c.advise(b, srv, bodies[int(n.Add(1))%len(bodies)])
+			}
+		})
+		b.StopTimer()
+		m := srv.Metrics()
+		b.ReportMetric(m.MeanBatchSize, "batch-size")
+	})
 }

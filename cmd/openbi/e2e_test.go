@@ -1,0 +1,94 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openbi/internal/rdf"
+)
+
+// goldenKBSHA256 pins the knowledge base `openbi experiments -rows 120
+// -folds 3 -seed 42` must produce, byte for byte. It is the equivalence
+// hash established by the immutable-Engine redesign (PR 2): any refactor
+// of the table/mining/experiment stack that shifts a single float breaks
+// this test instead of silently changing every downstream advice.
+const goldenKBSHA256 = "1fae960cefdcab53e41b447620e13d1f495439006ef2b6dfeba7443121fd66cd"
+
+// TestCLIEndToEndGolden drives the paper's full pipeline through the
+// actual CLI entry points with one fixed seed: generate a classification
+// source, profile it, build the knowledge base, ask for advice, mine with
+// the advised algorithm and share the predictions as LOD. Asserts the KB
+// is byte-stable against the pinned hash and that advice is deterministic.
+func TestCLIEndToEndGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment grid")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "data.csv")
+	kbPath := filepath.Join(dir, "kb.json")
+	shared := filepath.Join(dir, "predictions.nt")
+
+	// generate: a clean synthetic classification source.
+	out := captureStdout(t, func() error {
+		return cmdGenerate([]string{"-kind", "classification", "-n", "120", "-seed", "42", "-out", csv})
+	})
+	if !strings.Contains(out, "wrote 120 rows") {
+		t.Fatalf("generate output: %q", out)
+	}
+
+	// profile: the quality fingerprint the advisor will consume.
+	out = captureStdout(t, func() error {
+		return cmdProfile([]string{"-in", csv, "-class", "class"})
+	})
+	if !strings.Contains(out, "Data quality profile") || !strings.Contains(out, "completeness") {
+		t.Fatalf("profile output:\n%s", out)
+	}
+
+	// experiments: the KB must be byte-identical to the pinned golden hash.
+	captureStdout(t, func() error {
+		return cmdExperiments([]string{"-rows", "120", "-folds", "3", "-seed", "42", "-out", kbPath})
+	})
+	raw, err := os.ReadFile(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); got != goldenKBSHA256 {
+		t.Fatalf("kb.json drifted from the PR 2 equivalence hash:\n got %s\nwant %s", got, goldenKBSHA256)
+	}
+
+	// advise: deterministic output, run twice.
+	adviseArgs := []string{"-in", csv, "-class", "class", "-kb", kbPath}
+	advice1 := captureStdout(t, func() error { return cmdAdvise(adviseArgs) })
+	if !strings.Contains(advice1, "The best option is") {
+		t.Fatalf("advise output:\n%s", advice1)
+	}
+	advice2 := captureStdout(t, func() error { return cmdAdvise(adviseArgs) })
+	if advice1 != advice2 {
+		t.Fatalf("advice is not stable across runs:\n--- first\n%s\n--- second\n%s", advice1, advice2)
+	}
+
+	// mine: train the advised algorithm and share predictions as LOD.
+	out = captureStdout(t, func() error {
+		return cmdMine([]string{"-in", csv, "-class", "class", "-kb", kbPath, "-share", shared})
+	})
+	if !strings.Contains(out, "mined with") || !strings.Contains(out, "prediction triples") {
+		t.Fatalf("mine output:\n%s", out)
+	}
+	f, err := os.Open(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := rdf.ReadNTriples(f)
+	if err != nil {
+		t.Fatalf("shared LOD does not parse back: %v", err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("shared LOD is empty")
+	}
+}

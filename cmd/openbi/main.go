@@ -14,9 +14,11 @@
 //	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt [-timeout 1m]
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
 //	openbi validate  -kb kb.json -rows 400 -trials 10 [-timeout 5m]
+//	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms]
 //
 // experiments, mine and validate honour ^C (SIGINT) and -timeout:
-// cancellation takes effect between experiment grid cells.
+// cancellation takes effect between experiment grid cells. serve drains
+// in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
 import (
@@ -91,6 +93,8 @@ func main() {
 		err = cmdRepair(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -116,6 +120,7 @@ commands:
   olap         roll up a source into an OLAP report
   repair       suggest and optionally apply a cleaning plan for a source
   validate     measure advisor hit-rate and regret on random corruption scenarios
+  serve        run the HTTP advice service (batching, caching, hot KB reload)
 `)
 }
 

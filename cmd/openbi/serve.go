@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"openbi/internal/core"
+	"openbi/internal/server"
+)
+
+// cmdServe runs the HTTP advice service: the paper's advisor as a network
+// front end. The knowledge base at -kb is loaded at startup (when present)
+// and can be hot-swapped at any time with POST /v1/kb/reload without
+// dropping in-flight requests. SIGINT/SIGTERM drain gracefully within
+// -drain.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	kbPath := fs.String("kb", "kb.json", "knowledge base path (loaded at startup if present; reload target)")
+	cacheSize := fs.Int("cache", 1024, "advice LRU cache entries (0 disables)")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "micro-batching window for concurrent advise calls (0 = no added latency)")
+	batchMax := fs.Int("batch-max", 64, "max advise calls scored in one batch")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "deadline for an advise call waiting on its scoring batch")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	fs.Parse(args)
+
+	eng, err := core.New()
+	if err != nil {
+		return err
+	}
+	switch f, openErr := os.Open(*kbPath); {
+	case openErr == nil:
+		loadErr := eng.LoadKB(f)
+		f.Close()
+		if loadErr != nil {
+			return fmt.Errorf("serve: loading %s: %w", *kbPath, loadErr)
+		}
+		fmt.Printf("loaded knowledge base (%d records) from %s\n", eng.KB().Len(), *kbPath)
+	case os.IsNotExist(openErr):
+		// A missing KB is a legitimate cold start (reload can supply one
+		// later); any other open failure is a real fault to surface.
+		fmt.Fprintf(os.Stderr, "serve: %s not found; advise returns 503 empty_kb until POST /v1/kb/reload\n", *kbPath)
+	default:
+		return fmt.Errorf("serve: opening %s: %w", *kbPath, openErr)
+	}
+
+	srv, err := server.New(eng,
+		server.WithKBPath(*kbPath),
+		server.WithCacheSize(*cacheSize),
+		server.WithBatchWindow(*batchWindow),
+		server.WithBatchMaxSize(*batchMax),
+		server.WithRequestTimeout(*reqTimeout),
+		server.WithDrainTimeout(*drain),
+	)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := runContext(0)
+	defer cancel()
+	fmt.Printf("serving advice on %s (POST /v1/advise, POST /v1/profile, GET /v1/kb, POST /v1/kb/reload, GET /v1/metrics, GET /healthz)\n", *addr)
+	return srv.ListenAndServe(ctx, *addr)
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIServeRejectsCorruptKB(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "kb.json")
+	if err := os.WriteFile(bad, []byte("not a knowledge base"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdServe([]string{"-kb", bad, "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "loading") {
+		t.Fatalf("err = %v, want load failure", err)
+	}
+}
+
+func TestCLIServeRejectsBadAddr(t *testing.T) {
+	// No KB on disk is fine (serve starts empty), but the listen must fail
+	// fast on a nonsense address instead of hanging the command.
+	err := cmdServe([]string{"-kb", filepath.Join(t.TempDir(), "absent.json"),
+		"-addr", "256.256.256.256:99999"})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("err = %v, want listen failure", err)
+	}
+}

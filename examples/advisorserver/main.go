@@ -1,0 +1,64 @@
+// Advisorserver: embed the OpenBI HTTP advice service in your own program.
+//
+// The `openbi serve` command wraps exactly this: build (or load) a
+// knowledge base on an Engine, wrap the engine in a server, and run it
+// with graceful shutdown. Embedding instead of shelling out is useful when
+// advice should live next to other handlers, or when the KB is produced
+// in-process rather than read from disk.
+//
+// Run with: go run ./examples/advisorserver
+// then:
+//
+//	curl -s localhost:8080/v1/kb
+//	curl -s localhost:8080/v1/advise -d '{"profile": {"label-noise": 0.2, "completeness": 0.3}}'
+//	curl -s localhost:8080/v1/metrics
+//
+// Ctrl-C drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"openbi"
+)
+
+func main() {
+	eng, err := openbi.New(openbi.WithSeed(42), openbi.WithFolds(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate the knowledge base in-process; a real deployment would more
+	// likely eng.LoadKB from a kb.json built offline, and hot-swap later
+	// generations via POST /v1/kb/reload.
+	ref, err := openbi.MakeClassification(openbi.ClassificationSpec{Rows: 200, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("building the DQ4DM knowledge base...")
+	if _, err := eng.RunExperiments(context.Background(), ref, "reference"); err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := openbi.NewServer(eng,
+		openbi.WithCacheSize(4096),
+		openbi.WithBatchWindow(time.Millisecond),
+		openbi.WithRequestTimeout(5*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving advice from a %d-record KB on :8080\n", eng.KB().Len())
+	if err := srv.ListenAndServe(ctx, ":8080"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and stopped")
+}

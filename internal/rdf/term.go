@@ -107,7 +107,7 @@ func (t Term) IsNumericLiteral() bool {
 func (t Term) String() string {
 	switch t.Kind {
 	case IRI:
-		return "<" + t.Value + ">"
+		return "<" + escapeIRI(t.Value) + ">"
 	case Blank:
 		return "_:" + t.Value
 	default:
@@ -116,7 +116,7 @@ func (t Term) String() string {
 			return s + "@" + t.Lang
 		}
 		if t.Datatype != "" && t.Datatype != XSDString {
-			return s + "^^<" + t.Datatype + ">"
+			return s + "^^<" + escapeIRI(t.Datatype) + ">"
 		}
 		return s
 	}
@@ -148,6 +148,34 @@ type Triple struct {
 // String renders the triple in N-Triples syntax (without trailing newline).
 func (tr Triple) String() string {
 	return tr.S.String() + " " + tr.P.String() + " " + tr.O.String() + " ."
+}
+
+// escapeIRI makes an IRI safe inside <...>: characters the N-Triples
+// grammar forbids there — controls, space, the bracket/quote set and '\'
+// itself — become \uXXXX escapes, which the parser decodes back. Parsing
+// can produce such values legitimately (a > escape decodes to '>');
+// without re-escaping, writing them would tear the output line apart and
+// break parse→write→parse round-trips (found by FuzzParseNTriples).
+func escapeIRI(s string) string {
+	needsEscape := func(r rune) bool {
+		switch r {
+		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+			return true
+		}
+		return r <= 0x20
+	}
+	if !strings.ContainsFunc(s, needsEscape) {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if needsEscape(r) {
+			fmt.Fprintf(&b, `\u%04X`, r)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 func escapeLiteral(s string) string {

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errServerClosed reports an advise call submitted after Close.
+var errServerClosed = errors.New("server closed")
+
+// adviseJob is one advise request waiting for the dispatcher. The out
+// channel is buffered so the dispatcher never blocks on a caller that gave
+// up (timeout / disconnect).
+type adviseJob struct {
+	severities []float64
+	out        chan adviseResult
+}
+
+type adviseResult struct {
+	body []byte
+	// gen is the KB generation the body was scored against — the batch's
+	// pinned state, which may be newer than the one the handler saw.
+	gen uint64
+	err error
+}
+
+// enqueue hands a job to the dispatcher, honoring request cancellation and
+// server shutdown. The leading non-blocking done check makes rejection
+// deterministic once Close has returned (the main select would otherwise
+// race a still-draining dispatcher).
+func (s *Server) enqueue(ctx context.Context, job *adviseJob) error {
+	select {
+	case <-s.done:
+		return errServerClosed
+	default:
+	}
+	select {
+	case s.jobs <- job:
+		return nil
+	case <-s.done:
+		return errServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// dispatch is the micro-batching loop: it blocks for the first pending
+// advise job, widens the batch for up to one batching window (bounded by
+// the batch size cap), and scores the whole batch in one pass against a
+// single pinned snapshot. Batching exploits the snapshot architecture
+// twice: every response in a batch is consistent with exactly one KB
+// generation, and duplicate profiles inside a batch are scored once.
+func (s *Server) dispatch() {
+	for {
+		var first *adviseJob
+		select {
+		case first = <-s.jobs:
+		case <-s.done:
+			s.failPending()
+			return
+		}
+		batch := append(make([]*adviseJob, 0, s.batchMax), first)
+		batch = s.fill(batch)
+		s.runBatch(batch)
+	}
+}
+
+// fill widens a batch until the window elapses, the cap is hit, or the
+// server closes. A zero window only drains jobs already queued.
+func (s *Server) fill(batch []*adviseJob) []*adviseJob {
+	if s.batchWindow <= 0 {
+		for len(batch) < s.batchMax {
+			select {
+			case job := <-s.jobs:
+				batch = append(batch, job)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.batchWindow)
+	defer timer.Stop()
+	for len(batch) < s.batchMax {
+		select {
+		case job := <-s.jobs:
+			batch = append(batch, job)
+		case <-timer.C:
+			return batch
+		case <-s.done:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch scores one batch against one pinned snapshot. Distinct
+// (generation, quantized severities) keys are computed and serialized once;
+// duplicates and cache hits share the bytes.
+func (s *Server) runBatch(batch []*adviseJob) {
+	state := s.state.Load()
+	s.metrics.batches.Add(1)
+	s.metrics.batchedJobs.Add(int64(len(batch)))
+	s.metrics.noteBatchSize(len(batch))
+
+	bodies := make(map[string][]byte, len(batch))
+	for _, job := range batch {
+		key := adviseKey(state.gen, job.severities)
+		body, ok := bodies[key]
+		if !ok {
+			if cached, hit := s.cache.get(key); hit {
+				// Another batch populated it since the handler's miss.
+				body = cached
+			} else {
+				advice, err := state.snap.AdviseSeverities(job.severities)
+				if err != nil {
+					job.out <- adviseResult{err: err}
+					continue
+				}
+				body, err = buildAdviseBody(state, advice)
+				if err != nil {
+					job.out <- adviseResult{err: err}
+					continue
+				}
+				s.metrics.cacheEvictions.Add(int64(s.cache.put(key, body)))
+			}
+			bodies[key] = body
+		}
+		job.out <- adviseResult{body: body, gen: state.gen}
+	}
+}
+
+// failPending drains jobs that raced with Close so their handlers do not
+// wait out the full request timeout.
+func (s *Server) failPending() {
+	for {
+		select {
+		case job := <-s.jobs:
+			job.out <- adviseResult{err: errServerClosed}
+		default:
+			return
+		}
+	}
+}

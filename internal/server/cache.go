@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+)
+
+// quantum is the severity quantization step for cache keys. Two profiles
+// whose severities round to the same 0.01 grid get the same advice entry:
+// well below the resolution of the knowledge base's degradation curves, so
+// quantization never changes a ranking, only collapses near-identical
+// queries onto one cache line.
+const quantum = 0.01
+
+// rawKeyMaxBody caps the bodies eligible for exact-body caching. Real
+// advise requests are well under 100 bytes; without a cap, byte-distinct
+// megabyte bodies could each pin a ~1 MiB key string in the entry-bounded
+// LRU (a memory-amplification vector) while evicting useful entries.
+const rawKeyMaxBody = 512
+
+// rawKey builds the exact-body cache key: one KB generation plus the
+// request bytes verbatim. It lets a repeated identical request skip JSON
+// decoding entirely — the level-1 fast path in front of the quantized
+// severity key. The 'r' prefix keeps the two key families disjoint.
+func rawKey(gen uint64, body []byte) string {
+	b := make([]byte, 0, len(body)+22)
+	b = append(b, 'r')
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, ':')
+	b = append(b, body...)
+	return string(b)
+}
+
+// adviseKey builds the cache key for a severity vector under one KB
+// generation. Keys from different generations never collide, so a reload
+// implicitly invalidates the whole cache without touching it.
+func adviseKey(gen uint64, severities []float64) string {
+	b := make([]byte, 0, 2+len(severities)*4+20)
+	b = strconv.AppendUint(b, gen, 10)
+	for _, s := range severities {
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(s/quantum+0.5), 10)
+	}
+	return string(b)
+}
+
+// adviceCache is a plain mutex-guarded LRU over serialized advise
+// responses. Values are the exact bytes written to the wire, so a hit costs
+// one map lookup, one list move and one write — no scoring, no JSON
+// encoding.
+type adviceCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recent
+	items map[string]*list.Element // key -> *entry element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newAdviceCache returns an LRU holding up to max entries; max == 0
+// disables the cache (get always misses, put is a no-op).
+func newAdviceCache(max int) *adviceCache {
+	return &adviceCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *adviceCache) get(key string) ([]byte, bool) {
+	if c.max == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// the cache is full. It returns the number of evictions (0 or 1).
+func (c *adviceCache) put(key string, body []byte) int {
+	if c.max == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() <= c.max {
+		return 0
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.items, oldest.Value.(*cacheEntry).key)
+	return 1
+}
+
+// len returns the current entry count.
+func (c *adviceCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestAdviseKeyQuantization(t *testing.T) {
+	a := adviseKey(3, []float64{0.199, 0, 0.5})
+	b := adviseKey(3, []float64{0.201, 0.004, 0.5})
+	if a != b {
+		t.Fatalf("near-identical profiles should share a key: %q vs %q", a, b)
+	}
+	if adviseKey(3, []float64{0.25, 0, 0.5}) == a {
+		t.Fatal("distinct profiles must not collide")
+	}
+	if adviseKey(4, []float64{0.199, 0, 0.5}) == a {
+		t.Fatal("generations must partition the key space")
+	}
+}
+
+func TestAdviceCacheLRU(t *testing.T) {
+	c := newAdviceCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	// a is now most recent; inserting c must evict b.
+	if ev := c.put("c", []byte("C")); ev != 1 {
+		t.Fatalf("evictions = %d", ev)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	// Overwriting refreshes in place, no eviction.
+	if ev := c.put("a", []byte("A2")); ev != 0 {
+		t.Fatalf("overwrite evicted %d", ev)
+	}
+	if body, _ := c.get("a"); string(body) != "A2" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestAdviceCacheDisabled(t *testing.T) {
+	c := newAdviceCache(0)
+	if ev := c.put("a", []byte("A")); ev != 0 {
+		t.Fatalf("evictions = %d", ev)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+}
+
+func TestAdviseCacheHitPath(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha", "beta"))
+	body := `{"severities": [0.2, 0, 0.1]}`
+
+	w1 := do(srv, "POST", "/v1/advise", body)
+	if w1.Code != http.StatusOK || w1.Header().Get("X-OpenBI-Cache") != "miss" {
+		t.Fatalf("first call: %d %q", w1.Code, w1.Header().Get("X-OpenBI-Cache"))
+	}
+	// A quantization-equivalent profile hits the same entry.
+	w2 := do(srv, "POST", "/v1/advise", `{"severities": [0.201, 0, 0.099]}`)
+	if w2.Code != http.StatusOK || w2.Header().Get("X-OpenBI-Cache") != "hit" {
+		t.Fatalf("second call: %d %q", w2.Code, w2.Header().Get("X-OpenBI-Cache"))
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Fatal("hit must serve byte-identical advice")
+	}
+}
+
+func TestAdviseCacheEviction(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"), WithCacheSize(1))
+	first := `{"severities": [0.1]}`
+	second := `{"severities": [0.5]}`
+	do(srv, "POST", "/v1/advise", first)
+	do(srv, "POST", "/v1/advise", second) // evicts first
+	w := do(srv, "POST", "/v1/advise", first)
+	if w.Header().Get("X-OpenBI-Cache") != "miss" {
+		t.Fatal("evicted entry must miss")
+	}
+	m := srv.Metrics()
+	if m.CacheEvictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", m.CacheEvictions)
+	}
+	if m.CacheEntries != 1 {
+		t.Fatalf("entries = %d", m.CacheEntries)
+	}
+}
+
+func TestReloadInvalidatesCache(t *testing.T) {
+	dir := t.TempDir()
+	path := writeKBFile(t, dir, "same.json", testKB("alpha", "beta"))
+	srv := newTestServer(t, testKB("alpha", "beta"), WithKBPath(path))
+	body := `{"severities": [0.2]}`
+	do(srv, "POST", "/v1/advise", body)
+	if w := do(srv, "POST", "/v1/advise", body); w.Header().Get("X-OpenBI-Cache") != "hit" {
+		t.Fatal("warm-up should hit")
+	}
+	if w := do(srv, "POST", "/v1/kb/reload", ""); w.Code != http.StatusOK {
+		t.Fatalf("reload = %d", w.Code)
+	}
+	// Identical KB content, but a new generation: the old entry is dead.
+	w := do(srv, "POST", "/v1/advise", body)
+	if w.Header().Get("X-OpenBI-Cache") != "miss" {
+		t.Fatal("reload must invalidate cached advice")
+	}
+	resp := decode[adviseResponse](t, w)
+	if resp.KB.Generation != 1 {
+		t.Fatalf("generation = %d", resp.KB.Generation)
+	}
+}

@@ -1,0 +1,437 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"openbi/internal/core"
+	"openbi/internal/dq"
+	"openbi/internal/kb"
+	"openbi/internal/table"
+)
+
+// routes builds the endpoint table. Go 1.22+ method patterns give free 405s
+// for wrong verbs.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	mux.HandleFunc("GET /v1/kb", s.handleKB)
+	mux.HandleFunc("POST /v1/kb/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ---- POST /v1/advise ----
+
+// adviseRequest carries the data-quality fingerprint to rank algorithms
+// for. Exactly one of the two fields must be set: Severities is the raw
+// vector in dq.AllCriteria order (shorter vectors are zero-padded), Profile
+// the same values keyed by criterion name.
+type adviseRequest struct {
+	Severities []float64          `json:"severities"`
+	Profile    map[string]float64 `json:"profile"`
+}
+
+// kbMeta identifies the knowledge-base generation a response was computed
+// against.
+type kbMeta struct {
+	Generation uint64    `json:"generation"`
+	Records    int       `json:"records"`
+	LoadedAt   time.Time `json:"loadedAt"`
+	Source     string    `json:"source"`
+}
+
+// adviseResponse is the advise envelope: the ranked advice plus the exact
+// KB generation that produced it, so a client (or the race test) can check
+// self-consistency under concurrent reloads.
+type adviseResponse struct {
+	Advice kb.Advice `json:"advice"`
+	KB     kbMeta    `json:"kb"`
+}
+
+// buildAdviseBody serializes one advise response against one pinned state.
+// The bytes are shared between the wire, the batch fan-out and the cache.
+func buildAdviseBody(state *kbState, advice kb.Advice) ([]byte, error) {
+	return json.Marshal(adviseResponse{
+		Advice: advice,
+		KB: kbMeta{
+			Generation: state.gen,
+			Records:    state.snap.Len(),
+			LoadedAt:   state.loadedAt,
+			Source:     state.source,
+		},
+	})
+}
+
+// advisePool recycles advise body buffers: the fast path's only transient
+// besides the key string. Everything derived from the buffer (key string,
+// unmarshaled request) is a copy, so returning it at handler exit is safe.
+var advisePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// handleAdvise is the hot path. Lookups are layered cheapest-first:
+//
+//  1. exact request bytes under the current generation (no JSON decode),
+//  2. the quantized severity key (decode, no scoring),
+//  3. the micro-batching dispatcher (scoring, bounded by the request
+//     timeout), which caches the serialized result for both layers.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.metrics.advises.Add(1)
+	bufp := advisePool.Get().(*[]byte)
+	defer func() { *bufp = (*bufp)[:0]; advisePool.Put(bufp) }()
+	raw, err := readAllInto(http.MaxBytesReader(w, r.Body, s.maxBodyBytes), bufp)
+	if err != nil {
+		s.writeBodyError(w, err)
+		return
+	}
+	// With the cache disabled, skip key construction entirely — rawKey
+	// copies the whole body, a pointless per-request allocation when
+	// get/put would no-op anyway.
+	cacheable := s.cache.max > 0
+	gen := uint64(0)
+	var bodyKey string
+	if cacheable {
+		gen = s.state.Load().gen
+		if len(raw) <= rawKeyMaxBody {
+			bodyKey = rawKey(gen, raw)
+			if cached, ok := s.cache.get(bodyKey); ok {
+				s.metrics.cacheHits.Add(1)
+				s.writeAdvice(w, "hit", cached)
+				return
+			}
+		}
+	}
+
+	var req adviseRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+		return
+	}
+	severities, err := req.severityVector()
+	if err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if cacheable {
+		if cached, ok := s.cache.get(adviseKey(gen, severities)); ok {
+			s.metrics.cacheHits.Add(1)
+			if bodyKey != "" {
+				// Alias the exact bytes so the next identical request
+				// skips the decode as well.
+				s.metrics.cacheEvictions.Add(int64(s.cache.put(bodyKey, cached)))
+			}
+			s.writeAdvice(w, "hit", cached)
+			return
+		}
+		s.metrics.cacheMisses.Add(1)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+	defer cancel()
+	job := &adviseJob{severities: severities, out: make(chan adviseResult, 1)}
+	if err := s.enqueue(ctx, job); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	select {
+	case res := <-job.out:
+		s.finishAdvise(w, raw, res)
+	case <-ctx.Done():
+		s.writeError(w, ctx.Err())
+	case <-s.done:
+		// A job that raced Close into the queue may never be scored (the
+		// dispatcher can exit between enqueue's send and its drain); fail
+		// fast instead of sitting out the request timeout — but prefer a
+		// result that was delivered concurrently with Close.
+		select {
+		case res := <-job.out:
+			s.finishAdvise(w, raw, res)
+		default:
+			s.writeError(w, errServerClosed)
+		}
+	}
+}
+
+// finishAdvise writes a batch-scored result, aliasing the exact request
+// bytes under the generation the batch actually scored (which may be newer
+// than the one this handler first read — keying on the stale generation
+// would create entries no future request could ever hit).
+func (s *Server) finishAdvise(w http.ResponseWriter, raw []byte, res adviseResult) {
+	if res.err != nil {
+		s.writeError(w, res.err)
+		return
+	}
+	if s.cache.max > 0 && len(raw) <= rawKeyMaxBody {
+		s.metrics.cacheEvictions.Add(int64(s.cache.put(rawKey(res.gen, raw), res.body)))
+	}
+	s.writeAdvice(w, "miss", res.body)
+}
+
+// reloadPathAllowed confines client-named reload paths: when the server
+// was configured with a KB path, overrides must stay in that file's
+// directory — otherwise any network client could use the endpoint as a
+// filesystem probe (distinct errors for missing vs unreadable files) or
+// swap the serving KB to any readable file on the host. A server started
+// without a KB path (programmatic embeds, tests) accepts any path; that
+// choice is the embedder's.
+func (s *Server) reloadPathAllowed(path string) bool {
+	if s.kbPath == "" {
+		return true
+	}
+	return filepath.Dir(filepath.Clean(path)) == filepath.Dir(filepath.Clean(s.kbPath))
+}
+
+// writeBodyError reports a request-body read failure: 413 for the size cap
+// (via statusFor), 400 for everything else.
+func (s *Server) writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.writeError(w, err)
+		return
+	}
+	s.writeErrorCode(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+}
+
+// readAllInto is io.ReadAll over a caller-owned buffer (grown in place and
+// written back through bufp so the pool keeps the growth).
+func readAllInto(r io.Reader, bufp *[]byte) ([]byte, error) {
+	buf := *bufp
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bufp = buf
+			return buf, nil
+		}
+		if err != nil {
+			*bufp = buf
+			return buf, err
+		}
+	}
+}
+
+// writeAdvice writes a pre-serialized advise response.
+func (s *Server) writeAdvice(w http.ResponseWriter, cache string, body []byte) {
+	h := w.Header()
+	h.Set("X-OpenBI-Cache", cache)
+	h.Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// severityVector normalizes an advise request into the full severity vector
+// (dq.AllCriteria order), validating shape and range.
+func (r adviseRequest) severityVector() ([]float64, error) {
+	n := len(dq.AllCriteria())
+	if r.Severities != nil && r.Profile != nil {
+		return nil, errors.New(`give either "severities" or "profile", not both`)
+	}
+	out := make([]float64, n)
+	switch {
+	case r.Severities != nil:
+		if len(r.Severities) > n {
+			return nil, fmt.Errorf(`"severities" has %d values, want at most %d (dq criteria order)`, len(r.Severities), n)
+		}
+		copy(out, r.Severities)
+	case r.Profile != nil:
+		for name, v := range r.Profile {
+			c, err := dq.ParseCriterion(name)
+			if err != nil {
+				return nil, fmt.Errorf("unknown criterion %q", name)
+			}
+			out[c] = v
+		}
+	default:
+		return nil, errors.New(`request needs "severities" or "profile"`)
+	}
+	for i, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			return nil, fmt.Errorf("severity %q = %v out of range [0,1]", dq.Criterion(i).String(), v)
+		}
+	}
+	return out, nil
+}
+
+// ---- POST /v1/profile ----
+
+// profileResponse is the measured data-quality fingerprint of an uploaded
+// CSV: raw measures plus the severity vector the advisor consumes (feed it
+// straight back into POST /v1/advise).
+type profileResponse struct {
+	Rows       int                `json:"rows"`
+	Attributes int                `json:"attributes"`
+	Measures   map[string]float64 `json:"measures"`
+	Severities map[string]float64 `json:"severities"`
+	Dominant   []string           `json:"dominant"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.profiles.Add(1)
+	body := http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	tb, err := table.ReadCSV(body, table.ReadCSVOptions{HasHeader: true, Name: "upload"})
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, err)
+			return
+		}
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_csv", err.Error())
+		return
+	}
+	model, err := core.BuildModel(tb, r.URL.Query().Get("class"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p := model.Profile
+	resp := profileResponse{
+		Rows:       p.Rows,
+		Attributes: p.Attributes,
+		Measures: map[string]float64{
+			"completeness":       p.Completeness,
+			"duplicateRatio":     p.DuplicateRatio,
+			"meanAbsCorrelation": p.MeanAbsCorrelation,
+			"classBalance":       p.ClassBalance,
+			"noiseEstimate":      p.NoiseEstimate,
+			"outlierRatio":       p.OutlierRatio,
+			"dimensionality":     p.Dimensionality,
+		},
+		Severities: map[string]float64{},
+		Dominant:   []string{},
+	}
+	for _, c := range dq.AllCriteria() {
+		resp.Severities[c.String()] = p.Severity(c)
+	}
+	for _, c := range p.DominantCriteria(0.05) {
+		resp.Dominant = append(resp.Dominant, c.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /v1/kb and POST /v1/kb/reload ----
+
+// kbResponse is the snapshot metadata of GET /v1/kb and the reload reply.
+type kbResponse struct {
+	Generation uint64    `json:"generation"`
+	Records    int       `json:"records"`
+	Algorithms []string  `json:"algorithms"`
+	LoadedAt   time.Time `json:"loadedAt"`
+	AgeSeconds float64   `json:"ageSeconds"`
+	Source     string    `json:"source"`
+}
+
+func (s *Server) kbResponseFor(state *kbState) kbResponse {
+	return kbResponse{
+		Generation: state.gen,
+		Records:    state.snap.Len(),
+		Algorithms: state.snap.Algorithms(),
+		LoadedAt:   state.loadedAt,
+		AgeSeconds: s.now().Sub(state.loadedAt).Seconds(),
+		Source:     state.source,
+	}
+}
+
+func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.kbResponseFor(s.state.Load()))
+}
+
+// reloadRequest optionally overrides the server's configured KB path.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// handleReload atomically swaps in a knowledge base read from disk. The
+// engine publishes the new snapshot first, then the server publishes a new
+// generation; requests in flight keep the snapshot they already pinned, so
+// nothing is dropped or torn mid-reload.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
+	if err != nil {
+		s.writeBodyError(w, err)
+		return
+	}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			s.writeErrorCode(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.kbPath
+	}
+	if path == "" {
+		s.writeErrorCode(w, http.StatusBadRequest, "no_kb_path",
+			"no path in request and the server was started without a KB path")
+		return
+	}
+	if !s.reloadPathAllowed(path) {
+		s.writeErrorCode(w, http.StatusForbidden, "path_not_allowed",
+			"reload paths must live in the configured KB's directory")
+		return
+	}
+
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "kb_unreadable", err.Error())
+		return
+	}
+	loadErr := s.engine.LoadKB(f)
+	f.Close()
+	if loadErr != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", loadErr.Error())
+		return
+	}
+	prev := s.state.Load()
+	next := &kbState{snap: s.engine.KB(), gen: prev.gen + 1, loadedAt: s.now(), source: path}
+	s.state.Store(next)
+	s.metrics.reloads.Add(1)
+	writeJSON(w, http.StatusOK, s.kbResponseFor(next))
+}
+
+// ---- GET /v1/metrics and GET /healthz ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// healthResponse reports liveness (the process answers) and readiness (a
+// non-empty KB is published, so /v1/advise can succeed).
+type healthResponse struct {
+	Status     string `json:"status"`
+	Ready      bool   `json:"ready"`
+	Records    int    `json:"records"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := s.state.Load()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Ready:      state.snap.Len() > 0,
+		Records:    state.snap.Len(),
+		Generation: state.gen,
+	})
+}

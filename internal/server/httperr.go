@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"openbi/internal/oberr"
+)
+
+// errorBody is the uniform JSON error envelope:
+//
+//	{"error": {"status": 422, "code": "column_not_found", "message": "..."}}
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// statusFor maps the pipeline's typed error taxonomy onto HTTP statuses and
+// stable machine-readable codes:
+//
+//	oberr.ErrColumnNotFound    422 column_not_found
+//	oberr.ErrTooFewRows        422 too_few_rows
+//	oberr.ErrEmptyKB           503 empty_kb
+//	oberr.ErrUnknownAlgorithm  400 unknown_algorithm
+//	oberr.ErrBadConfig         400 bad_config
+//	oberr.ErrUnsupportedFormat 415 unsupported_format
+//	context.DeadlineExceeded   504 timeout
+//	context.Canceled           503 canceled
+//	errServerClosed            503 server_closed
+//	*http.MaxBytesError        413 payload_too_large
+//	anything else              500 internal
+func statusFor(err error) (int, string) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, "payload_too_large"
+	case errors.Is(err, oberr.ErrColumnNotFound):
+		return http.StatusUnprocessableEntity, "column_not_found"
+	case errors.Is(err, oberr.ErrTooFewRows):
+		return http.StatusUnprocessableEntity, "too_few_rows"
+	case errors.Is(err, oberr.ErrEmptyKB):
+		return http.StatusServiceUnavailable, "empty_kb"
+	case errors.Is(err, oberr.ErrUnknownAlgorithm):
+		return http.StatusBadRequest, "unknown_algorithm"
+	case errors.Is(err, oberr.ErrBadConfig):
+		return http.StatusBadRequest, "bad_config"
+	case errors.Is(err, oberr.ErrUnsupportedFormat):
+		return http.StatusUnsupportedMediaType, "unsupported_format"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, errServerClosed):
+		return http.StatusServiceUnavailable, "server_closed"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeError maps err through statusFor and writes the JSON envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	s.writeErrorCode(w, status, code, err.Error())
+}
+
+// writeErrorCode writes the JSON envelope with an explicit status and code
+// (for request-shape errors that carry no pipeline error value).
+func (s *Server) writeErrorCode(w http.ResponseWriter, status int, code, message string) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+		Status: status, Code: code, Message: message,
+	}})
+}

@@ -1,0 +1,92 @@
+package server
+
+import "sync/atomic"
+
+// metrics is the server's expvar-style counter set. Counters are plain
+// atomics so the hot path (advise) pays one increment, never a lock; the
+// /v1/metrics handler assembles a consistent-enough JSON snapshot from
+// them on demand.
+type metrics struct {
+	requests atomic.Int64 // all requests, any endpoint
+	// errors counts structured error envelopes written by handlers; bare
+	// routing rejections (404 unknown path, 405 wrong method) come from
+	// the mux and are not included.
+	errors atomic.Int64
+
+	advises  atomic.Int64 // POST /v1/advise
+	profiles atomic.Int64 // POST /v1/profile
+	reloads  atomic.Int64 // successful /v1/kb/reload swaps
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	batches      atomic.Int64 // scoring passes run
+	batchedJobs  atomic.Int64 // advise jobs that went through them
+	maxBatchSize atomic.Int64
+}
+
+// noteBatchSize keeps a running maximum of observed batch sizes.
+func (m *metrics) noteBatchSize(n int) {
+	for {
+		cur := m.maxBatchSize.Load()
+		if int64(n) <= cur || m.maxBatchSize.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the JSON shape of GET /v1/metrics.
+type MetricsSnapshot struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Advises  int64 `json:"advises"`
+	Profiles int64 `json:"profiles"`
+	Reloads  int64 `json:"reloads"`
+
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheEvictions int64   `json:"cacheEvictions"`
+	CacheEntries   int     `json:"cacheEntries"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+
+	Batches       int64   `json:"batches"`
+	BatchedJobs   int64   `json:"batchedJobs"`
+	MeanBatchSize float64 `json:"meanBatchSize"`
+	MaxBatchSize  int64   `json:"maxBatchSize"`
+
+	KBGeneration uint64  `json:"kbGeneration"`
+	KBRecords    int     `json:"kbRecords"`
+	KBAgeSeconds float64 `json:"kbAgeSeconds"`
+}
+
+// Metrics returns the current counter values plus derived rates and the
+// published snapshot's age.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := s.metrics
+	state := s.state.Load()
+	snap := MetricsSnapshot{
+		Requests:       m.requests.Load(),
+		Errors:         m.errors.Load(),
+		Advises:        m.advises.Load(),
+		Profiles:       m.profiles.Load(),
+		Reloads:        m.reloads.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		CacheEvictions: m.cacheEvictions.Load(),
+		CacheEntries:   s.cache.len(),
+		Batches:        m.batches.Load(),
+		BatchedJobs:    m.batchedJobs.Load(),
+		MaxBatchSize:   m.maxBatchSize.Load(),
+		KBGeneration:   state.gen,
+		KBRecords:      state.snap.Len(),
+		KBAgeSeconds:   s.now().Sub(state.loadedAt).Seconds(),
+	}
+	if lookups := snap.CacheHits + snap.CacheMisses; lookups > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits) / float64(lookups)
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatchSize = float64(snap.BatchedJobs) / float64(snap.Batches)
+	}
+	return snap
+}

@@ -26,6 +26,8 @@
 package openbi
 
 import (
+	"time"
+
 	"openbi/internal/core"
 	"openbi/internal/dq"
 	"openbi/internal/eval"
@@ -34,6 +36,7 @@ import (
 	"openbi/internal/kb"
 	"openbi/internal/mining"
 	"openbi/internal/rdf"
+	"openbi/internal/server"
 	"openbi/internal/synth"
 	"openbi/internal/table"
 )
@@ -177,3 +180,48 @@ func ProjectLargestClass(g *Graph) (*Table, error) { return core.ProjectLargestC
 // SuiteNames lists the registry names of the mining suite the advisor
 // arbitrates between.
 func SuiteNames() []string { return mining.SuiteNames() }
+
+// ---- Serving (see internal/server) ----
+
+// Server is the HTTP/JSON advice service around an Engine: POST /v1/advise
+// (micro-batched + LRU-cached), POST /v1/profile, GET /v1/kb,
+// POST /v1/kb/reload (atomic hot swap), GET /v1/metrics and GET /healthz.
+// It is an http.Handler; run it with ListenAndServe(ctx, addr) for
+// graceful drain on context cancellation, or mount it in a larger mux.
+type Server = server.Server
+
+// ServerOption configures NewServer; see WithKBPath, WithCacheSize,
+// WithBatchWindow, WithBatchMaxSize, WithRequestTimeout, WithDrainTimeout
+// and WithMaxBodyBytes.
+type ServerOption = server.Option
+
+// ServerMetrics is the counter snapshot returned by Server.Metrics and
+// GET /v1/metrics.
+type ServerMetrics = server.MetricsSnapshot
+
+// NewServer builds the HTTP advice service around an engine. The engine's
+// current KB snapshot becomes generation 0; POST /v1/kb/reload swaps in
+// later generations without dropping in-flight requests.
+func NewServer(e *Engine, opts ...ServerOption) (*Server, error) { return server.New(e, opts...) }
+
+// WithKBPath sets the default file POST /v1/kb/reload reads.
+func WithKBPath(path string) ServerOption { return server.WithKBPath(path) }
+
+// WithCacheSize bounds the advice LRU cache (0 disables it).
+func WithCacheSize(n int) ServerOption { return server.WithCacheSize(n) }
+
+// WithBatchWindow sets the micro-batching window for concurrent advise
+// calls (0 adds no latency and batches only what is already queued).
+func WithBatchWindow(d time.Duration) ServerOption { return server.WithBatchWindow(d) }
+
+// WithBatchMaxSize caps one advise scoring batch.
+func WithBatchMaxSize(n int) ServerOption { return server.WithBatchMaxSize(n) }
+
+// WithRequestTimeout bounds each HTTP request's handling time.
+func WithRequestTimeout(d time.Duration) ServerOption { return server.WithRequestTimeout(d) }
+
+// WithDrainTimeout bounds the graceful-shutdown drain.
+func WithDrainTimeout(d time.Duration) ServerOption { return server.WithDrainTimeout(d) }
+
+// WithMaxBodyBytes caps request body sizes (CSV uploads).
+func WithMaxBodyBytes(n int64) ServerOption { return server.WithMaxBodyBytes(n) }
