@@ -1,0 +1,19 @@
+# Developer entry points; CI runs the same commands (see .github/workflows).
+
+.PHONY: build test race bench verify
+
+build:
+	go build ./... && go build ./examples/...
+
+test:
+	go test ./...
+
+race:
+	go test -race . ./internal/core/... ./internal/kb/... ./internal/experiment/... ./internal/eval/... ./internal/mining/... ./internal/server/...
+
+# Refresh the committed benchmark snapshot (BENCH_experiments.json); see
+# scripts/bench.sh for BENCHTIME / BENCH / OUT overrides.
+bench:
+	./scripts/bench.sh
+
+verify: build test

@@ -180,6 +180,65 @@ func BenchmarkF2_Phase2_Mixed(b *testing.B) {
 	b.ReportMetric(interaction, "mean-interaction")
 }
 
+// ---- F2 sharded: the scale-out path ----
+
+// BenchmarkF2_ShardedGrid measures the full sharded KB construction path —
+// run every shard of a 2-way plan, then kb.Merge — against the identical
+// monolithic grid, so the scale-out overhead (duplicate cell preparation
+// on shard boundaries, positioning, merge validation) stays visible in the
+// perf trajectory. One iteration builds one complete knowledge base.
+func BenchmarkF2_ShardedGrid(b *testing.B) {
+	ds := benchDataset(b, 200)
+	cfg := benchCfg(42)
+	cfg.Criteria = []dq.Criterion{dq.Completeness, dq.LabelNoise}
+	combos := experiment.DefaultCombos(cfg.Criteria)
+
+	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
+		var records int
+		for i := 0; i < b.N; i++ {
+			p1, err := experiment.Phase1(context.Background(), cfg, ds, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := kb.New()
+			for _, r := range p1 {
+				base.Add(r)
+			}
+			_, p2, err := experiment.Phase2(context.Background(), cfg, ds, "bench", base.Snapshot(), combos, 0.3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			records = len(p1) + len(p2)
+		}
+		b.ReportMetric(float64(records), "records")
+	})
+
+	b.Run("sharded-2", func(b *testing.B) {
+		b.ReportAllocs()
+		var records int
+		for i := 0; i < b.N; i++ {
+			shards := make([]*kb.Shard, 2)
+			for s := range shards {
+				sh, err := experiment.RunShard(context.Background(), cfg, ds, "bench", experiment.ShardRun{
+					Plan:   experiment.ShardPlan{Index: s, Count: 2},
+					Combos: combos,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards[s] = sh
+			}
+			merged, err := kb.Merge(shards...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			records = merged.Len()
+		}
+		b.ReportMetric(float64(records), "records")
+	})
+}
+
 // ---- F2: knowledge-base population and advice ----
 
 // BenchmarkF2_KnowledgeBase measures building the sensitivity table from

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"openbi/internal/kb"
+)
+
+// cmdKB dispatches the knowledge-base utility subcommands.
+func cmdKB(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("kb: usage: openbi kb merge -out kb.json <shard files...>")
+	}
+	switch args[0] {
+	case "merge":
+		return cmdKBMerge(args[1:])
+	default:
+		return fmt.Errorf("kb: unknown subcommand %q (want merge)", args[0])
+	}
+}
+
+// cmdKBMerge recombines the shard files of one `openbi experiments -shard`
+// run into a single knowledge base. The merge is deterministic and
+// validated: shard files may be given in any order, but they must all
+// belong to the same run and together cover every grid cell exactly once.
+// The resulting kb.json is byte-identical to the monolithic run with the
+// same seed; the printed sha256 makes that easy to verify across machines.
+func cmdKBMerge(args []string) error {
+	fs := flag.NewFlagSet("kb merge", flag.ExitOnError)
+	out := fs.String("out", "kb.json", "merged knowledge base output path")
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("kb merge: no shard files given (run `openbi experiments -shard i/n` first)")
+	}
+	shards := make([]*kb.Shard, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("kb merge: %w", err)
+		}
+		sh, err := kb.LoadShard(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("kb merge: %s: %w", p, err)
+		}
+		shards = append(shards, sh)
+	}
+	merged, err := kb.Merge(shards...)
+	if err != nil {
+		return fmt.Errorf("kb merge: %w", err)
+	}
+	digest := sha256.New()
+	if err := writeFileAtomic(*out, func(w *os.File) error {
+		return merged.Save(io.MultiWriter(w, digest))
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d shards (%d records) into %s\nsha256 %s\n",
+		len(shards), merged.Len(), *out, hex.EncodeToString(digest.Sum(nil)))
+	return nil
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-write
+// never leaves a torn output where a complete one is expected.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	// CreateTemp uses 0600; match os.Create's umask-filtered 0666 so the
+	// output is readable by the same audience as a plain `-out` write
+	// (e.g. a serve process under another user).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -10,6 +10,8 @@
 //	openbi generate  -kind municipal -n 500 -dirty 0.2 -out data.nt
 //	openbi profile   -in data.nt [-class fundingLevel] [-model model.xmi]
 //	openbi experiments -rows 500 -workers 8 [-timeout 10m] [-progress] -out kb.json
+//	openbi experiments -rows 500 -shard 0/2 -checkpoint ckpt/   (one resumable shard job)
+//	openbi kb merge  -out kb.json shard-0-of-2.json shard-1-of-2.json
 //	openbi advise    -in data.nt -class fundingLevel -kb kb.json
 //	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt [-timeout 1m]
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
@@ -17,7 +19,10 @@
 //	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms]
 //
 // experiments, mine and validate honour ^C (SIGINT) and -timeout:
-// cancellation takes effect between experiment grid cells. serve drains
+// cancellation takes effect between experiment grid cells; with
+// -checkpoint, a killed experiments run resumes mid-grid on the next
+// invocation. Sharded runs write shard files whose deterministic merge
+// (openbi kb merge) is byte-identical to the monolithic run. serve drains
 // in-flight requests on SIGINT/SIGTERM before exiting.
 package main
 
@@ -93,6 +98,8 @@ func main() {
 		err = cmdRepair(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "kb":
+		err = cmdKB(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -120,7 +127,12 @@ commands:
   olap         roll up a source into an OLAP report
   repair       suggest and optionally apply a cleaning plan for a source
   validate     measure advisor hit-rate and regret on random corruption scenarios
+  kb           knowledge-base utilities: "kb merge" recombines shard outputs
   serve        run the HTTP advice service (batching, caching, hot KB reload)
+
+scaling out:
+  experiments -shard i/n -checkpoint dir   run one resumable shard of the grid
+  kb merge -out kb.json shard-*.json       deterministically merge the shards
 `)
 }
 
@@ -273,7 +285,9 @@ func cmdExperiments(args []string) error {
 	workers := fs.Int("workers", 0, "parallel experiment workers (0 = all CPUs); results are identical for any value")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long (0 = no limit); ^C also cancels between cells")
 	progress := fs.Bool("progress", false, "stream per-record progress to stderr")
-	out := fs.String("out", "kb.json", "knowledge base output path")
+	shard := fs.String("shard", "", "run one shard of the grid, as index/count with a 0-based index (e.g. 0/2); writes a shard file for `openbi kb merge` instead of a knowledge base")
+	checkpoint := fs.String("checkpoint", "", "journal completed grid cells under this directory so a killed run resumes mid-grid")
+	out := fs.String("out", "", "output path (default kb.json, or shard-<i>-of-<n>.json with -shard)")
 	fs.Parse(args)
 
 	eng, err := core.New(core.WithSeed(*seed), core.WithFolds(*folds), core.WithWorkers(*workers))
@@ -290,12 +304,50 @@ func cmdExperiments(args []string) error {
 	var runOpts []core.RunOption
 	if *progress {
 		runOpts = append(runOpts, core.WithProgress(func(ev experiment.Event) {
+			state := ""
+			if ev.Restored {
+				state = " (restored)"
+			}
 			fmt.Fprintf(os.Stderr, "\rphase %d: %4d/%4d  %-14s %-28s", ev.Phase, ev.Completed, ev.Total,
-				ev.Algorithm, fmt.Sprintf("%s@%.2f", ev.Criterion, ev.Severity))
+				ev.Algorithm, fmt.Sprintf("%s@%.2f%s", ev.Criterion, ev.Severity, state))
 			if ev.Completed == ev.Total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}))
+	}
+
+	if *shard != "" {
+		plan, err := experiment.ParseShardPlan(*shard)
+		if err != nil {
+			return err
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("shard-%d-of-%d.json", plan.Index, plan.Count)
+		}
+		fmt.Printf("running shard %s of the grid on a %d-row reference dataset...\n", plan, *rows)
+		if *checkpoint != "" {
+			runOpts = append(runOpts, core.WithCheckpoint(*checkpoint))
+		}
+		sh, err := eng.RunExperimentShard(ctx, ds, "reference", plan, runOpts...)
+		if err != nil {
+			return explainRunError(err)
+		}
+		if err := writeFileAtomic(path, func(w *os.File) error { return sh.Save(w) }); err != nil {
+			return err
+		}
+		fmt.Printf("shard %s: %d of %d grid records written to %s\n", plan, len(sh.Records),
+			sh.Meta.Phase1Total+sh.Meta.Phase2Total, path)
+		fmt.Printf("combine all %d shards with: openbi kb merge -out kb.json shard-*-of-%d.json\n",
+			plan.Count, plan.Count)
+		return nil
+	}
+
+	if *checkpoint != "" {
+		runOpts = append(runOpts, core.WithCheckpoint(*checkpoint))
+	}
+	if *out == "" {
+		*out = "kb.json"
 	}
 	fmt.Printf("running Phase 1 + Phase 2 on a %d-row reference dataset...\n", *rows)
 	rep, err := eng.RunExperiments(ctx, ds, "reference", runOpts...)

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"openbi/internal/experiment"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/oberr"
+	"openbi/internal/synth"
+)
+
+// corpusTestOptions keeps the multi-run tests fast: two algorithms, the
+// standard grid otherwise.
+func corpusTestOptions() []Option {
+	return []Option{WithSeed(42), WithFolds(3), WithAlgorithms("zero-r", "naive-bayes")}
+}
+
+func corpusDataset(t *testing.T, rows int, seed int64) *mining.Dataset {
+	t.Helper()
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: rows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func engineKBBytes(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.SaveKB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunCorporaMatchesSequentialRuns: mining the grid over registered
+// corpora must be exactly the sequential composition of single-corpus
+// runs — same records, same order, same bytes.
+func TestRunCorporaMatchesSequentialRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid four times")
+	}
+	ds1 := corpusDataset(t, 60, 1)
+	ds2 := corpusDataset(t, 70, 2)
+
+	seq, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.RunExperiments(context.Background(), ds1, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.RunExperiments(context.Background(), ds2, "second"); err != nil {
+		t.Fatal(err)
+	}
+
+	multi, err := New(append(corpusTestOptions(), WithCorpus("first", ds1), WithCorpus("second", ds2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := multi.Corpora(); len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("Corpora() = %v", got)
+	}
+	var events int
+	datasets := map[string]bool{}
+	rep, err := multi.RunCorpora(context.Background(), WithProgress(func(ev experiment.Event) {
+		events++
+		datasets[ev.Dataset] = true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Phase1Records+rep.Phase2Records == 0 {
+		t.Fatal("empty report")
+	}
+	if events != rep.Phase1Records+rep.Phase2Records {
+		t.Fatalf("progress events = %d, want %d", events, rep.Phase1Records+rep.Phase2Records)
+	}
+	if !datasets["first"] || !datasets["second"] {
+		t.Fatalf("events named datasets %v, want both corpora", datasets)
+	}
+	if !bytes.Equal(engineKBBytes(t, seq), engineKBBytes(t, multi)) {
+		t.Fatal("RunCorpora KB differs from sequential RunExperiments runs")
+	}
+}
+
+func TestCorpusValidation(t *testing.T) {
+	ds := corpusDataset(t, 60, 1)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"empty name", []Option{WithCorpus("", ds)}},
+		{"nil dataset", []Option{WithCorpus("a", nil)}},
+		{"duplicate name", []Option{WithCorpus("a", ds), WithCorpus("a", ds)}},
+	} {
+		if _, err := New(tc.opts...); !errors.Is(err, oberr.ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", tc.name, err)
+		}
+	}
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunCorpora(context.Background()); !errors.Is(err, oberr.ErrBadConfig) {
+		t.Fatalf("RunCorpora without corpora: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestCheckpointedRunByteIdentical: WithCheckpoint must not change the
+// knowledge base — fresh run, checkpointed run and fully-replayed rerun
+// all produce the same bytes, and the replayed rerun executes nothing.
+func TestCheckpointedRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid three times")
+	}
+	ds := corpusDataset(t, 60, 1)
+	dir := t.TempDir()
+
+	plain, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.RunExperiments(context.Background(), ds, "reference"); err != nil {
+		t.Fatal(err)
+	}
+	want := engineKBBytes(t, plain)
+
+	ckpt, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ckpt.RunExperiments(context.Background(), ds, "reference", WithCheckpoint(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mixed != nil {
+		t.Fatal("checkpointed runs must not fabricate Mixed interaction results")
+	}
+	if got := engineKBBytes(t, ckpt); !bytes.Equal(got, want) {
+		t.Fatal("checkpointed KB differs from plain run")
+	}
+
+	replay, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	if _, err := replay.RunExperiments(context.Background(), ds, "reference",
+		WithCheckpoint(dir), WithProgress(func(ev experiment.Event) {
+			if !ev.Restored {
+				executed++
+			}
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("rerun over a complete journal executed %d cells, want 0", executed)
+	}
+	if got := engineKBBytes(t, replay); !bytes.Equal(got, want) {
+		t.Fatal("replayed KB differs from plain run")
+	}
+}
+
+// TestRunExperimentShardMergeReplace: the engine-level scale-out loop —
+// run each shard, merge, ReplaceKB — must reproduce RunExperiments
+// byte-for-byte and leave the engine untouched until ReplaceKB.
+func TestRunExperimentShardMergeReplace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid twice")
+	}
+	ds := corpusDataset(t, 60, 1)
+
+	mono, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mono.RunExperiments(context.Background(), ds, "reference"); err != nil {
+		t.Fatal(err)
+	}
+	want := engineKBBytes(t, mono)
+
+	eng, err := New(corpusTestOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*kb.Shard
+	for i := 0; i < 3; i++ {
+		sh, err := eng.RunExperimentShard(context.Background(), ds, "reference",
+			experiment.ShardPlan{Index: i, Count: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+	}
+	if eng.KB().Len() != 0 {
+		t.Fatal("shard runs mutated the engine's knowledge base")
+	}
+	merged, err := kb.Merge(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplaceKB(merged); err != nil {
+		t.Fatal(err)
+	}
+	if got := engineKBBytes(t, eng); !bytes.Equal(got, want) {
+		t.Fatal("shard+merge+ReplaceKB KB differs from RunExperiments")
+	}
+	if _, err := eng.Advisor(); err != nil {
+		t.Fatalf("advisor after ReplaceKB: %v", err)
+	}
+	if err := eng.ReplaceKB(nil); !errors.Is(err, oberr.ErrBadConfig) {
+		t.Fatalf("ReplaceKB(nil): err = %v, want ErrBadConfig", err)
+	}
+}

@@ -31,12 +31,19 @@ type Engine struct {
 	combos        [][]dq.Criterion
 	mixedSeverity float64
 	algorithms    map[string]mining.Factory
+	corpora       []Corpus
 
 	// mu serializes the write side (store mutation + snapshot publication).
 	mu    sync.Mutex
 	store *kb.KnowledgeBase
 	// snap is the published read side; never nil after New.
 	snap atomic.Pointer[kb.Snapshot]
+}
+
+// Corpus is one named experiment dataset; see WithCorpus.
+type Corpus struct {
+	Name    string
+	Dataset *mining.Dataset
 }
 
 // settings collects option values before validation.
@@ -46,6 +53,7 @@ type settings struct {
 	workers    int
 	combos     [][]dq.Criterion
 	algorithms []string
+	corpora    []Corpus
 }
 
 // Option configures an Engine at construction; see With*.
@@ -82,6 +90,16 @@ func WithAlgorithms(names ...string) Option {
 	return func(s *settings) { s.algorithms = names }
 }
 
+// WithCorpus registers a named experiment corpus; call it once per
+// dataset. RunCorpora mines the full Phase 1 + Phase 2 grid over every
+// registered corpus in registration order, so the knowledge base learns
+// degradation curves from several data shapes instead of one synthetic
+// reference. Names must be unique and non-empty (oberr.ErrBadConfig
+// otherwise).
+func WithCorpus(name string, ds *mining.Dataset) Option {
+	return func(s *settings) { s.corpora = append(s.corpora, Corpus{Name: name, Dataset: ds}) }
+}
+
 // DefaultCombos returns the canonical Phase-2 criteria pairs an Engine
 // uses when WithCombos is not given.
 func DefaultCombos() [][]dq.Criterion {
@@ -113,6 +131,21 @@ func New(opts ...Option) (*Engine, error) {
 				Field: "WithCombos", Reason: fmt.Sprintf("combo %v needs >= 2 criteria", combo)})
 		}
 	}
+	seenCorpora := map[string]bool{}
+	for _, c := range s.corpora {
+		switch {
+		case c.Name == "":
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: "WithCorpus", Reason: "corpus name must not be empty"})
+		case c.Dataset == nil:
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: "WithCorpus", Reason: fmt.Sprintf("corpus %q has a nil dataset", c.Name)})
+		case seenCorpora[c.Name]:
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: "WithCorpus", Reason: fmt.Sprintf("corpus %q registered twice", c.Name)})
+		}
+		seenCorpora[c.Name] = true
+	}
 	suite := mining.StandardSuite(s.seed)
 	algorithms := suite
 	if s.algorithms != nil {
@@ -137,6 +170,7 @@ func New(opts ...Option) (*Engine, error) {
 		combos:        combos,
 		mixedSeverity: 0.3,
 		algorithms:    algorithms,
+		corpora:       s.corpora,
 		store:         kb.New(),
 	}
 	e.snap.Store(e.store.Snapshot())
@@ -181,25 +215,42 @@ func (e *Engine) BuildModel(a table.Access, classColumn string) (*Model, error) 
 
 // ---- Experiments (Figure 2, left side; §3.1) ----
 
-// ExperimentReport summarizes a RunExperiments call.
+// ExperimentReport summarizes a RunExperiments / RunCorpora call.
 type ExperimentReport struct {
 	Phase1Records int
 	Phase2Records int
-	Mixed         []experiment.MixedResult
+	// Mixed carries the Phase-2 interaction results (actual vs. additive
+	// prediction). Checkpointed runs leave it nil: the resumable path runs
+	// Phase 2 without the in-memory Phase-1 snapshot that predictions are
+	// read from (the knowledge-base records are identical either way).
+	Mixed []experiment.MixedResult
 }
 
-// RunOption configures one RunExperiments call; see WithProgress.
+// RunOption configures one RunExperiments call; see WithProgress and
+// WithCheckpoint.
 type RunOption func(*runSettings)
 
 type runSettings struct {
-	progress func(experiment.Event)
+	progress   func(experiment.Event)
+	checkpoint string
 }
 
 // WithProgress streams one experiment.Event per completed grid record to
 // sink. Events arrive serially (no two at once) but on worker goroutines;
-// keep the sink fast.
+// keep the sink fast. Checkpoint-resumed runs replay journaled records as
+// Restored events before executing new cells.
 func WithProgress(sink func(experiment.Event)) RunOption {
 	return func(r *runSettings) { r.progress = sink }
+}
+
+// WithCheckpoint makes the run resumable: every completed grid cell is
+// journaled (synced, torn-tail safe) under dir, and a rerun with the same
+// engine configuration resumes mid-grid instead of restarting. The journal
+// refuses configurations it was not written by. The resulting knowledge
+// base is byte-identical to an un-checkpointed run; only the report's
+// Mixed interaction results are omitted.
+func WithCheckpoint(dir string) RunOption {
+	return func(r *runSettings) { r.checkpoint = dir }
 }
 
 // RunExperiments executes Phase 1 (simple criteria) and Phase 2 (mixed
@@ -208,10 +259,49 @@ func WithProgress(sink func(experiment.Event)) RunOption {
 // advisors holding the previous snapshot are unaffected. The run is
 // all-or-nothing: a failed or canceled run (ctx.Err() between grid cells)
 // leaves the store untouched, so a retry on the same engine cannot
-// duplicate records. Writers — concurrent RunExperiments, LoadKB,
-// SaveKB — serialize on the engine's mutex for the full run; readers are
-// never blocked.
+// duplicate records (resume a long grid across failures with
+// WithCheckpoint). Writers — concurrent RunExperiments, LoadKB, SaveKB —
+// serialize on the engine's mutex for the full run; readers are never
+// blocked.
 func (e *Engine) RunExperiments(ctx context.Context, ds *mining.Dataset, datasetName string, opts ...RunOption) (*ExperimentReport, error) {
+	return e.runExperiments(ctx, []Corpus{{Name: datasetName, Dataset: ds}}, opts...)
+}
+
+// RunCorpora is RunExperiments over every corpus registered with
+// WithCorpus, in registration order, committed and published as one
+// atomic knowledge-base update. It fails with oberr.ErrBadConfig when the
+// engine has no corpora.
+func (e *Engine) RunCorpora(ctx context.Context, opts ...RunOption) (*ExperimentReport, error) {
+	if len(e.corpora) == 0 {
+		return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+			Field: "WithCorpus", Reason: "RunCorpora needs at least one corpus; register them at New"})
+	}
+	return e.runExperiments(ctx, e.corpora, opts...)
+}
+
+// Corpora returns the names of the corpora registered with WithCorpus, in
+// registration order.
+func (e *Engine) Corpora() []string {
+	names := make([]string, len(e.corpora))
+	for i, c := range e.corpora {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// experimentConfig assembles the experiment.Config the engine's options
+// pin down.
+func (e *Engine) experimentConfig(progress func(experiment.Event)) experiment.Config {
+	return experiment.Config{
+		Algorithms: e.algorithms,
+		Folds:      e.folds,
+		Seed:       e.seed,
+		Workers:    e.workers,
+		Progress:   progress,
+	}
+}
+
+func (e *Engine) runExperiments(ctx context.Context, corpora []Corpus, opts ...RunOption) (*ExperimentReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -219,37 +309,76 @@ func (e *Engine) RunExperiments(ctx context.Context, ds *mining.Dataset, dataset
 	for _, opt := range opts {
 		opt(&rs)
 	}
-	cfg := experiment.Config{
-		Algorithms: e.algorithms,
-		Folds:      e.folds,
-		Seed:       e.seed,
-		Workers:    e.workers,
-		Progress:   rs.progress,
-	}
+	cfg := e.experimentConfig(rs.progress)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	p1, err := experiment.Phase1(ctx, cfg, ds, datasetName)
-	if err != nil {
-		return nil, err
+	// All mutation happens on a staged (unpublished, uncommitted) copy;
+	// the store and snapshot move only after every corpus succeeded.
+	staged := &kb.KnowledgeBase{Records: append([]kb.Record(nil), e.store.Records...)}
+	report := &ExperimentReport{}
+	for _, corpus := range corpora {
+		if rs.checkpoint != "" {
+			// Resumable path: the whole grid as one checkpointed shard.
+			sh, err := experiment.RunShard(ctx, cfg, corpus.Dataset, corpus.Name, experiment.ShardRun{
+				Plan:          experiment.MonolithicPlan(),
+				Combos:        e.combos,
+				MixedSeverity: e.mixedSeverity,
+				CheckpointDir: rs.checkpoint,
+			})
+			if err != nil {
+				return nil, err
+			}
+			merged, err := kb.Merge(sh)
+			if err != nil {
+				return nil, err
+			}
+			report.Phase1Records += sh.Meta.Phase1Total
+			report.Phase2Records += sh.Meta.Phase2Total
+			staged.Records = append(staged.Records, merged.Records...)
+			continue
+		}
+		p1, err := experiment.Phase1(ctx, cfg, corpus.Dataset, corpus.Name)
+		if err != nil {
+			return nil, err
+		}
+		// Phase 2 predicts from the store as of Phase 1 — the same records
+		// the advisor would see.
+		staged.Records = append(staged.Records, p1...)
+		mixed, p2, err := experiment.Phase2(ctx, cfg, corpus.Dataset, corpus.Name, staged.Snapshot(), e.combos, e.mixedSeverity)
+		if err != nil {
+			return nil, err
+		}
+		staged.Records = append(staged.Records, p2...)
+		report.Phase1Records += len(p1)
+		report.Phase2Records += len(p2)
+		report.Mixed = append(report.Mixed, mixed...)
 	}
-
-	// Phase 2 predicts from the store as of Phase 1 — the same records the
-	// advisor would see — via a staged (unpublished, uncommitted) copy.
-	staged := &kb.KnowledgeBase{Records: make([]kb.Record, 0, e.store.Len()+len(p1))}
-	staged.Records = append(staged.Records, e.store.Records...)
-	staged.Records = append(staged.Records, p1...)
-	mixed, p2, err := experiment.Phase2(ctx, cfg, ds, datasetName, staged.Snapshot(), e.combos, e.mixedSeverity)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range p1 {
-		e.store.Add(r)
-	}
-	for _, r := range p2 {
-		e.store.Add(r)
-	}
+	e.store = staged
 	e.snap.Store(e.store.Snapshot())
-	return &ExperimentReport{Phase1Records: len(p1), Phase2Records: len(p2), Mixed: mixed}, nil
+	return report, nil
+}
+
+// RunExperimentShard executes one shard of the engine's experiment grid —
+// the slice of Phase 1 + Phase 2 cells that plan owns — and returns its
+// positioned records without touching the engine's knowledge base: shard
+// outputs are partial by design and only become a servable KB through
+// kb.Merge (or `openbi kb merge`). Pass WithCheckpoint to journal
+// completed cells so a killed shard job resumes mid-grid.
+//
+// Merging every shard of a plan yields a knowledge base byte-identical to
+// RunExperiments on the same engine configuration.
+func (e *Engine) RunExperimentShard(ctx context.Context, ds *mining.Dataset, datasetName string,
+	plan experiment.ShardPlan, opts ...RunOption) (*kb.Shard, error) {
+	var rs runSettings
+	for _, opt := range opts {
+		opt(&rs)
+	}
+	return experiment.RunShard(ctx, e.experimentConfig(rs.progress), ds, datasetName, experiment.ShardRun{
+		Plan:          plan,
+		Combos:        e.combos,
+		MixedSeverity: e.mixedSeverity,
+		CheckpointDir: rs.checkpoint,
+	})
 }
 
 // ---- Advice + mining (Figure 2, right side) ----
@@ -400,9 +529,21 @@ func (e *Engine) LoadKB(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	return e.ReplaceKB(loaded)
+}
+
+// ReplaceKB swaps in an already-built knowledge base — typically the
+// output of kb.Merge over shard files — and publishes it atomically;
+// existing Advisor sessions keep their snapshot. The engine takes
+// ownership of k; the caller must not mutate it afterwards.
+func (e *Engine) ReplaceKB(k *kb.KnowledgeBase) error {
+	if k == nil {
+		return fmt.Errorf("core: %w", &oberr.ConfigError{
+			Field: "ReplaceKB", Reason: "knowledge base must not be nil"})
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.store = loaded
-	e.snap.Store(loaded.Snapshot())
+	e.store = k
+	e.snap.Store(k.Snapshot())
 	return nil
 }

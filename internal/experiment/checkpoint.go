@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"openbi/internal/kb"
+)
+
+// The checkpoint journal makes a (possibly sharded) grid run resumable:
+// one JSON line per completed cell, appended and fsynced before the cell
+// is reported complete, under a header line that pins the exact run
+// configuration. A killed run therefore loses at most the cells that were
+// mid-flight; the next run with the same configuration replays the journal
+// and executes only what is missing. Atomicity is per line — a torn final
+// line (crash mid-write) is detected on reload and truncated away, which
+// merely re-executes that one cell.
+
+// checkpointHeader is the journal's first line.
+type checkpointHeader struct {
+	Meta kb.ShardMeta `json:"meta"`
+}
+
+// journalEntry is one completed-cell line.
+type journalEntry struct {
+	Phase  int       `json:"phase"`
+	Index  int       `json:"index"`
+	Record kb.Record `json:"record"`
+}
+
+// checkpoint is the open journal of one shard run. A nil *checkpoint is a
+// valid no-op (runs without -checkpoint pass one around freely).
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[[2]int]kb.Record
+}
+
+// checkpointName keys the journal file by dataset and plan so shards and
+// corpora can share one checkpoint directory. The sanitized name carries a
+// short hash of the raw dataset name: distinct corpora whose names
+// sanitize identically ("data.v1" vs "data_v1") must not collide on one
+// journal, while the same corpus under a different configuration still
+// maps to the same file — which is what lets openCheckpoint refuse a
+// config mismatch instead of silently restarting.
+func checkpointName(meta kb.ShardMeta) string {
+	h := fnv.New32a()
+	h.Write([]byte(meta.Dataset))
+	return fmt.Sprintf("%s-%08x-shard-%d-of-%d.journal",
+		sanitizeFileName(meta.Dataset), h.Sum32(), meta.Index, meta.Count)
+}
+
+func sanitizeFileName(s string) string {
+	if s == "" {
+		return "dataset"
+	}
+	out := []rune(s)
+	for i, r := range out {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// openCheckpoint opens (or creates) the journal for meta under dir,
+// replaying any completed cells it already holds. The journal is opened
+// and exclusively locked *before* it is read, so a second process pointed
+// at the same checkpoint fails fast instead of interleaving writes with
+// (or truncating the tail under) the first. A journal written by a
+// different run configuration — different seed, grid, dataset or plan — is
+// refused rather than silently mixed in. A torn tail is truncated away.
+func openCheckpoint(dir string, meta kb.ShardMeta) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, checkpointName(meta))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: opening checkpoint %s: %w", path, err)
+	}
+	if err := lockJournal(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint %s is in use by another running shard job: %w", path, err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: reading checkpoint %s: %w", path, err)
+	}
+
+	ck := &checkpoint{done: map[[2]int]kb.Record{}}
+	valid := 0 // byte length of the journal's intact prefix
+	hasHeader := false
+	off := 0
+	for off < len(raw) {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn tail: line never finished
+		}
+		line := raw[off : off+nl]
+		if !hasHeader {
+			var h checkpointHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				break // torn/corrupt header: restart the journal from scratch
+			}
+			if h.Meta != meta {
+				f.Close()
+				return nil, fmt.Errorf("experiment: checkpoint %s was written by a different run configuration (journal: dataset %q seed %d shard %d/%d fingerprint %s; this run: dataset %q seed %d shard %d/%d fingerprint %s); delete the journal or use another -checkpoint directory",
+					path, h.Meta.Dataset, h.Meta.Seed, h.Meta.Index, h.Meta.Count, h.Meta.Fingerprint,
+					meta.Dataset, meta.Seed, meta.Index, meta.Count, meta.Fingerprint)
+			}
+			hasHeader = true
+		} else {
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // corrupt line: drop it and everything after
+			}
+			ck.done[[2]int{e.Phase, e.Index}] = e.Record
+		}
+		off += nl + 1
+		valid = off
+	}
+
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: truncating torn checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	ck.f = f
+	if !hasHeader {
+		line, err := json.Marshal(checkpointHeader{Meta: meta})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := ck.writeLine(line); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// lookup returns the journaled record at (phase, index), if any.
+func (c *checkpoint) lookup(phase, index int) (kb.Record, bool) {
+	if c == nil {
+		return kb.Record{}, false
+	}
+	rec, ok := c.done[[2]int{phase, index}]
+	return rec, ok
+}
+
+// append journals one completed cell. The line is written in a single
+// write and fsynced before returning, so a record reported complete is
+// durably complete.
+func (c *checkpoint) append(phase, index int, rec kb.Record) error {
+	if c == nil {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{Phase: phase, Index: index, Record: rec})
+	if err != nil {
+		return fmt.Errorf("experiment: encoding checkpoint entry: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeLine(line)
+}
+
+// writeLine appends line + "\n" and syncs. Callers serialize.
+func (c *checkpoint) writeLine(line []byte) error {
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("experiment: writing checkpoint: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: syncing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close releases the journal file; the journal itself stays on disk so a
+// completed run's rerun is a fast full replay.
+func (c *checkpoint) close() {
+	if c != nil && c.f != nil {
+		c.f.Close()
+	}
+}

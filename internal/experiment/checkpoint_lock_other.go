@@ -1,0 +1,10 @@
+//go:build !unix
+
+package experiment
+
+import "os"
+
+// lockJournal is a no-op where advisory file locks are unavailable; on
+// these platforms not sharing a live checkpoint directory between
+// concurrent runs is the operator's responsibility.
+func lockJournal(*os.File) error { return nil }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package experiment
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockJournal takes an exclusive, non-blocking advisory lock on the open
+// journal so two processes cannot interleave appends or truncate each
+// other's tails. The kernel releases the lock when the process exits, so a
+// crashed run never leaves a stale lock behind — exactly the property the
+// resume path needs.
+func lockJournal(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

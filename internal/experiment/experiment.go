@@ -38,8 +38,17 @@ type Event struct {
 	Algorithm string
 	Criterion string
 	Severity  float64
+	// Dataset names the corpus the record belongs to (multi-corpus runs
+	// interleave several).
+	Dataset string
+	// Restored marks a record replayed from a checkpoint journal instead
+	// of executed; resumed runs emit one Restored event per journaled cell
+	// before any new cell starts, so Completed still counts to Total.
+	Restored bool
 	// Completed counts records finished in this phase so far (including
-	// this one); Total is the phase's full grid size.
+	// this one); Total is the phase's size *for this run* — the full grid
+	// for monolithic runs, only the owned cells for a shard run (compare
+	// kb.ShardMeta's PhaseNTotal fields for the whole-grid sizes).
 	Completed int
 	Total     int
 }
@@ -98,18 +107,27 @@ func (c *Config) AlgorithmNames() []string {
 // progress serializes Event delivery from concurrent workers and owns the
 // per-phase Completed counter.
 type progress struct {
-	mu    sync.Mutex
-	sink  func(Event)
-	phase int
-	total int
-	done  int
+	mu      sync.Mutex
+	sink    func(Event)
+	phase   int
+	total   int
+	dataset string
+	done    int
 }
 
-func newProgress(sink func(Event), phase, total int) *progress {
-	return &progress{sink: sink, phase: phase, total: total}
+func newProgress(sink func(Event), phase, total int, dataset string) *progress {
+	return &progress{sink: sink, phase: phase, total: total, dataset: dataset}
 }
 
 func (p *progress) record(algorithm, criterion string, severity float64) {
+	p.emit(algorithm, criterion, severity, false)
+}
+
+func (p *progress) restored(algorithm, criterion string, severity float64) {
+	p.emit(algorithm, criterion, severity, true)
+}
+
+func (p *progress) emit(algorithm, criterion string, severity float64, restored bool) {
 	if p == nil || p.sink == nil {
 		return
 	}
@@ -121,6 +139,8 @@ func (p *progress) record(algorithm, criterion string, severity float64) {
 		Algorithm: algorithm,
 		Criterion: criterion,
 		Severity:  severity,
+		Dataset:   p.dataset,
+		Restored:  restored,
 		Completed: p.done,
 		Total:     p.total,
 	})
@@ -136,6 +156,40 @@ func taskSeed(base int64, parts ...string) int64 {
 		h.Write([]byte(p))
 	}
 	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// cellCoord addresses one prepared dataset of the Phase-1 grid without
+// materializing it: the injected criterion and severity (severity 0 is the
+// clean cell; its criterion is meaningless).
+type cellCoord struct {
+	criterion dq.Criterion
+	severity  float64
+}
+
+// name is the criterion label a record at this coordinate carries —
+// "clean" for the severity-0 cell.
+func (c cellCoord) name() string {
+	if c.severity == 0 {
+		return "clean"
+	}
+	return c.criterion.String()
+}
+
+// cellCoords enumerates the Phase-1 cells in canonical order: the clean
+// cell first, then criterion-major severity sweeps. Every grid consumer —
+// monolithic runs, shard plans, checkpoints — derives cell indices from
+// this one enumeration, which is what makes shard outputs recombinable.
+func cellCoords(cfg Config) []cellCoord {
+	coords := []cellCoord{{severity: 0}}
+	for _, crit := range cfg.Criteria {
+		for _, sev := range cfg.Severities {
+			if sev == 0 {
+				continue
+			}
+			coords = append(coords, cellCoord{criterion: crit, severity: sev})
+		}
+	}
+	return coords
 }
 
 // cell is one corrupted dataset shared by every algorithm — the paper's
@@ -157,43 +211,136 @@ type cell struct {
 	measures  map[string]float64 // clean cell: measured severity per criterion
 }
 
-// prepareCells builds the clean cell plus one corrupted cell per
-// (criterion × non-zero severity), honouring ctx between cells.
-func prepareCells(ctx context.Context, cfg Config, ds *mining.Dataset) ([]cell, error) {
+// prepareCells materializes the cells of cellCoords(cfg), honouring ctx
+// between cells. A non-nil need filter skips (leaves zero) cells no owned
+// task touches — shard runs corrupt only their slice of the grid. The
+// injection seed depends only on the cell's coordinates, so a cell's
+// content is identical no matter which process prepares it.
+func prepareCells(ctx context.Context, cfg Config, ds *mining.Dataset, need func(i int) bool) ([]cell, error) {
 	cleanProfile := dq.Measure(ds.Table(), dq.MeasureOptions{ClassColumn: ds.ClassCol})
 	cleanMeasures := map[string]float64{}
 	for _, c := range dq.AllCriteria() {
 		cleanMeasures[c.String()] = cleanProfile.Severity(c)
 	}
-	cells := []cell{{severity: 0, ds: ds, measures: cleanMeasures}}
-	for _, crit := range cfg.Criteria {
-		for _, sev := range cfg.Severities {
-			if sev == 0 {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			seed := taskSeed(cfg.Seed, "inject", crit.String(), fmt.Sprintf("%.3f", sev))
-			corrupted, err := inject.Apply(ds.T, ds.ClassCol,
-				[]inject.Spec{{Criterion: crit, Severity: sev, Mechanism: cfg.Mechanism}}, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: injecting %s@%.2f: %w", crit, sev, err)
-			}
-			evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
-			if err != nil {
-				return nil, err
-			}
-			profile := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol})
-			cells = append(cells, cell{
-				criterion: crit,
-				severity:  sev,
-				ds:        evalDS,
-				measured:  profile.Severity(crit),
-			})
+	coords := cellCoords(cfg)
+	cells := make([]cell, len(coords))
+	cells[0] = cell{severity: 0, ds: ds, measures: cleanMeasures}
+	for i, co := range coords {
+		if i == 0 {
+			continue
+		}
+		if need != nil && !need(i) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		seed := taskSeed(cfg.Seed, "inject", co.criterion.String(), fmt.Sprintf("%.3f", co.severity))
+		corrupted, err := inject.Apply(ds.T, ds.ClassCol,
+			[]inject.Spec{{Criterion: co.criterion, Severity: co.severity, Mechanism: cfg.Mechanism}}, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: injecting %s@%.2f: %w", co.criterion, co.severity, err)
+		}
+		evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
+		if err != nil {
+			return nil, err
+		}
+		profile := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+		cells[i] = cell{
+			criterion: co.criterion,
+			severity:  co.severity,
+			ds:        evalDS,
+			measured:  profile.Severity(co.criterion),
 		}
 	}
 	return cells, nil
+}
+
+// p1Task is one addressable unit of the Phase-1 grid: an algorithm
+// evaluated on one cell. Its position in p1Tasks is the record's canonical
+// index, shared by monolithic runs, shard plans and checkpoints.
+type p1Task struct {
+	algorithm string
+	cell      int // index into cellCoords(cfg)
+}
+
+// p1Tasks enumerates the Phase-1 grid in canonical (algorithm-major, cell
+// order) sequence.
+func p1Tasks(cfg Config, nCells int) []p1Task {
+	tasks := make([]p1Task, 0, len(cfg.Algorithms)*nCells)
+	for _, alg := range cfg.AlgorithmNames() {
+		for c := 0; c < nCells; c++ {
+			tasks = append(tasks, p1Task{algorithm: alg, cell: c})
+		}
+	}
+	return tasks
+}
+
+// runP1Task executes one Phase-1 grid cell. Everything that shapes the
+// record — seeds, folds, measured severities — derives from the task's
+// coordinates, never from execution order, which is what makes sharded and
+// resumed runs byte-identical to monolithic ones.
+func runP1Task(cfg Config, cells []cell, datasetName string, tk p1Task) (kb.Record, error) {
+	cl := cells[tk.cell]
+	rec := kb.Record{
+		Algorithm:        tk.algorithm,
+		Criterion:        "clean",
+		Severity:         cl.severity,
+		MeasuredSeverity: cl.measured,
+		MeasuredAll:      cl.measures,
+		Dataset:          datasetName,
+		Folds:            cfg.Folds,
+	}
+	if cl.severity > 0 {
+		rec.Criterion = cl.criterion.String()
+		if cl.criterion == dq.Completeness {
+			rec.Mechanism = cfg.Mechanism.String()
+		}
+	}
+	cvSeed := taskSeed(cfg.Seed, "cv", tk.algorithm, rec.Criterion, fmt.Sprintf("%.3f", rec.Severity))
+	rec.Seed = cvSeed
+	m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], cl.ds, cfg.Folds, cvSeed)
+	if err != nil {
+		return kb.Record{}, fmt.Errorf("experiment: %s on %s@%.2f: %w", tk.algorithm, rec.Criterion, rec.Severity, err)
+	}
+	rec.Metrics = m
+	return rec, nil
+}
+
+// runGrid executes fn(i) for i in [0,n) over a bounded worker pool,
+// honouring ctx between cells: when ctx is done, running cells finish, no
+// new cell starts, and runGrid returns ctx.Err(). Otherwise the first
+// non-nil fn error (in task order) is returned.
+func runGrid(ctx context.Context, workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Phase1 runs the simple-criterion grid on a clean dataset and returns one
@@ -209,76 +356,24 @@ func Phase1(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName str
 		ctx = context.Background()
 	}
 	cfg.applyDefaults()
-	cells, err := prepareCells(ctx, cfg, ds)
+	cells, err := prepareCells(ctx, cfg, ds, nil)
 	if err != nil {
 		return nil, err
 	}
-
-	type task struct {
-		algorithm string
-		cell      cell
-	}
-	var tasks []task
-	for _, alg := range cfg.AlgorithmNames() {
-		for _, cl := range cells {
-			tasks = append(tasks, task{alg, cl})
-		}
-	}
-
-	prog := newProgress(cfg.Progress, 1, len(tasks))
+	tasks := p1Tasks(cfg, len(cells))
+	prog := newProgress(cfg.Progress, 1, len(tasks), datasetName)
 	records := make([]kb.Record, len(tasks))
-	errs := make([]error, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, tk := range tasks {
-		wg.Add(1)
-		go func(i int, tk task) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return
-			}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return
-			}
-
-			rec := kb.Record{
-				Algorithm:        tk.algorithm,
-				Criterion:        "clean",
-				Severity:         tk.cell.severity,
-				MeasuredSeverity: tk.cell.measured,
-				MeasuredAll:      tk.cell.measures,
-				Dataset:          datasetName,
-				Folds:            cfg.Folds,
-			}
-			if tk.cell.severity > 0 {
-				rec.Criterion = tk.cell.criterion.String()
-				if tk.cell.criterion == dq.Completeness {
-					rec.Mechanism = cfg.Mechanism.String()
-				}
-			}
-			cvSeed := taskSeed(cfg.Seed, "cv", tk.algorithm, rec.Criterion, fmt.Sprintf("%.3f", rec.Severity))
-			rec.Seed = cvSeed
-			m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], tk.cell.ds, cfg.Folds, cvSeed)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiment: %s on %s@%.2f: %w", tk.algorithm, rec.Criterion, rec.Severity, err)
-				return
-			}
-			rec.Metrics = m
-			records[i] = rec
-			prog.record(rec.Algorithm, rec.Criterion, rec.Severity)
-		}(i, tk)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
+	err = runGrid(ctx, cfg.Workers, len(tasks), func(i int) error {
+		rec, err := runP1Task(cfg, cells, datasetName, tasks[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		records[i] = rec
+		prog.record(rec.Algorithm, rec.Criterion, rec.Severity)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return records, nil
 }
@@ -302,6 +397,78 @@ func (m MixedResult) Interaction() float64 {
 	return m.Actual.Kappa - m.PredictedKappa
 }
 
+// p2Task is one addressable unit of the Phase-2 grid: an algorithm
+// evaluated on one mixed-criteria combination. Its position in p2Tasks is
+// the record's canonical index.
+type p2Task struct {
+	algorithm string
+	combo     []dq.Criterion
+}
+
+// p2Tasks enumerates the Phase-2 grid in canonical (algorithm-major, combo
+// order) sequence.
+func p2Tasks(cfg Config, combos [][]dq.Criterion) []p2Task {
+	tasks := make([]p2Task, 0, len(cfg.Algorithms)*len(combos))
+	for _, alg := range cfg.AlgorithmNames() {
+		for _, combo := range combos {
+			tasks = append(tasks, p2Task{algorithm: alg, combo: combo})
+		}
+	}
+	return tasks
+}
+
+// runP2Task executes one Phase-2 grid cell: inject the combination, mine,
+// and compare against the additive prediction read from base. Like
+// runP1Task, the record depends only on the task's coordinates; only the
+// MixedResult's PredictedKappa depends on base, so shard runs (which lack
+// the full Phase-1 snapshot) pass a nil base — the record is byte-identical
+// and the profile measurement that only feeds the prediction is skipped.
+func runP2Task(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Snapshot,
+	severity float64, tk p2Task) (MixedResult, kb.Record, error) {
+	comboName := comboString(tk.combo)
+	specs := make([]inject.Spec, len(tk.combo))
+	for j, c := range tk.combo {
+		specs[j] = inject.Spec{Criterion: c, Severity: severity, Mechanism: cfg.Mechanism}
+	}
+	seed := taskSeed(cfg.Seed, "mix", comboName, fmt.Sprintf("%.3f", severity))
+	corrupted, err := inject.Apply(ds.T, ds.ClassCol, specs, seed)
+	if err != nil {
+		return MixedResult{}, kb.Record{}, fmt.Errorf("experiment: injecting %s: %w", comboName, err)
+	}
+	evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
+	if err != nil {
+		return MixedResult{}, kb.Record{}, err
+	}
+	cvSeed := taskSeed(cfg.Seed, "mixcv", tk.algorithm, comboName, fmt.Sprintf("%.3f", severity))
+	m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], evalDS, cfg.Folds, cvSeed)
+	if err != nil {
+		return MixedResult{}, kb.Record{}, fmt.Errorf("experiment: %s on %s: %w", tk.algorithm, comboName, err)
+	}
+	res := MixedResult{
+		Algorithm: tk.algorithm,
+		Criteria:  tk.combo,
+		Severity:  severity,
+		Actual:    m,
+	}
+	if base != nil {
+		// Predictions use the measured profile of the mixed data — exactly
+		// the coordinates the advisor sees in production.
+		severities := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol}).Severities()
+		res.PredictedKappa = base.PredictKappa(tk.algorithm, severities)
+	}
+	rec := kb.Record{
+		Algorithm: tk.algorithm,
+		Criterion: comboName,
+		Severity:  severity,
+		Dataset:   datasetName,
+		Mixed:     true,
+		Folds:     cfg.Folds,
+		Seed:      cvSeed,
+		Metrics:   m,
+	}
+	return res, rec, nil
+}
+
 // Phase2 runs mixed-criteria combinations at a single severity per
 // criterion and compares against additive predictions read from a
 // Phase-1 knowledge-base snapshot. It returns the mixed results and the
@@ -313,90 +480,22 @@ func Phase2(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName str
 		ctx = context.Background()
 	}
 	cfg.applyDefaults()
-
-	type task struct {
-		algorithm string
-		combo     []dq.Criterion
-	}
-	var tasks []task
-	for _, alg := range cfg.AlgorithmNames() {
-		for _, combo := range combos {
-			tasks = append(tasks, task{alg, combo})
-		}
-	}
-	prog := newProgress(cfg.Progress, 2, len(tasks))
+	tasks := p2Tasks(cfg, combos)
+	prog := newProgress(cfg.Progress, 2, len(tasks), datasetName)
 	results := make([]MixedResult, len(tasks))
 	records := make([]kb.Record, len(tasks))
-	errs := make([]error, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, tk := range tasks {
-		wg.Add(1)
-		go func(i int, tk task) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				return
-			}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return
-			}
-
-			comboName := comboString(tk.combo)
-			specs := make([]inject.Spec, len(tk.combo))
-			for j, c := range tk.combo {
-				specs[j] = inject.Spec{Criterion: c, Severity: severity, Mechanism: cfg.Mechanism}
-			}
-			seed := taskSeed(cfg.Seed, "mix", comboName, fmt.Sprintf("%.3f", severity))
-			corrupted, err := inject.Apply(ds.T, ds.ClassCol, specs, seed)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiment: injecting %s: %w", comboName, err)
-				return
-			}
-			evalDS, err := mining.NewDataset(corrupted, ds.ClassCol)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			// Predictions use the measured profile of the mixed data —
-			// exactly the coordinates the advisor sees in production.
-			severities := dq.Measure(corrupted, dq.MeasureOptions{ClassColumn: ds.ClassCol}).Severities()
-			cvSeed := taskSeed(cfg.Seed, "mixcv", tk.algorithm, comboName, fmt.Sprintf("%.3f", severity))
-			m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], evalDS, cfg.Folds, cvSeed)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiment: %s on %s: %w", tk.algorithm, comboName, err)
-				return
-			}
-			results[i] = MixedResult{
-				Algorithm:      tk.algorithm,
-				Criteria:       tk.combo,
-				Severity:       severity,
-				Actual:         m,
-				PredictedKappa: base.PredictKappa(tk.algorithm, severities),
-			}
-			records[i] = kb.Record{
-				Algorithm: tk.algorithm,
-				Criterion: comboName,
-				Severity:  severity,
-				Dataset:   datasetName,
-				Mixed:     true,
-				Folds:     cfg.Folds,
-				Seed:      cvSeed,
-				Metrics:   m,
-			}
-			prog.record(tk.algorithm, comboName, severity)
-		}(i, tk)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	for _, err := range errs {
+	err := runGrid(ctx, cfg.Workers, len(tasks), func(i int) error {
+		res, rec, err := runP2Task(cfg, ds, datasetName, base, severity, tasks[i])
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		results[i] = res
+		records[i] = rec
+		prog.record(rec.Algorithm, rec.Criterion, rec.Severity)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return results, records, nil
 }

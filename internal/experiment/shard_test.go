@@ -1,0 +1,413 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/synth"
+)
+
+// shardTestCfg is the shared sharding-test configuration: a reduced
+// algorithm suite and criterion set so that running the grid a dozen times
+// stays fast, but still multi-algorithm, multi-criterion and two-phase so
+// the partition is non-trivial.
+func shardTestCfg(t testing.TB) (Config, *mining.Dataset, [][]dq.Criterion) {
+	t.Helper()
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := mining.StandardSuite(42)
+	cfg := Config{
+		Seed:  42,
+		Folds: 3,
+		Algorithms: map[string]mining.Factory{
+			"zero-r":      suite["zero-r"],
+			"naive-bayes": suite["naive-bayes"],
+			"c45":         suite["c45"],
+			"5-nn":        suite["5-nn"],
+		},
+		Criteria:   []dq.Criterion{dq.Completeness, dq.LabelNoise, dq.Imbalance},
+		Severities: []float64{0, 0.2, 0.4},
+	}
+	combos := DefaultCombos(cfg.Criteria)
+	return cfg, ds, combos
+}
+
+// monolithicKB runs Phase 1 + Phase 2 in-process and serializes the
+// knowledge base — the reference the sharded paths must reproduce byte
+// for byte.
+func monolithicKB(t testing.TB, cfg Config, ds *mining.Dataset, combos [][]dq.Criterion) []byte {
+	t.Helper()
+	p1, err := Phase1(context.Background(), cfg, ds, "shardtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kb.New()
+	for _, r := range p1 {
+		base.Add(r)
+	}
+	_, p2, err := Phase2(context.Background(), cfg, ds, "shardtest", base.Snapshot(), combos, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p2 {
+		base.Add(r)
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func saveKB(t testing.TB, k *kb.KnowledgeBase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardMergeEquivalence is the sharding tentpole's property test: for
+// n ∈ {1, 2, 3, 7}, running the grid as n independent shard jobs and
+// merging — in permuted order — must produce a knowledge base
+// byte-identical to the monolithic run.
+func TestShardMergeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid many times")
+	}
+	cfg, ds, combos := shardTestCfg(t)
+	want := monolithicKB(t, cfg, ds, combos)
+	wantSum := sha256.Sum256(want)
+
+	for _, n := range []int{1, 2, 3, 7} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			shards := make([]*kb.Shard, n)
+			for i := 0; i < n; i++ {
+				sh, err := RunShard(context.Background(), cfg, ds, "shardtest", ShardRun{
+					Plan:   ShardPlan{Index: i, Count: n},
+					Combos: combos,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				shards[i] = sh
+			}
+			// Merge in a permuted order: rotate then swap ends, so no
+			// shard sits at its own index (for n > 1).
+			perm := make([]*kb.Shard, 0, n)
+			for i := 0; i < n; i++ {
+				perm = append(perm, shards[(i+1)%n])
+			}
+			if n > 2 {
+				perm[0], perm[n-1] = perm[n-1], perm[0]
+			}
+			merged, err := kb.Merge(perm...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := saveKB(t, merged)
+			if gotSum := sha256.Sum256(got); gotSum != wantSum {
+				t.Fatalf("merged KB of %d shards differs from monolithic run:\nmonolithic %d bytes sha256 %x\nmerged     %d bytes sha256 %x",
+					n, len(want), wantSum, len(got), gotSum)
+			}
+		})
+	}
+}
+
+// TestShardPlanPartitionsGridOnce proves the plan is a partition: across
+// any shard count, every task is owned by exactly one shard.
+func TestShardPlanPartitionsGridOnce(t *testing.T) {
+	cfg, _, combos := shardTestCfg(t)
+	cfg.applyDefaults()
+	coords := cellCoords(cfg)
+	t1 := p1Tasks(cfg, len(coords))
+	t2 := p2Tasks(cfg, combos)
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		for i, tk := range t1 {
+			owners := 0
+			for s := 0; s < n; s++ {
+				if (ShardPlan{Index: s, Count: n}).owns(p1Key(tk, coords)...) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: phase-1 task %d (%s cell %d) owned by %d shards", n, i, tk.algorithm, tk.cell, owners)
+			}
+		}
+		for i, tk := range t2 {
+			owners := 0
+			for s := 0; s < n; s++ {
+				if (ShardPlan{Index: s, Count: n}).owns(p2Key(tk, 0.3)...) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: phase-2 task %d owned by %d shards", n, i, owners)
+			}
+		}
+	}
+}
+
+func TestParseShardPlan(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ShardPlan
+		ok   bool
+	}{
+		{"0/1", ShardPlan{0, 1}, true},
+		{"1/2", ShardPlan{1, 2}, true},
+		{" 2 / 7 ", ShardPlan{2, 7}, true},
+		{"2/2", ShardPlan{}, false},
+		{"-1/2", ShardPlan{}, false},
+		{"1", ShardPlan{}, false},
+		{"a/b", ShardPlan{}, false},
+		{"1/0", ShardPlan{}, false},
+	} {
+		got, err := ParseShardPlan(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseShardPlan(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseShardPlan(%q) succeeded, want error", tc.in)
+		}
+	}
+}
+
+// TestCheckpointResume is the crash-resume guarantee: cancel a
+// checkpointed run mid-grid, restart it, and the final KB must be
+// byte-identical to an uninterrupted run with no completed cell executed
+// twice — executed-cell counts of the two runs must sum exactly to the
+// grid size, with the second run replaying the first run's cells as
+// Restored events.
+func TestCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid several times")
+	}
+	cfg, ds, combos := shardTestCfg(t)
+	cfg.Workers = 2
+	want := monolithicKB(t, cfg, ds, combos)
+	dir := t.TempDir()
+
+	// First run: cancel after a handful of completed cells. In-flight
+	// cells finish (cell-boundary cancellation), so executed1 may exceed
+	// the trigger count — what matters is that every executed cell is
+	// journaled and none re-executes.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed1 atomic.Int64
+	cfgRun1 := cfg
+	cfgRun1.Progress = func(ev Event) {
+		if ev.Restored {
+			t.Errorf("first run replayed a cell from a fresh checkpoint: %+v", ev)
+			return
+		}
+		if executed1.Add(1) == 5 {
+			cancel()
+		}
+	}
+	_, err := RunShard(ctx, cfgRun1, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	})
+	if err != context.Canceled {
+		t.Fatalf("canceled run returned %v, want context.Canceled", err)
+	}
+	total1, total2 := totalsOf(cfg, combos)
+	total := total1 + total2
+	if n := executed1.Load(); n < 5 || n >= int64(total) {
+		t.Fatalf("first run executed %d cells, want a strict mid-grid cut of %d", n, total)
+	}
+
+	// Second run: must replay exactly the journaled cells and execute the
+	// rest once.
+	var executed2, restored2 atomic.Int64
+	cfgRun2 := cfg
+	cfgRun2.Progress = func(ev Event) {
+		if ev.Restored {
+			restored2.Add(1)
+		} else {
+			executed2.Add(1)
+		}
+	}
+	sh, err := RunShard(context.Background(), cfgRun2, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored2.Load(); got != executed1.Load() {
+		t.Errorf("second run restored %d cells, want exactly the %d the first run completed", got, executed1.Load())
+	}
+	if got := executed1.Load() + executed2.Load(); got != int64(total) {
+		t.Errorf("cells executed across both runs = %d, want exactly the grid size %d (a completed cell re-executed)", got, total)
+	}
+
+	merged, err := kb.Merge(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveKB(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("resumed KB differs from uninterrupted run")
+	}
+
+	// Third run over the now-complete journal: pure replay.
+	var executed3 atomic.Int64
+	cfgRun3 := cfg
+	cfgRun3.Progress = func(ev Event) {
+		if !ev.Restored {
+			executed3.Add(1)
+		}
+	}
+	sh3, err := RunShard(context.Background(), cfgRun3, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed3.Load(); n != 0 {
+		t.Errorf("rerun over a complete journal executed %d cells, want 0", n)
+	}
+	merged3, err := kb.Merge(sh3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveKB(t, merged3); !bytes.Equal(got, want) {
+		t.Fatal("fully-replayed KB differs from uninterrupted run")
+	}
+}
+
+func totalsOf(cfg Config, combos [][]dq.Criterion) (int, int) {
+	cfg.applyDefaults()
+	nCells := len(cellCoords(cfg))
+	return len(cfg.AlgorithmNames()) * nCells, len(cfg.AlgorithmNames()) * len(combos)
+}
+
+// TestCheckpointTornTailRecovered simulates a crash mid-append: truncating
+// the journal inside its last line must cost exactly that one cell on the
+// next run, not the journal.
+func TestCheckpointTornTailRecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid")
+	}
+	cfg, ds, combos := shardTestCfg(t)
+	want := monolithicKB(t, cfg, ds, combos)
+	dir := t.TempDir()
+	if _, err := RunShard(context.Background(), cfg, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one journal, got %v (%v)", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	cfg2 := cfg
+	cfg2.Progress = func(ev Event) {
+		if !ev.Restored {
+			executed.Add(1)
+		}
+	}
+	sh, err := RunShard(context.Background(), cfg2, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 1 {
+		t.Errorf("after a torn tail, %d cells re-executed, want exactly the 1 torn cell", n)
+	}
+	merged, err := kb.Merge(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveKB(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("KB after torn-tail recovery differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointNamesDistinguishSanitizedCollisions: corpora whose names
+// sanitize to the same string ("data.v1" vs "data_v1") must not collide on
+// one journal file — a collision would make a checkpointed multi-corpus
+// run permanently refuse to complete.
+func TestCheckpointNamesDistinguishSanitizedCollisions(t *testing.T) {
+	metaFor := func(dataset string) kb.ShardMeta {
+		return kb.ShardMeta{Version: kb.ShardMetaVersion, Dataset: dataset, Count: 1}
+	}
+	a := checkpointName(metaFor("data.v1"))
+	b := checkpointName(metaFor("data_v1"))
+	if a == b {
+		t.Fatalf("distinct datasets share journal name %q", a)
+	}
+	if a != checkpointName(metaFor("data.v1")) {
+		t.Fatal("journal name is not stable for the same dataset")
+	}
+}
+
+// TestCheckpointExclusiveLock: a journal held by a live run must refuse a
+// second opener — concurrent writers would interleave appends and truncate
+// each other's tails.
+func TestCheckpointExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	meta := kb.ShardMeta{Version: kb.ShardMetaVersion, Dataset: "lock", Count: 1, Fingerprint: "abc"}
+	first, err := openCheckpoint(dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.close()
+	if _, err := openCheckpoint(dir, meta); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second opener: err = %v, want in-use refusal", err)
+	}
+	first.close()
+	second, err := openCheckpoint(dir, meta)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	second.close()
+}
+
+// TestCheckpointConfigMismatch: a journal written under one configuration
+// must refuse to resume a different one instead of mixing records.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs part of the experiment grid")
+	}
+	cfg, ds, combos := shardTestCfg(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg1 := cfg
+	cfg1.Progress = func(Event) { cancel() }
+	if _, err := RunShard(ctx, cfg1, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	}); err != context.Canceled {
+		t.Fatalf("setup run: %v", err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	_, err := RunShard(context.Background(), cfg2, ds, "shardtest", ShardRun{
+		Plan: MonolithicPlan(), Combos: combos, CheckpointDir: dir,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("resuming with a different seed: err = %v, want config-mismatch refusal", err)
+	}
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"openbi/internal/eval"
+	"openbi/internal/kb"
+	"openbi/internal/mining"
+	"openbi/internal/oberr"
+	"openbi/internal/synth"
+)
+
+// constClassifier predicts one fixed class regardless of input, which
+// makes its cross-validated kappa exactly 0 on any dataset: observed
+// agreement equals chance agreement when the prediction marginal is a
+// point mass. Two const classifiers therefore tie exactly — the scenario
+// the advisor's Top1/Top2 tie-breaking rules exist for.
+type constClassifier struct{}
+
+func (constClassifier) Name() string                     { return "const" }
+func (constClassifier) Fit(*mining.Dataset) error        { return nil }
+func (constClassifier) Predict(*mining.Dataset, int) int { return 0 }
+
+func constFactory() mining.Classifier { return constClassifier{} }
+
+// tiedValidateCfg builds a two-algorithm suite whose empirical kappas tie
+// at 0 on every scenario.
+func tiedValidateCfg(seed int64) Config {
+	return Config{
+		Seed:  seed,
+		Folds: 3,
+		Algorithms: map[string]mining.Factory{
+			"a-const": constFactory,
+			"b-const": constFactory,
+		},
+	}
+}
+
+// baselineSnapshot builds a snapshot whose advice is fully determined by
+// clean baselines: one severity-0 record per algorithm, no curves, so
+// PredictKappa(alg) == the given baseline for any severity vector.
+func baselineSnapshot(baselines map[string]float64) *kb.Snapshot {
+	base := kb.New()
+	for alg, kappa := range baselines {
+		base.Add(kb.Record{
+			Algorithm: alg,
+			Criterion: "clean",
+			Severity:  0,
+			Dataset:   "unit",
+			Folds:     3,
+			Metrics:   eval.Metrics{Kappa: kappa},
+		})
+	}
+	return base.Snapshot()
+}
+
+func validateDataset(t *testing.T) *mining.Dataset {
+	t.Helper()
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: 80, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestValidateEdgeCases(t *testing.T) {
+	ds := validateDataset(t)
+	for _, tc := range []struct {
+		name      string
+		snapshot  *kb.Snapshot
+		trials    int
+		wantErr   error
+		wantTrial int
+		// expectations over the result (skipped when wantErr != nil)
+		wantTop1    int
+		wantTop2    int
+		wantStatic  string
+		wantEmpiric string
+	}{
+		{
+			name:     "empty KB fails with ErrEmptyKB",
+			snapshot: kb.New().Snapshot(),
+			trials:   3,
+			wantErr:  oberr.ErrEmptyKB,
+		},
+		{
+			name:      "zero trials defaults to 10",
+			snapshot:  baselineSnapshot(map[string]float64{"a-const": 0.8, "b-const": 0.6}),
+			trials:    0,
+			wantTrial: 10,
+			wantTop1:  10, wantTop2: 10,
+			wantStatic: "a-const", wantEmpiric: "a-const",
+		},
+		{
+			name:      "negative trials defaults to 10",
+			snapshot:  baselineSnapshot(map[string]float64{"a-const": 0.8, "b-const": 0.6}),
+			trials:    -4,
+			wantTrial: 10,
+			wantTop1:  10, wantTop2: 10,
+			wantStatic: "a-const", wantEmpiric: "a-const",
+		},
+		{
+			// Every empirical kappa ties at 0, so the winner is decided by
+			// the name tie-break (stable sort, ascending name). Advice
+			// prefers a-const (higher baseline) — a Top-1 hit on every
+			// trial, with zero regret.
+			name:      "top1 on exact kappa tie via name tie-break",
+			snapshot:  baselineSnapshot(map[string]float64{"a-const": 0.8, "b-const": 0.6}),
+			trials:    4,
+			wantTrial: 4,
+			wantTop1:  4, wantTop2: 4,
+			wantStatic: "a-const", wantEmpiric: "a-const",
+		},
+		{
+			// Advice prefers b-const, but the tie-break crowns a-const
+			// empirically: a Top-2 (not Top-1) hit on every trial, still
+			// zero regret because the kappas are equal.
+			name:      "top2 when advised ranks second on a tie",
+			snapshot:  baselineSnapshot(map[string]float64{"a-const": 0.6, "b-const": 0.8}),
+			trials:    4,
+			wantTrial: 4,
+			wantTop1:  0, wantTop2: 4,
+			wantStatic: "a-const", wantEmpiric: "a-const",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Validate(context.Background(), tiedValidateCfg(42), ds, tc.snapshot, tc.trials)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Trials != tc.wantTrial || len(res.Detail) != tc.wantTrial {
+				t.Fatalf("trials = %d (detail %d), want %d", res.Trials, len(res.Detail), tc.wantTrial)
+			}
+			if res.Top1Hits != tc.wantTop1 || res.Top2Hits != tc.wantTop2 {
+				t.Errorf("top1 = %d top2 = %d, want %d / %d", res.Top1Hits, res.Top2Hits, tc.wantTop1, tc.wantTop2)
+			}
+			if res.MeanRegret != 0 || res.StaticRegret != 0 {
+				t.Errorf("regret = %v static = %v, want 0 on exact ties", res.MeanRegret, res.StaticRegret)
+			}
+			if res.StaticPolicy != tc.wantStatic {
+				t.Errorf("static policy = %q, want %q (name tie-break on equal means)", res.StaticPolicy, tc.wantStatic)
+			}
+			for i, d := range res.Detail {
+				if d.Empirical != tc.wantEmpiric {
+					t.Errorf("trial %d empirical = %q, want %q", i, d.Empirical, tc.wantEmpiric)
+				}
+				if d.Scenario == "" {
+					t.Errorf("trial %d has an empty scenario label", i)
+				}
+				if d.Regret != 0 {
+					t.Errorf("trial %d regret = %v, want 0 on an exact tie", i, d.Regret)
+				}
+			}
+			// Rate helpers must agree with the raw counts.
+			if got, want := res.Top1Rate(), float64(tc.wantTop1)/float64(tc.wantTrial); got != want {
+				t.Errorf("Top1Rate = %v, want %v", got, want)
+			}
+			if got, want := res.Top2Rate(), float64(tc.wantTop2)/float64(tc.wantTrial); got != want {
+				t.Errorf("Top2Rate = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestValidationRatesOnZeroValue: the rate helpers must not divide by zero
+// on an empty result.
+func TestValidationRatesOnZeroValue(t *testing.T) {
+	var res ValidationResult
+	if res.Top1Rate() != 0 || res.Top2Rate() != 0 {
+		t.Fatalf("zero-value rates = %v / %v, want 0 / 0", res.Top1Rate(), res.Top2Rate())
+	}
+}

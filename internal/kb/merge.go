@@ -1,0 +1,159 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ShardMetaVersion is the current shard/checkpoint format version; bumped
+// whenever the grid enumeration or record layout changes incompatibly.
+const ShardMetaVersion = 1
+
+// ShardMeta identifies the run and grid slice a shard's records belong to.
+// Merge refuses to combine shards whose metadata disagree on anything but
+// Index — mixing seeds, grids or datasets would silently corrupt the
+// knowledge base.
+type ShardMeta struct {
+	Version int `json:"version"`
+	// Seed is the run's base seed; every per-cell seed derives from it.
+	Seed int64 `json:"seed"`
+	// Index and Count locate this shard in the plan (Index in [0, Count)).
+	Index int `json:"shard"`
+	Count int `json:"shards"`
+	// Dataset names the corpus the grid ran over.
+	Dataset string `json:"dataset"`
+	// Fingerprint digests everything that shapes the grid — algorithm
+	// suite, criteria, severities, folds, combos, dataset dimensions — so
+	// shards and checkpoints from different configurations cannot be
+	// combined by accident.
+	Fingerprint string `json:"fingerprint"`
+	// Phase1Total and Phase2Total are the full (un-sharded) grid sizes;
+	// Merge uses them to prove the shards cover every cell exactly once.
+	Phase1Total int `json:"phase1Total"`
+	Phase2Total int `json:"phase2Total"`
+}
+
+// CompatibleWith reports whether two shards belong to the same run (they
+// may differ only in Index).
+func (m ShardMeta) CompatibleWith(o ShardMeta) bool {
+	m.Index = o.Index
+	return m == o
+}
+
+// PositionedRecord pairs a Record with its canonical grid coordinates: the
+// phase and the record's index within that phase's task enumeration. The
+// position lives here — not in Record — so kb.json stays byte-identical to
+// a monolithic run after merging.
+type PositionedRecord struct {
+	Phase  int    `json:"phase"`
+	Index  int    `json:"index"`
+	Record Record `json:"record"`
+}
+
+// Shard is one shard job's output: the run identity plus every record the
+// shard owns, positioned in the canonical grid.
+type Shard struct {
+	Meta    ShardMeta          `json:"meta"`
+	Records []PositionedRecord `json:"records"`
+}
+
+// Save writes the shard as indented JSON (the `openbi experiments -shard`
+// output format).
+func (s *Shard) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// LoadShard reads a shard written by Save.
+func LoadShard(r io.Reader) (*Shard, error) {
+	var s Shard
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("kb: decoding shard: %w", err)
+	}
+	if s.Meta.Version != ShardMetaVersion {
+		return nil, fmt.Errorf("kb: shard format version %d, want %d", s.Meta.Version, ShardMetaVersion)
+	}
+	return &s, nil
+}
+
+// Merge combines shard outputs into one write-side knowledge base with
+// canonical record ordering: Phase-1 records in grid order, then Phase-2
+// records in grid order — exactly the order a monolithic run appends them,
+// so Save of the merged base is byte-identical to the monolithic kb.json.
+// The argument order never matters.
+//
+// Merge fails when the shards disagree on their run identity (seed, grid
+// fingerprint, dataset, shard count), when two records claim the same grid
+// position, or when positions are missing — a partial merge would serve
+// silently wrong advice.
+func Merge(shards ...*Shard) (*KnowledgeBase, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("kb: merge of zero shards")
+	}
+	ordered := append([]*Shard(nil), shards...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Meta.Index < ordered[j].Meta.Index })
+	meta := ordered[0].Meta
+	if meta.Phase1Total < 0 || meta.Phase2Total < 0 {
+		return nil, fmt.Errorf("kb: corrupt shard metadata: negative grid totals (%d, %d)",
+			meta.Phase1Total, meta.Phase2Total)
+	}
+	// Validate identity and count before allocating: the grid totals come
+	// from the shard files, so allocation must be bounded by the records
+	// actually present, not by a (possibly corrupt or hostile) header.
+	count := 0
+	for _, sh := range ordered {
+		if !sh.Meta.CompatibleWith(meta) {
+			return nil, fmt.Errorf("kb: shard %d/%d (dataset %q, seed %d, fingerprint %s) does not belong to the run of shard %d/%d (dataset %q, seed %d, fingerprint %s)",
+				sh.Meta.Index, sh.Meta.Count, sh.Meta.Dataset, sh.Meta.Seed, sh.Meta.Fingerprint,
+				meta.Index, meta.Count, meta.Dataset, meta.Seed, meta.Fingerprint)
+		}
+		if sh.Meta.Index < 0 || sh.Meta.Index >= sh.Meta.Count {
+			return nil, fmt.Errorf("kb: shard index %d out of range [0,%d)", sh.Meta.Index, sh.Meta.Count)
+		}
+		count += len(sh.Records)
+	}
+	total := meta.Phase1Total + meta.Phase2Total
+	if count != total {
+		return nil, fmt.Errorf("kb: incomplete merge: %d records across the shards for a %d-cell grid (a shard output is missing, duplicated, or was produced by an interrupted run)",
+			count, total)
+	}
+	slots := make([]Record, total)
+	seen := make([]bool, total)
+	for _, sh := range ordered {
+		for _, pr := range sh.Records {
+			slot, err := slotOf(meta, pr.Phase, pr.Index)
+			if err != nil {
+				return nil, err
+			}
+			if seen[slot] {
+				return nil, fmt.Errorf("kb: duplicate record for phase %d index %d (same shard merged twice?)", pr.Phase, pr.Index)
+			}
+			seen[slot] = true
+			slots[slot] = pr.Record
+		}
+	}
+	// count == total plus the per-slot duplicate check above guarantee full
+	// coverage (pigeonhole), so every slot is filled here.
+	return &KnowledgeBase{Records: slots}, nil
+}
+
+// slotOf maps (phase, index) onto the canonical record position.
+func slotOf(meta ShardMeta, phase, index int) (int, error) {
+	switch phase {
+	case 1:
+		if index < 0 || index >= meta.Phase1Total {
+			return 0, fmt.Errorf("kb: phase 1 index %d out of range [0,%d)", index, meta.Phase1Total)
+		}
+		return index, nil
+	case 2:
+		if index < 0 || index >= meta.Phase2Total {
+			return 0, fmt.Errorf("kb: phase 2 index %d out of range [0,%d)", index, meta.Phase2Total)
+		}
+		return meta.Phase1Total + index, nil
+	default:
+		return 0, fmt.Errorf("kb: record with unknown phase %d", phase)
+	}
+}

@@ -1,0 +1,186 @@
+package kb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testMeta builds a coherent ShardMeta for a tiny 2-phase grid.
+func testMeta(index, count int) ShardMeta {
+	return ShardMeta{
+		Version:     ShardMetaVersion,
+		Seed:        42,
+		Index:       index,
+		Count:       count,
+		Dataset:     "unit",
+		Fingerprint: "f00ff00ff00ff00f",
+		Phase1Total: 4,
+		Phase2Total: 2,
+	}
+}
+
+// testRecord returns a distinguishable record for one grid position.
+func testRecord(phase, index int) Record {
+	return Record{
+		Algorithm: fmt.Sprintf("alg-%d-%d", phase, index),
+		Criterion: "clean",
+		Dataset:   "unit",
+		Folds:     3,
+		Seed:      int64(100*phase + index),
+	}
+}
+
+// splitShards distributes the full 4+2 grid across count shards
+// round-robin, mimicking what RunShard emits.
+func splitShards(count int) []*Shard {
+	shards := make([]*Shard, count)
+	for i := range shards {
+		shards[i] = &Shard{Meta: testMeta(i, count)}
+	}
+	slot := 0
+	for _, pt := range []struct{ phase, total int }{{1, 4}, {2, 2}} {
+		phase, total := pt.phase, pt.total
+		for i := 0; i < total; i++ {
+			sh := shards[slot%count]
+			sh.Records = append(sh.Records, PositionedRecord{Phase: phase, Index: i, Record: testRecord(phase, i)})
+			slot++
+		}
+	}
+	return shards
+}
+
+func TestMergeCanonicalOrderAnyArgumentOrder(t *testing.T) {
+	a := splitShards(3)
+	merged1, err := Merge(a[0], a[1], a[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := splitShards(3)
+	merged2, err := Merge(b[2], b[0], b[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := merged1.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("merge result depends on shard argument order")
+	}
+	// Canonical order: phase 1 indices 0..3, then phase 2 indices 0..1.
+	if merged1.Len() != 6 {
+		t.Fatalf("merged %d records, want 6", merged1.Len())
+	}
+	for i, want := range []string{"alg-1-0", "alg-1-1", "alg-1-2", "alg-1-3", "alg-2-0", "alg-2-1"} {
+		if got := merged1.Records[i].Algorithm; got != want {
+			t.Fatalf("record %d = %s, want %s (canonical grid order)", i, got, want)
+		}
+	}
+}
+
+func TestMergeRejectsBadInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		shards  func() []*Shard
+		wantErr string
+	}{
+		{"no shards", func() []*Shard { return nil }, "zero shards"},
+		{"foreign fingerprint", func() []*Shard {
+			s := splitShards(2)
+			s[1].Meta.Fingerprint = "deadbeefdeadbeef"
+			return s
+		}, "does not belong"},
+		{"foreign seed", func() []*Shard {
+			s := splitShards(2)
+			s[1].Meta.Seed = 43
+			return s
+		}, "does not belong"},
+		{"surplus record", func() []*Shard {
+			// One record claimed twice: the count check fires before any
+			// slot is allocated (7 records for a 6-cell grid).
+			s := splitShards(2)
+			s[0].Records = append(s[0].Records, s[1].Records[0])
+			return s
+		}, "7 records across the shards for a 6-cell grid"},
+		{"duplicate position with matching count", func() []*Shard {
+			// Same total, but one position twice and one missing: caught
+			// by the per-slot duplicate check.
+			s := splitShards(2)
+			s[0].Records[0] = s[1].Records[0]
+			return s
+		}, "duplicate record"},
+		{"negative totals", func() []*Shard {
+			s := splitShards(1)
+			s[0].Meta.Phase1Total = -1
+			return s
+		}, "negative grid totals"},
+		{"hostile totals do not allocate", func() []*Shard {
+			// A huge total must be rejected by the count check, not
+			// allocated.
+			s := splitShards(1)
+			s[0].Meta.Phase1Total = 1 << 40
+			return s
+		}, "records across the shards"},
+		{"same shard twice", func() []*Shard {
+			s := splitShards(2)
+			return []*Shard{s[0], s[0]}
+		}, "duplicate record"},
+		{"missing shard", func() []*Shard {
+			return splitShards(3)[:2]
+		}, "incomplete merge"},
+		{"index out of range", func() []*Shard {
+			s := splitShards(1)
+			s[0].Records[5].Index = 99
+			return s
+		}, "out of range"},
+		{"unknown phase", func() []*Shard {
+			s := splitShards(1)
+			s[0].Records[0].Phase = 3
+			return s
+		}, "unknown phase"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Merge(tc.shards()...)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestShardSaveLoadRoundTrip(t *testing.T) {
+	sh := splitShards(2)[0]
+	var buf bytes.Buffer
+	if err := sh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != sh.Meta || len(got.Records) != len(sh.Records) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got.Meta, sh.Meta)
+	}
+	for i := range got.Records {
+		if got.Records[i].Record.Algorithm != sh.Records[i].Record.Algorithm {
+			t.Fatalf("record %d drifted through the round trip", i)
+		}
+	}
+}
+
+func TestLoadShardRejectsWrongVersion(t *testing.T) {
+	sh := splitShards(1)[0]
+	sh.Meta.Version = ShardMetaVersion + 1
+	var buf bytes.Buffer
+	if err := sh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version mismatch", err)
+	}
+}

@@ -354,15 +354,20 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.kbResponseFor(s.state.Load()))
 }
 
-// reloadRequest optionally overrides the server's configured KB path.
+// reloadRequest optionally overrides the server's configured KB path, or —
+// with Shards — names the shard files of one sharded experiment run to
+// merge and serve in a single atomic swap (no intermediate kb.json write).
+// Path and Shards are mutually exclusive.
 type reloadRequest struct {
-	Path string `json:"path"`
+	Path   string   `json:"path"`
+	Shards []string `json:"shards"`
 }
 
-// handleReload atomically swaps in a knowledge base read from disk. The
-// engine publishes the new snapshot first, then the server publishes a new
-// generation; requests in flight keep the snapshot they already pinned, so
-// nothing is dropped or torn mid-reload.
+// handleReload atomically swaps in a knowledge base read from disk —
+// either one kb.json, or a freshly completed set of shard outputs merged
+// on the spot. The engine publishes the new snapshot first, then the
+// server publishes a new generation; requests in flight keep the snapshot
+// they already pinned, so nothing is dropped or torn mid-reload.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req reloadRequest
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBodyBytes))
@@ -375,6 +380,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			s.writeErrorCode(w, http.StatusBadRequest, "bad_request", "decoding request body: "+err.Error())
 			return
 		}
+	}
+	if len(req.Shards) > 0 {
+		if req.Path != "" {
+			s.writeErrorCode(w, http.StatusBadRequest, "bad_request",
+				`give either "path" or "shards", not both`)
+			return
+		}
+		s.reloadShards(w, req.Shards)
+		return
 	}
 	path := req.Path
 	if path == "" {
@@ -404,8 +418,56 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", loadErr.Error())
 		return
 	}
+	s.publishReload(w, path)
+}
+
+// reloadShards loads shard files, merges them (validating that they form
+// exactly one complete run) and publishes the merged KB as a new
+// generation. The same path confinement as plain reloads applies to every
+// shard file.
+func (s *Server) reloadShards(w http.ResponseWriter, paths []string) {
+	for _, p := range paths {
+		if !s.reloadPathAllowed(p) {
+			s.writeErrorCode(w, http.StatusForbidden, "path_not_allowed",
+				"reload paths must live in the configured KB's directory")
+			return
+		}
+	}
+	shards := make([]*kb.Shard, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			s.writeErrorCode(w, http.StatusBadRequest, "shard_unreadable", err.Error())
+			return
+		}
+		sh, err := kb.LoadShard(f)
+		f.Close()
+		if err != nil {
+			s.writeErrorCode(w, http.StatusBadRequest, "bad_shard", p+": "+err.Error())
+			return
+		}
+		shards = append(shards, sh)
+	}
+	merged, err := kb.Merge(shards...)
+	if err != nil {
+		s.writeErrorCode(w, http.StatusUnprocessableEntity, "shard_mismatch", err.Error())
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if err := s.engine.ReplaceKB(merged); err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", err.Error())
+		return
+	}
+	s.publishReload(w, fmt.Sprintf("merge of %d shards", len(shards)))
+}
+
+// publishReload bumps the serving generation after the engine accepted a
+// new KB. Callers hold reloadMu (or are the only writer, as in reload
+// paths that just took it).
+func (s *Server) publishReload(w http.ResponseWriter, source string) {
 	prev := s.state.Load()
-	next := &kbState{snap: s.engine.KB(), gen: prev.gen + 1, loadedAt: s.now(), source: path}
+	next := &kbState{snap: s.engine.KB(), gen: prev.gen + 1, loadedAt: s.now(), source: source}
 	s.state.Store(next)
 	s.metrics.reloads.Add(1)
 	writeJSON(w, http.StatusOK, s.kbResponseFor(next))

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openbi/internal/kb"
+)
+
+// testShards splits testKB's records across n shard files in dir,
+// round-robin, and returns their paths.
+func testShards(t *testing.T, dir string, n int, algorithms ...string) []string {
+	t.Helper()
+	base := testKB(algorithms...)
+	meta := kb.ShardMeta{
+		Version: kb.ShardMetaVersion, Seed: 42, Count: n,
+		Dataset: "unit", Fingerprint: "cafecafecafecafe",
+		Phase1Total: base.Len(), Phase2Total: 0,
+	}
+	shards := make([]*kb.Shard, n)
+	for i := range shards {
+		m := meta
+		m.Index = i
+		shards[i] = &kb.Shard{Meta: m}
+	}
+	for i, rec := range base.Records {
+		sh := shards[i%n]
+		sh.Records = append(sh.Records, kb.PositionedRecord{Phase: 1, Index: i, Record: rec})
+	}
+	paths := make([]string, n)
+	for i, sh := range shards {
+		paths[i] = filepath.Join(dir, shardFileName(i, n))
+		f, err := os.Create(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return paths
+}
+
+func shardFileName(i, n int) string {
+	return "shard-" + string(rune('0'+i)) + "-of-" + string(rune('0'+n)) + ".json"
+}
+
+func shardReloadBody(t *testing.T, paths []string) string {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"shards": paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestReloadShardsMergesAndServes: POST /v1/kb/reload with shard paths
+// must merge them deterministically, publish a new generation, and serve
+// advice from the merged KB — the last hop of the scale-out story (shard
+// jobs → merge → hot swap, no intermediate kb.json).
+func TestReloadShardsMergesAndServes(t *testing.T) {
+	dir := t.TempDir()
+	paths := testShards(t, dir, 2, "gamma", "delta", "epsilon")
+	srv := newTestServer(t, testKB("alpha"))
+
+	// Permuted order must not matter.
+	w := do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, []string{paths[1], paths[0]}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status = %d body = %s", w.Code, w.Body.String())
+	}
+	re := decode[kbResponse](t, w)
+	if re.Generation != 1 || re.Records != 9 || re.Source != "merge of 2 shards" {
+		t.Fatalf("reload = %+v", re)
+	}
+	if len(re.Algorithms) != 3 || re.Algorithms[0] != "delta" {
+		t.Fatalf("algorithms = %v", re.Algorithms)
+	}
+	after := decode[adviseResponse](t, do(srv, "POST", "/v1/advise", `{"severities": [0.1]}`))
+	if after.KB.Generation != 1 || len(after.Advice.Ranked) != 3 {
+		t.Fatalf("advise after shard reload = %+v", after.KB)
+	}
+}
+
+func TestReloadShardsErrors(t *testing.T) {
+	dir := t.TempDir()
+	paths := testShards(t, dir, 2, "gamma", "delta")
+	srv := newTestServer(t, testKB("alpha"))
+
+	// Incomplete set: one shard of two.
+	w := do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, paths[:1]))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "shard_mismatch" {
+		t.Fatalf("incomplete set: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	// Unreadable shard.
+	w = do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, []string{filepath.Join(dir, "absent.json")}))
+	if w.Code != http.StatusBadRequest || errCode(t, w) != "shard_unreadable" {
+		t.Fatalf("absent shard: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	// Corrupt shard file.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w = do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, []string{bad}))
+	if w.Code != http.StatusBadRequest || errCode(t, w) != "bad_shard" {
+		t.Fatalf("corrupt shard: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	// Path and shards together are ambiguous.
+	w = do(srv, "POST", "/v1/kb/reload", `{"path": "kb.json", "shards": ["a.json"]}`)
+	if w.Code != http.StatusBadRequest || errCode(t, w) != "bad_request" {
+		t.Fatalf("path+shards: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	// A failed shard reload must not have bumped the generation.
+	if got := decode[kbResponse](t, do(srv, "GET", "/v1/kb", "")); got.Generation != 0 {
+		t.Fatalf("generation after failed reloads = %d, want 0", got.Generation)
+	}
+}
+
+// TestReloadShardsPathConfinement: with a configured KB path, shard paths
+// outside its directory are rejected exactly like plain reload paths.
+func TestReloadShardsPathConfinement(t *testing.T) {
+	dir := t.TempDir()
+	other := t.TempDir()
+	outside := testShards(t, other, 1, "gamma")
+	kbPath := writeKBFile(t, dir, "kb.json", testKB("alpha"))
+	srv := newTestServer(t, testKB("alpha"), WithKBPath(kbPath))
+
+	w := do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, outside))
+	if w.Code != http.StatusForbidden || errCode(t, w) != "path_not_allowed" {
+		t.Fatalf("outside shard: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	inside := testShards(t, dir, 1, "gamma")
+	w = do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, inside))
+	if w.Code != http.StatusOK {
+		t.Fatalf("inside shard: status = %d body = %s", w.Code, w.Body.String())
+	}
+}

@@ -26,6 +26,7 @@
 package openbi
 
 import (
+	"io"
 	"time"
 
 	"openbi/internal/core"
@@ -67,8 +68,20 @@ func WithCombos(combos [][]Criterion) Option { return core.WithCombos(combos) }
 // WithAlgorithms restricts the mining suite to the named algorithms.
 func WithAlgorithms(names ...string) Option { return core.WithAlgorithms(names...) }
 
+// WithCorpus registers a named experiment corpus; RunCorpora mines the
+// grid over every registered corpus so the knowledge base learns from
+// several data shapes ("scenario diversity") instead of one synthetic
+// reference.
+func WithCorpus(name string, ds *Dataset) Option { return core.WithCorpus(name, ds) }
+
 // WithProgress streams per-record Events from a RunExperiments call.
 func WithProgress(sink func(Event)) RunOption { return core.WithProgress(sink) }
+
+// WithCheckpoint makes a RunExperiments call resumable: completed grid
+// cells are journaled under dir and a rerun with the same configuration
+// resumes mid-grid instead of restarting. The final knowledge base is
+// byte-identical either way.
+func WithCheckpoint(dir string) RunOption { return core.WithCheckpoint(dir) }
 
 // NewEngine returns an Engine with an empty DQ4DM knowledge base.
 //
@@ -109,6 +122,14 @@ type (
 	Event = experiment.Event
 	// RunOption configures one RunExperiments call.
 	RunOption = core.RunOption
+	// ShardPlan is a stable partition of the experiment grid into n shard
+	// jobs (see Engine.RunExperimentShard and MergeKB).
+	ShardPlan = experiment.ShardPlan
+	// Shard is one shard job's output: positioned experiment records plus
+	// the run identity MergeKB validates.
+	Shard = kb.Shard
+	// Corpus is one named experiment dataset (see WithCorpus).
+	Corpus = core.Corpus
 	// Metrics is a classification quality record.
 	Metrics = eval.Metrics
 	// InjectSpec describes one controlled data-quality defect.
@@ -180,6 +201,22 @@ func ProjectLargestClass(g *Graph) (*Table, error) { return core.ProjectLargestC
 // SuiteNames lists the registry names of the mining suite the advisor
 // arbitrates between.
 func SuiteNames() []string { return mining.SuiteNames() }
+
+// ---- Scaling out (sharded KB construction; see internal/experiment) ----
+
+// ParseShardPlan parses the CLI's "index/count" shard syntax (0-based),
+// e.g. "0/2" and "1/2" are the two shards of a 2-way plan.
+func ParseShardPlan(s string) (ShardPlan, error) { return experiment.ParseShardPlan(s) }
+
+// MergeKB deterministically combines shard outputs (in any order) into one
+// knowledge base with canonical record ordering — byte-identical, once
+// saved, to the monolithic run with the same seed. It fails when shards
+// come from different runs, overlap, or leave grid cells uncovered.
+func MergeKB(shards ...*Shard) (*KnowledgeBase, error) { return kb.Merge(shards...) }
+
+// LoadShard reads one shard file written by Engine.RunExperimentShard /
+// `openbi experiments -shard`.
+func LoadShard(r io.Reader) (*Shard, error) { return kb.LoadShard(r) }
 
 // ---- Serving (see internal/server) ----
 

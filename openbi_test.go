@@ -1,6 +1,7 @@
 package openbi
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"strings"
@@ -207,5 +208,85 @@ func TestPublicGenerators(t *testing.T) {
 		if g.Len() == 0 {
 			t.Fatalf("%s: empty graph", name)
 		}
+	}
+}
+
+// TestPublicScaleOut drives the sharded KB construction path through the
+// public facade: shard the grid, merge the outputs (round-tripped through
+// the shard file format), install the result with ReplaceKB, and assert it
+// matches a monolithic checkpointed run byte for byte.
+func TestPublicScaleOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment grid twice")
+	}
+	ctx := context.Background()
+	opts := []Option{WithSeed(42), WithFolds(3), WithAlgorithms("zero-r", "naive-bayes")}
+	ref, err := MakeClassification(ClassificationSpec{Rows: 80, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mono, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mono.RunExperiments(ctx, ref, "reference", WithCheckpoint(t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := mono.SaveKB(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseShardPlan("0/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Shard, 0, plan.Count)
+	for i := 0; i < plan.Count; i++ {
+		sh, err := eng.RunExperimentShard(ctx, ref, "reference", ShardPlan{Index: i, Count: plan.Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip through the wire format the CLI and server consume.
+		var buf bytes.Buffer
+		if err := sh.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, loaded)
+	}
+	merged, err := MergeKB(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplaceKB(merged); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := eng.SaveKB(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("facade shard+merge KB differs from monolithic run")
+	}
+
+	// Multi-corpus: registered corpora run as one atomic publication.
+	multi, err := New(append(opts, WithCorpus("a", ref))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi.RunCorpora(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if multi.KB().Len() == 0 {
+		t.Fatal("RunCorpora left an empty KB")
 	}
 }

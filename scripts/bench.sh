@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# bench.sh — refresh the committed benchmark snapshot.
+#
+# Runs the canonical perf suite (the Phase-1 experiment grid per
+# criterion, the serving hot paths, and the sharded scale-out grid) and
+# writes BENCH_experiments.json at the repo root. Commit the refreshed
+# snapshot with any PR that plausibly moves these numbers, so the perf
+# trajectory stays reviewable as a diff.
+#
+#   make bench                 # default: -benchtime 3x
+#   BENCHTIME=10x make bench   # steadier numbers, slower
+#   BENCH='BenchmarkServeAdvise' make bench   # subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+BENCH="${BENCH:-BenchmarkF2_Phase1_|BenchmarkServeAdvise|BenchmarkF2_ShardedGrid}"
+OUT="${OUT:-BENCH_experiments.json}"
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \
+  | go run ./scripts/benchjson > "$OUT"
+echo "wrote $OUT"
