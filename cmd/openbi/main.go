@@ -9,6 +9,7 @@
 //
 //	openbi generate  -kind municipal -n 500 -dirty 0.2 -out data.nt
 //	openbi profile   -in data.nt [-class fundingLevel] [-model model.xmi]
+//	openbi ingest    -in data.nt [-format nt|ttl] [-class IRI] [-csv out.csv]   (streams; '-in -' reads stdin)
 //	openbi experiments -rows 500 -workers 8 [-timeout 10m] [-progress] -out kb.json
 //	openbi experiments -rows 500 -shard 0/2 -checkpoint ckpt/   (one resumable shard job)
 //	openbi kb merge  -out kb.json shard-0-of-2.json shard-1-of-2.json
@@ -86,6 +87,8 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "advise":
@@ -121,6 +124,7 @@ func usage() {
 commands:
   generate     synthesize an open-government LOD dataset (.nt) or CSV
   profile      measure data-quality criteria of a source; optionally emit a CWM model
+  ingest       stream RDF (file or stdin) at constant memory: LOD profile + projected CSV
   experiments  run Phase 1 + Phase 2 and write the DQ4DM knowledge base
   advise       recommend a mining algorithm for a source ("the best option is ...")
   mine         train the advised algorithm and share predictions as LOD
@@ -215,16 +219,7 @@ func cmdProfile(args []string) error {
 		if err != nil {
 			return err
 		}
-		lp := dq.MeasureLOD(g)
-		lt := report.NewTable(fmt.Sprintf("LOD profile (%d triples, %d entities)", lp.Triples, lp.Entities),
-			"criterion", "value")
-		lt.AddRowf("property completeness", lp.PropertyCompleteness)
-		lt.AddRowf("dangling link ratio", lp.DanglingLinkRatio)
-		lt.AddRowf("sameAs per entity", lp.SameAsRatio)
-		lt.AddRowf("label coverage", lp.LabelCoverage)
-		lt.AddRowf("predicates per class", lp.PredicatesPerClass)
-		lt.AddRowf("class entropy", lp.ClassEntropy)
-		lt.Render(os.Stdout)
+		printLODProfile(dq.MeasureLOD(g))
 		fmt.Println()
 	}
 

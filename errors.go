@@ -23,6 +23,9 @@ var (
 	ErrBadConfig = oberr.ErrBadConfig
 	// ErrTooFewRows: a dataset is too small for the requested split.
 	ErrTooFewRows = oberr.ErrTooFewRows
+	// ErrBadSyntax: input data (an RDF stream) whose format is right but
+	// whose content does not parse.
+	ErrBadSyntax = oberr.ErrBadSyntax
 )
 
 // Structured error detail types, recoverable with errors.As.
@@ -35,4 +38,6 @@ type (
 	ConfigError = oberr.ConfigError
 	// UnsupportedFormatError carries the input path and its format.
 	UnsupportedFormatError = oberr.UnsupportedFormatError
+	// SyntaxError carries the format and line of a parse failure.
+	SyntaxError = oberr.SyntaxError
 )

@@ -1,7 +1,8 @@
 // lodadvisor walks the full Linked-Open-Data path of the paper on the
 // municipal-budget scenario its introduction motivates:
 //
-//	LOD graph → common representation (CWM model) → DQ annotation →
+//	LOD stream → graph-level quality profile + common representation
+//	(one constant-memory pass) → CWM model → DQ annotation →
 //	knowledge-base advice → comparison of the advice on a clean vs a
 //	dirty portal export.
 //
@@ -9,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -61,15 +63,25 @@ func main() {
 		fmt.Printf("LOD: %d triples, %d subjects, %d predicates, %d sameAs links\n",
 			st.Triples, st.Subjects, st.Predicates, st.SameAsLinks)
 
-		// LOD integration module: project the Municipality class.
-		tb, err := rdf.Project(g, rdf.ProjectOptions{
+		// LOD integration module, streaming: profile the graph and project
+		// the Municipality class in one constant-memory pass over the
+		// serialized export — the path a portal download would take. The
+		// table is byte-identical to batch rdf.Project over the graph.
+		var nt bytes.Buffer
+		if err := rdf.WriteNTriples(&nt, g); err != nil {
+			log.Fatal(err)
+		}
+		ing, err := openbi.IngestLOD(&nt, "nt", openbi.ProjectOptions{
 			Class: rdf.NewIRI("http://opendata.example.org/def/Municipality"),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		tb = tb.DropColumn("label") // free-text identifier, not an attribute
-		fmt.Printf("common representation: %d rows × %d columns\n", tb.NumRows(), tb.NumCols())
+		fmt.Printf("graph quality: property completeness %.2f, dangling links %.2f, sameAs/entity %.2f\n",
+			ing.Profile.PropertyCompleteness, ing.Profile.DanglingLinkRatio, ing.Profile.SameAsRatio)
+		tb := ing.Table.DropColumn("label") // free-text identifier, not an attribute
+		fmt.Printf("common representation: %d rows × %d columns (from %d streamed triples)\n",
+			tb.NumRows(), tb.NumCols(), ing.Triples)
 
 		// Data quality module: annotate the model, then advise from it.
 		advice, model, err := advisor.Advise(ctx, tb, "fundingLevel")

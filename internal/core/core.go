@@ -66,18 +66,7 @@ func IngestFile(path string) (*table.Table, error) {
 // class — the default "LOD integration module" behaviour when the user
 // has not picked a class.
 func ProjectLargestClass(g *rdf.Graph) (*table.Table, error) {
-	classes := g.Classes()
-	if len(classes) == 0 {
-		return rdf.Project(g, rdf.ProjectOptions{})
-	}
-	best, bestN := classes[0], -1
-	for _, c := range classes {
-		n := len(g.SubjectsOfType(c))
-		if n > bestN {
-			best, bestN = c, n
-		}
-	}
-	return rdf.Project(g, rdf.ProjectOptions{Class: best})
+	return rdf.Project(g, rdf.ProjectOptions{LargestClass: true})
 }
 
 // ---- Common representation + annotation (§3.2) ----

@@ -53,7 +53,24 @@ type settings struct {
 	workers    int
 	combos     [][]dq.Criterion
 	algorithms []string
-	corpora    []Corpus
+	corpora    []corpusEntry
+}
+
+// corpusEntry is one registered corpus before resolution: either a ready
+// dataset (WithCorpus) or an RDF stream to ingest at New (WithLODCorpus).
+type corpusEntry struct {
+	name string
+	ds   *mining.Dataset
+	lod  *lodCorpusSpec
+}
+
+// lodCorpusSpec defers a streaming LOD ingestion to New, where its
+// failure can be reported.
+type lodCorpusSpec struct {
+	r      io.Reader
+	format string
+	class  string // class column of the projected table
+	opts   rdf.ProjectOptions
 }
 
 // Option configures an Engine at construction; see With*.
@@ -97,7 +114,24 @@ func WithAlgorithms(names ...string) Option {
 // reference. Names must be unique and non-empty (oberr.ErrBadConfig
 // otherwise).
 func WithCorpus(name string, ds *mining.Dataset) Option {
-	return func(s *settings) { s.corpora = append(s.corpora, Corpus{Name: name, Dataset: ds}) }
+	return func(s *settings) { s.corpora = append(s.corpora, corpusEntry{name: name, ds: ds}) }
+}
+
+// WithLODCorpus registers an experiment corpus ingested from an RDF
+// stream: New consumes r once through the constant-memory decoder (see
+// IngestLOD), projects the most populous entity class to a table, and
+// supervises it on classColumn — so RunCorpora can learn degradation
+// curves straight from Linked Open Data next to tabular corpora, in
+// registration order. format is "nt" or "ttl". Ingestion or projection
+// failures (bad syntax, unknown class column, no subjects) are reported
+// by New.
+func WithLODCorpus(name string, r io.Reader, format string, classColumn string) Option {
+	return func(s *settings) {
+		s.corpora = append(s.corpora, corpusEntry{name: name, lod: &lodCorpusSpec{
+			r: r, format: format, class: classColumn,
+			opts: rdf.ProjectOptions{LargestClass: true},
+		}})
+	}
 }
 
 // DefaultCombos returns the canonical Phase-2 criteria pairs an Engine
@@ -132,19 +166,40 @@ func New(opts ...Option) (*Engine, error) {
 		}
 	}
 	seenCorpora := map[string]bool{}
+	corpora := make([]Corpus, 0, len(s.corpora))
 	for _, c := range s.corpora {
-		switch {
-		case c.Name == "":
-			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
-				Field: "WithCorpus", Reason: "corpus name must not be empty"})
-		case c.Dataset == nil:
-			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
-				Field: "WithCorpus", Reason: fmt.Sprintf("corpus %q has a nil dataset", c.Name)})
-		case seenCorpora[c.Name]:
-			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
-				Field: "WithCorpus", Reason: fmt.Sprintf("corpus %q registered twice", c.Name)})
+		field := "WithCorpus"
+		if c.lod != nil {
+			field = "WithLODCorpus"
 		}
-		seenCorpora[c.Name] = true
+		switch {
+		case c.name == "":
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: field, Reason: "corpus name must not be empty"})
+		case c.ds == nil && c.lod == nil:
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: field, Reason: fmt.Sprintf("corpus %q has a nil dataset", c.name)})
+		case seenCorpora[c.name]:
+			return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+				Field: field, Reason: fmt.Sprintf("corpus %q registered twice", c.name)})
+		}
+		seenCorpora[c.name] = true
+		ds := c.ds
+		if c.lod != nil {
+			if c.lod.r == nil {
+				return nil, fmt.Errorf("core: %w", &oberr.ConfigError{
+					Field: "WithLODCorpus", Reason: fmt.Sprintf("corpus %q has a nil reader", c.name)})
+			}
+			ing, err := IngestLOD(c.lod.r, c.lod.format, c.lod.opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: ingesting LOD corpus %q: %w", c.name, err)
+			}
+			ds, err = mining.NewDatasetByName(ing.Table, c.lod.class)
+			if err != nil {
+				return nil, fmt.Errorf("core: LOD corpus %q: %w", c.name, err)
+			}
+		}
+		corpora = append(corpora, Corpus{Name: c.name, Dataset: ds})
 	}
 	suite := mining.StandardSuite(s.seed)
 	algorithms := suite
@@ -170,7 +225,7 @@ func New(opts ...Option) (*Engine, error) {
 		combos:        combos,
 		mixedSeverity: 0.3,
 		algorithms:    algorithms,
-		corpora:       s.corpora,
+		corpora:       corpora,
 		store:         kb.New(),
 	}
 	e.snap.Store(e.store.Snapshot())

@@ -1,0 +1,136 @@
+package cwm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"openbi/internal/table"
+)
+
+// TestAnnotationEdgeCases: upsert replaces in place, keeps the list
+// sorted, and lookups miss cleanly.
+func TestAnnotationEdgeCases(t *testing.T) {
+	def := &TableDef{Name: "t"}
+	def.Annotate("zeta", 1, "dq")
+	def.Annotate("alpha", 2, "dq")
+	def.Annotate("zeta", 3, "dq") // replace, not append
+	if len(def.Annotations) != 2 {
+		t.Fatalf("annotations = %+v", def.Annotations)
+	}
+	if def.Annotations[0].Name != "alpha" || def.Annotations[1].Name != "zeta" {
+		t.Fatalf("annotations not sorted: %+v", def.Annotations)
+	}
+	if v, ok := def.AnnotationValue("zeta"); !ok || v != 3 {
+		t.Fatalf("zeta = %v, %v", v, ok)
+	}
+	if _, ok := def.AnnotationValue("missing"); ok {
+		t.Fatal("missing annotation should not resolve")
+	}
+
+	col := &ColumnDef{Name: "c"}
+	col.Annotate("m", 0.5, "dq")
+	col.Annotate("m", 0.7, "dq")
+	if v, ok := col.AnnotationValue("m"); !ok || v != 0.7 {
+		t.Fatalf("column annotation = %v, %v", v, ok)
+	}
+}
+
+// TestCatalogLookupEdgeCases: misses return nil, DefaultSchema self-heals
+// an empty catalog.
+func TestCatalogLookupEdgeCases(t *testing.T) {
+	c := &Catalog{Name: "bare"} // no schemas at all
+	if s := c.DefaultSchema(); s == nil || s.Name != "default" {
+		t.Fatalf("DefaultSchema() = %+v", s)
+	}
+	if c.Table("nope") != nil {
+		t.Fatal("unknown table should be nil")
+	}
+	def := &TableDef{Name: "t"}
+	if def.Column("nope") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+}
+
+// TestFromTableEdgeCases: empty and column-less tables model cleanly.
+func TestFromTableEdgeCases(t *testing.T) {
+	empty := table.New("empty")
+	def := FromTable(empty)
+	if def.Rows != 0 || len(def.Columns) != 0 {
+		t.Fatalf("empty def = %+v", def)
+	}
+
+	tb := table.New("typed")
+	num := table.NewNumericColumn("n")
+	nom := table.NewNominalColumn("k")
+	num.AppendFloat(1)
+	nom.AppendLabel("a")
+	tb.MustAddColumn(num)
+	tb.MustAddColumn(nom)
+	def = FromTable(tb)
+	if def.Columns[0].Type != "numeric" || def.Columns[0].Levels != 0 {
+		t.Fatalf("numeric column def = %+v", def.Columns[0])
+	}
+	if def.Columns[1].Type != "nominal" || def.Columns[1].Levels != 1 {
+		t.Fatalf("nominal column def = %+v", def.Columns[1])
+	}
+}
+
+// TestXMIRoundTripWithAnnotations: annotations survive the interchange
+// format, and malformed documents fail instead of yielding zero values.
+func TestXMIRoundTripWithAnnotations(t *testing.T) {
+	tb := table.New("src")
+	col := table.NewNumericColumn("x")
+	col.AppendFloat(1)
+	tb.MustAddColumn(col)
+	c := CatalogFromTable(tb, "unit")
+	def := c.Table("src")
+	def.Annotate("completeness", 0.75, "dq")
+	def.Columns[0].Annotate("outliers", 0.1, "dq")
+
+	var buf bytes.Buffer
+	if err := WriteXMI(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXMI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Table("src").AnnotationValue("completeness"); !ok || v != 0.75 {
+		t.Fatalf("table annotation lost: %v %v", v, ok)
+	}
+	if v, ok := back.Table("src").Column("x").AnnotationValue("outliers"); !ok || v != 0.1 {
+		t.Fatalf("column annotation lost: %v %v", v, ok)
+	}
+
+	for name, doc := range map[string]string{
+		"wrong root": "<NotACatalog/>",
+		"truncated":  "<xmi:XMI xmlns:xmi=\"http://schema.omg.org/spec/XMI/2.1\">",
+		"empty":      "",
+	} {
+		if _, err := ReadXMI(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: ReadXMI should fail", name)
+		}
+	}
+}
+
+// TestJSONRoundTripEdgeCases: JSON interchange round-trips and rejects
+// garbage.
+func TestJSONRoundTripEdgeCases(t *testing.T) {
+	c := NewCatalog("cat", "unit")
+	c.DefaultSchema().Tables = append(c.DefaultSchema().Tables, &TableDef{Name: "t", Rows: 2})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Table("t") == nil || back.Table("t").Rows != 2 {
+		t.Fatalf("round-trip catalog = %+v", back)
+	}
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}

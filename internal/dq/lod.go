@@ -1,10 +1,7 @@
 package dq
 
 import (
-	"sort"
-
 	"openbi/internal/rdf"
-	"openbi/internal/stats"
 )
 
 // LODProfile measures quality criteria that exist *before* projection, on
@@ -38,102 +35,13 @@ type LODProfile struct {
 
 // MeasureLOD profiles a graph. Entities are subjects with at least one
 // triple; classless subjects are grouped under a synthetic class for the
-// completeness computation.
+// completeness computation. It is implemented on LODSketch — one pass of
+// Add over the graph's triples — so the batch and streaming profiling
+// paths compute the exact same numbers by construction.
 func MeasureLOD(g *rdf.Graph) LODProfile {
-	p := LODProfile{Triples: g.Len()}
-	subjects := g.Subjects()
-	p.Entities = len(subjects)
-	if p.Entities == 0 {
-		return p
-	}
-
-	typePred := rdf.NewIRI(rdf.RDFType)
-	labelPred := rdf.NewIRI(rdf.RDFSLabel)
-	sameAs := rdf.NewIRI(rdf.OWLSameAs)
-
-	// Class membership; "" is the classless bucket.
-	classOf := make(map[rdf.Term]string, p.Entities)
-	classCounts := map[string]int{}
-	for _, s := range subjects {
-		cls := ""
-		if v, ok := g.FirstValue(s, typePred); ok {
-			cls = v.Value
-		}
-		classOf[s] = cls
-		classCounts[cls]++
-	}
-	counts := make([]int, 0, len(classCounts))
-	classes := make([]string, 0, len(classCounts))
-	for c := range classCounts {
-		classes = append(classes, c)
-	}
-	sort.Strings(classes)
-	for _, c := range classes {
-		counts = append(counts, classCounts[c])
-	}
-	p.ClassEntropy = stats.NormalizedEntropy(counts)
-
-	// Per (class, predicate) coverage; rdf:type and rdfs:label excluded
-	// (they are meta, not attributes).
-	type cp struct {
-		class string
-		pred  rdf.Term
-	}
-	carriers := map[cp]map[rdf.Term]bool{}
-	labeled := map[rdf.Term]bool{}
-	dangling, iriLinks := 0, 0
-	isSubject := make(map[rdf.Term]bool, p.Entities)
-	for _, s := range subjects {
-		isSubject[s] = true
-	}
-	sameAsCount := 0
+	sk := NewLODSketch()
 	for _, tr := range g.Triples() {
-		if tr.P == typePred {
-			continue
-		}
-		if tr.P == labelPred {
-			labeled[tr.S] = true
-			continue
-		}
-		if tr.P == sameAs {
-			sameAsCount++
-		}
-		key := cp{classOf[tr.S], tr.P}
-		set := carriers[key]
-		if set == nil {
-			set = map[rdf.Term]bool{}
-			carriers[key] = set
-		}
-		set[tr.S] = true
-		if tr.O.IsIRI() {
-			iriLinks++
-			if !isSubject[tr.O] {
-				dangling++
-			}
-		}
+		sk.Add(tr) // Graph triples are already distinct, in insertion order
 	}
-
-	if len(carriers) > 0 {
-		sum := 0.0
-		predsPerClass := map[string]int{}
-		for key, set := range carriers {
-			total := classCounts[key.class]
-			if total > 0 {
-				sum += float64(len(set)) / float64(total)
-			}
-			predsPerClass[key.class]++
-		}
-		p.PropertyCompleteness = sum / float64(len(carriers))
-		tot := 0
-		for _, n := range predsPerClass {
-			tot += n
-		}
-		p.PredicatesPerClass = float64(tot) / float64(len(predsPerClass))
-	}
-	if iriLinks > 0 {
-		p.DanglingLinkRatio = float64(dangling) / float64(iriLinks)
-	}
-	p.SameAsRatio = float64(sameAsCount) / float64(p.Entities)
-	p.LabelCoverage = float64(len(labeled)) / float64(p.Entities)
-	return p
+	return sk.Profile()
 }

@@ -1,0 +1,225 @@
+package dq
+
+import (
+	"sort"
+
+	"openbi/internal/rdf"
+	"openbi/internal/stats"
+)
+
+// LODSketch computes an LODProfile incrementally from a triple stream,
+// without a resident graph: no subject/predicate/object indexes, no
+// triple slice — just the distinct-triple set tagged with each triple's
+// first-occurrence position. Feed it triples one at a time (Add is a
+// TripleFunc, so it plugs straight into rdf.Stream) and call Profile at
+// the end; the result is identical to MeasureLOD over the graph the same
+// stream would load (MeasureLOD itself is implemented on the sketch).
+//
+// Sketches are mergeable, mirroring kb.Merge's discipline for KB shards:
+// profile the partitions of a huge graph independently — each partition
+// sketch created with NewLODSketchAt at its raw-stream offset — then
+// Merge them in any order. The merged profile is deterministic under
+// permutation and equal to a single pass over the whole stream, because
+// every order-sensitive quantity (a subject's first rdf:type) is resolved
+// by the global first-occurrence position, not by merge order.
+type LODSketch struct {
+	seen map[rdf.Triple]uint64 // distinct triple -> first-occurrence position
+	seq  uint64                // position of the next raw triple
+}
+
+// NewLODSketch returns an empty sketch positioned at the start of the
+// stream.
+func NewLODSketch() *LODSketch { return NewLODSketchAt(0) }
+
+// NewLODSketchAt returns an empty sketch for a stream partition beginning
+// at the given raw-triple offset (the number of triples, duplicates
+// included, that precede the partition). Offsets make first-occurrence
+// positions globally comparable, so merged partition sketches resolve
+// order-sensitive measures exactly as one monolithic pass would.
+func NewLODSketchAt(base uint64) *LODSketch {
+	return &LODSketch{seen: make(map[rdf.Triple]uint64), seq: base}
+}
+
+// Add observes one raw triple. Duplicates advance the stream position but
+// are otherwise ignored (RDF graphs are triple sets). It never fails; the
+// error return matches rdf.TripleFunc.
+func (s *LODSketch) Add(tr rdf.Triple) error {
+	if _, dup := s.seen[tr]; !dup {
+		s.seen[tr] = s.seq
+	}
+	s.seq++
+	return nil
+}
+
+// Len returns the number of distinct triples observed.
+func (s *LODSketch) Len() int { return len(s.seen) }
+
+// Observed returns the stream position after the last Add — for a sketch
+// started at offset b that saw n raw triples, b+n. Use it as the next
+// partition's NewLODSketchAt offset when slicing a stream sequentially.
+func (s *LODSketch) Observed() uint64 { return s.seq }
+
+// Merge folds other partition sketches into s, in any order: the distinct
+// sets union and each triple keeps its smallest (earliest) position.
+// Overlapping partitions are harmless — a triple seen by several sketches
+// still counts once.
+func (s *LODSketch) Merge(others ...*LODSketch) {
+	for _, o := range others {
+		for tr, pos := range o.seen {
+			if cur, ok := s.seen[tr]; !ok || pos < cur {
+				s.seen[tr] = pos
+			}
+		}
+		if o.seq > s.seq {
+			s.seq = o.seq
+		}
+	}
+}
+
+// Profile computes the LODProfile of everything observed so far. All
+// iteration over internal maps is sorted before any float accumulation,
+// so the result is bit-for-bit reproducible run to run and invariant
+// under partitioning and merge order.
+func (s *LODSketch) Profile() LODProfile {
+	p := LODProfile{Triples: len(s.seen)}
+
+	typePred := rdf.NewIRI(rdf.RDFType)
+	labelPred := rdf.NewIRI(rdf.RDFSLabel)
+	sameAs := rdf.NewIRI(rdf.OWLSameAs)
+
+	// Pass 1: subjects, and each subject's first rdf:type (earliest
+	// position; ties — possible only with misused partition offsets —
+	// break on term order so the result stays deterministic).
+	type subjAgg struct {
+		typ     rdf.Term
+		typeSeq uint64
+		hasType bool
+		labeled bool
+	}
+	subjs := make(map[rdf.Term]*subjAgg)
+	for tr, pos := range s.seen {
+		sa := subjs[tr.S]
+		if sa == nil {
+			sa = &subjAgg{}
+			subjs[tr.S] = sa
+		}
+		if tr.P == typePred {
+			if !sa.hasType || pos < sa.typeSeq || (pos == sa.typeSeq && termLess(tr.O, sa.typ)) {
+				sa.typ, sa.typeSeq, sa.hasType = tr.O, pos, true
+			}
+		}
+	}
+	p.Entities = len(subjs)
+	if p.Entities == 0 {
+		return p
+	}
+
+	// Class membership; "" is the classless bucket.
+	classCounts := map[string]int{}
+	for _, sa := range subjs {
+		cls := ""
+		if sa.hasType {
+			cls = sa.typ.Value
+		}
+		classCounts[cls]++
+	}
+	classes := make([]string, 0, len(classCounts))
+	for c := range classCounts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	counts := make([]int, 0, len(classes))
+	for _, c := range classes {
+		counts = append(counts, classCounts[c])
+	}
+	p.ClassEntropy = stats.NormalizedEntropy(counts)
+
+	// Pass 2: per (class, predicate) coverage, labels, links. rdf:type and
+	// rdfs:label are meta, not attributes.
+	type cp struct {
+		class string
+		pred  rdf.Term
+	}
+	carriers := map[cp]map[rdf.Term]bool{}
+	dangling, iriLinks, sameAsCount, labeled := 0, 0, 0, 0
+	for tr := range s.seen {
+		if tr.P == typePred {
+			continue
+		}
+		if tr.P == labelPred {
+			if sa := subjs[tr.S]; !sa.labeled {
+				sa.labeled = true
+				labeled++
+			}
+			continue
+		}
+		if tr.P == sameAs {
+			sameAsCount++
+		}
+		cls := ""
+		if sa := subjs[tr.S]; sa.hasType {
+			cls = sa.typ.Value
+		}
+		key := cp{cls, tr.P}
+		set := carriers[key]
+		if set == nil {
+			set = map[rdf.Term]bool{}
+			carriers[key] = set
+		}
+		set[tr.S] = true
+		if tr.O.IsIRI() {
+			iriLinks++
+			if _, isSubject := subjs[tr.O]; !isSubject {
+				dangling++
+			}
+		}
+	}
+
+	if len(carriers) > 0 {
+		keys := make([]cp, 0, len(carriers))
+		for key := range carriers {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].class != keys[b].class {
+				return keys[a].class < keys[b].class
+			}
+			return termLess(keys[a].pred, keys[b].pred)
+		})
+		sum := 0.0
+		predsPerClass := map[string]int{}
+		for _, key := range keys {
+			if total := classCounts[key.class]; total > 0 {
+				sum += float64(len(carriers[key])) / float64(total)
+			}
+			predsPerClass[key.class]++
+		}
+		p.PropertyCompleteness = sum / float64(len(carriers))
+		tot := 0
+		for _, n := range predsPerClass {
+			tot += n
+		}
+		p.PredicatesPerClass = float64(tot) / float64(len(predsPerClass))
+	}
+	if iriLinks > 0 {
+		p.DanglingLinkRatio = float64(dangling) / float64(iriLinks)
+	}
+	p.SameAsRatio = float64(sameAsCount) / float64(p.Entities)
+	p.LabelCoverage = float64(labeled) / float64(p.Entities)
+	return p
+}
+
+// termLess is the canonical term order (kind, value, lang, datatype) —
+// the same order rdf's deterministic listings use.
+func termLess(a, b rdf.Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	if a.Lang != b.Lang {
+		return a.Lang < b.Lang
+	}
+	return a.Datatype < b.Datatype
+}

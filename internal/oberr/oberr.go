@@ -30,6 +30,9 @@ var (
 	ErrBadConfig = errors.New("invalid configuration")
 	// ErrTooFewRows reports a dataset too small for the requested split.
 	ErrTooFewRows = errors.New("too few rows")
+	// ErrBadSyntax reports input data (RDF, CSV) whose format is right but
+	// whose content does not parse.
+	ErrBadSyntax = errors.New("malformed input")
 )
 
 // ColumnNotFoundError is the structured form of ErrColumnNotFound.
@@ -73,6 +76,24 @@ func (e *ConfigError) Error() string {
 
 // Is makes errors.Is(err, ErrBadConfig) match.
 func (e *ConfigError) Is(target error) bool { return target == ErrBadConfig }
+
+// SyntaxError is the structured form of ErrBadSyntax: a parse failure in
+// input data, with the line it happened on when the format is line-aware.
+type SyntaxError struct {
+	Format string // "n-triples", "turtle", ...
+	Line   int    // 1-based input line, 0 when unknown
+	Reason string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s line %d: %s", e.Format, e.Line, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s", e.Format, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrBadSyntax) match.
+func (e *SyntaxError) Is(target error) bool { return target == ErrBadSyntax }
 
 // UnsupportedFormatError is the structured form of ErrUnsupportedFormat.
 type UnsupportedFormatError struct {

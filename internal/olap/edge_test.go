@@ -1,0 +1,209 @@
+package olap
+
+import (
+	"math"
+	"testing"
+
+	"openbi/internal/table"
+)
+
+// edgeTable builds a small table with the pathological shapes the cube
+// must survive: a single-level dimension, an all-missing measure and a
+// partially missing one.
+func edgeTable(rows int) *table.Table {
+	t := table.New("edge")
+	region := table.NewNominalColumn("region")
+	constant := table.NewNominalColumn("constant") // single level everywhere
+	val := table.NewNumericColumn("val")
+	void := table.NewNumericColumn("void") // every cell missing
+	for i := 0; i < rows; i++ {
+		region.AppendLabel([]string{"north", "south"}[i%2])
+		constant.AppendLabel("only")
+		if i%3 == 0 {
+			val.AppendMissing()
+		} else {
+			val.AppendFloat(float64(i))
+		}
+		void.AppendMissing()
+	}
+	t.MustAddColumn(region)
+	t.MustAddColumn(constant)
+	t.MustAddColumn(val)
+	t.MustAddColumn(void)
+	return t
+}
+
+// TestRollUpEdgeCases is the table-driven sweep over empty cubes,
+// all-missing measures and single-level dimensions.
+func TestRollUpEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		rows     int
+		dims     []string
+		measures []Measure
+		check    func(t *testing.T, cells []Cell)
+	}{
+		{
+			name: "empty cube rolls up to nothing",
+			rows: 0, dims: []string{"region"},
+			measures: []Measure{{Column: "val", Agg: Sum}},
+			check: func(t *testing.T, cells []Cell) {
+				if len(cells) != 0 {
+					t.Fatalf("cells = %+v, want none", cells)
+				}
+			},
+		},
+		{
+			name: "empty cube grand total is empty too",
+			rows: 0, dims: []string{"region"},
+			measures: []Measure{{Column: "val", Agg: Count}},
+			check: func(t *testing.T, cells []Cell) {
+				if len(cells) != 0 {
+					t.Fatalf("grand total over zero rows = %+v", cells)
+				}
+			},
+		},
+		{
+			name: "all-missing measure: sum 0, count 0, avg/min/max NaN",
+			rows: 6, dims: []string{"region"},
+			measures: []Measure{
+				{Column: "void", Agg: Sum}, {Column: "void", Agg: Count},
+				{Column: "void", Agg: Avg}, {Column: "void", Agg: Min}, {Column: "void", Agg: Max},
+			},
+			check: func(t *testing.T, cells []Cell) {
+				if len(cells) != 2 {
+					t.Fatalf("want 2 region cells, got %d", len(cells))
+				}
+				for _, c := range cells {
+					if c.Values[0] != 0 || c.Values[1] != 0 {
+						t.Fatalf("sum/count over missing = %+v", c.Values)
+					}
+					for _, v := range c.Values[2:] {
+						if !math.IsNaN(v) {
+							t.Fatalf("avg/min/max over missing should be NaN: %+v", c.Values)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "single-level dimension folds to one cell",
+			rows: 6, dims: []string{"constant"},
+			measures: []Measure{{Column: "val", Agg: Count}},
+			check: func(t *testing.T, cells []Cell) {
+				if len(cells) != 1 || cells[0].Keys[0] != "only" || cells[0].Rows != 6 {
+					t.Fatalf("cells = %+v", cells)
+				}
+				if cells[0].Values[0] != 4 { // rows 0 and 3 have a missing val
+					t.Fatalf("count = %v, want 4 non-missing", cells[0].Values[0])
+				}
+			},
+		},
+		{
+			name: "grand total (no group dims) over data",
+			rows: 6, dims: []string{"region", "constant"},
+			measures: []Measure{{Column: "val", Agg: Sum}},
+			check: func(t *testing.T, cells []Cell) {
+				if len(cells) != 1 || cells[0].Rows != 6 {
+					t.Fatalf("cells = %+v", cells)
+				}
+				if cells[0].Values[0] != 1+2+4+5 {
+					t.Fatalf("sum = %v", cells[0].Values[0])
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cube, err := NewCube(edgeTable(tc.rows), tc.dims, tc.measures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groupBy := tc.dims
+			if tc.name == "empty cube grand total is empty too" || tc.name == "grand total (no group dims) over data" {
+				groupBy = nil
+			}
+			cells, err := cube.RollUp(groupBy...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, cells)
+		})
+	}
+}
+
+// TestSliceEdgeCases: slicing to empty keeps the cube usable; unknown
+// dimensions and values fail cleanly.
+func TestSliceEdgeCases(t *testing.T) {
+	cube, err := NewCube(edgeTable(6), []string{"region", "constant"},
+		[]Measure{{Column: "val", Agg: Avg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	north, err := cube.Slice("region", "north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if north.ActiveRows() != 3 {
+		t.Fatalf("north rows = %d", north.ActiveRows())
+	}
+	// Dicing the slice by the single-level dimension changes nothing.
+	diced, err := north.Slice("constant", "only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diced.ActiveRows() != north.ActiveRows() {
+		t.Fatalf("dice changed rows: %d vs %d", diced.ActiveRows(), north.ActiveRows())
+	}
+	if _, err := cube.Slice("nope", "x"); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	if _, err := cube.Slice("region", "west"); err == nil {
+		t.Fatal("unknown value should error")
+	}
+	// Roll-up of a sliced-to-known-value cube still aggregates only the slice.
+	cells, err := north.RollUp("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Keys[0] != "north" {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+// TestPivotEdgeCases: pivots over sparse combinations render "-" holes
+// and reject bad measure indexes; single-level dims pivot to one row.
+func TestPivotEdgeCases(t *testing.T) {
+	cube, err := NewCube(edgeTable(6), []string{"region", "constant"},
+		[]Measure{{Column: "val", Agg: Count}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Pivot("bad", "region", "constant", 1); err == nil {
+		t.Fatal("out-of-range measure index should error")
+	}
+	pt, err := cube.Pivot("ok", "constant", "region", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt == nil {
+		t.Fatal("nil pivot table")
+	}
+}
+
+// TestNominalCountMeasure: Count is the one aggregation a nominal column
+// supports — it counts non-missing cells.
+func TestNominalCountMeasure(t *testing.T) {
+	tb := edgeTable(4)
+	cube, err := NewCube(tb, []string{"region"}, []Measure{{Column: "region", Agg: Count}})
+	if err != nil {
+		t.Fatalf("nominal count measure should be allowed: %v", err)
+	}
+	cells, err := cube.RollUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Values[0] != 4 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}

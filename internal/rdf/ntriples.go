@@ -10,26 +10,16 @@ import (
 
 // ReadNTriples parses an N-Triples document into a new graph. Comment
 // lines (#...) and blank lines are skipped. The parser is line-oriented
-// and reports the offending line number on error.
+// and reports the offending line number on error (matching
+// oberr.ErrBadSyntax, like the streaming decoder it is built on).
 func ReadNTriples(r io.Reader) (*Graph, error) {
 	g := NewGraph()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		tr, err := parseNTriplesLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("rdf: n-triples line %d: %w", lineNo, err)
-		}
+	err := StreamNTriples(r, func(tr Triple) error {
 		g.Add(tr)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -4,24 +4,50 @@ import (
 	"fmt"
 	"strconv"
 
+	"openbi/internal/oberr"
 	"openbi/internal/table"
 )
 
 // ProjectOptions controls the entity→table projection.
 type ProjectOptions struct {
 	// Class restricts the projection to subjects with rdf:type Class.
-	// Zero-value Class (no IRI) projects every subject in the graph.
+	// Zero-value Class (no IRI) projects every subject in the graph
+	// (unless LargestClass is set).
 	Class Term
+	// LargestClass, when Class is unset, restricts the projection to the
+	// most populous rdf:type class — the default behaviour of the
+	// CLI/engine ingestion paths. A graph with no typed subjects falls
+	// back to projecting every subject. Ignored when Class is set.
+	LargestClass bool
 	// IncludeSubject adds a leading nominal "@id" column with subject IRIs.
 	IncludeSubject bool
 	// NumericThreshold is the fraction of observed values that must be
-	// numeric literals for a property column to be typed Numeric
-	// (default 0.9).
+	// numeric literals for a property column to be typed Numeric. The
+	// zero value defaults to 0.9 at every call site (Project,
+	// StreamProject, Projector); values outside (0,1] fail with
+	// oberr.ErrBadConfig instead of silently misclassifying columns.
 	NumericThreshold float64
 	// MaxLevels drops property columns whose nominal dictionary would
 	// exceed this many levels — an identifier-like property carries no
 	// mining signal (default 0: keep everything).
 	MaxLevels int
+}
+
+// normalize applies the documented NumericThreshold default and rejects
+// out-of-range values. It is called by every projection entry point so
+// the zero value means 0.9 everywhere.
+func (opts *ProjectOptions) normalize() error {
+	if opts.NumericThreshold == 0 {
+		opts.NumericThreshold = 0.9
+		return nil
+	}
+	if !(opts.NumericThreshold > 0 && opts.NumericThreshold <= 1) {
+		return fmt.Errorf("rdf: %w", &oberr.ConfigError{
+			Field:  "NumericThreshold",
+			Reason: fmt.Sprintf("must be in (0,1], got %v", opts.NumericThreshold),
+		})
+	}
+	return nil
 }
 
 // Project flattens a graph into the "common representation" table of
@@ -35,18 +61,23 @@ type ProjectOptions struct {
 // columns; everything else (IRIs, strings, mixed) becomes Nominal on the
 // object's local name.
 func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
-	if opts.NumericThreshold == 0 {
-		opts.NumericThreshold = 0.9
+	if err := opts.normalize(); err != nil {
+		return nil, err
 	}
 	var subjects []Term
 	hasClass := opts.Class.IsIRI() && opts.Class.Value != ""
+	if !hasClass && opts.LargestClass {
+		if best, ok := largestClass(g.Classes(), func(c Term) int { return len(g.SubjectsOfType(c)) }); ok {
+			opts.Class, hasClass = best, true
+		}
+	}
 	if hasClass {
 		subjects = g.SubjectsOfType(opts.Class)
 	} else {
 		subjects = g.Subjects()
 	}
 	if len(subjects) == 0 {
-		return nil, fmt.Errorf("rdf: projection found no subjects")
+		return nil, errNoSubjects
 	}
 
 	// Collect predicates in deterministic order, skipping rdf:type (it is
@@ -54,8 +85,83 @@ func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
 	preds := g.Predicates()
 	typeIRI := NewIRI(RDFType)
 
+	gathers := make([]predGather, 0, len(preds))
+	for _, p := range preds {
+		if p == typeIRI {
+			continue
+		}
+		pg := predGather{
+			pred:      p,
+			firstVals: make([]Term, len(subjects)),
+			present:   make([]bool, len(subjects)),
+			counts:    make([]int, len(subjects)),
+		}
+		for i, s := range subjects {
+			vals := g.PropertyValues(s, p)
+			pg.counts[i] = len(vals)
+			if len(vals) == 0 {
+				continue
+			}
+			if len(vals) > 1 {
+				pg.multi = true
+			}
+			pg.present[i] = true
+			pg.firstVals[i] = vals[0]
+			pg.observed++
+			if isNumericTerm(vals[0]) {
+				pg.numeric++
+			}
+		}
+		gathers = append(gathers, pg)
+	}
+	return assembleProjection(subjects, gathers, opts)
+}
+
+// predGather is the per-predicate evidence both projection paths (batch
+// Project and the streaming Projector) collect before column assembly:
+// the first value and value count per subject, plus the numeric vote.
+// Slices are indexed by position in the sorted subject list.
+type predGather struct {
+	pred      Term
+	firstVals []Term
+	present   []bool
+	counts    []int
+	numeric   int // subjects whose first value is numeric
+	observed  int // subjects carrying the predicate at all
+	multi     bool
+}
+
+// errNoSubjects is shared by Project and the streaming Projector so the
+// two paths stay indistinguishable to callers. It matches
+// oberr.ErrTooFewRows so the serving layer maps it to a client error (an
+// empty upload is the client's problem, not the server's).
+var errNoSubjects = fmt.Errorf("rdf: projection found no subjects: %w", oberr.ErrTooFewRows)
+
+// largestClass picks the most populous class — first strict maximum in
+// sorted class order, matching the historical ProjectLargestClass
+// tie-break. ok is false when there are no classes.
+func largestClass(classes []Term, count func(Term) int) (Term, bool) {
+	if len(classes) == 0 {
+		return Term{}, false
+	}
+	best, bestN := classes[0], -1
+	for _, c := range classes {
+		if n := count(c); n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best, true
+}
+
+// assembleProjection turns gathered per-predicate evidence into the final
+// table. Both Project and the streaming Projector end here, which is what
+// makes their outputs byte-identical: column order, name disambiguation,
+// the numeric vote, level interning order and the #count columns all run
+// through this one routine. opts must already be normalized, with
+// opts.Class resolved (zero Class means "all subjects", named "lod").
+func assembleProjection(subjects []Term, gathers []predGather, opts ProjectOptions) (*table.Table, error) {
 	name := "lod"
-	if hasClass {
+	if opts.Class.IsIRI() && opts.Class.Value != "" {
 		name = opts.Class.LocalName()
 	}
 	t := table.New(name)
@@ -69,45 +175,22 @@ func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
 		}
 	}
 
-	for _, p := range preds {
-		if p == typeIRI {
-			continue
-		}
-		firstVals := make([]Term, len(subjects))
-		present := make([]bool, len(subjects))
-		counts := make([]int, len(subjects))
-		numeric, observed, multi := 0, 0, false
-		for i, s := range subjects {
-			vals := g.PropertyValues(s, p)
-			counts[i] = len(vals)
-			if len(vals) == 0 {
-				continue
-			}
-			if len(vals) > 1 {
-				multi = true
-			}
-			present[i] = true
-			firstVals[i] = vals[0]
-			observed++
-			if isNumericTerm(vals[0]) {
-				numeric++
-			}
-		}
-		if observed == 0 {
+	for _, pg := range gathers {
+		if pg.observed == 0 {
 			continue // predicate never applies to this class
 		}
-		colName := p.LocalName()
+		colName := pg.pred.LocalName()
 		if t.ColumnIndex(colName) >= 0 {
-			colName = colName + "_" + shortHash(p.Value)
+			colName = colName + "_" + shortHash(pg.pred.Value)
 		}
-		if float64(numeric) >= opts.NumericThreshold*float64(observed) {
+		if float64(pg.numeric) >= opts.NumericThreshold*float64(pg.observed) {
 			col := table.NewNumericColumn(colName)
 			for i := range subjects {
-				if !present[i] {
+				if !pg.present[i] {
 					col.AppendMissing()
 					continue
 				}
-				v, err := numericValue(firstVals[i])
+				v, err := numericValue(pg.firstVals[i])
 				if err != nil {
 					col.AppendMissing()
 					continue
@@ -120,11 +203,11 @@ func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
 		} else {
 			col := table.NewNominalColumn(colName)
 			for i := range subjects {
-				if !present[i] {
+				if !pg.present[i] {
 					col.AppendMissing()
 					continue
 				}
-				col.AppendLabel(termCellLabel(firstVals[i]))
+				col.AppendLabel(termCellLabel(pg.firstVals[i]))
 			}
 			if opts.MaxLevels > 0 && col.NumLevels() > opts.MaxLevels {
 				continue // identifier-like: drop
@@ -133,10 +216,10 @@ func Project(g *Graph, opts ProjectOptions) (*table.Table, error) {
 				return nil, err
 			}
 		}
-		if multi {
+		if pg.multi {
 			cc := table.NewNumericColumn(colName + "#count")
 			for i := range subjects {
-				cc.AppendFloat(float64(counts[i]))
+				cc.AppendFloat(float64(pg.counts[i]))
 			}
 			if err := t.AddColumn(cc); err != nil {
 				return nil, err

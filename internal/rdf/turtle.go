@@ -28,9 +28,10 @@ func ReadTurtle(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &turtleParser{toks: toks, prefixes: map[string]string{}}
 	g := NewGraph()
-	if err := p.parse(g); err != nil {
+	p := &turtleParser{toks: toks, prefixes: map[string]string{},
+		emit: func(tr Triple) error { g.Add(tr); return nil }}
+	if err := p.run(); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -63,8 +64,16 @@ type ttToken struct {
 }
 
 func tokenizeTurtle(s string) ([]ttToken, error) {
-	var toks []ttToken
-	line := 1
+	return tokenizeTurtleInto(nil, s, 1)
+}
+
+// tokenizeTurtleInto appends the tokens of s to dst (reusing its capacity)
+// with line numbers counted from startLine — the form the streaming decoder
+// uses to tokenize one statement chunk at a time while keeping document
+// line numbers in errors.
+func tokenizeTurtleInto(dst []ttToken, s string, startLine int) ([]ttToken, error) {
+	toks := dst
+	line := startLine
 	i := 0
 	emit := func(k ttKind, v string) { toks = append(toks, ttToken{k, v, line}) }
 	for i < len(s) {
@@ -263,6 +272,10 @@ type turtleParser struct {
 	pos      int
 	prefixes map[string]string
 	base     string
+	// emit receives each parsed triple; a non-nil return aborts parsing.
+	// Prefixes and base persist across run() calls, so the streaming
+	// decoder can feed the parser one statement chunk at a time.
+	emit func(Triple) error
 }
 
 func (p *turtleParser) eof() bool     { return p.pos >= len(p.toks) }
@@ -272,7 +285,9 @@ func (p *turtleParser) errf(t ttToken, format string, args ...any) error {
 	return fmt.Errorf("rdf: turtle line %d: %s", t.line, fmt.Sprintf(format, args...))
 }
 
-func (p *turtleParser) parse(g *Graph) error {
+// run parses every directive and statement in p.toks, emitting triples
+// through p.emit.
+func (p *turtleParser) run() error {
 	for !p.eof() {
 		t := p.peek()
 		switch t.kind {
@@ -287,7 +302,7 @@ func (p *turtleParser) parse(g *Graph) error {
 				return err
 			}
 		default:
-			if err := p.parseStatement(g); err != nil {
+			if err := p.parseStatement(); err != nil {
 				return err
 			}
 		}
@@ -335,7 +350,7 @@ func (p *turtleParser) resolve(iri string) string {
 	return p.base + strings.TrimPrefix(iri, "/")
 }
 
-func (p *turtleParser) parseStatement(g *Graph) error {
+func (p *turtleParser) parseStatement() error {
 	subj, err := p.parseSubject()
 	if err != nil {
 		return err
@@ -350,7 +365,9 @@ func (p *turtleParser) parseStatement(g *Graph) error {
 			if err != nil {
 				return err
 			}
-			g.Add(Triple{S: subj, P: pred, O: obj})
+			if err := p.emit(Triple{S: subj, P: pred, O: obj}); err != nil {
+				return err
+			}
 			if !p.eof() && p.peek().kind == ttComma {
 				p.next()
 				continue

@@ -26,6 +26,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	mux.HandleFunc("POST /v1/lod/profile", s.handleLODProfile)
 	mux.HandleFunc("GET /v1/kb", s.handleKB)
 	mux.HandleFunc("POST /v1/kb/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)

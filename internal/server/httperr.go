@@ -27,6 +27,7 @@ type errorDetail struct {
 //
 //	oberr.ErrColumnNotFound    422 column_not_found
 //	oberr.ErrTooFewRows        422 too_few_rows
+//	oberr.ErrBadSyntax         422 bad_syntax
 //	oberr.ErrEmptyKB           503 empty_kb
 //	oberr.ErrUnknownAlgorithm  400 unknown_algorithm
 //	oberr.ErrBadConfig         400 bad_config
@@ -45,6 +46,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "column_not_found"
 	case errors.Is(err, oberr.ErrTooFewRows):
 		return http.StatusUnprocessableEntity, "too_few_rows"
+	case errors.Is(err, oberr.ErrBadSyntax):
+		return http.StatusUnprocessableEntity, "bad_syntax"
 	case errors.Is(err, oberr.ErrEmptyKB):
 		return http.StatusServiceUnavailable, "empty_kb"
 	case errors.Is(err, oberr.ErrUnknownAlgorithm):

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"openbi/internal/core"
+	"openbi/internal/rdf"
+)
+
+// lodProfileResponse is the JSON shape of POST /v1/lod/profile: the
+// graph-level quality profile plus the dimensions of the table the same
+// stream would project to (the client gets a preview of the common
+// representation without a second upload).
+type lodProfileResponse struct {
+	Triples  int                `json:"triples"`
+	Entities int                `json:"entities"`
+	Measures map[string]float64 `json:"measures"`
+	// Projection previews the entity→table flattening of the largest
+	// entity class (or the ?class=<IRI> override).
+	Projection lodProjectionMeta `json:"projection"`
+}
+
+type lodProjectionMeta struct {
+	// Class is the IRI of the projected entity class; omitted when the
+	// graph had no typed subjects and every subject was projected.
+	Class   string `json:"class,omitempty"`
+	Rows    int    `json:"rows"`
+	Columns int    `json:"columns"`
+}
+
+// capTrackingReader remembers whether the wrapped MaxBytesReader tripped
+// its limit, so the handler can report the cap (413) instead of the
+// parse error the truncation provoked downstream.
+type capTrackingReader struct {
+	r      io.Reader
+	capErr error
+}
+
+func (c *capTrackingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	var tooBig *http.MaxBytesError
+	if err != nil && errors.As(err, &tooBig) {
+		c.capErr = err
+	}
+	return n, err
+}
+
+// lodFormat resolves the RDF serialization of a request: the ?format
+// query parameter ("nt" / "ttl") wins, then the Content-Type
+// (application/n-triples, text/turtle); the default is N-Triples.
+func lodFormat(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f
+	}
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(strings.ToLower(ct)) {
+	case "text/turtle", "application/x-turtle":
+		return "ttl"
+	case "", "application/n-triples", "text/plain", "application/octet-stream",
+		"application/x-www-form-urlencoded": // curl's -d/--data-binary default
+		return "nt"
+	default:
+		return ct // unknown media type -> 415 via the decoder's format check
+	}
+}
+
+// handleLODProfile streams an RDF request body through the single-pass
+// ingestion pipeline (quality sketch + projector; see core.IngestLOD) —
+// the body is never buffered whole, so the endpoint's memory is bounded
+// by the projected content regardless of upload size, up to the usual
+// body cap (413 beyond it). Parse failures map to 422 bad_syntax, unknown
+// formats to 415 unsupported_format.
+func (s *Server) handleLODProfile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.lodProfiles.Add(1)
+	opts := rdf.ProjectOptions{LargestClass: true}
+	if class := r.URL.Query().Get("class"); class != "" {
+		opts = rdf.ProjectOptions{Class: rdf.NewIRI(class)}
+	}
+	body := &capTrackingReader{r: http.MaxBytesReader(w, r.Body, s.maxBodyBytes)}
+	ing, err := core.IngestLOD(body, lodFormat(r), opts)
+	if err != nil {
+		// A body truncated by the cap usually fails the parser first; the
+		// cap is the real cause, so 413 must win over 422.
+		if body.capErr != nil {
+			err = body.capErr
+		}
+		s.writeError(w, err)
+		return
+	}
+	p := ing.Profile
+	writeJSON(w, http.StatusOK, lodProfileResponse{
+		Triples:  p.Triples,
+		Entities: p.Entities,
+		Measures: map[string]float64{
+			"propertyCompleteness": p.PropertyCompleteness,
+			"danglingLinkRatio":    p.DanglingLinkRatio,
+			"sameAsRatio":          p.SameAsRatio,
+			"labelCoverage":        p.LabelCoverage,
+			"predicatesPerClass":   p.PredicatesPerClass,
+			"classEntropy":         p.ClassEntropy,
+		},
+		Projection: lodProjectionMeta{
+			Class:   ing.Class,
+			Rows:    ing.Table.NumRows(),
+			Columns: ing.Table.NumCols(),
+		},
+	})
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"openbi/internal/rdf"
+	"openbi/internal/synth"
+)
+
+// lodNTBody serializes a small synthetic LOD graph as N-Triples.
+func lodNTBody(t *testing.T) string {
+	t.Helper()
+	g, err := synth.MunicipalBudgetLOD(synth.LODSpec{Entities: 30, Seed: 4, Dirtiness: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestLODProfileNTriples(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"))
+	w := do(srv, "POST", "/v1/lod/profile", lodNTBody(t))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	resp := decode[lodProfileResponse](t, w)
+	if resp.Triples == 0 || resp.Entities == 0 {
+		t.Fatalf("profile = %+v", resp)
+	}
+	if _, ok := resp.Measures["danglingLinkRatio"]; !ok {
+		t.Fatalf("measures = %v", resp.Measures)
+	}
+	if resp.Measures["sameAsRatio"] <= 0 {
+		t.Fatal("a dirty graph must show sameAs mirrors")
+	}
+	if resp.Projection.Class != "http://opendata.example.org/def/Municipality" || resp.Projection.Rows == 0 {
+		t.Fatalf("projection preview = %+v", resp.Projection)
+	}
+	if got := srv.Metrics().LODProfiles; got != 1 {
+		t.Fatalf("lodProfiles counter = %d", got)
+	}
+}
+
+func TestLODProfileTurtle(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"))
+	doc := "@prefix ex: <http://ex.org/> .\nex:a a ex:C ; ex:p 1 .\nex:b a ex:C ; ex:p 2 .\n"
+	for _, req := range []struct{ path, contentType string }{
+		{"/v1/lod/profile?format=ttl", ""},
+		{"/v1/lod/profile", "text/turtle"},
+		{"/v1/lod/profile", "text/turtle; charset=utf-8"},
+	} {
+		r := httptest.NewRequest("POST", req.path, strings.NewReader(doc))
+		if req.contentType != "" {
+			r.Header.Set("Content-Type", req.contentType)
+		}
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%+v: status = %d body = %s", req, w.Code, w.Body.String())
+		}
+		resp := decode[lodProfileResponse](t, w)
+		if resp.Entities != 2 || resp.Projection.Rows != 2 {
+			t.Fatalf("%+v: profile = %+v", req, resp)
+		}
+	}
+}
+
+func TestLODProfileClassOverride(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"))
+	w := do(srv, "POST", "/v1/lod/profile?class=http://opendata.example.org/def/Region", lodNTBody(t))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	resp := decode[lodProfileResponse](t, w)
+	if resp.Projection.Class != "http://opendata.example.org/def/Region" {
+		t.Fatalf("projection = %+v", resp.Projection)
+	}
+}
+
+// TestLODProfileClasslessGraph: with no rdf:type triples, every subject
+// projects and the class field is omitted rather than faking one.
+func TestLODProfileClasslessGraph(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"))
+	doc := "<http://e/a> <http://p/x> \"1\" .\n<http://e/b> <http://p/x> \"2\" .\n"
+	w := do(srv, "POST", "/v1/lod/profile", doc)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+	resp := decode[lodProfileResponse](t, w)
+	if resp.Projection.Class != "" || resp.Projection.Rows != 2 {
+		t.Fatalf("projection = %+v", resp.Projection)
+	}
+	if !strings.Contains(w.Body.String(), `"projection":{"rows"`) {
+		t.Fatalf("class should be omitted from JSON: %s", w.Body.String())
+	}
+}
+
+func TestLODProfileErrors(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"))
+
+	w := do(srv, "POST", "/v1/lod/profile", "this is not rdf\n")
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "bad_syntax" {
+		t.Fatalf("bad rdf: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	w = do(srv, "POST", "/v1/lod/profile?format=jsonld", lodNTBody(t))
+	if w.Code != http.StatusUnsupportedMediaType || errCode(t, w) != "unsupported_format" {
+		t.Fatalf("unknown format: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	r := httptest.NewRequest("POST", "/v1/lod/profile", strings.NewReader(lodNTBody(t)))
+	r.Header.Set("Content-Type", "application/json")
+	w2 := httptest.NewRecorder()
+	srv.ServeHTTP(w2, r)
+	if w2.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("unknown content type: status = %d body = %s", w2.Code, w2.Body.String())
+	}
+
+	w = do(srv, "POST", "/v1/lod/profile", "")
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "too_few_rows" {
+		t.Fatalf("empty body: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	w = do(srv, "GET", "/v1/lod/profile", "")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d", w.Code)
+	}
+}
+
+// TestLODProfileBodyCap: the streamed body honours WithMaxBodyBytes with
+// the standard 413 payload_too_large envelope, like every other endpoint.
+func TestLODProfileBodyCap(t *testing.T) {
+	srv := newTestServer(t, testKB("alpha"), WithMaxBodyBytes(64))
+	w := do(srv, "POST", "/v1/lod/profile", lodNTBody(t))
+	if w.Code != http.StatusRequestEntityTooLarge || errCode(t, w) != "payload_too_large" {
+		t.Fatalf("status = %d body = %s", w.Code, w.Body.String())
+	}
+}

@@ -13,9 +13,10 @@ type metrics struct {
 	// the mux and are not included.
 	errors atomic.Int64
 
-	advises  atomic.Int64 // POST /v1/advise
-	profiles atomic.Int64 // POST /v1/profile
-	reloads  atomic.Int64 // successful /v1/kb/reload swaps
+	advises     atomic.Int64 // POST /v1/advise
+	profiles    atomic.Int64 // POST /v1/profile
+	lodProfiles atomic.Int64 // POST /v1/lod/profile
+	reloads     atomic.Int64 // successful /v1/kb/reload swaps
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -38,11 +39,12 @@ func (m *metrics) noteBatchSize(n int) {
 
 // MetricsSnapshot is the JSON shape of GET /v1/metrics.
 type MetricsSnapshot struct {
-	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
-	Advises  int64 `json:"advises"`
-	Profiles int64 `json:"profiles"`
-	Reloads  int64 `json:"reloads"`
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"`
+	Advises     int64 `json:"advises"`
+	Profiles    int64 `json:"profiles"`
+	LODProfiles int64 `json:"lodProfiles"`
+	Reloads     int64 `json:"reloads"`
 
 	CacheHits      int64   `json:"cacheHits"`
 	CacheMisses    int64   `json:"cacheMisses"`
@@ -70,6 +72,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Errors:         m.errors.Load(),
 		Advises:        m.advises.Load(),
 		Profiles:       m.profiles.Load(),
+		LODProfiles:    m.lodProfiles.Load(),
 		Reloads:        m.reloads.Load(),
 		CacheHits:      m.cacheHits.Load(),
 		CacheMisses:    m.cacheMisses.Load(),

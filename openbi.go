@@ -105,6 +105,24 @@ type (
 	Dataset = mining.Dataset
 	// Graph is an in-memory RDF graph (Linked Open Data).
 	Graph = rdf.Graph
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+	// TripleFunc consumes triples from a streaming RDF decoder.
+	TripleFunc = rdf.TripleFunc
+	// ProjectOptions controls the entity→table projection (batch and
+	// streaming).
+	ProjectOptions = rdf.ProjectOptions
+	// Projector is the incremental entity→table projection: feed triples
+	// with Add, finish with Table.
+	Projector = rdf.Projector
+	// LODProfile is the graph-level data-quality profile.
+	LODProfile = dq.LODProfile
+	// LODSketch computes an LODProfile from a triple stream in one pass;
+	// partition sketches Merge deterministically.
+	LODSketch = dq.LODSketch
+	// LODIngest is the result of one streaming RDF ingestion (projected
+	// table + graph-level profile from a single pass).
+	LODIngest = core.LODIngest
 	// Profile is a measured data-quality fingerprint.
 	Profile = dq.Profile
 	// Criterion identifies one data-quality criterion.
@@ -197,6 +215,51 @@ func EducationLOD(spec LODSpec) (*Graph, error) { return synth.EducationLOD(spec
 // ProjectLargestClass flattens an RDF graph onto its most populous entity
 // class — the default LOD → common-representation step.
 func ProjectLargestClass(g *Graph) (*Table, error) { return core.ProjectLargestClass(g) }
+
+// ---- Streaming LOD ingestion (constant-memory; see internal/rdf, dq, core) ----
+
+// StreamRDF decodes RDF from r ("nt" or "ttl") in one pass, invoking fn
+// per triple. Memory is bounded by the longest statement, not the graph,
+// so documents larger than memory stream fine. Parse failures match
+// ErrBadSyntax; unknown formats ErrUnsupportedFormat.
+func StreamRDF(r io.Reader, format string, fn TripleFunc) error { return rdf.Stream(r, format, fn) }
+
+// StreamProject decodes RDF from r straight into a projected table,
+// byte-identical to Project over the loaded graph, without materializing
+// the graph; memory scales with the projected content (distinct
+// subject/predicate/object combinations), not the raw triple count.
+func StreamProject(r io.Reader, format string, opts ProjectOptions) (*Table, error) {
+	return rdf.StreamProject(r, format, opts)
+}
+
+// NewProjector returns an incremental entity→table projector (validates
+// opts like Project).
+func NewProjector(opts ProjectOptions) (*Projector, error) { return rdf.NewProjector(opts) }
+
+// MeasureLOD profiles a graph's quality criteria before projection.
+func MeasureLOD(g *Graph) LODProfile { return dq.MeasureLOD(g) }
+
+// NewLODSketch returns an empty streaming LOD profile sketch.
+func NewLODSketch() *LODSketch { return dq.NewLODSketch() }
+
+// NewLODSketchAt returns a sketch for a stream partition beginning at the
+// given raw-triple offset; merged partition sketches profile exactly like
+// one monolithic pass, in any merge order.
+func NewLODSketchAt(base uint64) *LODSketch { return dq.NewLODSketchAt(base) }
+
+// IngestLOD streams an RDF document once, feeding the quality sketch and
+// the table projector from the same constant-memory decoder pass; see
+// core.IngestLOD for the precise memory contract.
+func IngestLOD(r io.Reader, format string, opts ProjectOptions) (*LODIngest, error) {
+	return core.IngestLOD(r, format, opts)
+}
+
+// WithLODCorpus registers an experiment corpus ingested from an RDF
+// stream at New; RunCorpora then learns degradation curves straight from
+// Linked Open Data next to tabular corpora.
+func WithLODCorpus(name string, r io.Reader, format string, classColumn string) Option {
+	return core.WithLODCorpus(name, r, format, classColumn)
+}
 
 // SuiteNames lists the registry names of the mining suite the advisor
 // arbitrates between.

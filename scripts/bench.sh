@@ -20,3 +20,11 @@ OUT="${OUT:-BENCH_experiments.json}"
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \
   | go run ./scripts/benchjson > "$OUT"
 echo "wrote $OUT"
+
+# Streaming LOD ingestion scaling snapshot (stream vs batch at 1x/10x
+# triples; B/triple must stay flat for the streaming path).
+INGEST_BENCH="${INGEST_BENCH:-BenchmarkIngestLOD}"
+INGEST_OUT="${INGEST_OUT:-BENCH_ingest.json}"
+go test -run '^$' -bench "$INGEST_BENCH" -benchtime "$BENCHTIME" -benchmem . \
+  | go run ./scripts/benchjson > "$INGEST_OUT"
+echo "wrote $INGEST_OUT"
