@@ -1,0 +1,139 @@
+package mining
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// naiveNeighbourVotes is the pre-kernel reference implementation: compute
+// heteroDistance per candidate, stable-sort ALL candidates by distance
+// (training order breaks ties), take the first k, and accumulate votes in
+// that order. The heap kernel must reproduce it bit for bit.
+func naiveNeighbourVotes(kn *KNN, ds *Dataset, r int) []float64 {
+	ranges := computeRanges(kn.train)
+	type nd struct {
+		row int
+		d   float64
+	}
+	all := make([]nd, 0, len(kn.labeled))
+	for _, tr := range kn.labeled {
+		all = append(all, nd{row: tr, d: heteroDistance(ds, r, kn.train, tr, ranges)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].d < all[j].d })
+	k := kn.k()
+	if k > len(all) {
+		k = len(all)
+	}
+	votes := make([]float64, kn.train.NumClasses())
+	for _, nb := range all[:k] {
+		w := 1.0
+		if kn.Weighted {
+			w = 1 / (nb.d + 1e-9)
+		}
+		votes[kn.train.Label(nb.row)] += w
+	}
+	return votes
+}
+
+// tieProneDataset builds a random mixed dataset whose numeric values are
+// quantized onto a small grid and whose nominal columns have few levels, so
+// exact distance ties between distinct candidates are common, plus ~15%
+// missing cells and one constant (span 0) column.
+func tieProneDataset(seed int64, rows int) *Dataset {
+	rng := stats.NewRand(seed)
+	t := table.New("ties")
+	n1 := table.NewNumericColumn("n1")
+	n2 := table.NewNumericColumn("n2")
+	cn := table.NewNumericColumn("const")
+	c1 := table.NewNominalColumn("c1", "a", "b", "c")
+	cls := table.NewNominalColumn("class", "x", "y", "z")
+	for i := 0; i < rows; i++ {
+		n1.AppendFloat(float64(rng.Intn(4))) // quantized → ties
+		n2.AppendFloat(float64(rng.Intn(3)))
+		cn.AppendFloat(7) // constant column: span 0
+		c1.AppendCode(rng.Intn(3))
+		cls.AppendCode(rng.Intn(3))
+	}
+	t.MustAddColumn(n1)
+	t.MustAddColumn(n2)
+	t.MustAddColumn(cn)
+	t.MustAddColumn(c1)
+	t.MustAddColumn(cls)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < 4; j++ {
+			if rng.Float64() < 0.15 {
+				t.SetMissing(r, j)
+			}
+		}
+	}
+	return MustNewDataset(t, 4)
+}
+
+// TestKNNHeapKernelMatchesNaiveFullSort pits the heap-selection kernel
+// against the stable full-sort reference over random tie-heavy datasets,
+// table-backed and view-backed, weighted and unweighted, for several k.
+// Votes must match exactly (==, not within epsilon).
+func TestKNNHeapKernelMatchesNaiveFullSort(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		full := tieProneDataset(seed, 80)
+		// A view-backed training subset with shuffled, partially repeated rows
+		// exercises the row-indirection path of the kernel.
+		rng := stats.NewRand(seed + 100)
+		sub := make([]int, 60)
+		for i := range sub {
+			sub[i] = rng.Intn(full.Len())
+		}
+		for _, train := range []*Dataset{full, full.Subset(sub)} {
+			for _, k := range []int{1, 3, 5, 12} {
+				for _, weighted := range []bool{false, true} {
+					kn := NewKNN(k)
+					kn.Weighted = weighted
+					if err := kn.Fit(train); err != nil {
+						t.Fatalf("seed %d: Fit: %v", seed, err)
+					}
+					for r := 0; r < full.Len(); r++ {
+						got := append([]float64(nil), kn.neighbourVotes(full, r)...)
+						want := naiveNeighbourVotes(kn, full, r)
+						for c := range want {
+							if got[c] != want[c] {
+								t.Fatalf("seed %d k=%d weighted=%v row %d: votes %v, reference %v",
+									seed, k, weighted, r, got, want)
+							}
+						}
+						if g, w := kn.Predict(full, r), argmax(want); g != w {
+							t.Fatalf("seed %d k=%d weighted=%v row %d: Predict %d, reference %d",
+								seed, k, weighted, r, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNNKernelDistancesMatchHeteroDistance checks the attribute-major
+// distance accumulation against the per-candidate heteroDistance walk.
+func TestKNNKernelDistancesMatchHeteroDistance(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		ds := tieProneDataset(seed, 60)
+		kn := NewKNN(5)
+		if err := kn.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		ranges := computeRanges(ds)
+		for r := 0; r < ds.Len(); r++ {
+			dist := kn.distances(ds, r)
+			for i, tr := range kn.labeled {
+				want := heteroDistance(ds, r, ds, tr, ranges)
+				if dist[i] != want && !(math.IsNaN(dist[i]) && math.IsNaN(want)) {
+					t.Fatalf("seed %d row %d cand %d: kernel %v, heteroDistance %v",
+						seed, r, i, dist[i], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Micro-benchmarks for the columnar kernel layer: the kNN distance/heap
+// kernel, the presorted tree split search, and the fused dq.Measure pass.
+// These isolate the inner loops that dominate the Phase-1 grid benches so
+// kernel regressions show up without rerunning a whole grid.
+//
+// Run: make bench (or go test -bench 'Kernel|DQMeasure' -benchmem .)
+package openbi
+
+import (
+	"testing"
+
+	"openbi/internal/dq"
+	"openbi/internal/mining"
+)
+
+// BenchmarkKNNKernel_Predict measures kNN prediction over a 400-row mixed
+// dataset: one iteration scores every row against the full training set
+// (the exact shape of a CV test fold pass).
+func BenchmarkKNNKernel_Predict(b *testing.B) {
+	ds := benchDataset(b, 400)
+	kn := mining.NewKNN(5)
+	if err := kn.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < ds.Len(); r++ {
+			sink += kn.Predict(ds, r)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTreeKernel_Fit measures a single C4.5 fit over a 400-row
+// dataset — dominated by numeric split search, so it isolates the
+// presorted-order walk against the per-node gather+sort it replaced.
+func BenchmarkTreeKernel_Fit(b *testing.B) {
+	ds := benchDataset(b, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := mining.NewC45Tree()
+		if err := tr.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDQMeasure measures the fused data-quality profile over a
+// 400-row dataset — the kernel behind both the experiment grid's
+// per-cell measurement and the serving-path /v1/profile endpoint.
+func BenchmarkDQMeasure(b *testing.B) {
+	ds := benchDataset(b, 400)
+	t := ds.Table()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := dq.Measure(t, dq.MeasureOptions{ClassColumn: ds.ClassCol})
+		if len(p.Columns) == 0 {
+			b.Fatal("empty profile")
+		}
+	}
+}
