@@ -1,0 +1,234 @@
+package dq
+
+import (
+	"math"
+	"testing"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// randomMixedTable builds a table with numeric, constant, and nominal
+// columns (including an identifier-like one), ~15% missing cells, and a
+// class column — every shape the fused Measure kernels dispatch on.
+func randomMixedTable(seed int64, rows int) (*table.Table, int) {
+	rng := stats.NewRand(seed)
+	t := table.New("rand")
+	n1 := table.NewNumericColumn("n1")
+	n2 := table.NewNumericColumn("n2")
+	cn := table.NewNumericColumn("const")
+	c1 := table.NewNominalColumn("c1", "a", "b", "c")
+	cls := table.NewNominalColumn("class", "x", "y")
+	for i := 0; i < rows; i++ {
+		n1.AppendFloat(rng.NormFloat64() * 10)
+		n2.AppendFloat(float64(rng.Intn(5))) // ties for the quantile path
+		cn.AppendFloat(3)
+		c1.AppendCode(rng.Intn(3))
+		cls.AppendCode(rng.Intn(2))
+	}
+	t.MustAddColumn(n1)
+	t.MustAddColumn(n2)
+	t.MustAddColumn(cn)
+	t.MustAddColumn(c1)
+	t.MustAddColumn(cls)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < 4; j++ {
+			if rng.Float64() < 0.15 {
+				t.SetMissing(r, j)
+			}
+		}
+	}
+	return t, 4
+}
+
+// eq is exact equality with NaN == NaN (the fused kernels promise
+// bit-identical results, not epsilon-close ones).
+func eq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestMeasureFusionMatchesReference checks every fused per-column measure
+// against its unfused stats.* reference with ==.
+func TestMeasureFusionMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tb, classCol := randomMixedTable(seed, 90)
+		p := Measure(tb, MeasureOptions{ClassColumn: classCol})
+		ci := 0
+		for j := 0; j < tb.NumCols(); j++ {
+			if j == classCol {
+				continue
+			}
+			c := tb.Column(j)
+			cp := p.Columns[ci]
+			ci++
+			wantCompleteness := float64(tb.NumRows()-c.MissingCount()) / float64(tb.NumRows())
+			if !eq(cp.Completeness, wantCompleteness) {
+				t.Fatalf("seed %d col %s: completeness %v != %v", seed, c.Name, cp.Completeness, wantCompleteness)
+			}
+			if c.Kind == table.Numeric {
+				if !eq(cp.Mean, stats.Mean(c.Nums)) {
+					t.Fatalf("seed %d col %s: mean %v != %v", seed, c.Name, cp.Mean, stats.Mean(c.Nums))
+				}
+				if !eq(cp.StdDev, stats.StdDev(c.Nums)) {
+					t.Fatalf("seed %d col %s: stddev %v != %v", seed, c.Name, cp.StdDev, stats.StdDev(c.Nums))
+				}
+				if !eq(cp.OutlierRatio, stats.IQROutlierRatio(c.Nums, 1.5)) {
+					t.Fatalf("seed %d col %s: outliers %v != %v", seed, c.Name, cp.OutlierRatio, stats.IQROutlierRatio(c.Nums, 1.5))
+				}
+			} else {
+				if !eq(cp.Entropy, stats.Entropy(c.Counts())) {
+					t.Fatalf("seed %d col %s: entropy %v != %v", seed, c.Name, cp.Entropy, stats.Entropy(c.Counts()))
+				}
+				if cp.Levels != c.NumLevels() {
+					t.Fatalf("seed %d col %s: levels %d != %d", seed, c.Name, cp.Levels, c.NumLevels())
+				}
+			}
+		}
+	}
+}
+
+// refAssociation is the pre-memoization per-pair association: bins are
+// recomputed for every pair. The cached path must match it exactly.
+func refAssociation(t *table.Table, a, b int) float64 {
+	ca, cb := t.Column(a), t.Column(b)
+	switch {
+	case ca.Kind == table.Numeric && cb.Kind == table.Numeric:
+		return math.Abs(stats.Pearson(ca.Nums, cb.Nums))
+	case ca.Kind == table.Nominal && cb.Kind == table.Nominal:
+		return stats.CramersV(crossTab(ca.Cats, ca.NumLevels(), cb.Cats, cb.NumLevels()))
+	case ca.Kind == table.Numeric:
+		return stats.CramersV(crossTab(binNumeric(ca.Nums, 4), 4, cb.Cats, cb.NumLevels()))
+	default:
+		return stats.CramersV(crossTab(binNumeric(cb.Nums, 4), 4, ca.Cats, ca.NumLevels()))
+	}
+}
+
+// refPairwise mirrors pairwiseAssociation without the bin cache.
+func refPairwise(t *table.Table, cols []int) (mean, max float64, strong int) {
+	if len(cols) < 2 {
+		return 0, 0, 0
+	}
+	sum, cnt := 0.0, 0
+	for a := 0; a < len(cols); a++ {
+		for b := a + 1; b < len(cols); b++ {
+			v := refAssociation(t, cols[a], cols[b])
+			sum += v
+			cnt++
+			if v > max {
+				max = v
+			}
+			if v >= 0.8 {
+				strong++
+			}
+		}
+	}
+	return sum / float64(cnt), max, strong
+}
+
+// refOneNN is the pre-kernel 1-NN disagreement: per-pair gowerDistance
+// through the column interface.
+func refOneNN(t *table.Table, attrCols []int, classCol, maxSample int) float64 {
+	rows := t.NumRows()
+	if rows < 4 || len(attrCols) == 0 {
+		return 0
+	}
+	cls := t.Column(classCol)
+	sample := strideSample(rows, maxSample)
+	ranges := make(map[int]float64, len(attrCols))
+	for _, j := range attrCols {
+		c := t.Column(j)
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		if !stats.IsMissing(lo) && hi > lo {
+			ranges[j] = hi - lo
+		}
+	}
+	gower := func(a, b int) float64 {
+		sum := 0.0
+		for _, j := range attrCols {
+			c := t.Column(j)
+			if c.IsMissing(a) || c.IsMissing(b) {
+				sum++
+				continue
+			}
+			if c.Kind == table.Numeric {
+				rg := ranges[j]
+				if rg == 0 {
+					continue
+				}
+				d := math.Abs(c.Nums[a]-c.Nums[b]) / rg
+				if d > 1 {
+					d = 1
+				}
+				sum += d
+			} else if c.Cats[a] != c.Cats[b] {
+				sum++
+			}
+		}
+		return sum / float64(len(attrCols))
+	}
+	disagree, counted := 0, 0
+	for _, r := range sample {
+		if cls.IsMissing(r) {
+			continue
+		}
+		bestD := math.Inf(1)
+		bestRow := -1
+		for _, q := range sample {
+			if q == r || cls.IsMissing(q) {
+				continue
+			}
+			if d := gower(r, q); d < bestD {
+				bestD = d
+				bestRow = q
+			}
+		}
+		if bestRow < 0 {
+			continue
+		}
+		counted++
+		if cls.Cats[r] != cls.Cats[bestRow] {
+			disagree++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return float64(disagree) / float64(counted)
+}
+
+// TestMeasureKernelsMatchNaiveReferences checks the memoized association
+// matrix and the dense 1-NN noise kernel against their per-pair
+// references, exactly, over random tables (including one large enough to
+// trigger stride sampling).
+func TestMeasureKernelsMatchNaiveReferences(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		rows := 90
+		maxSample := 300
+		if seed == 15 {
+			rows, maxSample = 400, 120 // stride-sampled path
+		}
+		tb, classCol := randomMixedTable(seed, rows)
+		p := Measure(tb, MeasureOptions{ClassColumn: classCol, MaxNoiseSample: maxSample})
+
+		attrCols := []int{0, 1, 2, 3}
+		corrCols := make([]int, 0, len(attrCols))
+		for _, j := range attrCols {
+			c := tb.Column(j)
+			if c.Kind == table.Nominal && rows > 4 && c.NumLevels() > rows/2 {
+				continue
+			}
+			corrCols = append(corrCols, j)
+		}
+		wantMean, wantMax, wantStrong := refPairwise(tb, corrCols)
+		if !eq(p.MeanAbsCorrelation, wantMean) || !eq(p.MaxAbsCorrelation, wantMax) || p.CorrelatedPairs != wantStrong {
+			t.Fatalf("seed %d: association (%v,%v,%d) != reference (%v,%v,%d)",
+				seed, p.MeanAbsCorrelation, p.MaxAbsCorrelation, p.CorrelatedPairs, wantMean, wantMax, wantStrong)
+		}
+		if want := refOneNN(tb, attrCols, classCol, maxSample); !eq(p.NoiseEstimate, want) {
+			t.Fatalf("seed %d: noise %v != reference %v", seed, p.NoiseEstimate, want)
+		}
+	}
+}

@@ -81,28 +81,30 @@ func Measure(t *table.Table, opts MeasureOptions) Profile {
 		p.Dimensionality = float64(p.Attributes) / float64(rows)
 	}
 
-	// Per-column profiles and completeness.
+	// Per-column profiles and completeness: one fused pass per column
+	// (missing count, moments, quantile fences, level counts) instead of
+	// one pass per measure. Each fused measure reproduces its stats.*
+	// reference bit for bit — see TestMeasureFusionMatchesReference.
 	totalCells, observedCells := 0, 0
 	var outlierSum float64
 	numericCount := 0
+	var obs []float64 // numeric gather scratch, reused across columns
+	var counts []int  // nominal level-count scratch, reused across columns
 	for _, j := range attrCols {
 		c := t.Column(j)
 		cp := ColumnProfile{Name: c.Name, Kind: c.Kind.String(), Mean: math.NaN(), StdDev: math.NaN()}
-		miss := c.MissingCount()
+		var miss int
+		if c.Kind == table.Numeric {
+			obs, miss = measureNumeric(c.Nums, obs[:0], &cp)
+			outlierSum += cp.OutlierRatio
+			numericCount++
+		} else {
+			counts, miss = measureNominal(c, counts, &cp)
+		}
 		totalCells += rows
 		observedCells += rows - miss
 		if rows > 0 {
 			cp.Completeness = float64(rows-miss) / float64(rows)
-		}
-		if c.Kind == table.Numeric {
-			cp.OutlierRatio = stats.IQROutlierRatio(c.Nums, 1.5)
-			cp.Mean = stats.Mean(c.Nums)
-			cp.StdDev = stats.StdDev(c.Nums)
-			outlierSum += cp.OutlierRatio
-			numericCount++
-		} else {
-			cp.Levels = c.NumLevels()
-			cp.Entropy = stats.Entropy(c.Counts())
 		}
 		p.Columns = append(p.Columns, cp)
 	}
@@ -158,6 +160,105 @@ func Measure(t *table.Table, opts MeasureOptions) Profile {
 		p.NoiseEstimate = oneNNDisagreement(t, attrCols, opts.ClassColumn, opts.MaxNoiseSample)
 	}
 	return p
+}
+
+// measureNumeric fills the numeric measures of cp from one gather pass
+// over nums plus one sort, returning the (reused) gather scratch and the
+// missing count. It reproduces stats.Mean / stats.StdDev /
+// stats.IQROutlierRatio exactly: observed values are gathered in element
+// order, so the mean and variance accumulate the same additions in the
+// same sequence, and one sorted copy serves both type-7 quartiles and the
+// (integral) Tukey fence count.
+func measureNumeric(nums []float64, obs []float64, cp *ColumnProfile) (scratch []float64, miss int) {
+	for _, v := range nums {
+		if math.IsNaN(v) {
+			miss++
+			continue
+		}
+		obs = append(obs, v)
+	}
+	n := len(obs)
+	if n == 0 {
+		return obs, miss
+	}
+	// Moments before sorting: the accumulation order must stay element
+	// order, exactly like the stats reference.
+	sum := 0.0
+	for _, v := range obs {
+		sum += v
+	}
+	mean := sum / float64(n)
+	cp.Mean = mean
+	if n >= 2 {
+		ss := 0.0
+		for _, v := range obs {
+			d := v - mean
+			ss += d * d
+		}
+		cp.StdDev = math.Sqrt(ss / float64(n-1))
+	}
+	// Quartiles and the Tukey fence from one sorted copy.
+	sort.Float64s(obs)
+	q1 := sortedQuantile(obs, 0.25)
+	q3 := sortedQuantile(obs, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	out := 0
+	for _, v := range obs {
+		if v < lo || v > hi {
+			out++
+		}
+	}
+	cp.OutlierRatio = float64(out) / float64(n)
+	return obs, miss
+}
+
+// sortedQuantile is stats.Quantile's type-7 interpolation over an already
+// sorted, missing-free slice.
+func sortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// measureNominal fills the nominal measures of cp from one pass over the
+// code vector (level counts + missing together, fusing Column.Counts with
+// Column.MissingCount), returning the reused counts scratch and the
+// missing count.
+func measureNominal(c *table.Column, counts []int, cp *ColumnProfile) (scratch []int, miss int) {
+	levels := c.NumLevels()
+	if cap(counts) < levels {
+		counts = make([]int, levels)
+	}
+	counts = counts[:levels]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, code := range c.Cats {
+		if code == table.MissingCat {
+			miss++
+		}
+		if code >= 0 && code < levels {
+			counts[code]++
+		}
+	}
+	cp.Levels = levels
+	cp.Entropy = stats.Entropy(counts)
+	return counts, miss
 }
 
 // Severity maps the profile onto a [0,1] defect intensity for one
@@ -225,10 +326,23 @@ func pairwiseAssociation(t *table.Table, cols []int) (mean, max float64, strong 
 	if n < 2 {
 		return 0, 0, 0
 	}
+	// A numeric column's quantile binning is a pure function of the
+	// column, but every mixed pair needs it — memoize per column instead
+	// of re-binning per pair (identical bins, so identical contingency
+	// tables and Cramér's V values).
+	bins := make(map[int][]int, n)
+	binsFor := func(j int, c *table.Column) []int {
+		if b, ok := bins[j]; ok {
+			return b
+		}
+		b := binNumeric(c.Nums, 4)
+		bins[j] = b
+		return b
+	}
 	sum, cnt := 0.0, 0
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			v := association(t, cols[a], cols[b])
+			v := association(t, cols[a], cols[b], binsFor)
 			sum += v
 			cnt++
 			if v > max {
@@ -245,8 +359,9 @@ func pairwiseAssociation(t *table.Table, cols []int) (mean, max float64, strong 
 	return sum / float64(cnt), max, strong
 }
 
-// association returns |association| in [0,1] between two columns.
-func association(t *table.Table, a, b int) float64 {
+// association returns |association| in [0,1] between two columns. binsFor
+// supplies memoized 4-quantile bins for a numeric column.
+func association(t *table.Table, a, b int, binsFor func(int, *table.Column) []int) float64 {
 	ca, cb := t.Column(a), t.Column(b)
 	switch {
 	case ca.Kind == table.Numeric && cb.Kind == table.Numeric:
@@ -254,15 +369,10 @@ func association(t *table.Table, a, b int) float64 {
 	case ca.Kind == table.Nominal && cb.Kind == table.Nominal:
 		return stats.CramersV(crossTab(ca.Cats, ca.NumLevels(), cb.Cats, cb.NumLevels()))
 	case ca.Kind == table.Numeric:
-		return stats.CramersV(crossTab(binNumeric(ca.Nums, 4), 4, cb.Cats, cb.NumLevels()))
-	default:
-		return stats.CramersV(crossTab(ba(cb, ca))) // symmetric: swap
+		return stats.CramersV(crossTab(binsFor(a, ca), 4, cb.Cats, cb.NumLevels()))
+	default: // symmetric: numeric side second, swap into the same shape
+		return stats.CramersV(crossTab(binsFor(b, cb), 4, ca.Cats, ca.NumLevels()))
 	}
-}
-
-// ba adapts the mixed case with the numeric column second.
-func ba(num *table.Column, nom *table.Column) ([]int, int, []int, int) {
-	return binNumeric(num.Nums, 4), 4, nom.Cats, nom.NumLevels()
 }
 
 // crossTab builds a contingency table from two code vectors; negative
@@ -294,9 +404,18 @@ func crossTab(as []int, aLevels int, bs []int, bLevels int) [][]int {
 // binNumeric discretizes a numeric column into k quantile bins, returning
 // code -1 for missing cells.
 func binNumeric(xs []float64, k int) []int {
+	// One filter+sort serves all k-1 cut points; each cut is then the same
+	// order-statistic interpolation Quantile would have computed.
+	obs := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !stats.IsMissing(v) {
+			obs = append(obs, v)
+		}
+	}
+	sort.Float64s(obs)
 	cuts := make([]float64, k-1)
 	for i := 1; i < k; i++ {
-		cuts[i-1] = stats.Quantile(xs, float64(i)/float64(k))
+		cuts[i-1] = stats.QuantileSorted(obs, float64(i)/float64(k))
 	}
 	out := make([]int, len(xs))
 	for i, v := range xs {
@@ -324,42 +443,110 @@ func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) 
 	}
 	cls := t.Column(classCol)
 	sample := strideSample(rows, maxSample)
+	m := len(sample)
 
-	// Precompute numeric ranges for scaling.
-	ranges := make(map[int]float64, len(attrCols))
+	// Gather the sampled slice of every attribute into dense vectors so
+	// the O(sample²·attrs) distance pass reads contiguous storage instead
+	// of resolving t.Column(j) per cell. Numeric ranges still scan the
+	// full column, exactly like the per-pair reference did.
+	type nnAttr struct {
+		numeric bool
+		span    float64
+		vals    []float64
+		cats    []int32
+	}
+	attrs := make([]nnAttr, 0, len(attrCols))
 	for _, j := range attrCols {
 		c := t.Column(j)
-		if c.Kind != table.Numeric {
-			continue
+		a := nnAttr{numeric: c.Kind == table.Numeric}
+		if a.numeric {
+			lo, hi := stats.MinMax(c.Nums)
+			if !stats.IsMissing(lo) && hi > lo {
+				a.span = hi - lo
+			}
+			a.vals = make([]float64, m)
+			for i, r := range sample {
+				a.vals[i] = c.Nums[r]
+			}
+		} else {
+			a.cats = make([]int32, m)
+			for i, r := range sample {
+				a.cats[i] = int32(c.Cats[r])
+			}
 		}
-		lo, hi := stats.MinMax(c.Nums)
-		if !stats.IsMissing(lo) && hi > lo {
-			ranges[j] = hi - lo
-		}
+		attrs = append(attrs, a)
 	}
 
+	// Per query: accumulate all candidate distances attribute-major (each
+	// pair's sum still receives its contributions in attribute order, so
+	// sums match the per-pair gowerDistance walk bit for bit), then take
+	// the first strict minimum in sample order — the reference's scan.
+	nAttrs := float64(len(attrCols))
+	dist := make([]float64, m)
 	disagree, counted := 0, 0
-	for _, r := range sample {
+	for qi, r := range sample {
 		if cls.IsMissing(r) {
 			continue
 		}
-		bestD := math.Inf(1)
-		bestRow := -1
-		for _, q := range sample {
-			if q == r || cls.IsMissing(q) {
+		for i := range dist {
+			dist[i] = 0
+		}
+		for ai := range attrs {
+			a := &attrs[ai]
+			if a.numeric {
+				q := a.vals[qi]
+				if math.IsNaN(q) {
+					for i := range dist {
+						dist[i]++
+					}
+					continue
+				}
+				span := a.span
+				for i, v := range a.vals {
+					if math.IsNaN(v) {
+						dist[i]++
+						continue
+					}
+					if span == 0 {
+						continue
+					}
+					d := math.Abs(v-q) / span
+					if d > 1 {
+						d = 1
+					}
+					dist[i] += d
+				}
 				continue
 			}
-			d := gowerDistance(t, attrCols, ranges, r, q)
-			if d < bestD {
-				bestD = d
-				bestRow = q
+			q := a.cats[qi]
+			if q == table.MissingCat {
+				for i := range dist {
+					dist[i]++
+				}
+				continue
+			}
+			for i, c := range a.cats {
+				if c == table.MissingCat || c != q {
+					dist[i]++
+				}
 			}
 		}
-		if bestRow < 0 {
+		bestD := math.Inf(1)
+		bestI := -1
+		for i, row := range sample {
+			if i == qi || cls.IsMissing(row) {
+				continue
+			}
+			if d := dist[i] / nAttrs; d < bestD {
+				bestD = d
+				bestI = i
+			}
+		}
+		if bestI < 0 {
 			continue
 		}
 		counted++
-		if cls.Cats[r] != cls.Cats[bestRow] {
+		if cls.Cats[r] != cls.Cats[sample[bestI]] {
 			disagree++
 		}
 	}
@@ -367,34 +554,6 @@ func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) 
 		return 0
 	}
 	return float64(disagree) / float64(counted)
-}
-
-// gowerDistance is a heterogeneous distance: scaled absolute difference on
-// numeric attributes, 0/1 mismatch on nominal, averaged over attributes
-// observed on both rows; missing-on-either contributes maximal 1.
-func gowerDistance(t *table.Table, attrCols []int, ranges map[int]float64, a, b int) float64 {
-	sum := 0.0
-	for _, j := range attrCols {
-		c := t.Column(j)
-		if c.IsMissing(a) || c.IsMissing(b) {
-			sum += 1
-			continue
-		}
-		if c.Kind == table.Numeric {
-			rg := ranges[j]
-			if rg == 0 {
-				continue
-			}
-			d := math.Abs(c.Nums[a]-c.Nums[b]) / rg
-			if d > 1 {
-				d = 1
-			}
-			sum += d
-		} else if c.Cats[a] != c.Cats[b] {
-			sum += 1
-		}
-	}
-	return sum / float64(len(attrCols))
 }
 
 // strideSample returns up to max row indices spread evenly over [0,rows).

@@ -88,10 +88,17 @@ func Quantile(xs []float64, q float64) float64 {
 			obs = append(obs, v)
 		}
 	}
+	sort.Float64s(obs)
+	return QuantileSorted(obs, q)
+}
+
+// QuantileSorted is Quantile over observations already sorted ascending
+// and free of missing values — callers taking several quantiles of one
+// column sort once instead of once per quantile.
+func QuantileSorted(obs []float64, q float64) float64 {
 	if len(obs) == 0 {
 		return math.NaN()
 	}
-	sort.Float64s(obs)
 	if q <= 0 {
 		return obs[0]
 	}

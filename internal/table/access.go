@@ -36,22 +36,21 @@ type Access interface {
 }
 
 // Floats returns the numeric cell values of column col of a. For a concrete
-// *Table this is the live backing slice — callers must treat it as
-// read-only. For a view the cells are gathered through the row indirection
+// *Table — or a view without row indirection — this is the live backing
+// slice: callers must treat it as read-only (the Cursor aliasing contract).
+// For a row-indirected view the cells are gathered through the indirection
 // into a fresh slice. Either way the result matches what Materialize()
 // would expose, so statistics computed from it are identical between the
 // view-backed and copying pipelines.
 func Floats(a Access, col int) []float64 {
-	if t, ok := a.(*Table); ok {
-		c := t.cols[col]
-		if c.Kind != Numeric {
-			panic("table: Floats on nominal column " + c.Name)
-		}
-		return c.Nums
+	cur := NewCursor(a)
+	nums, rows := cur.NumsSpan(col)
+	if rows == nil {
+		return nums
 	}
-	out := make([]float64, a.NumRows())
-	for r := range out {
-		out[r] = a.Float(r, col)
+	out := make([]float64, len(rows))
+	for i, br := range rows {
+		out[i] = nums[br]
 	}
 	return out
 }

@@ -1,0 +1,92 @@
+package table
+
+// Cursor resolves an Access value to its raw column storage plus the row
+// indirection, so hot loops iterate slices directly instead of paying an
+// interface call per cell:
+//
+//	cur := table.NewCursor(a)
+//	nums, rows := cur.NumsSpan(j)
+//	if rows == nil {
+//	    for r, v := range nums { ... }        // dense: base order
+//	} else {
+//	    for _, br := range rows { v := nums[br]; ... }
+//	}
+//
+// Aliasing contract: every slice returned by a Cursor — Nums/Cats spans and
+// the Rows indirection — aliases live storage of the underlying table or
+// view. Callers MUST treat them as read-only and must not retain them past
+// the lifetime of the Access they came from; writing through them corrupts
+// shared column storage (tables share columns copy-on-write across clones
+// and views). Code that needs to mutate goes through Materialize /
+// CopyOnWrite instead. Under that contract a Cursor is safe for concurrent
+// readers, like the Access it wraps.
+type Cursor struct {
+	base *Table
+	rows []int // base row per logical row; nil = identity
+	cols []int // base column per logical column; nil = identity
+}
+
+// NewCursor resolves a to a cursor over its backing storage. A *Table
+// resolves to itself with identity indirections; a *View resolves to its
+// base with the view's row/column maps. Any other Access materializes
+// (one copy) so the cursor is always span-backed.
+func NewCursor(a Access) Cursor {
+	switch s := a.(type) {
+	case *Table:
+		return Cursor{base: s}
+	case *View:
+		return Cursor{base: s.base, rows: s.rows, cols: s.cols}
+	default:
+		return Cursor{base: a.Materialize()}
+	}
+}
+
+// Rows returns the base-row-per-logical-row indirection, or nil when
+// logical rows are base rows in order. Read-only; see the aliasing
+// contract above.
+func (c Cursor) Rows() []int { return c.rows }
+
+// NumRows returns the logical row count (length of the row indirection,
+// or the base row count when dense).
+func (c Cursor) NumRows() int {
+	if c.rows == nil {
+		return c.base.NumRows()
+	}
+	return len(c.rows)
+}
+
+// baseCol maps a logical column index to a base column index.
+func (c Cursor) baseCol(j int) int {
+	if c.cols == nil {
+		return j
+	}
+	return c.cols[j]
+}
+
+// Column returns the backing *Column for logical column j. Read-only.
+func (c Cursor) Column(j int) *Column { return c.base.cols[c.baseCol(j)] }
+
+// NumsSpan returns the backing []float64 of numeric column j plus the row
+// indirection to apply (nil = iterate the slice directly). It panics on a
+// nominal column, mirroring Access.Float. The returned slices are live
+// storage: read-only, per the Cursor aliasing contract.
+func (c Cursor) NumsSpan(j int) (nums []float64, rows []int) {
+	col := c.base.cols[c.baseCol(j)]
+	if col.Kind != Numeric {
+		panic("table: NumsSpan on nominal column " + col.Name)
+	}
+	return col.Nums, c.rows
+}
+
+// CatsSpan returns the backing []int of nominal column j (dictionary
+// codes, MissingCat for missing) plus the row indirection to apply (nil =
+// iterate the slice directly). It panics on a numeric column, mirroring
+// Access.Cat. The returned slices are live storage: read-only, per the
+// Cursor aliasing contract.
+func (c Cursor) CatsSpan(j int) (cats []int, rows []int) {
+	col := c.base.cols[c.baseCol(j)]
+	if col.Kind != Nominal {
+		panic("table: CatsSpan on numeric column " + col.Name)
+	}
+	return col.Cats, c.rows
+}

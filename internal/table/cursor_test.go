@@ -1,0 +1,113 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+// cursorFixture builds a mixed table with missing cells plus assorted
+// views over it: row-selected, column-projected, composed, repeated rows.
+func cursorFixture(t *testing.T) (*Table, []Access) {
+	t.Helper()
+	tb := New("fix")
+	n := NewNumericColumn("n")
+	c := NewNominalColumn("c", "a", "b")
+	m := NewNumericColumn("m")
+	for i := 0; i < 10; i++ {
+		n.AppendFloat(float64(i) * 1.5)
+		c.AppendCode(i % 2)
+		m.AppendFloat(float64(-i))
+	}
+	tb.MustAddColumn(n)
+	tb.MustAddColumn(c)
+	tb.MustAddColumn(m)
+	tb.SetMissing(3, 0)
+	tb.SetMissing(4, 1)
+	views := []Access{
+		tb,
+		RowView(tb, []int{9, 2, 2, 5, 0}),
+		ColumnView(tb, []int{2, 1}),
+		RowView(ColumnView(tb, []int{2, 0, 1}), []int{1, 3, 3, 8}),
+	}
+	return tb, views
+}
+
+// TestCursorSpansMatchAccess checks every span read against the Access
+// interface cell reads for tables and composed views.
+func TestCursorSpansMatchAccess(t *testing.T) {
+	_, views := cursorFixture(t)
+	for vi, a := range views {
+		cur := NewCursor(a)
+		if cur.NumRows() != a.NumRows() {
+			t.Fatalf("view %d: NumRows %d != %d", vi, cur.NumRows(), a.NumRows())
+		}
+		rowOf := func(r int) int {
+			if rows := cur.Rows(); rows != nil {
+				return rows[r]
+			}
+			return r
+		}
+		for j := 0; j < a.NumCols(); j++ {
+			switch a.ColumnKind(j) {
+			case Numeric:
+				nums, _ := cur.NumsSpan(j)
+				for r := 0; r < a.NumRows(); r++ {
+					got, want := nums[rowOf(r)], a.Float(r, j)
+					if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+						t.Fatalf("view %d col %d row %d: span %v, Float %v", vi, j, r, got, want)
+					}
+				}
+			case Nominal:
+				cats, _ := cur.CatsSpan(j)
+				for r := 0; r < a.NumRows(); r++ {
+					if got, want := cats[rowOf(r)], a.Cat(r, j); got != want {
+						t.Fatalf("view %d col %d row %d: span %v, Cat %v", vi, j, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCursorSpanKindPanics pins the panic behaviour promised by the API
+// docs (mirroring Access.Float / Access.Cat).
+func TestCursorSpanKindPanics(t *testing.T) {
+	tb, _ := cursorFixture(t)
+	cur := NewCursor(tb)
+	assertPanics(t, "NumsSpan on nominal", func() { cur.NumsSpan(1) })
+	assertPanics(t, "CatsSpan on numeric", func() { cur.CatsSpan(0) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestFloatsMatchesMaterialize pins the Floats contract: identical values
+// to a materialized copy for dense and row-indirected views.
+func TestFloatsMatchesMaterialize(t *testing.T) {
+	_, views := cursorFixture(t)
+	for vi, a := range views {
+		mat := a.Materialize()
+		for j := 0; j < a.NumCols(); j++ {
+			if a.ColumnKind(j) != Numeric {
+				continue
+			}
+			got := Floats(a, j)
+			want := mat.Column(j).Nums
+			if len(got) != len(want) {
+				t.Fatalf("view %d col %d: len %d != %d", vi, j, len(got), len(want))
+			}
+			for r := range want {
+				if got[r] != want[r] && !(math.IsNaN(got[r]) && math.IsNaN(want[r])) {
+					t.Fatalf("view %d col %d row %d: %v != %v", vi, j, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
