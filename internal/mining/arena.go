@@ -1,0 +1,220 @@
+package mining
+
+import (
+	"math/rand"
+
+	"openbi/internal/stats"
+)
+
+// Arena is a per-worker scratch allocator with frame semantics: F64, Ints
+// and I32 hand out zeroed buffers, Reset reclaims every buffer handed out
+// since the previous Reset. Classifiers grab fold-lifetime scratch (node
+// distributions, score vectors, shuffle orders) from the worker's arena so
+// an experiment grid cell reuses the same handful of allocations across
+// all of its folds instead of re-making them per fold.
+//
+// Buffers are recycled by hand-out position: a call sequence that repeats
+// identically after each Reset (the cross-validation case — same
+// classifier, same data shape every fold) hits the same slots and
+// allocates nothing in steady state. A slot whose buffer is too small is
+// simply re-made.
+//
+// An Arena is single-goroutine state, like the classifiers that use it:
+// the experiment runner keys one arena to each worker. A nil *Arena is
+// valid everywhere and degrades to plain make, so classifiers outside an
+// experiment run need no special casing.
+type Arena struct {
+	f64             [][]float64
+	ints            [][]int
+	i32             [][]int32
+	ptrs            [][]*treeNode
+	rnds            []seededRand
+	nf, ni, n32, nr int
+	np              int
+
+	// Tree nodes are pooled in fixed-size chunks so handed-out pointers
+	// stay valid as the pool grows.
+	nodeChunks [][]treeNode
+	nodeChunk  int // index of the chunk currently being handed out
+	nodeUsed   int // entries handed out from that chunk
+}
+
+// seededRand keeps a generator together with its source so the slot can be
+// reseeded on reuse (rand.Rand does not expose its source).
+type seededRand struct {
+	src rand.Source
+	rnd *rand.Rand
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// F64 returns a zeroed []float64 of length n, valid until the next Reset.
+func (a *Arena) F64(n int) []float64 {
+	buf := a.F64Raw(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// F64Raw is F64 without the zero fill — recycled slots carry stale
+// values, so it is only for callers that overwrite (or append over)
+// every slot before reading any.
+func (a *Arena) F64Raw(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	if a.nf == len(a.f64) {
+		a.f64 = append(a.f64, nil)
+	}
+	buf := a.f64[a.nf]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	a.f64[a.nf] = buf
+	a.nf++
+	return buf
+}
+
+// Ints returns a zeroed []int of length n, valid until the next Reset.
+func (a *Arena) Ints(n int) []int {
+	buf := a.IntsRaw(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// IntsRaw is Ints without the zero fill — recycled slots carry stale
+// values, so it is only for callers that overwrite (or append over)
+// every slot before reading any.
+func (a *Arena) IntsRaw(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	if a.ni == len(a.ints) {
+		a.ints = append(a.ints, nil)
+	}
+	buf := a.ints[a.ni]
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	a.ints[a.ni] = buf
+	a.ni++
+	return buf
+}
+
+// I32 returns a zeroed []int32 of length n, valid until the next Reset.
+func (a *Arena) I32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if a.n32 == len(a.i32) {
+		a.i32 = append(a.i32, nil)
+	}
+	buf := a.i32[a.n32]
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	a.i32[a.n32] = buf
+	a.n32++
+	return buf
+}
+
+// Node returns a zeroed *treeNode valid until the next Reset. Tree
+// induction allocates one node per split or leaf; pooling them removes
+// the dominant allocation of a forest fit. Pointers into a chunk remain
+// valid as the pool grows (chunks are never reallocated, only appended).
+func (a *Arena) Node() *treeNode {
+	if a == nil {
+		return &treeNode{}
+	}
+	const chunkSize = 256
+	for {
+		if a.nodeChunk == len(a.nodeChunks) {
+			a.nodeChunks = append(a.nodeChunks, make([]treeNode, chunkSize))
+		}
+		c := a.nodeChunks[a.nodeChunk]
+		if a.nodeUsed < len(c) {
+			nd := &c[a.nodeUsed]
+			a.nodeUsed++
+			*nd = treeNode{}
+			return nd
+		}
+		a.nodeChunk++
+		a.nodeUsed = 0
+	}
+}
+
+// Nodes returns a zeroed []*treeNode of length n (a split node's child
+// list), valid until the next Reset.
+func (a *Arena) Nodes(n int) []*treeNode {
+	if a == nil {
+		return make([]*treeNode, n)
+	}
+	if a.np == len(a.ptrs) {
+		a.ptrs = append(a.ptrs, nil)
+	}
+	buf := a.ptrs[a.np]
+	if cap(buf) < n {
+		buf = make([]*treeNode, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = nil
+	}
+	a.ptrs[a.np] = buf
+	a.np++
+	return buf
+}
+
+// Rand returns a *rand.Rand seeded exactly like stats.NewRand(seed),
+// recycling the generator's internal state array across Reset cycles —
+// a random-forest fit seeds one generator per member tree, and the state
+// allocation (not the seeding arithmetic) was pure churn. Reseeding
+// reinitializes the source completely, so the slot yields the same number
+// sequence a freshly allocated generator would.
+func (a *Arena) Rand(seed int64) *rand.Rand {
+	if a == nil {
+		return stats.NewRand(seed)
+	}
+	if a.nr == len(a.rnds) {
+		a.rnds = append(a.rnds, seededRand{})
+	}
+	sr := &a.rnds[a.nr]
+	a.nr++
+	if sr.rnd == nil {
+		sr.src = rand.NewSource(seed)
+		sr.rnd = rand.New(sr.src)
+		return sr.rnd
+	}
+	sr.src.Seed(seed)
+	return sr.rnd
+}
+
+// Reset reclaims every buffer handed out since the previous Reset. The
+// caller must not read or write previously returned buffers afterwards —
+// cross-validation resets only after a fold's fitted classifier is fully
+// consumed.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.nf, a.ni, a.n32, a.nr, a.np = 0, 0, 0, 0, 0
+	a.nodeChunk, a.nodeUsed = 0, 0
+}
+
+// ArenaUser is implemented by classifiers that can draw their scratch
+// from a caller-owned arena. The evaluation harness calls UseArena right
+// after constructing the classifier, before Fit; classifiers must treat a
+// nil arena exactly like having none.
+type ArenaUser interface {
+	UseArena(*Arena)
+}

@@ -25,7 +25,16 @@ type NaiveBayes struct {
 	gaussMu  map[int][]float64   // col -> [class] mean
 	gaussSd  map[int][]float64   // col -> [class] stddev
 	fallback int
+	arena    *Arena
+
+	// llBuf is the per-row log-likelihood scratch; logLikelihoods
+	// overwrites every entry before returning it, and both callers consume
+	// the slice before the next call, so one buffer serves all predictions.
+	llBuf []float64
 }
+
+// UseArena implements ArenaUser.
+func (nb *NaiveBayes) UseArena(a *Arena) { nb.arena = a }
 
 // NewNaiveBayes returns an unfitted NaiveBayes with Laplace=1.
 func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{Laplace: 1} }
@@ -44,6 +53,7 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 	}
 	nb.classes = ds.NumClasses()
 	nb.fallback = ds.MajorityClass()
+	nb.llBuf = nb.arena.F64(nb.classes)
 
 	counts := make([]float64, nb.classes)
 	for _, r := range labeled {
@@ -128,9 +138,14 @@ func (nb *NaiveBayes) Fit(ds *Dataset) error {
 	return nil
 }
 
-// logLikelihoods returns unnormalized log P(class, x).
+// logLikelihoods returns unnormalized log P(class, x). The returned slice
+// is nb.llBuf: valid until the next call on nb.
 func (nb *NaiveBayes) logLikelihoods(ds *Dataset, r int) []float64 {
-	ll := make([]float64, nb.classes)
+	ll := nb.llBuf
+	if len(ll) != nb.classes {
+		ll = make([]float64, nb.classes)
+		nb.llBuf = ll
+	}
 	for c := range ll {
 		ll[c] = math.Log(nb.priors[c])
 	}

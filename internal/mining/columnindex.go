@@ -1,0 +1,123 @@
+package mining
+
+import (
+	"math"
+	"slices"
+
+	"openbi/internal/table"
+)
+
+// ColumnIndex presorts each numeric attribute of a dataset's backing table
+// once: per base column, the non-missing base-row indices in ascending
+// value order (ties by base row). Decision-tree split search walks this
+// shared order with a per-node membership filter instead of re-sorting the
+// node's rows at every (node × attribute), and because the index lives at
+// the base-table level one build serves every fold split, every bootstrap
+// resample, and every forest tree of an experiment cell.
+//
+// A ColumnIndex is immutable after construction and therefore safe to
+// share across concurrent workers; Dataset.Index builds it at most once
+// per dataset and Subset propagates it to children over the same base.
+type ColumnIndex struct {
+	base   *table.Table
+	orders map[int][]int32 // base column index → sorted non-missing base rows
+}
+
+// order returns the presorted base rows of base column bj, or nil when the
+// column is not indexed (nominal, or outside the indexed attribute set).
+func (ci *ColumnIndex) order(bj int) []int32 {
+	if ci == nil {
+		return nil
+	}
+	return ci.orders[bj]
+}
+
+// buildColumnIndex sorts every numeric attribute column of d's base table.
+func buildColumnIndex(d *Dataset) *ColumnIndex {
+	ci := &ColumnIndex{base: d.base, orders: make(map[int][]int32)}
+	for _, j := range d.attrCols {
+		col := d.col(j)
+		if col.Kind != table.Numeric {
+			continue
+		}
+		bj := j
+		if d.colIx != nil {
+			bj = d.colIx[j]
+		}
+		if _, ok := ci.orders[bj]; ok {
+			continue
+		}
+		nums := col.Nums
+		order := make([]int32, 0, len(nums))
+		for r, v := range nums {
+			if !math.IsNaN(v) {
+				order = append(order, int32(r))
+			}
+		}
+		slices.SortFunc(order, func(a, b int32) int {
+			va, vb := nums[a], nums[b]
+			switch {
+			case va < vb:
+				return -1
+			case va > vb:
+				return 1
+			}
+			return int(a - b)
+		})
+		ci.orders[bj] = order
+	}
+	return ci
+}
+
+// Index returns the dataset's presorted numeric column index, building it
+// on first use. Safe for concurrent callers; experiment cells build it
+// eagerly before fanning tasks out so workers only ever read it.
+func (d *Dataset) Index() *ColumnIndex {
+	d.indexMu.Lock()
+	defer d.indexMu.Unlock()
+	if d.indexCache == nil || d.indexCache.base != d.base {
+		d.indexCache = buildColumnIndex(d)
+	}
+	return d.indexCache
+}
+
+// indexed reports whether indexOrder can currently return presorted
+// orders for this dataset — a built index over the dataset's own base.
+func (d *Dataset) indexed() bool {
+	if disableIndexWalk {
+		return false
+	}
+	d.indexMu.Lock()
+	ci := d.indexCache
+	d.indexMu.Unlock()
+	return ci != nil && ci.base == d.base
+}
+
+// baseRows returns the number of rows of the dataset's backing table —
+// the domain of the base-row indices presorted orders are expressed in.
+func (d *Dataset) baseRows() int { return d.base.NumRows() }
+
+// disableIndexWalk is a testing hook: when set, indexOrder reports no
+// index so split search always takes the gather+sort path. Equivalence
+// tests induce trees both ways and require identical structure.
+var disableIndexWalk bool
+
+// indexOrder returns the presorted base rows for attribute column j (a
+// dataset-relative index), or nil when no index has been built for this
+// dataset's base — callers fall back to their unindexed path.
+func (d *Dataset) indexOrder(j int) []int32 {
+	if disableIndexWalk {
+		return nil
+	}
+	d.indexMu.Lock()
+	ci := d.indexCache
+	d.indexMu.Unlock()
+	if ci == nil || ci.base != d.base {
+		return nil
+	}
+	bj := j
+	if d.colIx != nil {
+		bj = d.colIx[j]
+	}
+	return ci.order(bj)
+}

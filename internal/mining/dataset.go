@@ -12,6 +12,7 @@ package mining
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"openbi/internal/oberr"
 	"openbi/internal/stats"
@@ -42,6 +43,23 @@ type Dataset struct {
 	base  *table.Table
 	rowIx []int
 	colIx []int
+
+	// Lazy caches over the (immutable-after-first-use) backing data. They
+	// fill on first access and are safe under concurrent readers, which is
+	// how prepared experiment cells share one Dataset across workers.
+	// Mutating the backing table after any cache has filled violates the
+	// read-only contract on T above.
+	rangesOnce sync.Once
+	rangeCache map[int]numericRange
+
+	floatsMu    sync.Mutex
+	floatsCache map[int][]float64
+
+	indexMu    sync.Mutex
+	indexCache *ColumnIndex
+
+	labeledMu    sync.Mutex
+	labeledCache []int
 }
 
 // resolve fills the fast-path fields from T.
@@ -198,20 +216,36 @@ func (d *Dataset) Subset(rows []int) *Dataset {
 	if materializeSubsets {
 		return MustNewDataset(view.Materialize(), d.ClassCol)
 	}
-	return MustNewDataset(view, d.ClassCol)
+	sub := MustNewDataset(view, d.ClassCol)
+	// Share the presorted column index with children over the same base:
+	// fold splits and bootstrap resamples reuse one build per cell.
+	d.indexMu.Lock()
+	ci := d.indexCache
+	d.indexMu.Unlock()
+	if ci != nil && ci.base == sub.base {
+		sub.indexCache = ci
+	}
+	return sub
 }
 
 // LabeledRows returns the indices of rows whose class is observed;
-// classifiers train on these only.
+// classifiers train on these only. The slice is computed once per dataset
+// and shared by every caller (the whole classifier suite trains on the
+// same fold split), so it is read-only like the backing data it reflects.
 func (d *Dataset) LabeledRows() []int {
-	out := make([]int, 0, d.Len())
-	cls := d.col(d.ClassCol)
-	for r, n := 0, d.Len(); r < n; r++ {
-		if cls.Cats[d.row(r)] != table.MissingCat {
-			out = append(out, r)
+	d.labeledMu.Lock()
+	defer d.labeledMu.Unlock()
+	if d.labeledCache == nil {
+		out := make([]int, 0, d.Len())
+		cls := d.col(d.ClassCol)
+		for r, n := 0, d.Len(); r < n; r++ {
+			if cls.Cats[d.row(r)] != table.MissingCat {
+				out = append(out, r)
+			}
 		}
+		d.labeledCache = out
 	}
-	return out
+	return d.labeledCache
 }
 
 // Classifier is the common supervised-learning contract. Fit must be
@@ -246,14 +280,15 @@ type numericRange struct {
 	lo, span float64 // span 0 means constant/unknown column
 }
 
-// computeRanges scans numeric attribute ranges for distance scaling.
+// computeRanges scans numeric attribute ranges for distance scaling. It is
+// the uncached reference; hot paths go through Dataset.attrRanges.
 func computeRanges(ds *Dataset) map[int]numericRange {
 	out := make(map[int]numericRange)
 	for _, j := range ds.AttrCols() {
 		if ds.T.ColumnKind(j) != table.Numeric {
 			continue
 		}
-		lo, hi := stats.MinMax(table.Floats(ds.T, j))
+		lo, hi := stats.MinMax(ds.Floats(j))
 		r := numericRange{}
 		if !stats.IsMissing(lo) && hi > lo {
 			r.lo, r.span = lo, hi-lo
@@ -261,6 +296,35 @@ func computeRanges(ds *Dataset) map[int]numericRange {
 		out[j] = r
 	}
 	return out
+}
+
+// attrRanges returns the numeric attribute ranges, computed once per
+// Dataset and shared (read-only) by every classifier fitted on it.
+func (d *Dataset) attrRanges() map[int]numericRange {
+	d.rangesOnce.Do(func() { d.rangeCache = computeRanges(d) })
+	return d.rangeCache
+}
+
+// Floats returns the numeric values of column j as a slice, caching the
+// gather for row-indirected views so repeated callers (range scans, OneR,
+// logistic feature scaling) pay for it once per Dataset. The result
+// aliases either live column storage or the shared cache: read-only, per
+// the table.Cursor aliasing contract.
+func (d *Dataset) Floats(j int) []float64 {
+	if _, ok := d.T.(*table.Table); ok {
+		return table.Floats(d.T, j) // live backing slice, zero cost
+	}
+	d.floatsMu.Lock()
+	defer d.floatsMu.Unlock()
+	if v, ok := d.floatsCache[j]; ok {
+		return v
+	}
+	v := table.Floats(d.T, j)
+	if d.floatsCache == nil {
+		d.floatsCache = make(map[int][]float64)
+	}
+	d.floatsCache[j] = v
+	return v
 }
 
 // heteroDistance is the shared Gower-style distance between row a of da

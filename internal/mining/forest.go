@@ -3,8 +3,6 @@ package mining
 import (
 	"fmt"
 	"math"
-
-	"openbi/internal/stats"
 )
 
 // RandomForest bags FeatureSample-randomized decision trees over bootstrap
@@ -26,7 +24,14 @@ type RandomForest struct {
 	members  []*DecisionTree
 	classes  int
 	fallback int
+	arena    *Arena
+	votesBuf []float64
 }
+
+// UseArena implements ArenaUser: bootstrap row samples and the member
+// trees' scratch come from a when non-nil. The fitted forest aliases arena
+// memory and must be fully consumed before the arena is Reset.
+func (rf *RandomForest) UseArena(a *Arena) { rf.arena = a }
 
 // NewRandomForest returns an unfitted forest with the given size and seed.
 func NewRandomForest(trees int, seed int64) *RandomForest {
@@ -54,12 +59,14 @@ func (rf *RandomForest) Fit(ds *Dataset) error {
 	}
 	rf.classes = ds.NumClasses()
 	rf.fallback = ds.MajorityClass()
-	rng := stats.NewRand(rf.Seed)
+	rng := rf.arena.Rand(rf.Seed)
+	ds.Index() // one shared presort serves every bootstrap member tree
 
 	rf.members = make([]*DecisionTree, 0, rf.Trees)
 	for i := 0; i < rf.Trees; i++ {
 		// Bootstrap over labeled rows.
-		sample := make([]int, len(labeled))
+		// Every slot is assigned below, so the handout can skip zeroing.
+		sample := rf.arena.IntsRaw(len(labeled))
 		for k := range sample {
 			sample[k] = labeled[rng.Intn(len(labeled))]
 		}
@@ -71,6 +78,7 @@ func (rf *RandomForest) Fit(ds *Dataset) error {
 			Prune:         false, // bagging replaces pruning
 			FeatureSample: fs,
 			Seed:          rng.Int63(),
+			arena:         rf.arena,
 		}
 		if err := tree.Fit(boot); err != nil {
 			return fmt.Errorf("random-forest: member %d: %w", i, err)
@@ -80,14 +88,37 @@ func (rf *RandomForest) Fit(ds *Dataset) error {
 	return nil
 }
 
-// votes accumulates the member probability mass for row r.
+// votes accumulates the member probability mass for row r into the reused
+// vote buffer (valid until the next call on rf). Each member contributes
+// its reached leaf's normalized class distribution — the same values its
+// Proba copy carried, accumulated without materializing the copy.
 func (rf *RandomForest) votes(ds *Dataset, r int) []float64 {
-	out := make([]float64, rf.classes)
+	out := rf.votesBuf
+	if len(out) != rf.classes {
+		out = make([]float64, rf.classes)
+		rf.votesBuf = out
+	}
+	for c := range out {
+		out[c] = 0
+	}
 	for _, m := range rf.members {
-		p := m.Proba(ds, r)
+		nd := m.route(ds, r)
+		if nd == nil {
+			if m.fallback < len(out) {
+				out[m.fallback]++
+			}
+			continue
+		}
+		s := sum(nd.dist)
+		if s == 0 {
+			if m.fallback < len(out) {
+				out[m.fallback]++
+			}
+			continue
+		}
 		for c := range out {
-			if c < len(p) {
-				out[c] += p[c]
+			if c < len(nd.dist) {
+				out[c] += nd.dist[c] / s
 			}
 		}
 	}
@@ -103,7 +134,7 @@ func (rf *RandomForest) Predict(ds *Dataset, r int) int {
 	return argmax(v)
 }
 
-// Proba returns the normalized ensemble vote distribution.
+// Proba returns the normalized ensemble vote distribution (a fresh slice).
 func (rf *RandomForest) Proba(ds *Dataset, r int) []float64 {
-	return normalize(rf.votes(ds, r))
+	return normalize(append([]float64(nil), rf.votes(ds, r)...))
 }

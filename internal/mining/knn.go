@@ -86,7 +86,7 @@ func (kn *KNN) Fit(ds *Dataset) error {
 	kn.labeled = labeled
 	kn.fallback = ds.MajorityClass()
 
-	ranges := computeRanges(ds)
+	ranges := ds.attrRanges()
 	kn.attrs = kn.attrs[:0]
 	for _, j := range ds.AttrCols() {
 		col := ds.col(j)

@@ -30,7 +30,21 @@ type Logistic struct {
 	features []featureSpec
 	classes  int
 	fallback int
+	arena    *Arena
+
+	// Reused scratch: softmax scores, plus the sparse encoding of one row —
+	// indices and values of its nonzero features (one-hot levels leave most
+	// of the dense vector zero, so the SGD inner loop, which skips zero
+	// features anyway, only ever needs the nonzeros). Indices are ascending,
+	// matching dense iteration order, so every accumulation visits the same
+	// terms in the same order as the dense loops it replaces.
+	scoreBuf []float64
+	xIdx     []int
+	xVal     []float64
 }
+
+// UseArena implements ArenaUser.
+func (lg *Logistic) UseArena(a *Arena) { lg.arena = a }
 
 // featureSpec maps one input column onto dense feature slots.
 type featureSpec struct {
@@ -71,7 +85,7 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 	width := 0
 	for _, j := range ds.AttrCols() {
 		if ds.T.ColumnKind(j) == table.Numeric {
-			nums := table.Floats(ds.T, j)
+			nums := ds.Floats(j)
 			fs := featureSpec{col: j, numeric: true, offset: width, width: 1}
 			fs.mean = stats.Mean(nums)
 			sd := stats.StdDev(nums)
@@ -99,15 +113,44 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 		lg.weights[c] = make([]float64, width+1)
 	}
 
-	rng := stats.NewRand(lg.Seed)
-	x := make([]float64, width+1)
+	rng := lg.arena.Rand(lg.Seed)
+	lg.scoreBuf = lg.arena.F64(lg.classes)
+	lg.xIdx = lg.arena.IntsRaw(len(lg.features) + 1)[:0]
+	lg.xVal = lg.arena.F64Raw(len(lg.features) + 1)[:0]
+	// The Fisher–Yates replica below assigns every slot of order before
+	// any epoch reads it, so the handout can skip zeroing.
+	order := lg.arena.IntsRaw(len(labeled))
+
+	// Encode every training row once, CSR-style: the sparse features are a
+	// pure function of the static training data, so each epoch's re-encode
+	// of the same rows was pure repetition. Each row holds at most
+	// len(features)+1 nonzeros, making the bound exact for the arena.
+	maxNZ := len(labeled) * (len(lg.features) + 1)
+	indptr := lg.arena.IntsRaw(len(labeled) + 1)
+	csrIdx := lg.arena.IntsRaw(maxNZ)[:0]
+	csrVal := lg.arena.F64Raw(maxNZ)[:0]
+	for i, r := range labeled {
+		indptr[i] = len(csrIdx)
+		idx, val := lg.encodeSparse(ds, r)
+		csrIdx = append(csrIdx, idx...)
+		csrVal = append(csrVal, val...)
+	}
+	indptr[len(labeled)] = len(csrIdx)
+
 	step := 0
 	for epoch := 0; epoch < lg.Epochs; epoch++ {
-		order := rng.Perm(len(labeled))
+		// In-place replica of rand.Perm's exact Fisher–Yates (same Intn
+		// sequence, every slot overwritten), minus its per-epoch allocation.
+		for i := range order {
+			j := rng.Intn(i + 1)
+			order[i] = order[j]
+			order[j] = i
+		}
 		for _, oi := range order {
 			r := labeled[oi]
-			lg.encode(ds, r, x)
-			p := lg.softmax(x)
+			idx := csrIdx[indptr[oi]:indptr[oi+1]]
+			val := csrVal[indptr[oi]:indptr[oi+1]]
+			p := lg.softmax(idx, val)
 			step++
 			lr := lg.LearningRate / (1 + 0.001*float64(step))
 			y := ds.Label(r)
@@ -117,11 +160,11 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 					grad -= 1
 				}
 				w := lg.weights[c]
-				for f := range x {
-					if x[f] == 0 {
-						continue
-					}
-					w[f] -= lr * (grad*x[f] + lg.L2*w[f])
+				// Zero features take no update (not even L2 decay — the
+				// historical dense loop skipped them), so iterating only
+				// the nonzeros is the same arithmetic.
+				for k, f := range idx {
+					w[f] -= lr * (grad*val[k] + lg.L2*w[f])
 				}
 			}
 		}
@@ -129,11 +172,12 @@ func (lg *Logistic) Fit(ds *Dataset) error {
 	return nil
 }
 
-// encode fills x with the dense feature vector of row r (bias last).
-func (lg *Logistic) encode(ds *Dataset, r int, x []float64) {
-	for i := range x {
-		x[i] = 0
-	}
+// encodeSparse fills the scratch sparse encoding of row r: ascending
+// feature indices and their nonzero values, bias last. A standardized
+// numeric value that lands exactly on zero is omitted, exactly as the
+// dense consumers' zero-skip treated it.
+func (lg *Logistic) encodeSparse(ds *Dataset, r int) (idx []int, val []float64) {
+	idx, val = lg.xIdx[:0], lg.xVal[:0]
 	br := ds.row(r)
 	for _, fs := range lg.features {
 		c := ds.col(fs.col)
@@ -141,26 +185,37 @@ func (lg *Logistic) encode(ds *Dataset, r int, x []float64) {
 			continue
 		}
 		if fs.numeric {
-			x[fs.offset] = (c.Nums[br] - fs.mean) / fs.scale
+			if v := (c.Nums[br] - fs.mean) / fs.scale; v != 0 {
+				idx = append(idx, fs.offset)
+				val = append(val, v)
+			}
 			continue
 		}
 		lvl := c.Cats[br]
 		if lvl >= 0 && lvl < fs.width {
-			x[fs.offset+lvl] = 1
+			idx = append(idx, fs.offset+lvl)
+			val = append(val, 1)
 		}
 	}
-	x[len(x)-1] = 1 // bias
+	idx = append(idx, len(lg.weights[0])-1) // bias
+	val = append(val, 1)
+	lg.xIdx, lg.xVal = idx, val
+	return idx, val
 }
 
-// softmax returns the class distribution for feature vector x.
-func (lg *Logistic) softmax(x []float64) []float64 {
-	scores := make([]float64, lg.classes)
+// softmax returns the class distribution for the sparse feature vector
+// (idx, val). The returned slice is lg.scoreBuf: valid until the next
+// call on lg.
+func (lg *Logistic) softmax(idx []int, val []float64) []float64 {
+	scores := lg.scoreBuf
+	if len(scores) != lg.classes {
+		scores = make([]float64, lg.classes)
+		lg.scoreBuf = scores
+	}
 	for c, w := range lg.weights {
 		s := 0.0
-		for f, v := range x {
-			if v != 0 {
-				s += w[f] * v
-			}
+		for k, f := range idx {
+			s += w[f] * val[k]
 		}
 		scores[c] = s
 	}
@@ -178,16 +233,21 @@ func (lg *Logistic) softmax(x []float64) []float64 {
 
 // Predict returns the argmax-probability class.
 func (lg *Logistic) Predict(ds *Dataset, r int) int {
-	p := lg.Proba(ds, r)
+	p := lg.predictScores(ds, r)
 	if len(p) == 0 {
 		return lg.fallback
 	}
 	return argmax(p)
 }
 
-// Proba returns the softmax class distribution.
+// Proba returns the softmax class distribution (a fresh slice).
 func (lg *Logistic) Proba(ds *Dataset, r int) []float64 {
-	x := make([]float64, len(lg.weights[0]))
-	lg.encode(ds, r, x)
-	return lg.softmax(x)
+	return append([]float64(nil), lg.predictScores(ds, r)...)
+}
+
+// predictScores encodes row r into the reused sparse buffers and returns
+// the shared softmax scratch.
+func (lg *Logistic) predictScores(ds *Dataset, r int) []float64 {
+	idx, val := lg.encodeSparse(ds, r)
+	return lg.softmax(idx, val)
 }

@@ -145,7 +145,7 @@ func (o *OneR) codesFor(ds *Dataset, j int) (codes []int, cuts []float64, levels
 		}
 		return codes, nil, maxInt(col.NumLevels(), 1)
 	}
-	nums := table.Floats(ds.T, j)
+	nums := ds.Floats(j)
 	cuts = make([]float64, o.Bins-1)
 	for i := 1; i < o.Bins; i++ {
 		cuts[i-1] = stats.Quantile(nums, float64(i)/float64(o.Bins))

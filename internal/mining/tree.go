@@ -63,18 +63,31 @@ type DecisionTree struct {
 	classes  int
 	fallback int
 	rng      *rand.Rand
+	arena    *Arena
 
 	// Scratch buffers reused across split evaluations. Numeric threshold
 	// search runs once per (node × attribute × candidate) and dominated
 	// the whole experiment grid's allocation profile before these were
 	// hoisted; the arithmetic is unchanged (class counts are small exact
 	// integers in float64, so reuse cannot perturb results).
-	obsBuf    []valClass
-	leftBuf   []float64
-	rightBuf  []float64
-	sumBuf    []float64
-	totalBuf  []float64
-	branchBuf [][]float64
+	obsBuf   []valClass
+	leftBuf  []float64
+	sumBuf   []float64
+	totalBuf []float64
+
+	// candBuf collects the node's scored split plans; nomFlat/nomCounts
+	// back the nominal level × class count matrix. Both are consumed
+	// before build recurses, so one buffer serves the whole tree.
+	candBuf   []splitCand
+	nomFlat   []float64
+	nomCounts [][]float64
+
+	// nodeCount is the membership filter for the presorted split-search
+	// walk: instances per base row of the current node (counts, not bits,
+	// because bootstrap resamples repeat rows). build fills it once per
+	// node before scoring candidate attributes and clears it right after,
+	// so the buffer stays all-zero between nodes.
+	nodeCount []int32
 }
 
 // valClass pairs one observed numeric cell with its row's class code.
@@ -82,6 +95,31 @@ type valClass struct {
 	v float64
 	c int
 }
+
+// splitPlan is the value-typed description of one usable split: everything
+// needed to materialize the partition later. Evaluation used to return a
+// materializing closure per (node × attribute) candidate; the closure and
+// its captured context allocated on every candidate even though only the
+// winner ever ran. A plan is copied by value instead.
+type splitPlan struct {
+	attr      int
+	numeric   bool
+	threshold float64 // numeric: <= threshold goes left
+	biggest   int     // nominal: level missing values follow
+	levels    int     // nominal: partition arity
+}
+
+// splitCand is a scored plan awaiting arbitration in build.
+type splitCand struct {
+	gain  float64
+	score float64
+	plan  splitPlan
+}
+
+// UseArena implements ArenaUser: scratch buffers and per-node class
+// distributions are drawn from a when non-nil. The fitted tree then aliases
+// arena memory and must be fully consumed before the arena is Reset.
+func (dt *DecisionTree) UseArena(a *Arena) { dt.arena = a }
 
 // NewC45Tree returns a pruned gain-ratio tree (the C4.5 stand-in).
 func NewC45Tree() *DecisionTree {
@@ -135,12 +173,11 @@ func (dt *DecisionTree) Fit(ds *Dataset) error {
 	}
 	dt.classes = ds.NumClasses()
 	dt.fallback = ds.MajorityClass()
-	dt.rng = stats.NewRand(dt.Seed)
-	dt.leftBuf = make([]float64, dt.classes)
-	dt.rightBuf = make([]float64, dt.classes)
-	dt.sumBuf = make([]float64, dt.classes)
-	dt.totalBuf = make([]float64, dt.classes)
-	dt.branchBuf = make([][]float64, 2)
+	dt.rng = nil // lazily seeded in candidateAttrs; only FeatureSample needs it
+	ds.Index()   // presort numeric attributes once; all nodes share the order
+	dt.leftBuf = dt.arena.F64(dt.classes)
+	dt.sumBuf = dt.arena.F64(dt.classes)
+	dt.totalBuf = dt.arena.F64(dt.classes)
 	dt.root = dt.build(ds, rows, 0)
 	if dt.Prune {
 		dt.prune(dt.root)
@@ -150,11 +187,14 @@ func (dt *DecisionTree) Fit(ds *Dataset) error {
 
 // build grows the subtree over the given rows.
 func (dt *DecisionTree) build(ds *Dataset, rows []int, depth int) *treeNode {
-	dist := make([]float64, dt.classes)
+	dist := dt.arena.F64(dt.classes)
 	for _, r := range rows {
 		dist[ds.Label(r)]++
 	}
-	node := &treeNode{dist: dist, class: argmax(dist), n: float64(len(rows))}
+	node := dt.arena.Node()
+	node.dist = dist
+	node.class = argmax(dist)
+	node.n = float64(len(rows))
 	node.errs = node.n - dist[node.class]
 
 	if depth >= dt.MaxDepth || len(rows) < 2*dt.MinLeaf || isPure(dist) {
@@ -163,16 +203,34 @@ func (dt *DecisionTree) build(ds *Dataset, rows []int, depth int) *treeNode {
 	}
 
 	attrs := dt.candidateAttrs(ds)
-	type candidate struct {
-		gain  float64
-		score float64
-		apply func() ([][]int, *treeNode)
+	// The walk's membership counts are a node property, not an attribute
+	// property: fill them once before scoring candidates, clear right
+	// after (before recursing — children refill the shared buffer).
+	walk := ds.indexed()
+	if walk {
+		nBase := ds.baseRows()
+		if cap(dt.nodeCount) < nBase {
+			dt.nodeCount = dt.arena.I32(nBase)
+		}
+		count := dt.nodeCount[:nBase]
+		for _, r := range rows {
+			count[ds.row(r)]++
+		}
 	}
-	var cands []candidate
+	cands := dt.candBuf[:0]
 	for _, j := range attrs {
-		gain, score, apply := dt.evaluateSplit(ds, rows, j)
-		if apply != nil && gain > 1e-12 {
-			cands = append(cands, candidate{gain, score, apply})
+		gain, score, plan, ok := dt.evaluateSplit(ds, rows, j)
+		if ok && gain > 1e-12 {
+			cands = append(cands, splitCand{gain, score, plan})
+		}
+	}
+	// Selection below works on plan values only, so recursion may reuse
+	// the buffer.
+	dt.candBuf = cands
+	if walk {
+		count := dt.nodeCount[:ds.baseRows()]
+		for _, r := range rows {
+			count[ds.row(r)] = 0
 		}
 	}
 	if len(cands) == 0 {
@@ -198,26 +256,31 @@ func (dt *DecisionTree) build(ds *Dataset, rows []int, depth int) *treeNode {
 			}
 		}
 	}
-	var bestSplit func() ([][]int, *treeNode)
+	var best splitPlan
+	found := false
 	bestScore := 0.0
 	for _, c := range eligible {
 		if c.score > bestScore+1e-12 {
 			bestScore = c.score
-			bestSplit = c.apply
+			best = c.plan
+			found = true
 		}
 	}
-	if bestSplit == nil {
+	if !found {
 		node.leaf = true
 		return node
 	}
-	parts, configured := bestSplit()
-	*node = *configured // copy split config; dist/n/errs preserved below
-	node.dist = dist
-	node.class = argmax(dist)
-	node.n = float64(len(rows))
-	node.errs = node.n - dist[node.class]
+	var parts [][]int
+	if best.numeric {
+		parts = dt.applyNumeric(ds, rows, best)
+	} else {
+		parts = dt.applyNominal(ds, rows, best)
+	}
+	node.attr = best.attr
+	node.numeric = best.numeric
+	node.threshold = best.threshold
 
-	node.children = make([]*treeNode, len(parts))
+	node.children = dt.arena.Nodes(len(parts))
 	biggest, biggestIdx := -1, 0
 	for i, part := range parts {
 		if len(part) > biggest {
@@ -229,7 +292,11 @@ func (dt *DecisionTree) build(ds *Dataset, rows []int, depth int) *treeNode {
 	for i, part := range parts {
 		if len(part) == 0 {
 			// Empty branch: predict the parent majority.
-			node.children[i] = &treeNode{leaf: true, class: node.class, dist: dist, n: 0}
+			child := dt.arena.Node()
+			child.leaf = true
+			child.class = node.class
+			child.dist = dist
+			node.children[i] = child
 			continue
 		}
 		node.children[i] = dt.build(ds, part, depth+1)
@@ -244,6 +311,12 @@ func (dt *DecisionTree) candidateAttrs(ds *Dataset) []int {
 	if dt.FeatureSample <= 0 || dt.FeatureSample >= len(all) {
 		return all
 	}
+	if dt.rng == nil {
+		// Seeding a math/rand source costs more than evaluating a small
+		// node's splits, so trees that never sample features (c45, cart)
+		// must not pay for it; the sampling sequence is unchanged.
+		dt.rng = dt.arena.Rand(dt.Seed)
+	}
 	idx := stats.SampleWithoutReplacement(dt.rng, len(all), dt.FeatureSample)
 	out := make([]int, len(idx))
 	for i, v := range idx {
@@ -255,26 +328,37 @@ func (dt *DecisionTree) candidateAttrs(ds *Dataset) []int {
 
 // evaluateSplit scores the best split on attribute j over rows. It returns
 // the raw information gain (or Gini decrease), the criterion score used to
-// arbitrate between attributes, and a closure materializing the partition
-// and node config; a nil closure means no usable split.
-func (dt *DecisionTree) evaluateSplit(ds *Dataset, rows []int, j int) (gain, score float64, apply func() ([][]int, *treeNode)) {
+// arbitrate between attributes, and the plan materializing the partition;
+// ok is false when there is no usable split.
+func (dt *DecisionTree) evaluateSplit(ds *Dataset, rows []int, j int) (gain, score float64, plan splitPlan, ok bool) {
 	if ds.T.ColumnKind(j) == table.Nominal {
 		return dt.evaluateNominal(ds, rows, j)
 	}
 	return dt.evaluateNumeric(ds, rows, j)
 }
 
-func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int) (float64, float64, func() ([][]int, *treeNode)) {
+func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int) (float64, float64, splitPlan, bool) {
 	col := ds.col(j)
 	levels := col.NumLevels()
 	if levels < 2 {
-		return 0, 0, nil
+		return 0, 0, splitPlan{}, false
 	}
-	// counts[level][class]; missing rows excluded from the quality measure
-	// (they follow the majority branch at predict time).
-	counts := make([][]float64, levels)
+	// counts[level][class], sliced out of one reused flat buffer; missing
+	// rows excluded from the quality measure (they follow the majority
+	// branch at predict time).
+	if cap(dt.nomFlat) < levels*dt.classes {
+		dt.nomFlat = make([]float64, levels*dt.classes)
+	}
+	flat := dt.nomFlat[:levels*dt.classes]
+	for i := range flat {
+		flat[i] = 0
+	}
+	if cap(dt.nomCounts) < levels {
+		dt.nomCounts = make([][]float64, levels)
+	}
+	counts := dt.nomCounts[:levels]
 	for i := range counts {
-		counts[i] = make([]float64, dt.classes)
+		counts[i] = flat[i*dt.classes : (i+1)*dt.classes]
 	}
 	observed := 0
 	for _, r := range rows {
@@ -286,7 +370,7 @@ func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int) (float64
 		observed++
 	}
 	if observed < 2*dt.MinLeaf {
-		return 0, 0, nil
+		return 0, 0, splitPlan{}, false
 	}
 	nonEmpty := 0
 	for _, c := range counts {
@@ -295,74 +379,137 @@ func (dt *DecisionTree) evaluateNominal(ds *Dataset, rows []int, j int) (float64
 		}
 	}
 	if nonEmpty < 2 {
-		return 0, 0, nil
+		return 0, 0, splitPlan{}, false
 	}
 	gain, score := dt.partitionQuality(counts, float64(observed))
 	if score <= 0 {
-		return 0, 0, nil
+		return 0, 0, splitPlan{}, false
 	}
-	apply := func() ([][]int, *treeNode) {
-		parts := make([][]int, levels)
-		biggest := 0
-		for lvl := range counts {
-			if sum(counts[lvl]) > sum(counts[biggest]) {
-				biggest = lvl
-			}
+	// The branch missing values follow is a function of the counts just
+	// taken, so resolve it now rather than at materialization time.
+	biggest := 0
+	for lvl := range counts {
+		if sum(counts[lvl]) > sum(counts[biggest]) {
+			biggest = lvl
 		}
-		for _, r := range rows {
-			lvl := col.Cats[ds.row(r)]
-			if lvl == table.MissingCat {
-				lvl = biggest
-			}
-			parts[lvl] = append(parts[lvl], r)
-		}
-		return parts, &treeNode{attr: j, numeric: false}
 	}
-	return gain, score, apply
+	return gain, score, splitPlan{attr: j, biggest: biggest, levels: levels}, true
 }
 
-func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int) (float64, float64, func() ([][]int, *treeNode)) {
+// applyNominal materializes a nominal plan's partition: one part per
+// level, missing cells routed to the biggest level.
+func (dt *DecisionTree) applyNominal(ds *Dataset, rows []int, plan splitPlan) [][]int {
+	col := ds.col(plan.attr)
+	parts := make([][]int, plan.levels)
+	// Size each level first so the arena buffers are exact (empty levels
+	// keep a nil part, as before).
+	sizes := dt.arena.Ints(plan.levels)
+	for _, r := range rows {
+		lvl := col.Cats[ds.row(r)]
+		if lvl == table.MissingCat {
+			lvl = plan.biggest
+		}
+		sizes[lvl]++
+	}
+	for lvl, sz := range sizes {
+		if sz > 0 {
+			parts[lvl] = dt.arena.IntsRaw(sz)[:0]
+		}
+	}
+	for _, r := range rows {
+		lvl := col.Cats[ds.row(r)]
+		if lvl == table.MissingCat {
+			lvl = plan.biggest
+		}
+		parts[lvl] = append(parts[lvl], r)
+	}
+	return parts
+}
+
+func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int) (float64, float64, splitPlan, bool) {
 	col := ds.col(j)
 	if cap(dt.obsBuf) < len(rows) {
 		dt.obsBuf = make([]valClass, 0, len(rows))
 	}
 	obs := dt.obsBuf[:0]
-	for _, r := range rows {
-		if br := ds.row(r); !col.IsMissing(br) {
-			obs = append(obs, valClass{col.Nums[br], ds.Label(r)})
-		}
-	}
-	if len(obs) < 2*dt.MinLeaf {
-		return 0, 0, nil
-	}
-	// slices.SortFunc rather than sort.Slice: same pdqsort, no per-call
-	// reflection allocations. Rows with equal values may land in either
-	// order; the threshold scan only acts at value boundaries, so the
-	// chosen split is unaffected.
-	slices.SortFunc(obs, func(a, b valClass) int {
-		switch {
-		case a.v < b.v:
-			return -1
-		case a.v > b.v:
-			return 1
-		default:
-			return 0
-		}
-	})
-
+	// Two ways to obtain the node's observations in ascending value order,
+	// chosen by cost. The presorted walk scans the whole shared column
+	// order filtering by node membership — O(base rows), unbeatable for
+	// large nodes; small deep nodes gather and sort their few rows
+	// instead. Both orders group equal values identically, and the
+	// threshold scan below only acts at value boundaries over exact
+	// integer class counts, so the chosen split — and the induced tree —
+	// is the same whichever path ran (see TestTreePresortedSplitSearch).
+	// Class totals accumulate during the gather itself (they are exact
+	// small-integer adds, so accumulation order cannot change a bit).
 	total := dt.sumBuf
 	for i := range total {
 		total[i] = 0
 	}
-	for _, o := range obs {
-		total[o.c]++
+	order := ds.indexOrder(j)
+	nRows := float64(len(rows))
+	// The 4x bias reflects that one walk step (a counter test) is far
+	// cheaper than one comparator call in the sort path.
+	if order != nil && 4*nRows*math.Log2(nRows+1) >= float64(len(order)) {
+		// build already filled nodeCount for this node.
+		count := dt.nodeCount[:col.Len()]
+		cls := ds.col(ds.ClassCol)
+		for _, br := range order {
+			if c := count[br]; c > 0 {
+				o := valClass{col.Nums[br], cls.Cats[br]}
+				total[o.c] += float64(c)
+				for ; c > 0; c-- {
+					obs = append(obs, o)
+				}
+			}
+		}
+		if len(obs) < 2*dt.MinLeaf {
+			return 0, 0, splitPlan{}, false
+		}
+	} else {
+		for _, r := range rows {
+			if br := ds.row(r); !col.IsMissing(br) {
+				o := valClass{col.Nums[br], ds.Label(r)}
+				total[o.c]++
+				obs = append(obs, o)
+			}
+		}
+		if len(obs) < 2*dt.MinLeaf {
+			return 0, 0, splitPlan{}, false
+		}
+		// slices.SortFunc rather than sort.Slice: same pdqsort, no per-call
+		// reflection allocations. Rows with equal values may land in either
+		// order; the threshold scan only acts at value boundaries, so the
+		// chosen split is unaffected.
+		slices.SortFunc(obs, func(a, b valClass) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
+
 	left := dt.leftBuf
 	for i := range left {
 		left[i] = 0
 	}
-	right := dt.rightBuf
 	n := float64(len(obs))
+
+	// The parent impurity is the same at every boundary; hoist it out of
+	// the threshold scan. The per-boundary arithmetic below replicates
+	// partitionQuality term for term in the same accumulation order (and
+	// neither branch can be empty past the MinLeaf guard), so scores —
+	// and the chosen split — are bit-identical to calling it.
+	var parentGini, parentH float64
+	if dt.Criterion == Gini {
+		parentGini = giniOf(total)
+	} else {
+		parentH = entropyOf(total)
+	}
 
 	// The threshold itself is chosen by raw gain (C4.5's rule for
 	// continuous attributes), not by gain ratio — ratio-based threshold
@@ -380,11 +527,54 @@ func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int) (float64
 		if nl < float64(dt.MinLeaf) || n-nl < float64(dt.MinLeaf) {
 			continue
 		}
-		for c := range right {
-			right[c] = total[c] - left[c]
+		// nl and n-nl are exact small integers in float64, so they equal
+		// the float sums over the branch count vectors bit for bit. Both
+		// branch impurities accumulate in one pass over the class counts —
+		// independent accumulators visiting classes in the same order as
+		// the two separate giniWith/entropyWith passes they replace, with
+		// the right branch's counts derived on the fly instead of written
+		// to a scratch vector first.
+		nr := n - nl
+		var gain, score float64
+		if dt.Criterion == Gini {
+			gl, gr := 1.0, 1.0
+			for c, lv := range left {
+				pl := lv / nl
+				gl -= pl * pl
+				pr := (total[c] - lv) / nr
+				gr -= pr * pr
+			}
+			childGini := 0.0
+			childGini += nl / n * gl
+			childGini += nr / n * gr
+			gain = parentGini - childGini
+			score = gain
+		} else {
+			hl, hr := 0.0, 0.0
+			for c, lv := range left {
+				if lv != 0 {
+					p := lv / nl
+					hl -= p * math.Log2(p)
+				}
+				if rv := total[c] - lv; rv != 0 {
+					p := rv / nr
+					hr -= p * math.Log2(p)
+				}
+			}
+			childH, splitH := 0.0, 0.0
+			p := nl / n
+			childH += p * hl
+			splitH -= p * math.Log2(p)
+			p = nr / n
+			childH += p * hr
+			splitH -= p * math.Log2(p)
+			gain = parentH - childH
+			if gain <= 1e-12 || splitH <= 1e-12 {
+				gain, score = 0, 0
+			} else {
+				score = gain / splitH
+			}
 		}
-		dt.branchBuf[0], dt.branchBuf[1] = left, right
-		gain, score := dt.partitionQuality(dt.branchBuf, n)
 		if gain > bestGain+1e-12 {
 			bestGain = gain
 			bestScore = score
@@ -392,57 +582,64 @@ func (dt *DecisionTree) evaluateNumeric(ds *Dataset, rows []int, j int) (float64
 		}
 	}
 	if math.IsNaN(bestThreshold) {
-		return 0, 0, nil
+		return 0, 0, splitPlan{}, false
 	}
 	if dt.Criterion == GainRatio && candidates > 1 {
 		// C4.5's MDL correction: the many evaluated thresholds must pay
 		// for themselves, log2(candidates)/n bits' worth.
 		bestGain -= math.Log2(float64(candidates)) / n
 		if bestGain <= 1e-12 {
-			return 0, 0, nil
+			return 0, 0, splitPlan{}, false
 		}
 	}
-	threshold := bestThreshold
-	apply := func() ([][]int, *treeNode) {
-		parts := make([][]int, 2)
-		nl, nr := 0, 0
-		for _, r := range rows {
-			br := ds.row(r)
-			if col.IsMissing(br) {
-				continue
-			}
-			if col.Nums[br] <= threshold {
-				nl++
-			} else {
-				nr++
-			}
+	return bestGain, bestScore, splitPlan{attr: j, numeric: true, threshold: bestThreshold}, true
+}
+
+// applyNumeric materializes a numeric plan's partition: a sizing pass
+// counts the non-missing sides, missing cells follow the bigger one.
+func (dt *DecisionTree) applyNumeric(ds *Dataset, rows []int, plan splitPlan) [][]int {
+	col := ds.col(plan.attr)
+	threshold := plan.threshold
+	parts := make([][]int, 2)
+	nl, nr := 0, 0
+	for _, r := range rows {
+		br := ds.row(r)
+		if col.IsMissing(br) {
+			continue
 		}
-		missTo := 0
-		if nr > nl {
-			missTo = 1
-		}
-		cap0, cap1 := nl, nr
-		if missTo == 0 {
-			cap0 = len(rows) - nr
+		if col.Nums[br] <= threshold {
+			nl++
 		} else {
-			cap1 = len(rows) - nl
+			nr++
 		}
-		parts[0] = make([]int, 0, cap0)
-		parts[1] = make([]int, 0, cap1)
-		for _, r := range rows {
-			side := missTo
-			if br := ds.row(r); !col.IsMissing(br) {
-				if col.Nums[br] <= threshold {
-					side = 0
-				} else {
-					side = 1
-				}
-			}
-			parts[side] = append(parts[side], r)
-		}
-		return parts, &treeNode{attr: j, numeric: true, threshold: threshold}
 	}
-	return bestGain, bestScore, apply
+	missTo := 0
+	if nr > nl {
+		missTo = 1
+	}
+	cap0, cap1 := nl, nr
+	if missTo == 0 {
+		cap0 = len(rows) - nr
+	} else {
+		cap1 = len(rows) - nl
+	}
+	// Partition storage comes from the arena: child row sets live exactly
+	// as long as the fitted tree (until the fold's Reset), and the sizing
+	// pass above makes the buffers exact so append never spills.
+	parts[0] = dt.arena.IntsRaw(cap0)[:0]
+	parts[1] = dt.arena.IntsRaw(cap1)[:0]
+	for _, r := range rows {
+		side := missTo
+		if br := ds.row(r); !col.IsMissing(br) {
+			if col.Nums[br] <= threshold {
+				side = 0
+			} else {
+				side = 1
+			}
+		}
+		parts[side] = append(parts[side], r)
+	}
+	return parts
 }
 
 // partitionQuality computes, for a partition given as per-branch class
@@ -656,7 +853,12 @@ func sum(xs []float64) float64 {
 }
 
 func entropyOf(dist []float64) float64 {
-	n := sum(dist)
+	return entropyWith(dist, sum(dist))
+}
+
+// entropyWith is entropyOf with the element sum already known — the split
+// scan knows each branch's size exactly, so it skips the re-summation.
+func entropyWith(dist []float64, n float64) float64 {
 	if n == 0 {
 		return 0
 	}
@@ -672,7 +874,11 @@ func entropyOf(dist []float64) float64 {
 }
 
 func giniOf(dist []float64) float64 {
-	n := sum(dist)
+	return giniWith(dist, sum(dist))
+}
+
+// giniWith is giniOf with the element sum already known.
+func giniWith(dist []float64, n float64) float64 {
 	if n == 0 {
 		return 0
 	}
