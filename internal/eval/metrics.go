@@ -220,7 +220,18 @@ func BinaryAUC(scores []float64, positive []bool) float64 {
 // Holdout fits a fresh classifier on train and evaluates on test,
 // returning the metrics and the confusion matrix.
 func Holdout(factory mining.Factory, train, test *mining.Dataset) (Metrics, *ConfusionMatrix, error) {
+	return holdout(factory, train, test, nil)
+}
+
+// holdout is Holdout with an optional scratch arena, offered to the
+// classifier (mining.ArenaUser) before fitting. The caller owns the
+// arena's lifetime: it must not Reset until the returned metrics are
+// final, because the fitted classifier may alias arena memory.
+func holdout(factory mining.Factory, train, test *mining.Dataset, arena *mining.Arena) (Metrics, *ConfusionMatrix, error) {
 	clf := factory()
+	if au, ok := clf.(mining.ArenaUser); ok {
+		au.UseArena(arena)
+	}
 	if err := clf.Fit(train); err != nil {
 		return Metrics{}, nil, fmt.Errorf("eval: fitting %s: %w", clf.Name(), err)
 	}
@@ -258,6 +269,15 @@ func Holdout(factory mining.Factory, train, test *mining.Dataset) (Metrics, *Con
 // copies, which is what keeps the 7-criteria × severities × algorithms ×
 // folds experiment grid cheap.
 func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed int64) (Metrics, error) {
+	return CrossValidateWith(factory, ds, folds, seed, nil)
+}
+
+// CrossValidateWith is CrossValidate with a caller-owned scratch arena.
+// Classifiers implementing mining.ArenaUser draw their fold-lifetime
+// buffers from it; the arena is Reset after each fold (once the fold's
+// confusion matrix has been merged), so one arena serves every fold of
+// every cell a worker processes. A nil arena is CrossValidate exactly.
+func CrossValidateWith(factory mining.Factory, ds *mining.Dataset, folds int, seed int64, arena *mining.Arena) (Metrics, error) {
 	if folds < 2 {
 		return Metrics{}, fmt.Errorf("eval: %w", &oberr.ConfigError{
 			Field: "folds", Reason: fmt.Sprintf("need >= 2, got %d", folds)})
@@ -282,13 +302,16 @@ func CrossValidate(factory mining.Factory, ds *mining.Dataset, folds int, seed i
 		}
 		train := ds.Subset(trainRows)
 		test := ds.Subset(testRows)
-		m, cm, err := Holdout(factory, train, test)
+		m, cm, err := holdout(factory, train, test, arena)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("eval: fold %d: %w", f, err)
 		}
 		pooled.Merge(cm)
 		aucSum += m.AUC
 		aucFolds++
+		// The fold's classifier is fully consumed (matrix merged, AUC
+		// banked); its arena-backed scratch can be recycled for the next.
+		arena.Reset()
 	}
 	out := FromMatrix(pooled)
 	if aucFolds > 0 {

@@ -253,6 +253,15 @@ func prepareCells(ctx context.Context, cfg Config, ds *mining.Dataset, need func
 			measured:  profile.Severity(co.criterion),
 		}
 	}
+	// Presort every cell's numeric columns before fanning tasks out: the
+	// index is shared by all fold splits, bootstrap resamples and forest
+	// members below a cell, and building it here means workers only ever
+	// read it.
+	for i := range cells {
+		if cells[i].ds != nil {
+			cells[i].ds.Index()
+		}
+	}
 	return cells, nil
 }
 
@@ -280,7 +289,7 @@ func p1Tasks(cfg Config, nCells int) []p1Task {
 // record — seeds, folds, measured severities — derives from the task's
 // coordinates, never from execution order, which is what makes sharded and
 // resumed runs byte-identical to monolithic ones.
-func runP1Task(cfg Config, cells []cell, datasetName string, tk p1Task) (kb.Record, error) {
+func runP1Task(cfg Config, cells []cell, datasetName string, tk p1Task, arena *mining.Arena) (kb.Record, error) {
 	cl := cells[tk.cell]
 	rec := kb.Record{
 		Algorithm:        tk.algorithm,
@@ -299,7 +308,7 @@ func runP1Task(cfg Config, cells []cell, datasetName string, tk p1Task) (kb.Reco
 	}
 	cvSeed := taskSeed(cfg.Seed, "cv", tk.algorithm, rec.Criterion, fmt.Sprintf("%.3f", rec.Severity))
 	rec.Seed = cvSeed
-	m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], cl.ds, cfg.Folds, cvSeed)
+	m, err := eval.CrossValidateWith(cfg.Algorithms[tk.algorithm], cl.ds, cfg.Folds, cvSeed, arena)
 	if err != nil {
 		return kb.Record{}, fmt.Errorf("experiment: %s on %s@%.2f: %w", tk.algorithm, rec.Criterion, rec.Severity, err)
 	}
@@ -307,29 +316,47 @@ func runP1Task(cfg Config, cells []cell, datasetName string, tk p1Task) (kb.Reco
 	return rec, nil
 }
 
-// runGrid executes fn(i) for i in [0,n) over a bounded worker pool,
-// honouring ctx between cells: when ctx is done, running cells finish, no
-// new cell starts, and runGrid returns ctx.Err(). Otherwise the first
-// non-nil fn error (in task order) is returned.
-func runGrid(ctx context.Context, workers, n int, fn func(i int) error) error {
+// runGrid executes fn(i, worker) for i in [0,n) over a pool of fixed
+// worker goroutines, honouring ctx between cells: when ctx is done,
+// running cells finish, no new cell starts, and runGrid returns
+// ctx.Err(). Otherwise the first non-nil fn error (in task order) is
+// returned.
+//
+// Unlike a goroutine-per-task design, the fixed pool gives every task a
+// stable worker identity in [0, workers) — the hook that lets callers key
+// single-goroutine scratch state (mining.Arena) to a worker so it is
+// reused across all the tasks that worker processes, without any locking.
+func runGrid(ctx context.Context, workers, n int, fn func(i, worker int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+	tasks := make(chan int)
+	go func() {
+		defer close(tasks)
+		for i := 0; i < n; i++ {
 			select {
-			case sem <- struct{}{}:
+			case tasks <- i:
 			case <-ctx.Done():
 				return
 			}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range tasks {
+				if ctx.Err() != nil {
+					return
+				}
+				errs[i] = fn(i, w)
 			}
-			errs[i] = fn(i)
-		}(i)
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -341,6 +368,17 @@ func runGrid(ctx context.Context, workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// workerArenas returns one scratch arena per grid worker. Arenas are
+// single-goroutine state; keying them to the fixed worker index is what
+// keeps the reuse lock-free.
+func workerArenas(workers int) []*mining.Arena {
+	arenas := make([]*mining.Arena, workers)
+	for i := range arenas {
+		arenas[i] = mining.NewArena()
+	}
+	return arenas
 }
 
 // Phase1 runs the simple-criterion grid on a clean dataset and returns one
@@ -363,8 +401,9 @@ func Phase1(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName str
 	tasks := p1Tasks(cfg, len(cells))
 	prog := newProgress(cfg.Progress, 1, len(tasks), datasetName)
 	records := make([]kb.Record, len(tasks))
-	err = runGrid(ctx, cfg.Workers, len(tasks), func(i int) error {
-		rec, err := runP1Task(cfg, cells, datasetName, tasks[i])
+	arenas := workerArenas(cfg.Workers)
+	err = runGrid(ctx, cfg.Workers, len(tasks), func(i, w int) error {
+		rec, err := runP1Task(cfg, cells, datasetName, tasks[i], arenas[w])
 		if err != nil {
 			return err
 		}
@@ -424,7 +463,7 @@ func p2Tasks(cfg Config, combos [][]dq.Criterion) []p2Task {
 // the full Phase-1 snapshot) pass a nil base — the record is byte-identical
 // and the profile measurement that only feeds the prediction is skipped.
 func runP2Task(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Snapshot,
-	severity float64, tk p2Task) (MixedResult, kb.Record, error) {
+	severity float64, tk p2Task, arena *mining.Arena) (MixedResult, kb.Record, error) {
 	comboName := comboString(tk.combo)
 	specs := make([]inject.Spec, len(tk.combo))
 	for j, c := range tk.combo {
@@ -440,7 +479,7 @@ func runP2Task(cfg Config, ds *mining.Dataset, datasetName string, base *kb.Snap
 		return MixedResult{}, kb.Record{}, err
 	}
 	cvSeed := taskSeed(cfg.Seed, "mixcv", tk.algorithm, comboName, fmt.Sprintf("%.3f", severity))
-	m, err := eval.CrossValidate(cfg.Algorithms[tk.algorithm], evalDS, cfg.Folds, cvSeed)
+	m, err := eval.CrossValidateWith(cfg.Algorithms[tk.algorithm], evalDS, cfg.Folds, cvSeed, arena)
 	if err != nil {
 		return MixedResult{}, kb.Record{}, fmt.Errorf("experiment: %s on %s: %w", tk.algorithm, comboName, err)
 	}
@@ -484,8 +523,9 @@ func Phase2(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName str
 	prog := newProgress(cfg.Progress, 2, len(tasks), datasetName)
 	results := make([]MixedResult, len(tasks))
 	records := make([]kb.Record, len(tasks))
-	err := runGrid(ctx, cfg.Workers, len(tasks), func(i int) error {
-		res, rec, err := runP2Task(cfg, ds, datasetName, base, severity, tasks[i])
+	arenas := workerArenas(cfg.Workers)
+	err := runGrid(ctx, cfg.Workers, len(tasks), func(i, w int) error {
+		res, rec, err := runP2Task(cfg, ds, datasetName, base, severity, tasks[i], arenas[w])
 		if err != nil {
 			return err
 		}

@@ -160,7 +160,7 @@ func gridFingerprint(cfg Config, datasetName string, ds *mining.Dataset, combos 
 // is reported. prepare is only called when something actually executes, so
 // a fully-replayed phase does no dataset work at all.
 func runShardPhase(ctx context.Context, cfg Config, ck *checkpoint, phase int, owned []int, datasetName string,
-	prepare func(taskIdx []int) (func(ti int) (kb.Record, error), error)) ([]kb.Record, error) {
+	prepare func(taskIdx []int) (func(ti int, arena *mining.Arena) (kb.Record, error), error)) ([]kb.Record, error) {
 	out := make([]kb.Record, len(owned))
 	prog := newProgress(cfg.Progress, phase, len(owned), datasetName)
 	var todo []int // positions in owned still to execute
@@ -183,10 +183,11 @@ func runShardPhase(ctx context.Context, cfg Config, ck *checkpoint, phase int, o
 	if err != nil {
 		return nil, err
 	}
-	err = runGrid(ctx, cfg.Workers, len(todo), func(k int) error {
+	arenas := workerArenas(cfg.Workers)
+	err = runGrid(ctx, cfg.Workers, len(todo), func(k, w int) error {
 		j := todo[k]
 		ti := owned[j]
-		rec, err := exec(ti)
+		rec, err := exec(ti, arenas[w])
 		if err != nil {
 			return err
 		}
@@ -265,7 +266,7 @@ func RunShard(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName s
 
 	// Phase 1: replay journaled cells, execute the rest. Cells are only
 	// materialized for tasks that actually execute.
-	out1, err := runShardPhase(ctx, cfg, ck, 1, own1, datasetName, func(taskIdx []int) (func(ti int) (kb.Record, error), error) {
+	out1, err := runShardPhase(ctx, cfg, ck, 1, own1, datasetName, func(taskIdx []int) (func(ti int, arena *mining.Arena) (kb.Record, error), error) {
 		need := map[int]bool{}
 		for _, ti := range taskIdx {
 			need[t1[ti].cell] = true
@@ -274,8 +275,8 @@ func RunShard(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName s
 		if err != nil {
 			return nil, err
 		}
-		return func(ti int) (kb.Record, error) {
-			return runP1Task(cfg, cells, datasetName, t1[ti])
+		return func(ti int, arena *mining.Arena) (kb.Record, error) {
+			return runP1Task(cfg, cells, datasetName, t1[ti], arena)
 		}, nil
 	})
 	if err != nil {
@@ -286,9 +287,9 @@ func RunShard(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName s
 	// Phase-1 snapshot, so a nil base is correct here — it also skips the
 	// per-cell profile measurement that only feeds the discarded
 	// prediction (see the note in the function comment).
-	out2, err := runShardPhase(ctx, cfg, ck, 2, own2, datasetName, func([]int) (func(ti int) (kb.Record, error), error) {
-		return func(ti int) (kb.Record, error) {
-			_, rec, err := runP2Task(cfg, ds, datasetName, nil, run.MixedSeverity, t2[ti])
+	out2, err := runShardPhase(ctx, cfg, ck, 2, own2, datasetName, func([]int) (func(ti int, arena *mining.Arena) (kb.Record, error), error) {
+		return func(ti int, arena *mining.Arena) (kb.Record, error) {
+			_, rec, err := runP2Task(cfg, ds, datasetName, nil, run.MixedSeverity, t2[ti], arena)
 			return rec, err
 		}, nil
 	})
