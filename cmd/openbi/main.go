@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -283,7 +285,36 @@ func cmdExperiments(args []string) error {
 	shard := fs.String("shard", "", "run one shard of the grid, as index/count with a 0-based index (e.g. 0/2); writes a shard file for `openbi kb merge` instead of a knowledge base")
 	checkpoint := fs.String("checkpoint", "", "journal completed grid cells under this directory so a killed run resumes mid-grid")
 	out := fs.String("out", "", "output path (default kb.json, or shard-<i>-of-<n>.json with -shard)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile at exit to this file (inspect with go tool pprof)")
 	fs.Parse(args)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush pending frees so in-use numbers are current
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	eng, err := core.New(core.WithSeed(*seed), core.WithFolds(*folds), core.WithWorkers(*workers))
 	if err != nil {
