@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (see .github/workflows).
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-check verify
 
 build:
 	go build ./... && go build ./examples/...
@@ -15,5 +15,13 @@ race:
 # scripts/bench.sh for BENCHTIME / BENCH / OUT overrides.
 bench:
 	./scripts/bench.sh
+
+# Perf regression gate: rerun the bench suite into a scratch snapshot and
+# fail on >25% ns/op or allocs/op regression against the committed
+# baselines (see scripts/benchcmp).
+bench-check:
+	OUT=/tmp/openbi_bench_check.json INGEST_OUT=/tmp/openbi_bench_check_ingest.json ./scripts/bench.sh
+	go run ./scripts/benchcmp BENCH_experiments.json /tmp/openbi_bench_check.json
+	go run ./scripts/benchcmp BENCH_ingest.json /tmp/openbi_bench_check_ingest.json
 
 verify: build test

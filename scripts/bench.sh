@@ -7,14 +7,14 @@
 # snapshot with any PR that plausibly moves these numbers, so the perf
 # trajectory stays reviewable as a diff.
 #
-#   make bench                 # default: -benchtime 3x
-#   BENCHTIME=10x make bench   # steadier numbers, slower
+#   make bench                 # default: -benchtime 1s
+#   BENCHTIME=3x make bench    # quick and dirty; the 1s default is steadier
 #   BENCH='BenchmarkServeAdvise' make bench   # subset
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-3x}"
-BENCH="${BENCH:-BenchmarkF2_Phase1_|BenchmarkServeAdvise|BenchmarkF2_ShardedGrid}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH="${BENCH:-BenchmarkF2_Phase1_|BenchmarkServeAdvise|BenchmarkF2_ShardedGrid|BenchmarkDQMeasure|BenchmarkKNNKernel|BenchmarkTreeKernel}"
 OUT="${OUT:-BENCH_experiments.json}"
 
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \

@@ -1,0 +1,129 @@
+// Command benchcmp is the benchmark regression gate: it compares a fresh
+// benchjson snapshot against the committed baseline and fails (exit 1)
+// when any benchmark present in both regressed by more than the tolerance
+// on ns/op or allocs/op.
+//
+// The two gated metrics carry different noise profiles, so they get
+// separate tolerances: allocs/op is deterministic for a given code path
+// (a tight default catches real regressions on one-shot runs), while
+// ns/op on a shared box swings with scheduler and frequency noise on
+// both the baseline and the fresh run, so its tolerance must absorb the
+// two-sided worst case. Benchmarks only in one snapshot are reported but
+// do not fail the gate (suites grow; subsets shrink).
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-time-tolerance 0.4] [-alloc-tolerance 0.25] baseline.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchLine mirrors scripts/benchjson's per-benchmark entry.
+type benchLine struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// snapshot mirrors scripts/benchjson's file layout.
+type snapshot struct {
+	Go         string      `json:"go"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+// gated are the metrics the gate enforces; every other metric (B/op,
+// custom b.ReportMetric series) is informational.
+var gated = []string{"ns/op", "allocs/op"}
+
+// tolerances is filled from flags in main, one entry per gated metric.
+var tolerances = map[string]*float64{}
+
+func load(path string) (map[string]map[string]float64, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64, len(snap.Benchmarks))
+	order := make([]string, 0, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		if _, dup := out[b.Name]; !dup {
+			order = append(order, b.Name)
+		}
+		out[b.Name] = b.Metrics
+	}
+	return out, order, nil
+}
+
+func main() {
+	tolerances["ns/op"] = flag.Float64("time-tolerance", 0.40, "allowed fractional regression on ns/op")
+	tolerances["allocs/op"] = flag.Float64("alloc-tolerance", 0.25, "allowed fractional regression on allocs/op")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-time-tolerance 0.4] [-alloc-tolerance 0.25] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fresh, freshOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	compared := 0
+	for _, name := range order {
+		cur, ok := fresh[name]
+		if !ok {
+			fmt.Printf("%-50s only in baseline (skipped)\n", name)
+			continue
+		}
+		compared++
+		for _, metric := range gated {
+			was, okB := base[name][metric]
+			now, okF := cur[metric]
+			if !okB || !okF {
+				continue
+			}
+			delta := 0.0
+			if was > 0 {
+				delta = (now - was) / was
+			} else if now > 0 {
+				delta = 1 // from zero to nonzero is a regression
+			}
+			status := "ok"
+			if delta > *tolerances[metric] {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("%-50s %-10s %14.1f -> %14.1f  %+7.1f%%  %s\n",
+				name, metric, was, now, delta*100, status)
+		}
+	}
+	for _, name := range freshOrder {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-50s new benchmark (no baseline)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common")
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d metric(s) regressed beyond tolerance\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmarks within tolerance of baseline\n", compared)
+}
