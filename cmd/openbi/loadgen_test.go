@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLILoadgenRequiresExactlyOneTarget(t *testing.T) {
+	if err := cmdLoadgen(nil); err == nil || !strings.Contains(err.Error(), "-target or -selfserve") {
+		t.Fatalf("no target: err = %v", err)
+	}
+	err := cmdLoadgen([]string{"-target", "http://x", "-selfserve"})
+	if err == nil || !strings.Contains(err.Error(), "-target or -selfserve") {
+		t.Fatalf("both targets: err = %v", err)
+	}
+}
+
+func TestCLILoadgenRejectsUnknownMix(t *testing.T) {
+	err := cmdLoadgen([]string{"-target", "http://x", "-mix", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown mix") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLILoadgenRunAndSnapshot(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"advice":{}}`))
+	}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	err := cmdLoadgen([]string{
+		"-target", ts.URL, "-duration", "200ms", "-warmup", "50ms",
+		"-concurrency", "2", "-smoke", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].Name != "LoadgenServeAdvise/closed/c=2" {
+		t.Fatalf("unexpected snapshot shape: %+v", snap.Benchmarks)
+	}
+	if snap.Benchmarks[0].Metrics["ns/op"] <= 0 {
+		t.Fatal("snapshot has no gated p99 metric")
+	}
+}
+
+func TestCLILoadgenSmokeFailsOn5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	err := cmdLoadgen([]string{
+		"-target", ts.URL, "-duration", "150ms", "-concurrency", "2", "-smoke",
+	})
+	if err == nil || !strings.Contains(err.Error(), "smoke failed") {
+		t.Fatalf("err = %v, want smoke failure", err)
+	}
+}

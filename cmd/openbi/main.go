@@ -17,7 +17,9 @@
 //	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt [-timeout 1m]
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
 //	openbi validate  -kb kb.json -rows 400 -trials 10 [-timeout 5m]
-//	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms]
+//	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms] [-max-inflight 64]
+//	openbi loadgen   -target http://host:8080 -duration 10s -rps 200 -mix recorded [-out BENCH_serve.json]
+//	openbi loadgen   -selfserve -kb kb.json -sweep -p99-budget 50ms   (saturation sweep, no setup)
 //
 // experiments, mine and validate honour ^C (SIGINT) and -timeout:
 // cancellation takes effect between experiment grid cells; with
@@ -107,6 +109,8 @@ func main() {
 		err = cmdKB(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -135,6 +139,7 @@ commands:
   validate     measure advisor hit-rate and regret on random corruption scenarios
   kb           knowledge-base utilities: "kb merge" recombines shard outputs
   serve        run the HTTP advice service (batching, caching, hot KB reload)
+  loadgen      load-test a serve instance: latency quantiles, throughput, saturation sweep
 
 scaling out:
   experiments -shard i/n -checkpoint dir   run one resumable shard of the grid

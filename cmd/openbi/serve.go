@@ -24,6 +24,8 @@ func cmdServe(args []string) error {
 	batchMax := fs.Int("batch-max", 64, "max advise calls scored in one batch")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "deadline for an advise call waiting on its scoring batch")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	maxInflight := fs.Int("max-inflight", 64, "admission control: concurrent advise/profile calls before queueing (0 disables)")
+	queueDepth := fs.Int("queue-depth", -1, "admission control: bounded wait queue past max-inflight; excess is shed with 429 (-1 = max-inflight)")
 	fs.Parse(args)
 
 	eng, err := core.New()
@@ -46,14 +48,19 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: opening %s: %w", *kbPath, openErr)
 	}
 
-	srv, err := server.New(eng,
+	opts := []server.Option{
 		server.WithKBPath(*kbPath),
 		server.WithCacheSize(*cacheSize),
 		server.WithBatchWindow(*batchWindow),
 		server.WithBatchMaxSize(*batchMax),
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithDrainTimeout(*drain),
-	)
+		server.WithMaxInflight(*maxInflight),
+	}
+	if *maxInflight > 0 && *queueDepth >= 0 {
+		opts = append(opts, server.WithQueueDepth(*queueDepth))
+	}
+	srv, err := server.New(eng, opts...)
 	if err != nil {
 		return err
 	}

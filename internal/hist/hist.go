@@ -1,0 +1,191 @@
+// Package hist is a fixed-memory, lock-free latency histogram in the HDR
+// style: bucket boundaries grow geometrically (one run of linear
+// sub-buckets per power of two), so a single ~10 KiB counter array covers
+// nanoseconds to minutes with a bounded relative error instead of a
+// per-sample log.
+//
+// It is the one latency-distribution representation shared by the serving
+// side (per-endpoint histograms behind GET /v1/metrics) and the load side
+// (openbi loadgen's per-worker recorders, merged into the run report) —
+// both read the same quantile semantics, so a loadgen p99 and a server
+// p99 are directly comparable.
+//
+// All mutators use atomics: Observe is safe from any number of goroutines
+// and costs two atomic adds plus a bounded CAS loop for the max. Reads
+// (Quantile, Count, Mean) take a point-in-time walk over the counters;
+// under concurrent writes they are consistent enough for monitoring, not
+// a linearizable snapshot.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits fixes the resolution: 1<<subBits linear sub-buckets per
+	// power of two, so any recorded value lands in a bucket whose width
+	// is at most 1/2^subBits of its magnitude (~3.1% relative error at
+	// subBits = 5). Doubling the resolution doubles the array.
+	subBits  = 5
+	subCount = 1 << subBits
+
+	// maxExp caps the tracked magnitude at 2^maxExp nanoseconds (~73
+	// minutes); anything larger clamps into the final bucket. Latencies
+	// past that are a liveness problem, not a distribution to resolve.
+	maxExp = 42
+
+	// numBuckets = the exact linear run [0, subCount) plus one run of
+	// subCount sub-buckets per octave in [subBits, maxExp].
+	numBuckets = subCount + (maxExp-subBits+1)*subCount
+)
+
+// Histogram records durations into log-bucketed counters. The zero value
+// is NOT ready to use; call New (the struct is large enough that callers
+// should share pointers anyway).
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds, for Mean
+	max    atomic.Int64 // nanoseconds
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a nanosecond value onto its bucket. Values below
+// subCount are stored exactly; above, the top subBits+1 bits select
+// (octave, sub-bucket).
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	k := bits.Len64(u) - 1 // 2^k <= u < 2^(k+1), k >= subBits
+	if k > maxExp {
+		return numBuckets - 1
+	}
+	sub := int(u>>(uint(k-subBits))) - subCount // top subBits bits after the leading 1
+	return subCount + (k-subBits)*subCount + sub
+}
+
+// bucketUpper is the inclusive upper bound of bucket i — the value
+// Quantile reports, so estimates err on the conservative (larger) side.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	j := i - subCount
+	oct := j / subCount
+	sub := j % subCount
+	lower := int64(subCount+sub) << uint(oct)
+	return lower + (int64(1)<<uint(oct) - 1)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Merge adds o's counts into h. Safe against concurrent Observe on
+// either side; the merged totals are eventually consistent.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of
+// the bucket holding the q*Count-th value: within one bucket width
+// (~3.1%) of the true order statistic, never below it (except that the
+// overall Max caps the estimate exactly). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles estimates several quantiles in one pass over the counters.
+// qs must be ascending; out-of-range values clamp to [0,1].
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	total := h.total.Load()
+	if total == 0 || len(qs) == 0 {
+		return out
+	}
+	max := h.max.Load()
+	var seen int64
+	qi := 0
+	for i := 0; i < numBuckets && qi < len(qs); i++ {
+		seen += h.counts[i].Load()
+		for qi < len(qs) {
+			q := qs[qi]
+			if q < 0 {
+				q = 0
+			} else if q > 1 {
+				q = 1
+			}
+			// rank: the smallest count covering fraction q, at least 1.
+			rank := int64(q*float64(total) + 0.9999999)
+			if rank < 1 {
+				rank = 1
+			}
+			if seen < rank {
+				break
+			}
+			v := bucketUpper(i)
+			if v > max {
+				v = max
+			}
+			out[qi] = time.Duration(v)
+			qi++
+		}
+	}
+	for ; qi < len(qs); qi++ {
+		out[qi] = time.Duration(max)
+	}
+	return out
+}

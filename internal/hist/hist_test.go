@@ -1,0 +1,111 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundariesRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and
+	// upper bounds must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d not > previous %d", i, up, prev)
+		}
+		prev = up
+		if i == numBuckets-1 {
+			continue // final bucket also absorbs clamped overflow
+		}
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+	}
+	if got := bucketIndex(1 << 60); got != numBuckets-1 {
+		t.Fatalf("overflow value landed in bucket %d, want last (%d)", got, numBuckets-1)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative value landed in bucket %d, want 0", got)
+	}
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	// Against a known sample set, every quantile estimate must be >= the
+	// true order statistic and within the ~3.1% bucket width above it.
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over 1µs..1s — spans many octaves.
+		v := time.Duration(float64(time.Microsecond) * math.Pow(1e6, rng.Float64()))
+		h.Observe(v)
+		vals = append(vals, float64(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.9999999) - 1
+		truth := vals[rank]
+		got := float64(h.Quantile(q))
+		if got < truth {
+			t.Errorf("q%.3f = %v below true order statistic %v", q, time.Duration(got), time.Duration(truth))
+		}
+		if got > truth*1.04 {
+			t.Errorf("q%.3f = %v more than 4%% above truth %v", q, time.Duration(got), time.Duration(truth))
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestMergeAndMax(t *testing.T) {
+	a, b := New(), New()
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	b.Observe(5 * time.Second)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 101 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 5*time.Second {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+	if q := a.Quantile(1); q != 5*time.Second {
+		t.Fatalf("q1 = %v, want exact max", q)
+	}
+	if m := a.Mean(); m < 40*time.Millisecond || m > 120*time.Millisecond {
+		t.Fatalf("Mean = %v out of plausible range", m)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}

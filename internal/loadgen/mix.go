@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// DefaultDim is the severity-vector length: the paper's seven data-quality
+// criteria in dq.AllCriteria order — completeness, duplicates,
+// correlation, imbalance, label-noise, attribute-noise, dimensionality.
+// Kept as a constant (not an import) so the harness stays free of server
+// and pipeline dependencies.
+const DefaultDim = 7
+
+// Criterion indices into severity vectors, mirroring dq.AllCriteria.
+const (
+	cCompleteness = iota
+	cDuplicates
+	cCorrelation
+	cImbalance
+	cLabelNoise
+	cAttributeNoise
+	cDimensionality
+)
+
+// archetype is one recorded profile shape: the severity fingerprint of a
+// recognizable real-world dataset condition. A request samples an
+// archetype, then jitters each coordinate so the stream is realistic —
+// clustered around a few shapes, never byte-identical for long.
+type archetype struct {
+	name   string
+	weight float64
+	base   []float64
+	jitter float64
+}
+
+// recordedArchetypes are the profile shapes behind the "recorded" mix,
+// weighted the way dirty open data actually arrives: mostly clean-ish
+// tables, a long tail of one-dominant-problem profiles.
+var recordedArchetypes = []archetype{
+	{name: "clean", weight: 0.35, base: vec(), jitter: 0.02},
+	{name: "missing", weight: 0.20, base: vec(cCompleteness, 0.35), jitter: 0.05},
+	{name: "noisy-labels", weight: 0.15, base: vec(cLabelNoise, 0.30), jitter: 0.05},
+	{name: "imbalanced", weight: 0.10, base: vec(cImbalance, 0.40), jitter: 0.05},
+	{name: "duplicated", weight: 0.08, base: vec(cDuplicates, 0.25), jitter: 0.04},
+	{name: "outliers", weight: 0.07, base: vec(cAttributeNoise, 0.30, cCorrelation, 0.15), jitter: 0.05},
+	{name: "wide", weight: 0.05, base: vec(cDimensionality, 0.50, cCompleteness, 0.10), jitter: 0.05},
+}
+
+// vec builds a sparse severity vector from (index, value) pairs.
+func vec(pairs ...float64) []float64 {
+	v := make([]float64, DefaultDim)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v[int(pairs[i])] = pairs[i+1]
+	}
+	return v
+}
+
+// Mix is a weighted set of profile archetypes to sample requests from.
+// The zero value is invalid; construct with ParseMix or MustMix.
+type Mix struct {
+	name       string
+	uniform    bool // every coordinate ~U[0,1]; ignores archetypes
+	archetypes []archetype
+	cum        []float64 // cumulative weights, normalized to [0,1]
+}
+
+// mixes maps the named workloads onto their archetype sets.
+var mixes = map[string]Mix{
+	"recorded": newMix("recorded", recordedArchetypes...),
+	"clean":    newMix("clean", recordedArchetypes[0]),
+	"noisy": newMix("noisy",
+		archetype{name: "noisy-labels", weight: 0.5, base: vec(cLabelNoise, 0.45, cAttributeNoise, 0.20), jitter: 0.08},
+		archetype{name: "outliers", weight: 0.5, base: vec(cAttributeNoise, 0.45, cCorrelation, 0.20), jitter: 0.08},
+	),
+	"uniform": {name: "uniform", uniform: true},
+}
+
+func newMix(name string, as ...archetype) Mix {
+	m := Mix{name: name, archetypes: as, cum: make([]float64, len(as))}
+	total := 0.0
+	for _, a := range as {
+		total += a.weight
+	}
+	run := 0.0
+	for i, a := range as {
+		run += a.weight / total
+		m.cum[i] = run
+	}
+	m.cum[len(as)-1] = 1 // close rounding gaps
+	return m
+}
+
+// MixNames lists the available workload mixes, sorted.
+func MixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseMix resolves a mix by name.
+func ParseMix(name string) (Mix, error) {
+	m, ok := mixes[name]
+	if !ok {
+		return Mix{}, fmt.Errorf("loadgen: unknown mix %q (have %v)", name, MixNames())
+	}
+	return m, nil
+}
+
+// MustMix is ParseMix for the package's own names; panics on a typo.
+func MustMix(name string) Mix {
+	m, err := ParseMix(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name returns the mix's name ("" for the zero value).
+func (m Mix) Name() string { return m.name }
+
+// Sample draws one severity vector of length dim: pick an archetype by
+// weight, jitter every coordinate with gaussian noise, clamp to [0,1] and
+// quantize to the server's 0.01 cache grid (so cache hit rates under the
+// generated load match what a real clustered workload would see).
+func (m Mix) Sample(rng *rand.Rand, dim int) []float64 {
+	out := make([]float64, dim)
+	if m.uniform {
+		for i := range out {
+			out[i] = quantize(rng.Float64())
+		}
+		return out
+	}
+	u := rng.Float64()
+	a := m.archetypes[sort.SearchFloat64s(m.cum, u)]
+	for i := range out {
+		base := 0.0
+		if i < len(a.base) {
+			base = a.base[i]
+		}
+		out[i] = quantize(base + rng.NormFloat64()*a.jitter)
+	}
+	return out
+}
+
+// quantize clamps to [0,1] and snaps to the 0.01 grid.
+func quantize(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float64(int(v*100+0.5)) / 100
+}
+
+// adviseBody serializes {"severities":[...]} into buf's backing array and
+// returns a copy-free view of it — the request is re-encoded per call, so
+// the hot loop allocates only what the recorder keeps.
+func adviseBody(buf *bytes.Buffer, severities []float64) []byte {
+	buf.Reset()
+	buf.WriteString(`{"severities":[`)
+	for i, v := range severities {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(strconv.AppendFloat(buf.AvailableBuffer(), v, 'g', -1, 64))
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}

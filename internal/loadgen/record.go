@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Recorder captures anonymized request/response pairs as JSON Lines — the
+// seed of the record/replay harness: replaying the requests against a new
+// KB generation and diffing the recorded responses quantifies a reload's
+// blast radius. "Anonymized" is structural: an entry carries only the two
+// JSON payloads plus status and latency — no headers, addresses, host
+// names, or wall-clock timestamps (offsets are relative to the run start).
+type Recorder struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	seq   int64
+	start time.Time
+	err   error
+}
+
+// recordEntry is one JSONL line.
+type recordEntry struct {
+	Seq        int64           `json:"seq"`
+	OffsetMs   float64         `json:"offsetMs"`
+	OfferedRPS float64         `json:"offeredRps,omitempty"` // 0 = closed loop
+	Endpoint   string          `json:"endpoint"`
+	Status     int             `json:"status"`
+	LatencyMs  float64         `json:"latencyMs"`
+	Request    json.RawMessage `json:"request"`
+	Response   json.RawMessage `json:"response,omitempty"`
+}
+
+// NewRecorder creates dir (if needed) and opens one capture file in it,
+// named after the mix and seed so reruns of the same spec overwrite their
+// own capture instead of accreting.
+func NewRecorder(dir, mix string, seed int64) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("loadgen: record dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("loadgen-%s-seed%d.jsonl", mix, seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: record file: %w", err)
+	}
+	return &Recorder{f: f, w: bufio.NewWriterSize(f, 1<<16), start: time.Now()}, nil
+}
+
+// Path returns the capture file's path.
+func (r *Recorder) Path() string { return r.f.Name() }
+
+// Record appends one pair. Serialization happens synchronously under the
+// lock because the caller reuses the request buffer for its next request;
+// a failed write latches and surfaces at Close.
+func (r *Recorder) Record(offeredRPS float64, status int, latency time.Duration, req, resp []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.seq++
+	e := recordEntry{
+		Seq:        r.seq,
+		OffsetMs:   float64(time.Since(r.start)) / float64(time.Millisecond),
+		OfferedRPS: offeredRPS,
+		Endpoint:   "/v1/advise",
+		Status:     status,
+		LatencyMs:  float64(latency) / float64(time.Millisecond),
+		Request:    json.RawMessage(req),
+	}
+	if json.Valid(resp) {
+		e.Response = json.RawMessage(resp)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = err
+	}
+}
+
+// Count returns the number of recorded pairs so far.
+func (r *Recorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Close flushes and closes the capture file, returning the first error
+// seen anywhere in the recorder's life.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

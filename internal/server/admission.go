@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded reports a request shed by admission control: the inflight
+// budget and the wait queue are both full. Mapped to 429 overloaded with a
+// Retry-After hint (see httperr.go) — shedding fast and explicitly is the
+// overload contract; queuing unboundedly would melt every request's
+// latency instead of failing a few cheaply.
+var errOverloaded = errors.New("server overloaded: inflight and queue budgets are full")
+
+// admission is the bounded inflight/queue budget in front of the heavy
+// endpoints (advise, profile, lod/profile). It is two nested limits:
+//
+//   - at most maxInflight requests execute concurrently (a buffered
+//     channel used as a counting semaphore), and
+//   - at most queueDepth further requests wait for a slot; anything past
+//     that is shed immediately with errOverloaded.
+//
+// With a bounded queue, the worst-case wait for an admitted request is
+// queueDepth/maxInflight service times (Little's law), so p99 under
+// overload stays a function of the configured budgets, not of the offered
+// load. A nil *admission disables the gate entirely (zero cost).
+type admission struct {
+	sem        chan struct{}
+	queueDepth int64
+	maxWait    time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+	admitted atomic.Int64
+}
+
+// newAdmission builds the gate; maxInflight <= 0 returns nil (disabled).
+func newAdmission(maxInflight, queueDepth int, maxWait time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return &admission{
+		sem:        make(chan struct{}, maxInflight),
+		queueDepth: int64(queueDepth),
+		maxWait:    maxWait,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns errOverloaded when the queue is full or the
+// wait exceeds the queue deadline, ctx.Err() when the client gave up, and
+// errServerClosed when the server shut down while waiting.
+func (a *admission) acquire(ctx context.Context, done <-chan struct{}) error {
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return errOverloaded
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return nil
+	case <-timer.C:
+		// The queue did not drain one slot's worth within the wait
+		// budget — the server is saturated, not merely busy; shed.
+		a.shed.Add(1)
+		return errOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return errServerClosed
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// retryAfterSeconds is the Retry-After hint on shed responses: the time
+// for the queue to drain once (queueDepth slots at the current inflight
+// width), rounded up to a whole second — an honest "come back when the
+// backlog you saw has cleared" rather than a constant.
+func (a *admission) retryAfterSeconds(p50 time.Duration) string {
+	if p50 <= 0 {
+		p50 = 50 * time.Millisecond // no latency signal yet; assume cheap requests
+	}
+	drain := time.Duration(a.queueDepth+1) * p50 / time.Duration(cap(a.sem))
+	secs := int64((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -15,22 +15,63 @@ import (
 
 	"openbi/internal/core"
 	"openbi/internal/dq"
+	"openbi/internal/hist"
 	"openbi/internal/kb"
 	"openbi/internal/table"
 )
 
 // routes builds the endpoint table. Go 1.22+ method patterns give free 405s
-// for wrong verbs.
+// for wrong verbs. Every handler is instrumented with a per-endpoint
+// latency histogram; only the heavy data-plane endpoints sit behind the
+// admission gate — health, metrics, KB metadata and reload must keep
+// working while the server sheds load, or overload would also take out
+// observability and the operator's ability to fix it.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/advise", s.handleAdvise)
-	mux.HandleFunc("POST /v1/profile", s.handleProfile)
-	mux.HandleFunc("POST /v1/lod/profile", s.handleLODProfile)
-	mux.HandleFunc("GET /v1/kb", s.handleKB)
-	mux.HandleFunc("POST /v1/kb/reload", s.handleReload)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("POST /v1/advise", s.instrument("advise", s.admit(s.handleAdvise)))
+	mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.admit(s.handleProfile)))
+	mux.HandleFunc("POST /v1/lod/profile", s.instrument("lodProfile", s.admit(s.handleLODProfile)))
+	mux.HandleFunc("GET /v1/kb", s.instrument("kb", s.handleKB))
+	mux.HandleFunc("POST /v1/kb/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
+}
+
+// instrument registers a latency histogram for one endpoint and wraps its
+// handler to feed it. routes runs once at construction, so the map needs
+// no locking afterwards; Observe itself is atomic. Wall time is measured
+// with time.Now directly (not s.now, which tests pin) — latency is a real
+// quantity even when the KB clock is stubbed.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hg := hist.New()
+	s.latency[name] = hg
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hg.Observe(time.Since(start))
+	}
+}
+
+// admit wraps a heavy handler with the admission gate. Shed requests get
+// 429 overloaded plus a Retry-After estimated from the current advise p50
+// (time for the backlog the client just saw to drain); a client that
+// disconnects while queued gets its context error instead.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.admission == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.admission.acquire(r.Context(), s.done); err != nil {
+			if errors.Is(err, errOverloaded) {
+				w.Header().Set("Retry-After", s.admission.retryAfterSeconds(s.latency["advise"].Quantile(0.5)))
+			}
+			s.writeError(w, err)
+			return
+		}
+		defer s.admission.release()
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -35,6 +35,7 @@ type errorDetail struct {
 //	context.DeadlineExceeded   504 timeout
 //	context.Canceled           503 canceled
 //	errServerClosed            503 server_closed
+//	errOverloaded              429 overloaded (+ Retry-After)
 //	*http.MaxBytesError        413 payload_too_large
 //	anything else              500 internal
 func statusFor(err error) (int, string) {
@@ -62,6 +63,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusServiceUnavailable, "canceled"
 	case errors.Is(err, errServerClosed):
 		return http.StatusServiceUnavailable, "server_closed"
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}

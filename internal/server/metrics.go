@@ -1,6 +1,9 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // metrics is the server's expvar-style counter set. Counters are plain
 // atomics so the hot path (advise) pays one increment, never a lock; the
@@ -37,7 +40,20 @@ func (m *metrics) noteBatchSize(n int) {
 	}
 }
 
-// MetricsSnapshot is the JSON shape of GET /v1/metrics.
+// EndpointStats is one endpoint's latency distribution in GET /v1/metrics,
+// estimated from a log-bucketed histogram (quantiles within ~3% above the
+// true order statistic, conservative side).
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// MetricsSnapshot is the JSON shape of GET /v1/metrics. Existing keys are
+// a compatibility contract — additions only.
 type MetricsSnapshot struct {
 	Requests    int64 `json:"requests"`
 	Errors      int64 `json:"errors"`
@@ -60,6 +76,20 @@ type MetricsSnapshot struct {
 	KBGeneration uint64  `json:"kbGeneration"`
 	KBRecords    int     `json:"kbRecords"`
 	KBAgeSeconds float64 `json:"kbAgeSeconds"`
+
+	// Admission control. MaxInflight == 0 means the gate is disabled and
+	// the gauges below stay zero.
+	MaxInflight int   `json:"maxInflight"`
+	QueueDepth  int   `json:"queueDepth"`
+	Inflight    int64 `json:"inflight"`
+	Queued      int64 `json:"queued"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+
+	// Per-endpoint latency distributions (milliseconds), keyed by the
+	// route's short name (advise, profile, lodProfile, kb, reload,
+	// metrics, healthz).
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 // Metrics returns the current counter values plus derived rates and the
@@ -90,6 +120,27 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	if snap.Batches > 0 {
 		snap.MeanBatchSize = float64(snap.BatchedJobs) / float64(snap.Batches)
+	}
+	if a := s.admission; a != nil {
+		snap.MaxInflight = cap(a.sem)
+		snap.QueueDepth = int(a.queueDepth)
+		snap.Inflight = a.inflight.Load()
+		snap.Queued = a.queued.Load()
+		snap.Admitted = a.admitted.Load()
+		snap.Shed = a.shed.Load()
+	}
+	snap.Endpoints = make(map[string]EndpointStats, len(s.latency))
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for name, hg := range s.latency {
+		qs := hg.Quantiles(0.5, 0.99, 0.999)
+		snap.Endpoints[name] = EndpointStats{
+			Count:  hg.Count(),
+			MeanMs: ms(hg.Mean()),
+			P50Ms:  ms(qs[0]),
+			P99Ms:  ms(qs[1]),
+			P999Ms: ms(qs[2]),
+			MaxMs:  ms(hg.Max()),
+		}
 	}
 	return snap
 }

@@ -14,6 +14,12 @@
 //     are computed once.
 //   - An LRU cache keyed by (KB generation, quantized severity vector)
 //     short-circuits repeated queries with the exact serialized response.
+//   - Admission control (WithMaxInflight / WithQueueDepth) bounds the
+//     heavy endpoints: excess load is shed fast with 429 overloaded +
+//     Retry-After instead of queuing unboundedly, while /healthz and
+//     /v1/metrics stay responsive so an overloaded server remains
+//     observable. Per-endpoint log-bucketed latency histograms back the
+//     p50/p99 estimates in GET /v1/metrics.
 //
 // Endpoints:
 //
@@ -21,7 +27,7 @@
 //	POST /v1/profile    CSV body (+ ?class=col) → data-quality profile
 //	GET  /v1/kb         knowledge-base snapshot metadata
 //	POST /v1/kb/reload  atomically load a new KB from disk, no dropped requests
-//	GET  /v1/metrics    request / cache / batch / snapshot counters (expvar-style JSON)
+//	GET  /v1/metrics    counters + admission gauges + per-endpoint latency quantiles (JSON)
 //	GET  /healthz       liveness + readiness
 //
 // Typed pipeline errors (internal/oberr) map onto HTTP statuses; see
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"openbi/internal/core"
+	"openbi/internal/hist"
 	"openbi/internal/kb"
 	"openbi/internal/oberr"
 )
@@ -66,6 +73,12 @@ type Server struct {
 	cache   *adviceCache
 	metrics *metrics
 
+	// admission gates the heavy endpoints (nil = unbounded, the default);
+	// latency holds one log-bucketed histogram per endpoint, fed by the
+	// instrument middleware and read by GET /v1/metrics.
+	admission *admission
+	latency   map[string]*hist.Histogram
+
 	kbPath       string
 	reqTimeout   time.Duration
 	drainTimeout time.Duration
@@ -91,6 +104,8 @@ type config struct {
 	reqTimeout   time.Duration
 	drainTimeout time.Duration
 	maxBodyBytes int64
+	maxInflight  int
+	queueDepth   int
 	now          func() time.Time
 }
 
@@ -136,6 +151,27 @@ func WithMaxBodyBytes(n int64) Option {
 	return func(c *config) { c.maxBodyBytes = n }
 }
 
+// WithMaxInflight bounds how many heavy requests (advise, profile,
+// lod/profile) execute concurrently; excess requests wait in a bounded
+// queue (WithQueueDepth) and anything past that is shed immediately with
+// 429 overloaded + Retry-After. 0 (the default) disables admission
+// control. Cheap control-plane endpoints (/healthz, /v1/metrics, /v1/kb,
+// reload) bypass the gate so the server stays observable and steerable
+// under overload.
+func WithMaxInflight(n int) Option {
+	return func(c *config) { c.maxInflight = n }
+}
+
+// WithQueueDepth bounds how many requests may wait for an inflight slot
+// before the server sheds load (default: equal to WithMaxInflight; 0
+// sheds the moment all slots are busy). Requires WithMaxInflight > 0.
+// The depth is the overload latency contract: an admitted request waits
+// at most ~queueDepth/maxInflight service times, independent of offered
+// load.
+func WithQueueDepth(n int) Option {
+	return func(c *config) { c.queueDepth = n }
+}
+
 // New builds a Server around an engine. The engine's currently published
 // snapshot becomes generation 0; subsequent /v1/kb/reload calls bump the
 // generation. Invalid options fail eagerly with oberr.ErrBadConfig.
@@ -147,6 +183,7 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 		reqTimeout:   10 * time.Second,
 		drainTimeout: 10 * time.Second,
 		maxBodyBytes: 32 << 20,
+		queueDepth:   -1, // sentinel: default to maxInflight when admission is on
 		now:          time.Now,
 	}
 	for _, opt := range opts {
@@ -179,6 +216,22 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", &oberr.ConfigError{
 			Field: "WithMaxBodyBytes", Reason: "must be positive"})
 	}
+	if cfg.maxInflight < 0 {
+		return nil, fmt.Errorf("server: %w", &oberr.ConfigError{
+			Field: "WithMaxInflight", Reason: fmt.Sprintf("need >= 0, got %d", cfg.maxInflight)})
+	}
+	if cfg.queueDepth != -1 {
+		if cfg.maxInflight == 0 {
+			return nil, fmt.Errorf("server: %w", &oberr.ConfigError{
+				Field: "WithQueueDepth", Reason: "requires WithMaxInflight > 0"})
+		}
+		if cfg.queueDepth < 0 {
+			return nil, fmt.Errorf("server: %w", &oberr.ConfigError{
+				Field: "WithQueueDepth", Reason: fmt.Sprintf("need >= 0, got %d", cfg.queueDepth)})
+		}
+	} else {
+		cfg.queueDepth = cfg.maxInflight
+	}
 	s := &Server{
 		engine:       engine,
 		cache:        newAdviceCache(cfg.cacheSize),
@@ -192,6 +245,8 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 		jobs:         make(chan *adviseJob, 4*cfg.batchMax),
 		done:         make(chan struct{}),
 		now:          cfg.now,
+		admission:    newAdmission(cfg.maxInflight, cfg.queueDepth, cfg.reqTimeout),
+		latency:      make(map[string]*hist.Histogram),
 	}
 	s.state.Store(&kbState{snap: engine.KB(), gen: 0, loadedAt: s.now(), source: "engine"})
 	s.mux = s.routes()

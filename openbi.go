@@ -325,3 +325,13 @@ func WithDrainTimeout(d time.Duration) ServerOption { return server.WithDrainTim
 
 // WithMaxBodyBytes caps request body sizes (CSV uploads).
 func WithMaxBodyBytes(n int64) ServerOption { return server.WithMaxBodyBytes(n) }
+
+// WithMaxInflight bounds concurrently executing heavy requests (advise,
+// profile, lod/profile); excess load beyond the bounded wait queue is
+// shed with 429 overloaded + Retry-After. 0 (default) disables admission
+// control.
+func WithMaxInflight(n int) ServerOption { return server.WithMaxInflight(n) }
+
+// WithQueueDepth bounds how many requests may wait for an inflight slot
+// before shedding (default: equal to WithMaxInflight).
+func WithQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }

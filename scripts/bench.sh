@@ -28,3 +28,23 @@ INGEST_OUT="${INGEST_OUT:-BENCH_ingest.json}"
 go test -run '^$' -bench "$INGEST_BENCH" -benchtime "$BENCHTIME" -benchmem . \
   | go run ./scripts/benchjson > "$INGEST_OUT"
 echo "wrote $INGEST_OUT"
+
+# Serving saturation curve (openbi loadgen): seed a small KB, start an
+# in-process server over real TCP, and step offered load geometrically
+# (100/400/1600/... rps) until p99 blows the 50ms budget. Each fixed level
+# keeps a stable benchmark name across runs, so benchcmp pairs them up and
+# gates the p99 (encoded as ns/op); the detected knee is reported ungated.
+SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+SERVE_KB="${SERVE_KB:-/tmp/openbi_bench_kb.json}"
+SERVE_DURATION="${SERVE_DURATION:-3s}"
+BIN="$(mktemp -t openbi.XXXXXX)"
+trap 'rm -f "$BIN"' EXIT
+go build -o "$BIN" ./cmd/openbi
+if ! [ -s "$SERVE_KB" ]; then
+  "$BIN" experiments -rows 120 -folds 3 -seed 42 -out "$SERVE_KB" > /dev/null
+fi
+"$BIN" loadgen -selfserve -kb "$SERVE_KB" \
+  -sweep -sweep-start 100 -sweep-factor 4 -sweep-min-levels 3 -sweep-max-levels 6 \
+  -duration "$SERVE_DURATION" -warmup 500ms -p99-budget 50ms \
+  -out "$SERVE_OUT"
+echo "wrote $SERVE_OUT"
