@@ -9,7 +9,7 @@ test:
 	go test ./...
 
 race:
-	go test -race . ./internal/core/... ./internal/kb/... ./internal/experiment/... ./internal/eval/... ./internal/mining/... ./internal/server/... ./internal/rdf/... ./internal/dq/...
+	go test -race . ./internal/core/... ./internal/kb/... ./internal/experiment/... ./internal/eval/... ./internal/mining/... ./internal/server/... ./internal/rdf/... ./internal/dq/... ./internal/olap/... ./internal/clean/...
 
 # Refresh the committed benchmark snapshot (BENCH_experiments.json); see
 # scripts/bench.sh for BENCHTIME / BENCH / OUT overrides.

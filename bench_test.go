@@ -675,3 +675,127 @@ func BenchmarkServeAdvise(b *testing.B) {
 		b.ReportMetric(m.MeanBatchSize, "batch-size")
 	})
 }
+
+// ---- Columnar analysis/cleaning/profile surfaces (§1(i) + §2) ----
+
+// olapBenchTable is a fact table in the shape open-data roll-ups see:
+// a few low-cardinality nominal dimensions over many rows, numeric
+// measures, and a sprinkle of missing cells in both.
+func olapBenchTable(b *testing.B, rows int) *table.Table {
+	b.Helper()
+	tb := table.New("facts")
+	region := table.NewNominalColumn("region")
+	kind := table.NewNominalColumn("kind")
+	spend := table.NewNumericColumn("spend")
+	pop := table.NewNumericColumn("pop")
+	for i := 0; i < rows; i++ {
+		if i%37 == 13 {
+			region.AppendMissing()
+		} else {
+			region.AppendLabel(fmt.Sprintf("region-%d", i%11))
+		}
+		kind.AppendLabel(fmt.Sprintf("kind-%d", (i*7)%5))
+		if i%53 == 5 {
+			spend.AppendMissing()
+		} else {
+			spend.AppendFloat(float64(i%997) * 1.25)
+		}
+		pop.AppendFloat(float64(i % 613))
+	}
+	tb.MustAddColumn(region)
+	tb.MustAddColumn(kind)
+	tb.MustAddColumn(spend)
+	tb.MustAddColumn(pop)
+	return tb
+}
+
+// BenchmarkOLAPRollUp measures the grouped aggregation kernel alone: one
+// two-dimensional roll-up per iteration over a 20k-row fact table.
+func BenchmarkOLAPRollUp(b *testing.B) {
+	tb := olapBenchTable(b, 20000)
+	cube, err := olap.NewCube(tb, []string{"region", "kind"}, []olap.Measure{
+		{Column: "spend", Agg: olap.Sum},
+		{Column: "spend", Agg: olap.Avg},
+		{Column: "pop", Agg: olap.Max},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cells int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := cube.RollUp("region", "kind")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(out)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// BenchmarkCleanPipeline measures the ported repair passes back to back —
+// dedup, mean/mode imputation, standardization, outlier fences — over a
+// 2k-row dirty table (KNN imputation is benchmarked in BenchmarkE_Cleaning
+// and the ablation suite; here the span-ported steps are the subject).
+func BenchmarkCleanPipeline(b *testing.B) {
+	ds := benchDataset(b, 2000)
+	dirtyT, err := inject.Apply(ds.T, ds.ClassCol, []inject.Spec{
+		{Criterion: dq.Completeness, Severity: 0.2},
+		{Criterion: dq.Duplicates, Severity: 0.2},
+		{Criterion: dq.AttributeNoise, Severity: 0.1},
+	}, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := clean.Pipeline{Steps: []clean.Step{
+		clean.Dedup{},
+		clean.Imputer{Strategy: clean.MeanMode, ExcludeColumns: []string{"class"}},
+		clean.Standardizer{Lowercase: true, Dates: true},
+		clean.OutlierFilter{K: 3, ExcludeColumns: []string{"class"}},
+	}}
+	var kept int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := pipe.Run(dirtyT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept = out.NumRows()
+	}
+	b.ReportMetric(float64(kept), "rows-kept")
+}
+
+var profileURL = &url.URL{Path: "/v1/profile", RawQuery: "class=class"}
+
+// BenchmarkServeProfile measures POST /v1/profile end to end through the
+// handler stack: CSV decode, fused dq.Measure kernels, severity mapping.
+func BenchmarkServeProfile(b *testing.B) {
+	ds := benchDataset(b, 400)
+	dirtyT, err := inject.Apply(ds.T, ds.ClassCol, []inject.Spec{
+		{Criterion: dq.Completeness, Severity: 0.1},
+		{Criterion: dq.Duplicates, Severity: 0.1},
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := table.WriteCSV(&csvBuf, dirtyT); err != nil {
+		b.Fatal(err)
+	}
+	body := csvBuf.Bytes()
+	srv := benchServer(b)
+	c := newAdviseClient()
+	c.req.URL = profileURL
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.reader.Reset(body)
+		c.w.code = 0
+		srv.ServeHTTP(&c.w, c.req)
+		if c.w.code != 200 {
+			b.Fatalf("status %d", c.w.code)
+		}
+	}
+}

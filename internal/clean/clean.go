@@ -92,7 +92,10 @@ func (im Imputer) Name() string {
 }
 
 // Apply fills missing cells per the strategy. Copy-on-write: columns with
-// nothing to impute stay shared with the input.
+// nothing to impute stay shared with the input. The scan reads raw column
+// spans through one shared Cursor (the write side still promotes through
+// OwnedColumn on the first fill only — reading the pre-promotion span stays
+// correct because observed cells are never rewritten).
 func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 	out := t.ShallowClone()
 	excluded := map[string]bool{}
@@ -102,6 +105,7 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 	if im.Strategy == KNNImpute {
 		return im.applyKNN(out, excluded)
 	}
+	cur := table.NewCursor(t)
 	changed := 0
 	for j := 0; j < out.NumCols(); j++ {
 		c := out.Column(j)
@@ -109,16 +113,17 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 			continue
 		}
 		if c.Kind == table.Numeric {
-			fill := stats.Mean(c.Nums)
+			nums, _ := cur.NumsSpan(j)
+			fill := stats.Mean(nums)
 			if im.Strategy == Median {
-				fill = stats.Median(c.Nums)
+				fill = stats.Median(nums)
 			}
 			if stats.IsMissing(fill) {
 				continue
 			}
 			var owned *table.Column // cloned on the first write only
-			for r := range c.Nums {
-				if c.IsMissing(r) {
+			for r, v := range nums {
+				if math.IsNaN(v) {
 					if owned == nil {
 						owned = out.OwnedColumn(j)
 					}
@@ -128,6 +133,7 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 			}
 			continue
 		}
+		cats, _ := cur.CatsSpan(j)
 		counts := c.Counts()
 		mode, best := -1, 0
 		for code, n := range counts {
@@ -139,8 +145,8 @@ func (im Imputer) Apply(t *table.Table) (*table.Table, int, error) {
 			continue
 		}
 		var owned *table.Column
-		for r := range c.Cats {
-			if c.Cats[r] == table.MissingCat {
+		for r, code := range cats {
+			if code == table.MissingCat {
 				if owned == nil {
 					owned = out.OwnedColumn(j)
 				}
@@ -312,11 +318,15 @@ func (d Dedup) Name() string {
 }
 
 // Apply removes duplicates, keeping first occurrences; it returns the
-// number of removed rows.
+// number of removed rows. Exact matching keys on typed cells (dictionary
+// codes and 9-significant-digit numeric renderings, with an explicit
+// missing tag — see table.AppendRowKey), so a row whose label is literally
+// "?" is never merged with a row holding a missing cell.
 func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
 	rows := t.NumRows()
 	keep := make([]int, 0, rows)
 	seen := make(map[string]bool, rows)
+	var keyBuf []byte   // reused typed row key
 	var survivors []int // for fuzzy comparison
 
 	maxEdit := d.MaxEditDistance
@@ -363,8 +373,8 @@ func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
 	blocks := map[rune][]int{}
 
 	for r := 0; r < rows; r++ {
-		key := t.RowKey(r)
-		if seen[key] {
+		keyBuf = t.AppendRowKey(keyBuf[:0], r)
+		if seen[string(keyBuf)] {
 			continue
 		}
 		isDup := false
@@ -374,7 +384,7 @@ func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
 				candidates = blocks[bk]
 			}
 			for _, q := range candidates {
-				if fuzzyRowMatch(t, r, q, ranges, maxEdit, tol) {
+				if fuzzyRowMatch(cols, r, q, ranges, maxEdit, tol) {
 					isDup = true
 					break
 				}
@@ -383,7 +393,7 @@ func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
 		if isDup {
 			continue
 		}
-		seen[key] = true
+		seen[string(keyBuf)] = true
 		keep = append(keep, r)
 		survivors = append(survivors, r)
 		if bk, ok := blockKey(r); ok {
@@ -395,8 +405,8 @@ func (d Dedup) Apply(t *table.Table) (*table.Table, int, error) {
 
 // fuzzyRowMatch reports whether rows a and b agree cell-wise within the
 // fuzzy budgets.
-func fuzzyRowMatch(t *table.Table, a, b int, ranges []float64, maxEdit int, tol float64) bool {
-	for j, c := range t.Columns() {
+func fuzzyRowMatch(cols []*table.Column, a, b int, ranges []float64, maxEdit int, tol float64) bool {
+	for j, c := range cols {
 		am, bm := c.IsMissing(a), c.IsMissing(b)
 		if am != bm {
 			return false
@@ -474,15 +484,22 @@ type Standardizer struct {
 func (s Standardizer) Name() string { return "standardize" }
 
 // dateLayouts are the spellings the standardizer recognizes, most specific
-// first.
+// first. Order is semantics: "02/01/2006" (day-first) is tried before
+// "01/02/2006" (month-first), so an ambiguous spelling like "05/06/2020"
+// deliberately resolves day-first to 2020-06-05 — matching the European
+// open-data portals the paper draws from. Month-first spellings are only
+// used when day-first cannot parse (e.g. "12/25/2020"). Pinned by
+// TestStandardizerDateAmbiguity.
 var dateLayouts = []string{
 	"2006-01-02", "02/01/2006", "01/02/2006", "2/1/2006", "02-01-2006",
 	"Jan 2, 2006", "2 Jan 2006", "January 2, 2006", "2006/01/02",
 }
 
-// Apply rewrites labels; the nominal dictionary is rebuilt so merged
-// spellings share one code. Numeric columns are untouched and stay shared
-// with the input (copy-on-write).
+// Apply rewrites labels; a rewritten column's nominal dictionary is
+// rebuilt so merged spellings share one code. Numeric columns and nominal
+// columns whose labels were already standard are untouched and stay shared
+// with the input (copy-on-write: only columns with at least one rewritten
+// cell are replaced).
 func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
 	out := t.ShallowClone()
 	changed := 0
@@ -492,6 +509,7 @@ func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
 			continue
 		}
 		nc := table.NewNominalColumn(c.Name)
+		colChanged := 0
 		for r := 0; r < c.Len(); r++ {
 			if c.IsMissing(r) {
 				nc.AppendMissing()
@@ -508,10 +526,14 @@ func (s Standardizer) Apply(t *table.Table) (*table.Table, int, error) {
 				}
 			}
 			if lbl != orig {
-				changed++
+				colChanged++
 			}
 			nc.AppendLabel(lbl)
 		}
+		if colChanged == 0 {
+			continue // nothing rewritten: keep sharing the input's column
+		}
+		changed += colChanged
 		if err := out.ReplaceColumn(j, nc); err != nil {
 			return nil, 0, err
 		}
@@ -546,7 +568,10 @@ type OutlierFilter struct {
 // Name implements Step.
 func (o OutlierFilter) Name() string { return "outlier-filter" }
 
-// Apply drops out-of-fence rows; it returns the number removed.
+// Apply drops out-of-fence rows; it returns the number removed. The scan
+// is columnar: one sweep per fenced column's span marks offending rows
+// (missing cells are never outliers — NaN comparisons are false), instead
+// of re-resolving every column per row.
 func (o OutlierFilter) Apply(t *table.Table) (*table.Table, int, error) {
 	k := o.K
 	if k <= 0 {
@@ -556,34 +581,29 @@ func (o OutlierFilter) Apply(t *table.Table) (*table.Table, int, error) {
 	for _, n := range o.ExcludeColumns {
 		excluded[n] = true
 	}
-	type fence struct{ lo, hi float64 }
-	fences := map[int]fence{}
+	cur := table.NewCursor(t)
+	rows := t.NumRows()
+	bad := make([]bool, rows)
 	for j, c := range t.Columns() {
 		if c.Kind != table.Numeric || excluded[c.Name] {
 			continue
 		}
-		q1, q3 := stats.Quantile(c.Nums, 0.25), stats.Quantile(c.Nums, 0.75)
+		nums, _ := cur.NumsSpan(j)
+		q1, q3 := stats.Quantile(nums, 0.25), stats.Quantile(nums, 0.75)
 		if stats.IsMissing(q1) || stats.IsMissing(q3) {
 			continue
 		}
 		iqr := q3 - q1
-		fences[j] = fence{q1 - k*iqr, q3 + k*iqr}
-	}
-	rows := t.NumRows()
-	keep := make([]int, 0, rows)
-	for r := 0; r < rows; r++ {
-		ok := true
-		for j, f := range fences {
-			c := t.Column(j)
-			if c.IsMissing(r) {
-				continue
-			}
-			if c.Nums[r] < f.lo || c.Nums[r] > f.hi {
-				ok = false
-				break
+		lo, hi := q1-k*iqr, q3+k*iqr
+		for r, v := range nums {
+			if v < lo || v > hi {
+				bad[r] = true
 			}
 		}
-		if ok {
+	}
+	keep := make([]int, 0, rows)
+	for r, b := range bad {
+		if !b {
 			keep = append(keep, r)
 		}
 	}

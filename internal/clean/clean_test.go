@@ -317,3 +317,27 @@ func TestCleaningRecoversCompleteness(t *testing.T) {
 		t.Fatalf("imputed mean drifted: %v vs %v", newMean, origMean)
 	}
 }
+
+// TestDedupQuestionMarkLabelVsMissing is the regression test for the
+// RowKey collision: a row whose nominal cell is the literal "?" category
+// and a row whose cell is missing rendered the same key, so exact dedup
+// dropped one of them. They are distinct rows and both must survive.
+func TestDedupQuestionMarkLabelVsMissing(t *testing.T) {
+	tb := table.New("q")
+	c := table.NewNominalColumn("c", "?")
+	v := table.NewNumericColumn("v")
+	c.AppendCode(0) // literal "?" label
+	v.AppendFloat(1)
+	c.AppendMissing() // genuinely missing cell
+	v.AppendFloat(1)
+	tb.MustAddColumn(c)
+	tb.MustAddColumn(v)
+
+	out, removed, err := Dedup{}.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || out.NumRows() != 2 {
+		t.Fatalf("dedup merged a %q-label row with a missing-cell row: removed=%d rows=%d", "?", removed, out.NumRows())
+	}
+}

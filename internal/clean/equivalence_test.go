@@ -1,0 +1,412 @@
+package clean
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// This file checks that the cursor-backed cleaning kernels are exact
+// ports: each step must produce a table byte-identical (table.Equal, NaN
+// matching NaN, nominal cells by label) to the pre-port row-at-a-time
+// implementation, with the same change count, over randomized dirty
+// tables. The ref* helpers below are copies of the old implementations.
+
+// refImputerApply is the pre-cursor Imputer.Apply (mean/median + mode).
+func refImputerApply(im Imputer, t *table.Table) (*table.Table, int) {
+	out := t.ShallowClone()
+	excluded := map[string]bool{}
+	for _, n := range im.ExcludeColumns {
+		excluded[n] = true
+	}
+	changed := 0
+	for j := 0; j < out.NumCols(); j++ {
+		c := out.Column(j)
+		if excluded[c.Name] {
+			continue
+		}
+		if c.Kind == table.Numeric {
+			fill := stats.Mean(c.Nums)
+			if im.Strategy == Median {
+				fill = stats.Median(c.Nums)
+			}
+			if stats.IsMissing(fill) {
+				continue
+			}
+			var owned *table.Column
+			for r := range c.Nums {
+				if c.IsMissing(r) {
+					if owned == nil {
+						owned = out.OwnedColumn(j)
+					}
+					owned.Nums[r] = fill
+					changed++
+				}
+			}
+			continue
+		}
+		counts := c.Counts()
+		mode, best := -1, 0
+		for code, n := range counts {
+			if n > best {
+				mode, best = code, n
+			}
+		}
+		if mode < 0 {
+			continue
+		}
+		var owned *table.Column
+		for r := range c.Cats {
+			if c.Cats[r] == table.MissingCat {
+				if owned == nil {
+					owned = out.OwnedColumn(j)
+				}
+				owned.Cats[r] = mode
+				changed++
+			}
+		}
+	}
+	return out, changed
+}
+
+// refRowKey is the old label-rendered row key, without its "?"/separator
+// collisions folded in: the equivalence corpus uses collision-free labels,
+// so old and new keys partition rows identically there.
+func refRowKey(t *table.Table, r int) string {
+	var b strings.Builder
+	for i := 0; i < t.NumCols(); i++ {
+		c := t.Column(i)
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		if c.IsMissing(r) {
+			b.WriteByte('?')
+			continue
+		}
+		if c.Kind == table.Numeric {
+			fmt.Fprintf(&b, "%.9g", c.Nums[r])
+		} else {
+			b.WriteString(c.Label(c.Cats[r]))
+		}
+	}
+	return b.String()
+}
+
+// refFuzzyRowMatch is the pre-port fuzzyRowMatch working through *Table.
+func refFuzzyRowMatch(t *table.Table, a, b int, ranges []float64, maxEdit int, tol float64) bool {
+	for j, c := range t.Columns() {
+		am, bm := c.IsMissing(a), c.IsMissing(b)
+		if am != bm {
+			return false
+		}
+		if am {
+			continue
+		}
+		if c.Kind == table.Numeric {
+			if ranges[j] == 0 {
+				if c.Nums[a] != c.Nums[b] {
+					return false
+				}
+				continue
+			}
+			if math.Abs(c.Nums[a]-c.Nums[b]) > tol*ranges[j] {
+				return false
+			}
+			continue
+		}
+		la, lb := c.Label(c.Cats[a]), c.Label(c.Cats[b])
+		if la == lb {
+			continue
+		}
+		na := strings.ToLower(normalizeLabel(la))
+		nb := strings.ToLower(normalizeLabel(lb))
+		if Levenshtein(na, nb) > maxEdit {
+			return false
+		}
+	}
+	return true
+}
+
+// refDedupApply is the pre-port Dedup.Apply over string row keys.
+func refDedupApply(d Dedup, t *table.Table) (*table.Table, int) {
+	rows := t.NumRows()
+	keep := make([]int, 0, rows)
+	seen := make(map[string]bool, rows)
+	var survivors []int
+
+	maxEdit := d.MaxEditDistance
+	if maxEdit <= 0 {
+		maxEdit = 1
+	}
+	tol := d.Tolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+	cols := t.Columns()
+	ranges := make([]float64, len(cols))
+	for j, c := range cols {
+		if c.Kind != table.Numeric {
+			continue
+		}
+		lo, hi := stats.MinMax(c.Nums)
+		if !stats.IsMissing(lo) && hi > lo {
+			ranges[j] = hi - lo
+		}
+	}
+	blockCol := -1
+	for j, c := range cols {
+		if c.Kind == table.Nominal {
+			blockCol = j
+			break
+		}
+	}
+	blockKey := func(r int) (rune, bool) {
+		if blockCol < 0 || cols[blockCol].IsMissing(r) {
+			return 0, false
+		}
+		lbl := strings.ToLower(normalizeLabel(cols[blockCol].Label(cols[blockCol].Cats[r])))
+		if lbl == "" {
+			return 0, false
+		}
+		return []rune(lbl)[0], true
+	}
+	blocks := map[rune][]int{}
+	for r := 0; r < rows; r++ {
+		key := refRowKey(t, r)
+		if seen[key] {
+			continue
+		}
+		isDup := false
+		if d.Fuzzy {
+			candidates := survivors
+			if bk, ok := blockKey(r); ok {
+				candidates = blocks[bk]
+			}
+			for _, q := range candidates {
+				if refFuzzyRowMatch(t, r, q, ranges, maxEdit, tol) {
+					isDup = true
+					break
+				}
+			}
+		}
+		if isDup {
+			continue
+		}
+		seen[key] = true
+		keep = append(keep, r)
+		survivors = append(survivors, r)
+		if bk, ok := blockKey(r); ok {
+			blocks[bk] = append(blocks[bk], r)
+		}
+	}
+	return t.SelectRows(keep), rows - len(keep)
+}
+
+// refStandardizerApply is the pre-COW-fix Standardizer.Apply, minus its
+// unconditional column replacement (the fixed behaviour is pinned by
+// TestStandardizerCopyOnWriteUnchangedColumns; here only cell values and
+// the change count are compared).
+func refStandardizerApply(s Standardizer, t *table.Table) (*table.Table, int, error) {
+	out := t.ShallowClone()
+	changed := 0
+	for j := 0; j < out.NumCols(); j++ {
+		c := out.Column(j)
+		if c.Kind == table.Numeric {
+			continue
+		}
+		nc := table.NewNominalColumn(c.Name)
+		for r := 0; r < c.Len(); r++ {
+			if c.IsMissing(r) {
+				nc.AppendMissing()
+				continue
+			}
+			orig := c.Label(c.Cats[r])
+			lbl := normalizeLabel(orig)
+			if s.Lowercase {
+				lbl = strings.ToLower(lbl)
+			}
+			if s.Dates {
+				if iso, ok := parseDate(lbl); ok {
+					lbl = iso
+				}
+			}
+			if lbl != orig {
+				changed++
+			}
+			nc.AppendLabel(lbl)
+		}
+		if err := out.ReplaceColumn(j, nc); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, changed, nil
+}
+
+// refOutlierApply is the pre-port OutlierFilter.Apply over map fences.
+func refOutlierApply(o OutlierFilter, t *table.Table) (*table.Table, int) {
+	k := o.K
+	if k <= 0 {
+		k = 3
+	}
+	excluded := map[string]bool{}
+	for _, n := range o.ExcludeColumns {
+		excluded[n] = true
+	}
+	type fence struct{ lo, hi float64 }
+	fences := map[int]fence{}
+	for j, c := range t.Columns() {
+		if c.Kind != table.Numeric || excluded[c.Name] {
+			continue
+		}
+		q1, q3 := stats.Quantile(c.Nums, 0.25), stats.Quantile(c.Nums, 0.75)
+		if stats.IsMissing(q1) || stats.IsMissing(q3) {
+			continue
+		}
+		iqr := q3 - q1
+		fences[j] = fence{q1 - k*iqr, q3 + k*iqr}
+	}
+	rows := t.NumRows()
+	keep := make([]int, 0, rows)
+	for r := 0; r < rows; r++ {
+		ok := true
+		for j, f := range fences {
+			c := t.Column(j)
+			if c.IsMissing(r) {
+				continue
+			}
+			if c.Nums[r] < f.lo || c.Nums[r] > f.hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	return t.SelectRows(keep), rows - len(keep)
+}
+
+// randomDirtyTable fabricates the shapes the cleaning steps dispatch on:
+// messy nominal labels (case/whitespace variants, date spellings), numeric
+// columns with missing cells and occasional extreme outliers, duplicated
+// rows, and sometimes an all-missing numeric column.
+func randomDirtyTable(seed int64, rows int) *table.Table {
+	rng := stats.NewRand(seed)
+	labels := []string{
+		"red", "Red", " RED ", "blue", "BLUE", "green green",
+		"05/06/2020", "Jan 2, 2006", "2006-01-02", "12/25/2020",
+	}
+	tb := table.New("dirty")
+	c1 := table.NewNominalColumn("c1")
+	c2 := table.NewNominalColumn("c2")
+	n1 := table.NewNumericColumn("n1")
+	n2 := table.NewNumericColumn("n2")
+	allMissing := rng.Intn(5) == 0
+	appendRow := func() {
+		if rng.Float64() < 0.15 {
+			c1.AppendMissing()
+		} else {
+			c1.AppendLabel(labels[rng.Intn(len(labels))])
+		}
+		if rng.Float64() < 0.15 {
+			c2.AppendMissing()
+		} else {
+			c2.AppendLabel(labels[rng.Intn(len(labels))])
+		}
+		switch {
+		case rng.Float64() < 0.2:
+			n1.AppendFloat(math.NaN())
+		case rng.Float64() < 0.1:
+			n1.AppendFloat(rng.NormFloat64() * 1e6) // extreme outlier
+		default:
+			n1.AppendFloat(rng.NormFloat64())
+		}
+		if allMissing || rng.Float64() < 0.2 {
+			n2.AppendFloat(math.NaN())
+		} else {
+			n2.AppendFloat(float64(rng.Intn(10)))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if r > 0 && rng.Float64() < 0.25 {
+			// Duplicate an earlier row exactly.
+			src := rng.Intn(r)
+			for _, c := range []*table.Column{c1, c2} {
+				if c.Cats[src] == table.MissingCat {
+					c.AppendMissing()
+				} else {
+					c.AppendCode(c.Cats[src])
+				}
+			}
+			n1.AppendFloat(n1.Nums[src])
+			n2.AppendFloat(n2.Nums[src])
+			continue
+		}
+		appendRow()
+	}
+	tb.MustAddColumn(c1)
+	tb.MustAddColumn(c2)
+	tb.MustAddColumn(n1)
+	tb.MustAddColumn(n2)
+	return tb
+}
+
+// TestCleanStepsMatchRowAtATimeReferences is the equivalence property
+// test: every ported step must reproduce its pre-port reference exactly
+// on randomized dirty tables.
+func TestCleanStepsMatchRowAtATimeReferences(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		tb := randomDirtyTable(seed, 50+int(seed)*9)
+
+		for _, strat := range []ImputeStrategy{MeanMode, Median} {
+			im := Imputer{Strategy: strat, ExcludeColumns: []string{"c2"}}
+			got, gotN, err := im.Apply(tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantN := refImputerApply(im, tb)
+			if gotN != wantN || !table.Equal(got, want) {
+				t.Fatalf("seed %d: %s diverged from reference (changed %d vs %d)", seed, im.Name(), gotN, wantN)
+			}
+		}
+
+		for _, d := range []Dedup{{}, {Fuzzy: true, MaxEditDistance: 1, Tolerance: 0.01}} {
+			got, gotN, err := d.Apply(tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantN := refDedupApply(d, tb)
+			if gotN != wantN || !table.Equal(got, want) {
+				t.Fatalf("seed %d: %s diverged from reference (removed %d vs %d)", seed, d.Name(), gotN, wantN)
+			}
+		}
+
+		st := Standardizer{Lowercase: true, Dates: true}
+		got, gotN, err := st.Apply(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantN, err := refStandardizerApply(st, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN || !table.Equal(got, want) {
+			t.Fatalf("seed %d: standardize diverged from reference (changed %d vs %d)", seed, gotN, wantN)
+		}
+
+		for _, o := range []OutlierFilter{{K: 3}, {K: 1.5, ExcludeColumns: []string{"n2"}}} {
+			got, gotN, err := o.Apply(tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantN := refOutlierApply(o, tb)
+			if gotN != wantN || !table.Equal(got, want) {
+				t.Fatalf("seed %d: outlier-filter diverged from reference (removed %d vs %d)", seed, gotN, wantN)
+			}
+		}
+	}
+}

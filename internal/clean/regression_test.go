@@ -1,0 +1,76 @@
+package clean
+
+import (
+	"testing"
+
+	"openbi/internal/table"
+)
+
+// TestStandardizerCopyOnWriteUnchangedColumns is the regression test for
+// the broken copy-on-write: Standardizer rebuilt and replaced every
+// nominal column even when it rewrote nothing, so downstream steps saw a
+// fresh allocation per column instead of sharing the input's storage. A
+// column whose labels are already standard must stay pointer-identical.
+func TestStandardizerCopyOnWriteUnchangedColumns(t *testing.T) {
+	tb := table.New("cow")
+	okCol := table.NewNominalColumn("ok", "red", "blue")
+	dirty := table.NewNominalColumn("dirty", "Red", " blue ")
+	num := table.NewNumericColumn("num")
+	for r := 0; r < 3; r++ {
+		okCol.AppendCode(r % 2)
+		dirty.AppendCode(r % 2)
+		num.AppendFloat(float64(r))
+	}
+	tb.MustAddColumn(okCol)
+	tb.MustAddColumn(dirty)
+	tb.MustAddColumn(num)
+
+	out, changed, err := Standardizer{Lowercase: true, Dates: true}.Apply(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 3 {
+		t.Fatalf("changed = %d, want 3 (only the dirty column's cells)", changed)
+	}
+	if out.Column(0) != tb.Column(0) {
+		t.Fatal("already-standard nominal column was rebuilt; want it shared with the input")
+	}
+	if out.Column(2) != tb.Column(2) {
+		t.Fatal("numeric column must stay shared with the input")
+	}
+	if out.Column(1) == tb.Column(1) {
+		t.Fatal("rewritten column must not alias the input")
+	}
+	if got := out.Column(1).Label(out.Column(1).Cats[0]); got != "red" {
+		t.Fatalf("dirty column not standardized: %q", got)
+	}
+}
+
+// TestStandardizerDateAmbiguity pins the documented resolution of
+// ambiguous date spellings: dateLayouts tries day-first (02/01/2006)
+// before month-first (01/02/2006), so a spelling where both could apply
+// resolves day-first, and month-first only catches spellings day-first
+// cannot parse.
+func TestStandardizerDateAmbiguity(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"05/06/2020", "2020-06-05", true}, // ambiguous: day-first wins
+		{"01/02/2006", "2006-02-01", true}, // ambiguous: day-first wins
+		{"25/12/2020", "2020-12-25", true}, // only day-first parses
+		{"12/25/2020", "2020-12-25", true}, // month-first fallback
+		{"3/4/2021", "2021-04-03", true},   // unpadded: day-first too
+		{"2006-01-02", "2006-01-02", true}, // ISO passes through
+		{"Jan 2, 2006", "2006-01-02", true},
+		{"not a date", "", false},
+		{"13/13/2020", "", false},
+	}
+	for _, c := range cases {
+		got, ok := parseDate(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseDate(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -85,18 +85,31 @@ type Model struct {
 // (views are materialized once here).
 func BuildModel(a table.Access, classColumn string) (*Model, error) {
 	t := a.Materialize()
+	profile, err := ProfileTable(t, classColumn, nil)
+	if err != nil {
+		return nil, err
+	}
+	catalog := cwm.CatalogFromTable(t, "openbi")
+	dq.Annotate(catalog.Table(t.Name), profile)
+	return &Model{Catalog: catalog, Profile: profile}, nil
+}
+
+// ProfileTable measures a source's data-quality profile with the same
+// class resolution and error semantics as BuildModel, without building
+// the CWM catalog. sc may be nil; servers that profile many uploads pass
+// pooled scratch so steady-state measurement reuses one worker's buffers
+// (see dq.MeasureWith).
+func ProfileTable(a table.Access, classColumn string, sc *dq.Scratch) (dq.Profile, error) {
+	t := a.Materialize()
 	classIdx := -1
 	if classColumn != "" {
 		classIdx = t.ColumnIndex(classColumn)
 		if classIdx < 0 {
-			return nil, fmt.Errorf("core: class %w",
+			return dq.Profile{}, fmt.Errorf("core: class %w",
 				&oberr.ColumnNotFoundError{Column: classColumn, Table: t.Name})
 		}
 	}
-	profile := dq.Measure(t, dq.MeasureOptions{ClassColumn: classIdx})
-	catalog := cwm.CatalogFromTable(t, "openbi")
-	dq.Annotate(catalog.Table(t.Name), profile)
-	return &Model{Catalog: catalog, Profile: profile}, nil
+	return dq.MeasureWith(t, dq.MeasureOptions{ClassColumn: classIdx}, sc), nil
 }
 
 // ---- Controlled corruption (§3.1 step 1) ----

@@ -133,7 +133,7 @@ func refOneNN(t *table.Table, attrCols []int, classCol, maxSample int) float64 {
 		return 0
 	}
 	cls := t.Column(classCol)
-	sample := strideSample(rows, maxSample)
+	sample := strideSample(make([]int, min(rows, maxSample)), rows, maxSample)
 	ranges := make(map[int]float64, len(attrCols))
 	for _, j := range attrCols {
 		c := t.Column(j)

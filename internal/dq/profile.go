@@ -61,6 +61,17 @@ type MeasureOptions struct {
 // deterministic: subsampling uses fixed strides, not randomness, so the
 // same source always yields the same annotations.
 func Measure(t *table.Table, opts MeasureOptions) Profile {
+	return MeasureWith(t, opts, nil)
+}
+
+// MeasureWith is Measure with caller-provided scratch, for servers that
+// profile many sources and want steady-state measurement to reuse one
+// worker's buffers instead of re-allocating per request. A nil scratch is
+// equivalent to Measure.
+func MeasureWith(t *table.Table, opts MeasureOptions, sc *Scratch) Profile {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if opts.MaxCorrelationColumns == 0 {
 		opts.MaxCorrelationColumns = 64
 	}
@@ -88,8 +99,8 @@ func Measure(t *table.Table, opts MeasureOptions) Profile {
 	totalCells, observedCells := 0, 0
 	var outlierSum float64
 	numericCount := 0
-	var obs []float64 // numeric gather scratch, reused across columns
-	var counts []int  // nominal level-count scratch, reused across columns
+	obs := sc.obs[:0]   // numeric gather scratch, reused across columns
+	counts := sc.counts // nominal level-count scratch, reused across columns
 	for _, j := range attrCols {
 		c := t.Column(j)
 		cp := ColumnProfile{Name: c.Name, Kind: c.Kind.String(), Mean: math.NaN(), StdDev: math.NaN()}
@@ -116,17 +127,20 @@ func Measure(t *table.Table, opts MeasureOptions) Profile {
 	if numericCount > 0 {
 		p.OutlierRatio = outlierSum / float64(numericCount)
 	}
+	sc.obs, sc.counts = obs, counts // write growth back for the next call
 
-	// Duplicates.
+	// Duplicates: typed row keys (table.AppendRowKey) built into one
+	// reused buffer — no per-row string construction, and a literal "?"
+	// label never collides with a missing cell.
 	if rows > 0 {
-		seen := make(map[string]bool, rows)
+		seen := sc.seenSet(rows)
 		dups := 0
 		for r := 0; r < rows; r++ {
-			k := t.RowKey(r)
-			if seen[k] {
+			sc.key = t.AppendRowKey(sc.key[:0], r)
+			if _, dup := seen[string(sc.key)]; dup {
 				dups++
 			} else {
-				seen[k] = true
+				seen[string(sc.key)] = struct{}{}
 			}
 		}
 		p.DuplicateRatio = float64(dups) / float64(rows)
@@ -157,7 +171,7 @@ func Measure(t *table.Table, opts MeasureOptions) Profile {
 		p.ClassLevels = nonZero(counts)
 		p.ClassBalance = stats.NormalizedEntropy(counts)
 		p.MinorityFraction = minorityFraction(counts, rows)
-		p.NoiseEstimate = oneNNDisagreement(t, attrCols, opts.ClassColumn, opts.MaxNoiseSample)
+		p.NoiseEstimate = oneNNDisagreement(t, attrCols, opts.ClassColumn, opts.MaxNoiseSample, sc)
 	}
 	return p
 }
@@ -436,25 +450,35 @@ func binNumeric(xs []float64, k int) []int {
 // whose nearest neighbour (heterogeneous Gower-style distance) carries a
 // different label. Clean separable data scores near 0; heavily mislabeled
 // data scores near the flip rate. Sampling is stride-based for determinism.
-func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) float64 {
+func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int, sc *Scratch) float64 {
 	rows := t.NumRows()
 	if rows < 4 || len(attrCols) == 0 {
 		return 0
 	}
 	cls := t.Column(classCol)
-	sample := strideSample(rows, maxSample)
+	sample := strideSample(sc.sampleBuf(min(rows, maxSample)), rows, maxSample)
 	m := len(sample)
 
 	// Gather the sampled slice of every attribute into dense vectors so
 	// the O(sample²·attrs) distance pass reads contiguous storage instead
 	// of resolving t.Column(j) per cell. Numeric ranges still scan the
-	// full column, exactly like the per-pair reference did.
+	// full column, exactly like the per-pair reference did. Vectors come
+	// from two flat scratch buffers sized up front, so a pooled Scratch
+	// makes this whole pass allocation-free in steady state.
 	type nnAttr struct {
 		numeric bool
 		span    float64
 		vals    []float64
 		cats    []int32
 	}
+	nNum := 0
+	for _, j := range attrCols {
+		if t.Column(j).Kind == table.Numeric {
+			nNum++
+		}
+	}
+	fbuf := sc.f64Buf(nNum*m + m)
+	ibuf := sc.i32Buf((len(attrCols) - nNum) * m)
 	attrs := make([]nnAttr, 0, len(attrCols))
 	for _, j := range attrCols {
 		c := t.Column(j)
@@ -464,12 +488,12 @@ func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) 
 			if !stats.IsMissing(lo) && hi > lo {
 				a.span = hi - lo
 			}
-			a.vals = make([]float64, m)
+			a.vals, fbuf = fbuf[:m:m], fbuf[m:]
 			for i, r := range sample {
 				a.vals[i] = c.Nums[r]
 			}
 		} else {
-			a.cats = make([]int32, m)
+			a.cats, ibuf = ibuf[:m:m], ibuf[m:]
 			for i, r := range sample {
 				a.cats[i] = int32(c.Cats[r])
 			}
@@ -482,7 +506,7 @@ func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) 
 	// sums match the per-pair gowerDistance walk bit for bit), then take
 	// the first strict minimum in sample order — the reference's scan.
 	nAttrs := float64(len(attrCols))
-	dist := make([]float64, m)
+	dist := fbuf[:m:m]
 	disagree, counted := 0, 0
 	for qi, r := range sample {
 		if cls.IsMissing(r) {
@@ -556,20 +580,19 @@ func oneNNDisagreement(t *table.Table, attrCols []int, classCol, maxSample int) 
 	return float64(disagree) / float64(counted)
 }
 
-// strideSample returns up to max row indices spread evenly over [0,rows).
-func strideSample(rows, max int) []int {
+// strideSample fills dst (len min(rows,max)) with up to max row indices
+// spread evenly over [0,rows) and returns it.
+func strideSample(dst []int, rows, max int) []int {
 	if rows <= max {
-		out := make([]int, rows)
-		for i := range out {
-			out[i] = i
+		for i := range dst {
+			dst[i] = i
 		}
-		return out
+		return dst
 	}
-	out := make([]int, max)
 	for i := 0; i < max; i++ {
-		out[i] = i * rows / max
+		dst[i] = i * rows / max
 	}
-	return out
+	return dst
 }
 
 func nonZero(counts []int) int {

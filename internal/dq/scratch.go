@@ -1,0 +1,55 @@
+package dq
+
+// Scratch is reusable per-call scratch for Measure, in the style of
+// mining.Arena: a profile server keeps a pool of them so a profile request
+// allocates per-column metadata, not per-cell temporaries. All buffers are
+// grown in place and reused (not freed) between calls; the zero value is
+// ready. A Scratch is single-goroutine state — pool one per worker. A nil
+// *Scratch is valid everywhere and degrades to plain allocation.
+type Scratch struct {
+	obs    []float64           // numeric gather scratch (one column at a time)
+	counts []int               // nominal level-count scratch
+	key    []byte              // typed row-key buffer for the duplicate pass
+	seen   map[string]struct{} // duplicate-pass key set (cleared per call)
+	f64    []float64           // flat backing for 1-NN vectors + distances
+	i32    []int32             // flat backing for 1-NN nominal codes
+	sample []int               // stride-sample row indices
+}
+
+// NewScratch returns an empty scratch ready for MeasureWith.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// f64Buf returns a length-n float buffer, reusing (and keeping) the
+// backing allocation across calls. Contents are unspecified.
+func (s *Scratch) f64Buf(n int) []float64 {
+	if cap(s.f64) < n {
+		s.f64 = make([]float64, n)
+	}
+	return s.f64[:n]
+}
+
+// i32Buf returns a length-n int32 buffer; contents are unspecified.
+func (s *Scratch) i32Buf(n int) []int32 {
+	if cap(s.i32) < n {
+		s.i32 = make([]int32, n)
+	}
+	return s.i32[:n]
+}
+
+// sampleBuf returns a length-n int buffer; contents are unspecified.
+func (s *Scratch) sampleBuf(n int) []int {
+	if cap(s.sample) < n {
+		s.sample = make([]int, n)
+	}
+	return s.sample[:n]
+}
+
+// seenSet returns the cleared duplicate-key set.
+func (s *Scratch) seenSet(sizeHint int) map[string]struct{} {
+	if s.seen == nil {
+		s.seen = make(map[string]struct{}, sizeHint)
+	} else {
+		clear(s.seen)
+	}
+	return s.seen
+}

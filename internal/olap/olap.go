@@ -6,10 +6,10 @@
 package olap
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"openbi/internal/report"
 	"openbi/internal/table"
@@ -148,7 +148,12 @@ type Cell struct {
 
 // RollUp aggregates the cube's measures grouped by the named dimensions
 // (a subset of the cube's dimensions; empty means the grand total). The
-// result is sorted by key, deterministic.
+// result is sorted by the groups' decoded labels, deterministic.
+//
+// Grouping is by packed dictionary-code tuples, not rendered labels:
+// a missing dimension cell is its own sentinel (rendered "?" only at
+// report time), so it never merges with a genuine "?" category, and
+// labels may contain arbitrary bytes without corrupting group identity.
 func (c *Cube) RollUp(dimensions ...string) ([]Cell, error) {
 	var groupCols []int
 	for _, d := range dimensions {
@@ -165,92 +170,147 @@ func (c *Cube) RollUp(dimensions ...string) ([]Cell, error) {
 		}
 	}
 
-	type acc struct {
-		keys   []string
-		sums   []float64
-		counts []int
-		mins   []float64
-		maxs   []float64
-		rows   int
+	// Pass 1: assign each active row a dense group id from its packed
+	// code tuple. The packed key is uvarints over (code+1) — 0 is the
+	// missing sentinel — into one reused buffer; no per-row strings.
+	cur := table.NewCursor(c.t)
+	dims := make([][]int, len(groupCols))
+	for i, gc := range groupCols {
+		dims[i], _ = cur.CatsSpan(gc)
 	}
-	groups := map[string]*acc{}
-	for _, r := range c.rows {
-		keyParts := make([]string, len(groupCols))
-		for i, gc := range groupCols {
-			col := c.t.Column(gc)
-			if col.IsMissing(r) {
-				keyParts[i] = "?"
-			} else {
-				keyParts[i] = col.Label(col.Cats[r])
-			}
+	nm := len(c.measures)
+	gids := make([]int32, len(c.rows))
+	groupOf := make(map[string]int32, 16)
+	var keyBuf []byte
+	var tuples [][]int // per group, its dimension codes in groupCols order
+	for i, r := range c.rows {
+		keyBuf = keyBuf[:0]
+		for _, span := range dims {
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(span[r]+1))
 		}
-		key := strings.Join(keyParts, "\x1f")
-		g, ok := groups[key]
+		id, ok := groupOf[string(keyBuf)]
 		if !ok {
-			g = &acc{
-				keys:   keyParts,
-				sums:   make([]float64, len(c.measures)),
-				counts: make([]int, len(c.measures)),
-				mins:   make([]float64, len(c.measures)),
-				maxs:   make([]float64, len(c.measures)),
+			id = int32(len(tuples))
+			groupOf[string(keyBuf)] = id
+			tuple := make([]int, len(dims))
+			for d, span := range dims {
+				tuple[d] = span[r]
 			}
-			for i := range g.mins {
-				g.mins[i] = math.Inf(1)
-				g.maxs[i] = math.Inf(-1)
-			}
-			groups[key] = g
+			tuples = append(tuples, tuple)
 		}
-		g.rows++
-		for i, mc := range c.mcols {
-			col := c.t.Column(mc)
-			if col.IsMissing(r) {
+		gids[i] = id
+	}
+	ng := len(tuples)
+
+	// Pass 2: columnar accumulation, one sweep per measure column over
+	// its span, into flat per-group accumulators (slot = group*nm+measure).
+	rowsPer := make([]int, ng)
+	for _, id := range gids {
+		rowsPer[id]++
+	}
+	sums := make([]float64, ng*nm)
+	counts := make([]int, ng*nm)
+	mins := make([]float64, ng*nm)
+	maxs := make([]float64, ng*nm)
+	for i := range mins {
+		mins[i] = math.Inf(1)
+		maxs[i] = math.Inf(-1)
+	}
+	for mi, mc := range c.mcols {
+		if c.t.Column(mc).Kind == table.Numeric {
+			nums, _ := cur.NumsSpan(mc)
+			for i, r := range c.rows {
+				v := nums[r]
+				if math.IsNaN(v) {
+					continue
+				}
+				slot := int(gids[i])*nm + mi
+				sums[slot] += v
+				counts[slot]++
+				if v < mins[slot] {
+					mins[slot] = v
+				}
+				if v > maxs[slot] {
+					maxs[slot] = v
+				}
+			}
+			continue
+		}
+		// Nominal measure column: only Count is legal (NewCube enforces
+		// it); each observed cell contributes 1.
+		cats, _ := cur.CatsSpan(mc)
+		for i, r := range c.rows {
+			if cats[r] == table.MissingCat {
 				continue
 			}
-			v := 1.0
-			if col.Kind == table.Numeric {
-				v = col.Nums[r]
+			slot := int(gids[i])*nm + mi
+			sums[slot]++
+			counts[slot]++
+			if 1 < mins[slot] {
+				mins[slot] = 1
 			}
-			g.sums[i] += v
-			g.counts[i]++
-			if v < g.mins[i] {
-				g.mins[i] = v
-			}
-			if v > g.maxs[i] {
-				g.maxs[i] = v
+			if 1 > maxs[slot] {
+				maxs[slot] = 1
 			}
 		}
 	}
 
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	// Sort groups by code-decoded labels. A genuine "?" category and the
+	// missing sentinel render identically, so ties break missing-last to
+	// stay deterministic.
+	order := make([]int, ng)
+	for i := range order {
+		order[i] = i
 	}
-	sort.Strings(keys)
-	out := make([]Cell, 0, len(groups))
-	for _, k := range keys {
-		g := groups[k]
-		cell := Cell{Keys: g.keys, Rows: g.rows, Values: make([]float64, len(c.measures))}
+	dimLabel := func(d, code int) string {
+		if code == table.MissingCat {
+			return "?"
+		}
+		return c.t.Column(groupCols[d]).Label(code)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := tuples[order[a]], tuples[order[b]]
+		for d := range ta {
+			la, lb := dimLabel(d, ta[d]), dimLabel(d, tb[d])
+			if la != lb {
+				return la < lb
+			}
+			if ta[d] != tb[d] {
+				return tb[d] == table.MissingCat
+			}
+		}
+		return false
+	})
+
+	out := make([]Cell, 0, ng)
+	for _, g := range order {
+		keys := make([]string, len(groupCols))
+		for d, code := range tuples[g] {
+			keys[d] = dimLabel(d, code)
+		}
+		cell := Cell{Keys: keys, Rows: rowsPer[g], Values: make([]float64, nm)}
 		for i, m := range c.measures {
+			slot := g*nm + i
 			switch m.Agg {
 			case Sum:
-				cell.Values[i] = g.sums[i]
+				cell.Values[i] = sums[slot]
 			case Count:
-				cell.Values[i] = float64(g.counts[i])
+				cell.Values[i] = float64(counts[slot])
 			case Avg:
-				if g.counts[i] > 0 {
-					cell.Values[i] = g.sums[i] / float64(g.counts[i])
+				if counts[slot] > 0 {
+					cell.Values[i] = sums[slot] / float64(counts[slot])
 				} else {
 					cell.Values[i] = math.NaN()
 				}
 			case Min:
-				if g.counts[i] > 0 {
-					cell.Values[i] = g.mins[i]
+				if counts[slot] > 0 {
+					cell.Values[i] = mins[slot]
 				} else {
 					cell.Values[i] = math.NaN()
 				}
 			case Max:
-				if g.counts[i] > 0 {
-					cell.Values[i] = g.maxs[i]
+				if counts[slot] > 0 {
+					cell.Values[i] = maxs[slot]
 				} else {
 					cell.Values[i] = math.NaN()
 				}

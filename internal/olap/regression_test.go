@@ -1,0 +1,303 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"openbi/internal/stats"
+	"openbi/internal/table"
+)
+
+// TestRollUpQuestionMarkLevelIsNotMissing is the regression test for the
+// label-keyed grouping bug: a dimension whose dictionary contains a
+// genuine "?" category must not merge with rows whose dimension cell is
+// missing. Both render as "?" in Cell.Keys, but they are distinct groups.
+func TestRollUpQuestionMarkLevelIsNotMissing(t *testing.T) {
+	tb := table.New("q")
+	dim := table.NewNominalColumn("dim", "?", "a")
+	val := table.NewNumericColumn("val")
+	// Two rows in the literal "?" category, one missing, one "a".
+	dim.AppendCode(0)
+	val.AppendFloat(1)
+	dim.AppendCode(0)
+	val.AppendFloat(2)
+	dim.AppendMissing()
+	val.AppendFloat(10)
+	dim.AppendCode(1)
+	val.AppendFloat(100)
+	tb.MustAddColumn(dim)
+	tb.MustAddColumn(val)
+
+	c, err := NewCube(tb, []string{"dim"}, []Measure{{Column: "val", Agg: Sum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := c.RollUp("dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("want 3 groups (%q category, missing, %q), got %d: %+v", "?", "a", len(cells), cells)
+	}
+	// Sorted by label with the missing sentinel after a tied "?" category.
+	wantSums := []float64{3, 10, 100}
+	wantRows := []int{2, 1, 1}
+	for i, cell := range cells {
+		if cell.Values[0] != wantSums[i] || cell.Rows != wantRows[i] {
+			t.Fatalf("cell %d = %+v, want sum %v over %d rows", i, cell, wantSums[i], wantRows[i])
+		}
+	}
+	if cells[0].Keys[0] != "?" || cells[1].Keys[0] != "?" {
+		t.Fatalf("both the %q category and the missing sentinel should render %q: %+v", "?", "?", cells)
+	}
+}
+
+// TestRollUpSeparatorByteInLabel is the second half of the regression: the
+// old implementation joined group labels with 0x1f, so the label pair
+// ("a\x1fb", "c") collided with ("a", "b\x1fc") across two dimensions.
+func TestRollUpSeparatorByteInLabel(t *testing.T) {
+	tb := table.New("sep")
+	d1 := table.NewNominalColumn("d1", "a\x1fb", "a")
+	d2 := table.NewNominalColumn("d2", "c", "b\x1fc")
+	val := table.NewNumericColumn("val")
+	d1.AppendCode(0)
+	d2.AppendCode(0)
+	val.AppendFloat(1) // ("a\x1fb", "c")
+	d1.AppendCode(1)
+	d2.AppendCode(1)
+	val.AppendFloat(2) // ("a", "b\x1fc")
+	tb.MustAddColumn(d1)
+	tb.MustAddColumn(d2)
+	tb.MustAddColumn(val)
+
+	c, err := NewCube(tb, []string{"d1", "d2"}, []Measure{{Column: "val", Agg: Sum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := c.RollUp("d1", "d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("labels containing the old separator byte merged: got %d cells %+v", len(cells), cells)
+	}
+	for _, cell := range cells {
+		if cell.Rows != 1 {
+			t.Fatalf("each group holds one row, got %+v", cells)
+		}
+	}
+}
+
+// refRollUp is a deliberately naive row-at-a-time roll-up used as the
+// equivalence oracle for the columnar kernel: group on dimension code
+// tuples row by row, fold every measure per row, then sort by decoded
+// labels (missing sentinel last on a label tie). It shares no code with
+// Cube.RollUp beyond the column accessors.
+func refRollUp(tb *table.Table, dims []string, measures []Measure) []Cell {
+	dimIdx := make([]int, len(dims))
+	for i, d := range dims {
+		dimIdx[i] = tb.ColumnIndex(d)
+	}
+	mIdx := make([]int, len(measures))
+	for i, m := range measures {
+		mIdx[i] = tb.ColumnIndex(m.Column)
+	}
+	type group struct {
+		tuple  []int
+		sums   []float64
+		counts []int
+		mins   []float64
+		maxs   []float64
+		rows   int
+	}
+	byKey := map[string]*group{}
+	var groups []*group
+	for r := 0; r < tb.NumRows(); r++ {
+		tuple := make([]int, len(dimIdx))
+		for i, j := range dimIdx {
+			if tb.Column(j).IsMissing(r) {
+				tuple[i] = table.MissingCat
+			} else {
+				tuple[i] = tb.Column(j).Cats[r]
+			}
+		}
+		key := fmt.Sprint(tuple)
+		g := byKey[key]
+		if g == nil {
+			g = &group{tuple: tuple,
+				sums: make([]float64, len(measures)), counts: make([]int, len(measures)),
+				mins: make([]float64, len(measures)), maxs: make([]float64, len(measures))}
+			for i := range g.mins {
+				g.mins[i] = math.Inf(1)
+				g.maxs[i] = math.Inf(-1)
+			}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.rows++
+		for i, j := range mIdx {
+			c := tb.Column(j)
+			if c.IsMissing(r) {
+				continue
+			}
+			v := 1.0
+			if c.Kind == table.Numeric {
+				v = c.Nums[r]
+			}
+			g.sums[i] += v
+			g.counts[i]++
+			g.mins[i] = math.Min(g.mins[i], v)
+			g.maxs[i] = math.Max(g.maxs[i], v)
+		}
+	}
+	label := func(d, code int) string {
+		if code == table.MissingCat {
+			return "?"
+		}
+		return tb.Column(dimIdx[d]).Label(code)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ta, tc := groups[a].tuple, groups[b].tuple
+		for d := range ta {
+			la, lb := label(d, ta[d]), label(d, tc[d])
+			if la != lb {
+				return la < lb
+			}
+			if ta[d] != tc[d] {
+				return tc[d] == table.MissingCat
+			}
+		}
+		return false
+	})
+	out := make([]Cell, 0, len(groups))
+	for _, g := range groups {
+		cell := Cell{Keys: make([]string, len(dimIdx)), Rows: g.rows, Values: make([]float64, len(measures))}
+		for d, code := range g.tuple {
+			cell.Keys[d] = label(d, code)
+		}
+		for i, m := range measures {
+			switch m.Agg {
+			case Sum:
+				cell.Values[i] = g.sums[i]
+			case Count:
+				cell.Values[i] = float64(g.counts[i])
+			case Avg:
+				cell.Values[i] = math.NaN()
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.sums[i] / float64(g.counts[i])
+				}
+			case Min:
+				cell.Values[i] = math.NaN()
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.mins[i]
+				}
+			case Max:
+				cell.Values[i] = math.NaN()
+				if g.counts[i] > 0 {
+					cell.Values[i] = g.maxs[i]
+				}
+			}
+		}
+		out = append(out, cell)
+	}
+	return out
+}
+
+// randomFactTable builds a randomized fact table: two nominal dimensions
+// with duplicate-free but arbitrary labels plus missing cells, two numeric
+// measures with missing cells, and occasionally an all-missing measure.
+func randomFactTable(seed int64, rows int) *table.Table {
+	rng := stats.NewRand(seed)
+	tb := table.New("rand")
+	d1 := table.NewNominalColumn("d1")
+	d2 := table.NewNominalColumn("d2")
+	m1 := table.NewNumericColumn("m1")
+	m2 := table.NewNumericColumn("m2")
+	n1 := 1 + rng.Intn(6)
+	n2 := 1 + rng.Intn(4)
+	allMissing := rng.Intn(4) == 0
+	for r := 0; r < rows; r++ {
+		if rng.Float64() < 0.2 {
+			d1.AppendMissing()
+		} else {
+			d1.AppendLabel(fmt.Sprintf("g%d", rng.Intn(n1)))
+		}
+		if rng.Float64() < 0.2 {
+			d2.AppendMissing()
+		} else {
+			d2.AppendLabel(fmt.Sprintf("h%d", rng.Intn(n2)))
+		}
+		if rng.Float64() < 0.25 {
+			m1.AppendFloat(math.NaN())
+		} else {
+			m1.AppendFloat(rng.NormFloat64() * 100)
+		}
+		if allMissing || rng.Float64() < 0.25 {
+			m2.AppendFloat(math.NaN())
+		} else {
+			m2.AppendFloat(float64(rng.Intn(50)))
+		}
+	}
+	tb.MustAddColumn(d1)
+	tb.MustAddColumn(d2)
+	tb.MustAddColumn(m1)
+	tb.MustAddColumn(m2)
+	return tb
+}
+
+func cellsEqual(a, b []Cell) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	feq := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	for i := range a {
+		if a[i].Rows != b[i].Rows || len(a[i].Keys) != len(b[i].Keys) || len(a[i].Values) != len(b[i].Values) {
+			return false
+		}
+		for k := range a[i].Keys {
+			if a[i].Keys[k] != b[i].Keys[k] {
+				return false
+			}
+		}
+		for v := range a[i].Values {
+			if !feq(a[i].Values[v], b[i].Values[v]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRollUpMatchesRowAtATimeReference is the equivalence property test:
+// the columnar kernel must reproduce the naive row-at-a-time reference
+// exactly (values with ==, NaN matching NaN) over randomized tables, for
+// every aggregation and for one- and two-dimension roll-ups.
+func TestRollUpMatchesRowAtATimeReference(t *testing.T) {
+	measures := []Measure{
+		{Column: "m1", Agg: Sum},
+		{Column: "m1", Agg: Avg},
+		{Column: "m2", Agg: Min},
+		{Column: "m2", Agg: Max},
+		{Column: "m2", Agg: Count},
+		{Column: "d2", Agg: Count}, // nominal measure: Count only
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		tb := randomFactTable(seed, 60+int(seed)*7)
+		c, err := NewCube(tb, []string{"d1", "d2"}, measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dims := range [][]string{{"d1"}, {"d2"}, {"d1", "d2"}, {"d2", "d1"}} {
+			got, err := c.RollUp(dims...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refRollUp(tb, dims, measures)
+			if !cellsEqual(got, want) {
+				t.Fatalf("seed %d dims %v:\n got %+v\nwant %+v", seed, dims, got, want)
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package table
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -335,27 +337,47 @@ func (t *Table) NominalColumnIndices() []int {
 	return out
 }
 
-// RowKey returns a canonical string for row r used by duplicate detection:
-// cell renderings joined by unit separators. Numeric cells are rounded to
-// 9 significant digits so that float noise below that threshold still keys
-// identically.
+// Cell tags for AppendRowKey's typed encoding. Missing gets its own tag so
+// it can never collide with a real value of either kind.
+const (
+	rowKeyMissing = 0x00
+	rowKeyNumeric = 0x01
+	rowKeyNominal = 0x02
+)
+
+// RowKey returns a canonical string for row r used by duplicate detection.
+// Cells are encoded as typed (kind, value) tuples — nominal cells by
+// dictionary code, numeric cells rounded to 9 significant digits so that
+// float noise below that threshold still keys identically, missing cells
+// by a dedicated tag — so a label that happens to be "?" never collides
+// with a missing cell and labels may contain arbitrary bytes. Keys are
+// only comparable between rows of the same table (codes are per-table
+// dictionary state).
 func (t *Table) RowKey(r int) string {
-	var b strings.Builder
-	for i, c := range t.cols {
-		if i > 0 {
-			b.WriteByte(0x1f)
-		}
+	return string(t.AppendRowKey(make([]byte, 0, 16*len(t.cols)), r))
+}
+
+// AppendRowKey appends row r's canonical key (see RowKey) to dst and
+// returns the extended slice. Hot callers reuse one buffer across rows and
+// look keys up with string(buf), so the per-row key costs no allocation.
+func (t *Table) AppendRowKey(dst []byte, r int) []byte {
+	for _, c := range t.cols {
 		if c.IsMissing(r) {
-			b.WriteByte('?')
+			dst = append(dst, rowKeyMissing)
 			continue
 		}
 		if c.Kind == Numeric {
-			fmt.Fprintf(&b, "%.9g", c.Nums[r])
+			// The decimal rendering is self-delimiting: 'g'-format bytes
+			// never include control characters, so the next cell's tag
+			// (0x00-0x02) cannot be read as part of the number.
+			dst = append(dst, rowKeyNumeric)
+			dst = strconv.AppendFloat(dst, c.Nums[r], 'g', 9, 64)
 		} else {
-			b.WriteString(c.Label(c.Cats[r]))
+			dst = append(dst, rowKeyNominal)
+			dst = binary.AppendUvarint(dst, uint64(c.Cats[r]))
 		}
 	}
-	return b.String()
+	return dst
 }
 
 // Equal reports whether two sources have identical schema and cell values

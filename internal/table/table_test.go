@@ -346,3 +346,58 @@ func TestRowKeyDistinguishesLabels(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRowKeyTypedEncoding pins the regression fixes of the typed row key:
+// a literal "?" label is not a missing cell, labels containing the old
+// 0x1f separator cannot shift bytes between columns, and numeric cells
+// still round to 9 significant digits.
+func TestRowKeyTypedEncoding(t *testing.T) {
+	t.Run("question mark label vs missing", func(t *testing.T) {
+		tb := New("q")
+		c := NewNominalColumn("c", "?")
+		c.AppendCode(0)
+		c.AppendMissing()
+		tb.MustAddColumn(c)
+		if tb.RowKey(0) == tb.RowKey(1) {
+			t.Fatalf("%q-label row and missing-cell row share a key", "?")
+		}
+	})
+	t.Run("separator byte in label", func(t *testing.T) {
+		tb := New("sep")
+		c1 := NewNominalColumn("c1", "a\x1fb", "a")
+		c2 := NewNominalColumn("c2", "c", "b\x1fc")
+		c1.AppendCode(0)
+		c2.AppendCode(0) // ("a\x1fb", "c")
+		c1.AppendCode(1)
+		c2.AppendCode(1) // ("a", "b\x1fc")
+		tb.MustAddColumn(c1)
+		tb.MustAddColumn(c2)
+		if tb.RowKey(0) == tb.RowKey(1) {
+			t.Fatal("separator byte in a label shifted between columns")
+		}
+	})
+	t.Run("numeric rounds to 9 significant digits", func(t *testing.T) {
+		tb := New("num")
+		c := NewNumericColumn("v")
+		c.AppendFloat(1.0000000001) // equal at 9 significant digits
+		c.AppendFloat(1.0000000002)
+		c.AppendFloat(1.00000001) // differs at the 9th digit
+		tb.MustAddColumn(c)
+		if tb.RowKey(0) != tb.RowKey(1) {
+			t.Fatal("float noise below 9 significant digits should key identically")
+		}
+		if tb.RowKey(0) == tb.RowKey(2) {
+			t.Fatal("difference at 9 significant digits should key differently")
+		}
+	})
+	t.Run("AppendRowKey matches RowKey", func(t *testing.T) {
+		tb := makeSample()
+		var buf []byte
+		for r := 0; r < tb.NumRows(); r++ {
+			buf = tb.AppendRowKey(buf[:0], r)
+			if string(buf) != tb.RowKey(r) {
+				t.Fatalf("row %d: AppendRowKey %q != RowKey %q", r, buf, tb.RowKey(r))
+			}
+		}
+	})
+}

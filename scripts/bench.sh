@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-BENCH="${BENCH:-BenchmarkF2_Phase1_|BenchmarkServeAdvise|BenchmarkF2_ShardedGrid|BenchmarkDQMeasure|BenchmarkKNNKernel|BenchmarkTreeKernel}"
+BENCH="${BENCH:-BenchmarkF2_Phase1_|BenchmarkServeAdvise|BenchmarkF2_ShardedGrid|BenchmarkDQMeasure|BenchmarkKNNKernel|BenchmarkTreeKernel|BenchmarkOLAPRollUp|BenchmarkCleanPipeline|BenchmarkServeProfile}"
 OUT="${OUT:-BENCH_experiments.json}"
 
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \
