@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (see .github/workflows).
 
-.PHONY: build test race bench bench-check verify
+.PHONY: build test race bench bench-check replay-check verify
 
 build:
 	go build ./... && go build ./examples/...
@@ -27,5 +27,12 @@ bench-check:
 	go run ./scripts/benchcmp BENCH_experiments.json /tmp/openbi_bench_check.json
 	go run ./scripts/benchcmp BENCH_ingest.json /tmp/openbi_bench_check_ingest.json
 	go run ./scripts/benchcmp -time-tolerance 1.0 BENCH_serve.json /tmp/openbi_bench_check_serve.json
+
+# Behavior regression gate: record a capture against the seed KB, replay
+# it against the same KB (-fail-on-diff: advice is byte-stable, any diff
+# is a real change), and round-trip a promoted golden (see
+# scripts/replaycheck.sh for REPLAY_DURATION / REPLAY_KB overrides).
+replay-check:
+	./scripts/replaycheck.sh
 
 verify: build test

@@ -27,7 +27,7 @@ import (
 //   - -selfserve: build engine + server in this process on 127.0.0.1:0 and
 //     drive it over real TCP. One command, no setup — what `make bench`
 //     and the CI smoke job use.
-func cmdLoadgen(args []string) error {
+func cmdLoadgen(args []string) (retErr error) {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	target := fs.String("target", "", "base URL of a running openbi serve (e.g. http://127.0.0.1:8080)")
 	selfserve := fs.Bool("selfserve", false, "start an in-process server on 127.0.0.1:0 and load-test it")
@@ -87,13 +87,34 @@ func cmdLoadgen(args []string) error {
 		Seed:        *seed,
 	}
 	if *record != "" {
-		rec, err := loadgen.NewRecorder(*record, *mixName, *seed)
+		// Pin the run configuration and the serving KB generation in the
+		// capture header, so a replayer can verify what it is replaying. A
+		// probe failure (non-openbi target) degrades to a zero KBInfo.
+		kbInfo, kerr := loadgen.ProbeKB(ctx, nil, *target)
+		if kerr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: record: KB probe failed, capture header will carry no generation:", kerr)
+		}
+		rec, err := loadgen.NewRecorder(*record, loadgen.CaptureSpec{
+			Mix:         *mixName,
+			Seed:        *seed,
+			Dim:         loadgen.DefaultDim,
+			Concurrency: *concurrency,
+			KB:          kbInfo,
+		})
 		if err != nil {
 			return err
 		}
 		defer func() {
+			// A Close error means the capture has no verifying footer — it
+			// is truncated and must fail the command, not exit 0 with a
+			// stderr whisper while CI promotes a broken golden.
 			if cerr := rec.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "loadgen: recorder:", cerr)
+				cerr = fmt.Errorf("loadgen: capture %s is truncated: %w", rec.Path(), cerr)
+				if retErr == nil {
+					retErr = cerr
+				} else {
+					fmt.Fprintln(os.Stderr, cerr)
+				}
 			} else {
 				fmt.Printf("recorded %d request/response pairs to %s\n", rec.Count(), rec.Path())
 			}

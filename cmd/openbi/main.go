@@ -20,6 +20,8 @@
 //	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms] [-max-inflight 64]
 //	openbi loadgen   -target http://host:8080 -duration 10s -rps 200 -mix recorded [-out BENCH_serve.json]
 //	openbi loadgen   -selfserve -kb kb.json -sweep -p99-budget 50ms   (saturation sweep, no setup)
+//	openbi replay    -capture captures/loadgen-recorded-seed1.jsonl -selfserve -kb new-kb.json -fail-on-diff
+//	openbi replay    -capture c.jsonl -selfserve -kb old.json -against-kb new.json   (two-sided KB diff)
 //
 // experiments, mine and validate honour ^C (SIGINT) and -timeout:
 // cancellation takes effect between experiment grid cells; with
@@ -111,6 +113,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -140,6 +144,7 @@ commands:
   kb           knowledge-base utilities: "kb merge" recombines shard outputs
   serve        run the HTTP advice service (batching, caching, hot KB reload)
   loadgen      load-test a serve instance: latency quantiles, throughput, saturation sweep
+  replay       re-issue a recorded capture and report the blast radius of a KB or build change
 
 scaling out:
   experiments -shard i/n -checkpoint dir   run one resumable shard of the grid

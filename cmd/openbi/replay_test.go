@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openbi/internal/core"
+	"openbi/internal/replay"
+	"openbi/internal/synth"
+)
+
+func TestCLIReplayFlagValidation(t *testing.T) {
+	if err := cmdReplay(nil); err == nil || !strings.Contains(err.Error(), "-capture") {
+		t.Fatalf("no capture: err = %v", err)
+	}
+	err := cmdReplay([]string{"-capture", "x.jsonl"})
+	if err == nil || !strings.Contains(err.Error(), "-target or -selfserve") {
+		t.Fatalf("no target: err = %v", err)
+	}
+	err = cmdReplay([]string{"-capture", "x.jsonl", "-selfserve", "-against", "http://x", "-against-kb", "y.json"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("both baselines: err = %v", err)
+	}
+}
+
+// buildReplayKB builds a small knowledge base the way startSelfServe does,
+// but seeded, so two calls with different seeds yield genuinely different
+// advice surfaces.
+func buildReplayKB(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	eng, err := core.New(core.WithSeed(seed), core.WithFolds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.MakeClassification(synth.ClassificationSpec{Rows: 60, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunExperiments(context.Background(), ds, "reference"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("kb-seed%d.json", seed))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveKB(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIReplayEndToEnd drives the full record -> replay -> golden loop
+// through the CLI entry points: a capture recorded against one KB replays
+// with zero diffs against the same KB, yields a non-empty deterministic
+// blast-radius report against a different KB, and golden promotion pins the
+// good run so drift fails the -golden gate.
+func TestCLIReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two knowledge bases and replays a capture repeatedly")
+	}
+	dir := t.TempDir()
+	kbOld := buildReplayKB(t, dir, 42)
+	kbNew := buildReplayKB(t, dir, 43)
+
+	// Record a capture against the old KB.
+	capDir := filepath.Join(dir, "captures")
+	out := captureStdout(t, func() error {
+		return cmdLoadgen([]string{
+			"-selfserve", "-kb", kbOld, "-mix", "uniform", "-seed", "7",
+			"-duration", "150ms", "-warmup", "50ms", "-concurrency", "2",
+			"-record", capDir,
+		})
+	})
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("loadgen record output:\n%s", out)
+	}
+	capPath := filepath.Join(capDir, "loadgen-uniform-seed7.jsonl")
+	if _, err := os.Stat(capPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same KB generation: advice is byte-stable, so zero diffs — and the
+	// -fail-on-diff CI gate passes.
+	out = captureStdout(t, func() error {
+		return cmdReplay([]string{"-capture", capPath, "-selfserve", "-kb", kbOld, "-fail-on-diff"})
+	})
+	if !strings.Contains(out, "zero diffs") {
+		t.Fatalf("same-KB replay:\n%s", out)
+	}
+
+	// A different KB re-advises part of the recorded request space: the
+	// report is non-empty and byte-identical across runs.
+	perturbed := []string{"-capture", capPath, "-selfserve", "-kb", kbNew}
+	rep1 := captureStdout(t, func() error { return cmdReplay(perturbed) })
+	if !strings.Contains(rep1, "verdict:") || strings.Contains(rep1, "zero diffs") {
+		t.Fatalf("perturbed-KB replay found no diffs:\n%s", rep1)
+	}
+	if !strings.Contains(rep1, "blast radius") || !strings.Contains(rep1, "by dominant criterion:") {
+		t.Fatalf("blast-radius report incomplete:\n%s", rep1)
+	}
+	rep2 := captureStdout(t, func() error { return cmdReplay(perturbed) })
+	if rep1 != rep2 {
+		t.Fatalf("replay report is not deterministic:\n--- first\n%s--- second\n%s", rep1, rep2)
+	}
+	if err := cmdReplay(append(perturbed, "-fail-on-diff")); err == nil || !strings.Contains(err.Error(), "diffs") {
+		t.Fatalf("-fail-on-diff on a diffing replay: err = %v", err)
+	}
+
+	// Two-sided mode diffs the KBs directly, using the capture only as the
+	// request stream.
+	out = captureStdout(t, func() error {
+		return cmdReplay([]string{"-capture", capPath, "-selfserve", "-kb", kbOld, "-against-kb", kbNew})
+	})
+	if strings.Contains(out, "zero diffs") {
+		t.Fatalf("two-sided replay of different KBs reported zero diffs:\n%s", out)
+	}
+
+	// Golden promotion pins the capture and the zero-diff digest.
+	goldDir := filepath.Join(dir, "goldens")
+	out = captureStdout(t, func() error {
+		return cmdReplay([]string{"-capture", capPath, "-selfserve", "-kb", kbOld, "-fail-on-diff", "-promote", goldDir})
+	})
+	if !strings.Contains(out, "golden promoted") {
+		t.Fatalf("promotion output:\n%s", out)
+	}
+	pinnedCap := filepath.Join(goldDir, filepath.Base(capPath))
+	goldenPath := replay.GoldenName(pinnedCap)
+	out = captureStdout(t, func() error {
+		return cmdReplay([]string{"-capture", pinnedCap, "-selfserve", "-kb", kbOld, "-golden", goldenPath})
+	})
+	if !strings.Contains(out, "golden ok") {
+		t.Fatalf("golden verification output:\n%s", out)
+	}
+	err := cmdReplay([]string{"-capture", pinnedCap, "-selfserve", "-kb", kbNew, "-golden", goldenPath})
+	if err == nil || !strings.Contains(err.Error(), "golden") {
+		t.Fatalf("drifted KB passed the golden gate: err = %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// The capture reader mirrors internal/experiment's checkpoint-journal
+// semantics: a header line pins what was recorded, atomicity is per line
+// (a torn final line — crash mid-write — is detected and dropped), and a
+// file written by a different configuration is refused rather than
+// silently mixed in. On top of that, a capture is only trusted when its
+// integrity footer verifies: entry count and sha256 over the raw entry
+// lines must match what the Recorder wrote at Close. Replay goldens are
+// promoted from captures, so an unverifiable capture must never pass as
+// one silently.
+
+// ErrCaptureTruncated reports a capture with no verifying footer: the
+// recording run crashed, hit a write error, or the tail was torn off.
+// ReadOptions.AllowTruncated downgrades this to Capture.Truncated = true.
+var ErrCaptureTruncated = errors.New("loadgen: capture has no verifying integrity footer (truncated recording?)")
+
+// ErrCaptureTampered reports a capture whose footer is present but does
+// not verify — the payload was edited after Close. Never downgraded.
+var ErrCaptureTampered = errors.New("loadgen: capture integrity footer does not verify (payload edited after recording?)")
+
+// Capture is one parsed capture file.
+type Capture struct {
+	Spec    CaptureSpec
+	Entries []Entry
+	// Truncated is set (only under ReadOptions.AllowTruncated) when the
+	// capture had no verifying footer; Entries then holds the intact
+	// prefix, torn tail dropped.
+	Truncated bool
+}
+
+// ReadOptions configures capture parsing.
+type ReadOptions struct {
+	// AllowTruncated tolerates a missing footer and a torn tail (the
+	// intact prefix is returned with Truncated set). A present-but-wrong
+	// footer is still refused: truncation is an accident, a hash mismatch
+	// is tampering.
+	AllowTruncated bool
+	// Expect, when non-nil, refuses a capture whose header does not match:
+	// each non-zero field (Mix, Seed, Dim, Concurrency, KB.Generation) is
+	// compared against the header.
+	Expect *CaptureSpec
+}
+
+// LoadCapture reads and verifies one capture file.
+func LoadCapture(path string, opt ReadOptions) (*Capture, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading capture: %w", err)
+	}
+	c, err := ReadCapture(bytes.NewReader(raw), opt)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: capture %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// ReadCapture parses a v2 capture: header, entries, integrity footer.
+// Headerless (v1) files are refused — nothing in them says what they
+// captured or whether they are complete.
+func ReadCapture(r io.Reader, opt ReadOptions) (*Capture, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	line, rest, ok := cutLine(raw)
+	if !ok {
+		return nil, errors.New("capture is empty or its header line is torn")
+	}
+	var head captureHeader
+	if err := json.Unmarshal(line, &head); err != nil || head.Capture != CaptureMagic {
+		return nil, errors.New("missing capture header (a v1 capture or not a capture at all); re-record with this build")
+	}
+	if head.Version != CaptureVersion {
+		return nil, fmt.Errorf("capture format v%d, this build reads v%d; re-record", head.Version, CaptureVersion)
+	}
+	if err := matchSpec(head.Spec, opt.Expect); err != nil {
+		return nil, err
+	}
+
+	c := &Capture{Spec: head.Spec}
+	h := sha256.New()
+	var torn bool
+	var foot *captureFooter
+	for len(rest) > 0 {
+		line, next, ok := cutLine(rest)
+		if !ok {
+			torn = true // unterminated final line: crash mid-write
+			break
+		}
+		if f := parseFooter(line); f != nil {
+			if len(bytes.TrimSpace(next)) > 0 {
+				return nil, errors.New("capture has content after its footer")
+			}
+			foot = f
+			break
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			torn = true // corrupt line: drop it and everything after
+			break
+		}
+		h.Write(rest[:len(line)+1]) // the exact bytes, newline included
+		c.Entries = append(c.Entries, e)
+		rest = next
+	}
+
+	switch {
+	case foot != nil:
+		if foot.Entries != int64(len(c.Entries)) || foot.PayloadSHA256 != hex.EncodeToString(h.Sum(nil)) {
+			return nil, ErrCaptureTampered
+		}
+	case torn && hasFooterAhead(rest):
+		// A corrupt line with a footer beyond it is mid-file damage, not a
+		// torn tail; the footer cannot verify, so refuse outright.
+		return nil, ErrCaptureTampered
+	case !opt.AllowTruncated:
+		return nil, ErrCaptureTruncated
+	default:
+		c.Truncated = true
+	}
+	return c, nil
+}
+
+// cutLine splits off the first newline-terminated line (without the
+// newline). ok is false when no complete line remains.
+func cutLine(b []byte) (line, rest []byte, ok bool) {
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, b, false
+	}
+	return b[:nl], b[nl+1:], true
+}
+
+// parseFooter returns the line's footer, or nil when it is not one.
+func parseFooter(line []byte) *captureFooter {
+	if !bytes.Contains(line, []byte(`"footer"`)) {
+		return nil
+	}
+	var f captureFooter
+	if err := json.Unmarshal(line, &f); err != nil || !f.Footer {
+		return nil
+	}
+	return &f
+}
+
+// hasFooterAhead scans the unparsed remainder for a valid footer line.
+func hasFooterAhead(rest []byte) bool {
+	for len(rest) > 0 {
+		line, next, ok := cutLine(rest)
+		if !ok {
+			return false
+		}
+		if parseFooter(line) != nil {
+			return true
+		}
+		rest = next
+	}
+	return false
+}
+
+// matchSpec refuses a header that contradicts any non-zero expectation —
+// the checkpoint-journal rule: a capture recorded under a different
+// configuration must fail fast, not silently replay as something else.
+func matchSpec(got CaptureSpec, want *CaptureSpec) error {
+	if want == nil {
+		return nil
+	}
+	mismatch := func(field string, g, w any) error {
+		return fmt.Errorf("capture was recorded under a different configuration: %s %v, want %v", field, g, w)
+	}
+	switch {
+	case want.Mix != "" && got.Mix != want.Mix:
+		return mismatch("mix", got.Mix, want.Mix)
+	case want.Seed != 0 && got.Seed != want.Seed:
+		return mismatch("seed", got.Seed, want.Seed)
+	case want.Dim != 0 && got.Dim != want.Dim:
+		return mismatch("dim", got.Dim, want.Dim)
+	case want.Concurrency != 0 && got.Concurrency != want.Concurrency:
+		return mismatch("concurrency", got.Concurrency, want.Concurrency)
+	case want.KB.Generation != 0 && got.KB.Generation != want.KB.Generation:
+		return mismatch("kb generation", got.KB.Generation, want.KB.Generation)
+	}
+	return nil
+}
+
+// ProbeKB asks target's GET /v1/kb for the serving KB generation, so
+// captures and replay reports can pin what they ran against. Targets that
+// are not an openbi serve (test stubs, other services) fail the probe;
+// callers degrade to a zero KBInfo.
+func ProbeKB(ctx context.Context, client *http.Client, target string) (KBInfo, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/kb", nil)
+	if err != nil {
+		return KBInfo{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return KBInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return KBInfo{}, fmt.Errorf("loadgen: GET /v1/kb: status %d", resp.StatusCode)
+	}
+	var info KBInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return KBInfo{}, fmt.Errorf("loadgen: decoding /v1/kb: %w", err)
+	}
+	return info, nil
+}

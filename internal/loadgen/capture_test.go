@@ -1,0 +1,232 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeCapture drives the Recorder directly (no HTTP) with a seeded
+// pseudo-random entry stream — multi-level offered loads, occasional
+// non-2xx statuses, and occasional non-JSON response bodies, the shapes a
+// sweep capture really holds — and returns the path plus what was fed in.
+func writeCapture(t *testing.T, dir string, spec CaptureSpec, n int, seed int64) (string, []Entry) {
+	t.Helper()
+	rec, err := NewRecorder(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	levels := []float64{0, 100, 400, 1600}
+	var fed []Entry
+	for i := 0; i < n; i++ {
+		status := 200
+		switch rng.Intn(10) {
+		case 0:
+			status = 429
+		case 1:
+			status = 500
+		}
+		req := fmt.Sprintf(`{"severities":[%.2f,%.2f]}`, rng.Float64(), rng.Float64())
+		resp := []byte(fmt.Sprintf(`{"advice":{"ranked":[{"algorithm":"A","predictedKappa":%.4f}]}}`, rng.Float64()))
+		if rng.Intn(5) == 0 {
+			resp = []byte("<html>proxy error") // non-JSON body: recorded as no response
+		}
+		rps := levels[rng.Intn(len(levels))]
+		rec.Record(rps, status, time.Duration(rng.Intn(5e6)), []byte(req), resp)
+		e := Entry{OfferedRPS: rps, Status: status, Request: json.RawMessage(req)}
+		if json.Valid(resp) {
+			e.Response = json.RawMessage(resp)
+		}
+		fed = append(fed, e)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Path(), fed
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		spec := CaptureSpec{Mix: "recorded", Seed: seed, Dim: 2, Concurrency: 4, KB: KBInfo{Generation: uint64(seed)}}
+		path, fed := writeCapture(t, t.TempDir(), spec, 50+int(seed)*17, seed)
+		c, err := LoadCapture(path, ReadOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if c.Spec != spec || c.Truncated {
+			t.Fatalf("seed %d: spec %+v truncated %v", seed, c.Spec, c.Truncated)
+		}
+		if len(c.Entries) != len(fed) {
+			t.Fatalf("seed %d: %d entries, fed %d", seed, len(c.Entries), len(fed))
+		}
+		for i, e := range c.Entries {
+			want := fed[i]
+			if e.Seq != int64(i+1) || e.OfferedRPS != want.OfferedRPS || e.Status != want.Status {
+				t.Fatalf("seed %d entry %d: got %+v want %+v", seed, i, e, want)
+			}
+			if !bytes.Equal(e.Request, want.Request) || !bytes.Equal(e.Response, want.Response) {
+				t.Fatalf("seed %d entry %d: payload mismatch", seed, i)
+			}
+		}
+	}
+}
+
+func TestCaptureTornTailTruncated(t *testing.T) {
+	spec := CaptureSpec{Mix: "noisy", Seed: 9, Dim: 2, Concurrency: 2}
+	path, fed := writeCapture(t, t.TempDir(), spec, 30, 9)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the footer off and tear the last entry mid-line: the crash shape.
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	torn := bytes.Join(lines[:len(lines)-2], nil) // drop footer (last line is empty split tail or footer)
+	torn = append(torn, []byte(`{"seq":31,"offs`)...)
+	tornPath := path + ".torn"
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadCapture(tornPath, ReadOptions{}); !errors.Is(err, ErrCaptureTruncated) {
+		t.Fatalf("strict read of torn capture: err = %v, want ErrCaptureTruncated", err)
+	}
+	c, err := LoadCapture(tornPath, ReadOptions{AllowTruncated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Truncated {
+		t.Fatal("torn capture not flagged Truncated")
+	}
+	if len(c.Entries) != len(fed) {
+		t.Fatalf("intact prefix has %d entries, want %d", len(c.Entries), len(fed))
+	}
+}
+
+func TestCaptureFooterTamperRefused(t *testing.T) {
+	spec := CaptureSpec{Mix: "recorded", Seed: 3, Dim: 2, Concurrency: 2}
+	path, _ := writeCapture(t, t.TempDir(), spec, 20, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one digit inside an entry's latency: the line still parses, only
+	// the footer hash can notice.
+	i := bytes.Index(raw, []byte(`"latencyMs":`))
+	if i < 0 {
+		t.Fatal("no latency field to tamper with")
+	}
+	tampered := append([]byte(nil), raw...)
+	for j := i + len(`"latencyMs":`); j < len(tampered); j++ {
+		if tampered[j] >= '0' && tampered[j] <= '9' {
+			tampered[j] = '0' + (tampered[j]-'0'+1)%10
+			break
+		}
+	}
+	tpath := path + ".tampered"
+	if err := os.WriteFile(tpath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []ReadOptions{{}, {AllowTruncated: true}} {
+		if _, err := LoadCapture(tpath, opt); !errors.Is(err, ErrCaptureTampered) {
+			t.Fatalf("tampered capture (opts %+v): err = %v, want ErrCaptureTampered", opt, err)
+		}
+	}
+
+	// Mid-file corruption with the footer still ahead is damage, not a torn
+	// tail — AllowTruncated must not accept it.
+	corrupt := append([]byte(nil), raw...)
+	j := bytes.Index(corrupt, []byte(`{"seq":5,`))
+	if j < 0 {
+		t.Fatal("no entry 5")
+	}
+	corrupt[j] = 'X'
+	cpath := path + ".corrupt"
+	if err := os.WriteFile(cpath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(cpath, ReadOptions{AllowTruncated: true}); !errors.Is(err, ErrCaptureTampered) {
+		t.Fatalf("mid-file corruption: err = %v, want ErrCaptureTampered", err)
+	}
+}
+
+func TestCaptureRefusesHeaderlessAndMismatchedSpecs(t *testing.T) {
+	dir := t.TempDir()
+
+	// v1-style file: entries only, no header.
+	v1 := filepath.Join(dir, "v1.jsonl")
+	if err := os.WriteFile(v1, []byte(`{"seq":1,"endpoint":"/v1/advise","status":200,"request":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(v1, ReadOptions{AllowTruncated: true}); err == nil || !strings.Contains(err.Error(), "missing capture header") {
+		t.Fatalf("headerless capture: err = %v", err)
+	}
+
+	// Future-versioned header.
+	v3 := filepath.Join(dir, "v3.jsonl")
+	if err := os.WriteFile(v3, []byte(`{"capture":"openbi-loadgen","version":3,"spec":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(v3, ReadOptions{AllowTruncated: true}); err == nil || !strings.Contains(err.Error(), "format v3") {
+		t.Fatalf("future version: err = %v", err)
+	}
+
+	// Spec expectation mismatches.
+	spec := CaptureSpec{Mix: "recorded", Seed: 7, Dim: 2, Concurrency: 2, KB: KBInfo{Generation: 4}}
+	path, _ := writeCapture(t, dir, spec, 5, 7)
+	for _, want := range []CaptureSpec{
+		{Mix: "noisy"}, {Seed: 8}, {Dim: 7}, {Concurrency: 16}, {KB: KBInfo{Generation: 5}},
+	} {
+		want := want
+		if _, err := LoadCapture(path, ReadOptions{Expect: &want}); err == nil ||
+			!strings.Contains(err.Error(), "different configuration") {
+			t.Fatalf("expect %+v: err = %v", want, err)
+		}
+	}
+	// And the matching expectation passes.
+	if _, err := LoadCapture(path, ReadOptions{Expect: &spec}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderWriteErrorSurfacesAtClose(t *testing.T) {
+	spec := CaptureSpec{Mix: "recorded", Seed: 1, Dim: 2, Concurrency: 1}
+	rec, err := NewRecorder(t.TempDir(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the file out from under the buffered writer, then write past
+	// the buffer: the flush fails, latches, and must surface at Close so
+	// the CLI exits non-zero instead of shipping a truncated capture.
+	rec.f.Close()
+	big := bytes.Repeat([]byte("x"), 1<<17)
+	rec.Record(0, 200, time.Millisecond, []byte(`{"severities":[0]}`), big)
+	rec.Record(0, 200, time.Millisecond, []byte(`{"severities":[0]}`), big)
+	if err := rec.Close(); err == nil {
+		t.Fatal("Close returned nil after a latched write error")
+	}
+}
+
+func TestProbeKB(t *testing.T) {
+	ts := httptest.NewServer(okHandler(nil))
+	defer ts.Close()
+	// okHandler answers every route with an advise body; /v1/kb decodes to
+	// a zero-generation KBInfo without error.
+	if _, err := ProbeKB(context.Background(), nil, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProbeKB(context.Background(), nil, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable target probed successfully")
+	}
+}

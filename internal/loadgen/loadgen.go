@@ -110,7 +110,10 @@ type Result struct {
 	Mix         string
 	Concurrency int
 	OfferedRPS  float64 // 0 = closed loop
-	Duration    time.Duration
+	// Duration is the observed measured window — the nominal spec duration
+	// on a full run, shorter when the context cancelled the run early. All
+	// rate denominators below use it, so partial runs report true rates.
+	Duration time.Duration
 
 	Requests  int64 // measured-phase requests with any outcome
 	StatusOK  int64 // 2xx
@@ -177,11 +180,24 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	wg.Wait()
 
+	// The measured window is what was actually observed: up to the nominal
+	// deadline on a full run, to the moment the workers stopped on an early
+	// cancel. Using nominal spec.Duration here would understate throughput
+	// on partial runs and flip the sweep's `sustained` predicate.
+	end := time.Now()
+	if end.After(deadline) {
+		end = deadline
+	}
+	observed := end.Sub(measureFrom)
+	if observed < 0 {
+		observed = 0 // cancelled during warmup; no requests were booked
+	}
+
 	res := &Result{
 		Mix:         spec.Mix.name,
 		Concurrency: spec.Concurrency,
 		OfferedRPS:  spec.RPS,
-		Duration:    spec.Duration,
+		Duration:    observed,
 		Hist:        hist.New(),
 	}
 	for i := range stats {
@@ -197,7 +213,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if res.Requests == 0 {
 		return res, fmt.Errorf("loadgen: no requests completed in the measured phase (target %s)", spec.Target)
 	}
-	secs := spec.Duration.Seconds()
+	secs := observed.Seconds()
+	if secs <= 0 {
+		// Requests were booked, so the window is positive but below clock
+		// resolution; bound it away from a divide-by-zero.
+		secs = float64(time.Millisecond) / float64(time.Second)
+	}
 	res.Throughput = float64(res.StatusOK) / secs
 	res.ErrorRate = float64(res.Errors+res.Server5xx) / float64(res.Requests)
 	res.ShedRate = float64(res.Shed) / float64(res.Requests)

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"math"
@@ -172,7 +173,8 @@ func TestRecorderCapturesPairs(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	rec, err := NewRecorder(dir, "recorded", 42)
+	spec := CaptureSpec{Mix: "recorded", Seed: 42, Dim: DefaultDim, Concurrency: 2, KB: KBInfo{Generation: 3}}
+	rec, err := NewRecorder(dir, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,47 +185,91 @@ func TestRecorderCapturesPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Count() == 0 {
+	want := rec.Count()
+	if want == 0 {
 		t.Fatal("recorder captured nothing")
 	}
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	f, err := os.Open(rec.Path())
+	// The raw layout: header first, footer last, entries between.
+	raw, err := os.ReadFile(rec.Path())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	var lines [][]byte
 	for sc.Scan() {
-		lines++
-		var e struct {
-			Seq      int64           `json:"seq"`
-			Status   int             `json:"status"`
-			Endpoint string          `json:"endpoint"`
-			Request  json.RawMessage `json:"request"`
-			Response json.RawMessage `json:"response"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			t.Fatalf("line %d not JSON: %v", lines, err)
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if int64(len(lines)) != want+2 {
+		t.Fatalf("file has %d lines, want %d entries + header + footer", len(lines), want)
+	}
+	if !bytes.Contains(lines[0], []byte(`"capture":"openbi-loadgen"`)) {
+		t.Fatalf("first line is not a v2 header: %s", lines[0])
+	}
+	if !bytes.Contains(lines[len(lines)-1], []byte(`"footer":true`)) {
+		t.Fatalf("last line is not a footer: %s", lines[len(lines)-1])
+	}
+
+	// The verified read: spec round-trips, every entry is a measured pair.
+	c, err := LoadCapture(rec.Path(), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec != spec {
+		t.Fatalf("spec round-trip: got %+v want %+v", c.Spec, spec)
+	}
+	if int64(len(c.Entries)) != want || c.Truncated {
+		t.Fatalf("read %d entries (truncated=%v), want %d", len(c.Entries), c.Truncated, want)
+	}
+	for i, e := range c.Entries {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
 		}
 		if e.Status != 200 || e.Endpoint != "/v1/advise" {
-			t.Fatalf("line %d: status=%d endpoint=%q", lines, e.Status, e.Endpoint)
+			t.Fatalf("entry %d: status=%d endpoint=%q", i, e.Status, e.Endpoint)
 		}
 		var req struct {
 			Severities []float64 `json:"severities"`
 		}
 		if err := json.Unmarshal(e.Request, &req); err != nil || len(req.Severities) != DefaultDim {
-			t.Fatalf("line %d request malformed: %v %v", lines, err, req)
+			t.Fatalf("entry %d request malformed: %v %v", i, err, req)
 		}
 		if len(e.Response) == 0 {
-			t.Fatalf("line %d: empty response", lines)
+			t.Fatalf("entry %d: empty response", i)
 		}
 	}
-	if int64(lines) != rec.Count() {
-		t.Fatalf("file has %d lines, recorder counted %d", lines, rec.Count())
+}
+
+func TestRunMeasuresObservedWindowOnEarlyCancel(t *testing.T) {
+	ts := httptest.NewServer(okHandler(nil))
+	defer ts.Close()
+
+	// Nominal 10s run cancelled after ~200ms: the denominators must come
+	// from the observed window, not the nominal duration, or throughput on
+	// a partial run collapses toward zero.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	nominal := 10 * time.Second
+	res, err := Run(ctx, Spec{
+		Target: ts.URL, Concurrency: 4, Warmup: 0, Duration: nominal, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration >= time.Second {
+		t.Fatalf("observed duration %v, want the ~200ms cancelled window", res.Duration)
+	}
+	perObserved := float64(res.StatusOK) / res.Duration.Seconds()
+	if res.Throughput < 0.5*perObserved || res.Throughput > 2*perObserved {
+		t.Fatalf("throughput %v not computed over the observed window (%v req in %v)",
+			res.Throughput, res.StatusOK, res.Duration)
+	}
+	perNominal := float64(res.StatusOK) / nominal.Seconds()
+	if res.Throughput < 10*perNominal {
+		t.Fatalf("throughput %v looks computed over the nominal duration (%v)", res.Throughput, perNominal)
 	}
 }
 

@@ -2,31 +2,91 @@ package loadgen
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 )
 
-// Recorder captures anonymized request/response pairs as JSON Lines — the
-// seed of the record/replay harness: replaying the requests against a new
-// KB generation and diffing the recorded responses quantifies a reload's
-// blast radius. "Anonymized" is structural: an entry carries only the two
-// JSON payloads plus status and latency — no headers, addresses, host
-// names, or wall-clock timestamps (offsets are relative to the run start).
+// Recorder captures anonymized request/response pairs as a versioned JSON
+// Lines file — the substrate of the record/replay harness (internal/replay
+// re-issues the captured requests against a candidate KB and diffs the
+// advice). "Anonymized" is structural: an entry carries only the two JSON
+// payloads plus status and latency — no headers, addresses, host names, or
+// wall-clock timestamps (offsets are relative to the run start).
+//
+// Capture format v2, line by line:
+//
+//  1. header: {"capture":"openbi-loadgen","version":2,"spec":{...}} — the
+//     run configuration (mix, seed, dim, concurrency) plus the serving
+//     KB's generation, so a replayer can refuse a capture that does not
+//     match what it thinks it is replaying.
+//  2. one Entry per recorded pair, in seq order.
+//  3. footer: {"footer":true,"entries":N,"payloadSha256":"..."} — entry
+//     count and the sha256 over the raw entry lines, written at Close.
+//     A capture without a verifying footer is truncated or tampered with,
+//     and the replay reader refuses it (ReadCapture).
+//
+// A failed write latches (later entries are dropped), no footer is
+// written, and the error surfaces at Close — callers must treat a Close
+// error as a truncated capture and fail loudly, not ship it as a golden.
 type Recorder struct {
 	mu    sync.Mutex
 	f     *os.File
 	w     *bufio.Writer
+	h     hash.Hash // running sha256 over the entry lines
 	seq   int64
 	start time.Time
 	err   error
 }
 
-// recordEntry is one JSONL line.
-type recordEntry struct {
+// CaptureMagic and CaptureVersion identify capture format v2. Version 1
+// was the headerless, footerless JSONL of the first -record cut; readers
+// refuse it because nothing in a v1 file says what it captured or whether
+// it is complete.
+const (
+	CaptureMagic   = "openbi-loadgen"
+	CaptureVersion = 2
+)
+
+// KBInfo pins the serving knowledge-base generation a capture was recorded
+// against (from GET /v1/kb). Zero when the target could not be probed.
+type KBInfo struct {
+	Generation uint64 `json:"generation"`
+	Records    int    `json:"records,omitempty"`
+	Source     string `json:"source,omitempty"`
+}
+
+// CaptureSpec is the run configuration pinned in a capture's header.
+type CaptureSpec struct {
+	Mix         string `json:"mix"`
+	Seed        int64  `json:"seed"`
+	Dim         int    `json:"dim"`
+	Concurrency int    `json:"concurrency"`
+	KB          KBInfo `json:"kb"`
+}
+
+// captureHeader is the capture file's first line.
+type captureHeader struct {
+	Capture string      `json:"capture"`
+	Version int         `json:"version"`
+	Spec    CaptureSpec `json:"spec"`
+}
+
+// captureFooter is the capture file's last line, written at Close.
+type captureFooter struct {
+	Footer        bool   `json:"footer"`
+	Entries       int64  `json:"entries"`
+	PayloadSHA256 string `json:"payloadSha256"`
+}
+
+// Entry is one recorded request/response pair (one JSONL line).
+type Entry struct {
 	Seq        int64           `json:"seq"`
 	OffsetMs   float64         `json:"offsetMs"`
 	OfferedRPS float64         `json:"offeredRps,omitempty"` // 0 = closed loop
@@ -37,19 +97,29 @@ type recordEntry struct {
 	Response   json.RawMessage `json:"response,omitempty"`
 }
 
-// NewRecorder creates dir (if needed) and opens one capture file in it,
+// NewRecorder creates dir (if needed), opens one capture file in it —
 // named after the mix and seed so reruns of the same spec overwrite their
-// own capture instead of accreting.
-func NewRecorder(dir, mix string, seed int64) (*Recorder, error) {
+// own capture instead of accreting — and writes the v2 header.
+func NewRecorder(dir string, spec CaptureSpec) (*Recorder, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("loadgen: record dir: %w", err)
 	}
-	path := filepath.Join(dir, fmt.Sprintf("loadgen-%s-seed%d.jsonl", mix, seed))
+	path := filepath.Join(dir, fmt.Sprintf("loadgen-%s-seed%d.jsonl", spec.Mix, spec.Seed))
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: record file: %w", err)
 	}
-	return &Recorder{f: f, w: bufio.NewWriterSize(f, 1<<16), start: time.Now()}, nil
+	r := &Recorder{f: f, w: bufio.NewWriterSize(f, 1<<16), h: sha256.New(), start: time.Now()}
+	head, err := json.Marshal(captureHeader{Capture: CaptureMagic, Version: CaptureVersion, Spec: spec})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := r.w.Write(append(head, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("loadgen: writing capture header: %w", err)
+	}
+	return r, nil
 }
 
 // Path returns the capture file's path.
@@ -57,16 +127,16 @@ func (r *Recorder) Path() string { return r.f.Name() }
 
 // Record appends one pair. Serialization happens synchronously under the
 // lock because the caller reuses the request buffer for its next request;
-// a failed write latches and surfaces at Close.
+// a failed write latches (the capture is truncated from that point) and
+// surfaces at Close.
 func (r *Recorder) Record(offeredRPS float64, status int, latency time.Duration, req, resp []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.err != nil {
 		return
 	}
-	r.seq++
-	e := recordEntry{
-		Seq:        r.seq,
+	e := Entry{
+		Seq:        r.seq + 1,
 		OffsetMs:   float64(time.Since(r.start)) / float64(time.Millisecond),
 		OfferedRPS: offeredRPS,
 		Endpoint:   "/v1/advise",
@@ -82,9 +152,13 @@ func (r *Recorder) Record(offeredRPS float64, status int, latency time.Duration,
 		r.err = err
 		return
 	}
-	if _, err := r.w.Write(append(line, '\n')); err != nil {
+	line = append(line, '\n')
+	if _, err := r.w.Write(line); err != nil {
 		r.err = err
+		return
 	}
+	r.h.Write(line) // the footer hashes exactly what was written
+	r.seq++
 }
 
 // Count returns the number of recorded pairs so far.
@@ -94,12 +168,29 @@ func (r *Recorder) Count() int64 {
 	return r.seq
 }
 
-// Close flushes and closes the capture file, returning the first error
-// seen anywhere in the recorder's life.
+// Close writes the integrity footer, flushes and closes the capture file,
+// returning the first error seen anywhere in the recorder's life. On a
+// non-nil return the capture carries no verifying footer and the replay
+// reader will refuse it — callers must fail the run, not just log.
 func (r *Recorder) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.err == nil {
+		foot, err := json.Marshal(captureFooter{
+			Footer:        true,
+			Entries:       r.seq,
+			PayloadSHA256: hex.EncodeToString(r.h.Sum(nil)),
+		})
+		if err != nil {
+			r.err = err
+		} else if _, err := r.w.Write(append(foot, '\n')); err != nil {
+			r.err = err
+		}
+	}
 	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.f.Sync(); err != nil && r.err == nil {
 		r.err = err
 	}
 	if err := r.f.Close(); err != nil && r.err == nil {

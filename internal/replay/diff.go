@@ -1,0 +1,135 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// The comparison is ranking-aware, not byte-aware: two advise responses
+// agree when they rank the same algorithms in the same order with
+// predicted kappas within tolerance. KB metadata (generation, load time)
+// is deliberately excluded — a hot reload of the *same* knowledge base
+// bumps the generation without changing one recommendation, and that must
+// read as zero blast radius.
+
+// rankedEntry is the slice of an advise response the diff cares about.
+type rankedEntry struct {
+	Algorithm      string  `json:"algorithm"`
+	PredictedKappa float64 `json:"predictedKappa"`
+}
+
+// advice is the parsed ranking of one advise response body.
+type advice struct {
+	Ranked []rankedEntry
+}
+
+// parseAdvice extracts the ranking from a recorded or fresh advise body.
+func parseAdvice(body []byte) (advice, error) {
+	var resp struct {
+		Advice struct {
+			Ranked []rankedEntry `json:"ranked"`
+		} `json:"advice"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return advice{}, err
+	}
+	return advice{Ranked: resp.Advice.Ranked}, nil
+}
+
+// entryDiff is the structural comparison of one request's two responses.
+type entryDiff struct {
+	top1Changed   bool
+	top1From      string
+	top1To        string
+	rankMoves     int       // algorithms whose rank position changed (or appeared/vanished)
+	kappaBeyond   int       // algorithms whose |Δ predictedKappa| exceeds the tolerance
+	maxKappaDelta float64   // largest |Δ predictedKappa| across shared algorithms
+	kappaDeltas   []float64 // every shared algorithm's |Δ|, for the histogram
+}
+
+// changed reports whether anything the diff tracks moved.
+func (d entryDiff) changed() bool {
+	return d.top1Changed || d.rankMoves > 0 || d.kappaBeyond > 0
+}
+
+// diffAdvice compares a baseline ranking against a candidate ranking.
+func diffAdvice(base, cand advice, tolerance float64) entryDiff {
+	var d entryDiff
+	if len(base.Ranked) > 0 || len(cand.Ranked) > 0 {
+		if len(base.Ranked) > 0 {
+			d.top1From = base.Ranked[0].Algorithm
+		}
+		if len(cand.Ranked) > 0 {
+			d.top1To = cand.Ranked[0].Algorithm
+		}
+		d.top1Changed = d.top1From != d.top1To
+	}
+
+	basePos := make(map[string]int, len(base.Ranked))
+	for i, r := range base.Ranked {
+		basePos[r.Algorithm] = i
+	}
+	seen := make(map[string]bool, len(cand.Ranked))
+	for i, r := range cand.Ranked {
+		seen[r.Algorithm] = true
+		j, ok := basePos[r.Algorithm]
+		if !ok {
+			d.rankMoves++ // appeared in the candidate ranking only
+			continue
+		}
+		if i != j {
+			d.rankMoves++
+		}
+		delta := math.Abs(r.PredictedKappa - base.Ranked[j].PredictedKappa)
+		d.kappaDeltas = append(d.kappaDeltas, delta)
+		if delta > d.maxKappaDelta {
+			d.maxKappaDelta = delta
+		}
+		if delta > tolerance {
+			d.kappaBeyond++
+		}
+	}
+	for _, r := range base.Ranked {
+		if !seen[r.Algorithm] {
+			d.rankMoves++ // vanished from the candidate ranking
+		}
+	}
+	return d
+}
+
+// criterionNames mirrors dq.AllCriteria order — kept as data so replay
+// stays free of the dq/server dependency chain, the same choice loadgen
+// made for DefaultDim.
+var criterionNames = [...]string{
+	"completeness", "duplicates", "correlation", "imbalance",
+	"label-noise", "attribute-noise", "dimensionality",
+}
+
+// dominantCriteria names the request's dominant quality defects (severity
+// >= 0.05, the advisor's own threshold), attributing a diff to the parts
+// of severity space where the two KB generations disagree. Requests with
+// no dominant defect attribute to "clean".
+func dominantCriteria(request []byte) []string {
+	var req struct {
+		Severities []float64 `json:"severities"`
+	}
+	if err := json.Unmarshal(request, &req); err != nil {
+		return []string{"unparseable-request"}
+	}
+	var out []string
+	for i, v := range req.Severities {
+		if v < 0.05 {
+			continue
+		}
+		if i < len(criterionNames) {
+			out = append(out, criterionNames[i])
+		} else {
+			out = append(out, fmt.Sprintf("criterion-%d", i))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "clean")
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+// Package replay is the capture-driven regression harness for the openbi
+// serving layer: it reads a loadgen capture (the verified v2 JSONL format
+// of internal/loadgen), re-issues the recorded /v1/advise requests against
+// a target server, and diffs the fresh advice against a baseline with a
+// ranking-aware structural comparison — top-1 advice changes, rank moves,
+// predicted-kappa drift beyond a configurable tolerance. The aggregate is
+// a deterministic blast-radius report: how much of the recorded request
+// space a knowledge-base change actually re-advises.
+//
+// Two baselines:
+//
+//   - Recorded (Spec.Baseline == ""): fresh responses are compared against
+//     the responses captured at record time. Replaying against the same KB
+//     generation must report zero diffs — advice is byte-stable per
+//     severity vector — so any diff is a real behavior change in the
+//     candidate build or its KB.
+//   - Live (Spec.Baseline set): the capture supplies only the request
+//     stream; both servers are asked fresh and diffed against each other.
+//     This diffs advice across two KB generations directly ("-kb old
+//     -against-kb new"), with no dependence on how stale the capture is.
+//
+// Like loadgen, the package is deliberately dependency-lean — stdlib,
+// internal/hist and internal/loadgen only — so the harness can ship in a
+// lean binary and drive any openbi serve over the wire.
+package replay
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"openbi/internal/hist"
+	"openbi/internal/loadgen"
+)
+
+// Spec configures one replay run.
+type Spec struct {
+	// Capture is the parsed, verified capture to replay (see
+	// loadgen.LoadCapture).
+	Capture *loadgen.Capture
+	// Target is the candidate server's base URL.
+	Target string
+	// Baseline, when non-empty, is a second server whose fresh responses
+	// become the baseline instead of the recorded ones (two-sided mode).
+	Baseline string
+	// Tolerance is the allowed |Δ predictedKappa| per algorithm; 0 demands
+	// exact agreement (the right gate for same-KB replays, which are
+	// byte-stable).
+	Tolerance float64
+	// Concurrency bounds parallel replayed requests (default 8).
+	Concurrency int
+	// Timeout bounds one request (default 5s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// MaxExamples caps the per-entry diff lines kept in the report
+	// (default 10; the counts cover the rest).
+	MaxExamples int
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Capture == nil || len(s.Capture.Entries) == 0 {
+		return s, errors.New("replay: capture is empty")
+	}
+	if s.Target == "" {
+		return s, errors.New("replay: Spec.Target is required")
+	}
+	if s.Concurrency <= 0 {
+		s.Concurrency = 8
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 5 * time.Second
+	}
+	if s.Tolerance < 0 {
+		s.Tolerance = 0
+	}
+	if s.MaxExamples <= 0 {
+		s.MaxExamples = 10
+	}
+	return s, nil
+}
+
+// fetched is one replayed request's outcome against one server.
+type fetched struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// Replay executes the run and aggregates the blast-radius report. The
+// replayed requests go out with bounded concurrency, but aggregation is
+// strictly in capture (seq) order, so the same capture against the same
+// servers yields a byte-identical report.
+func Replay(ctx context.Context, spec Spec) (*Report, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	client := spec.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: spec.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        2 * spec.Concurrency,
+				MaxIdleConnsPerHost: 2 * spec.Concurrency,
+			},
+		}
+	}
+	entries := spec.Capture.Entries
+
+	rep := &Report{
+		Capture:     spec.Capture.Spec,
+		Entries:     len(entries),
+		Tolerance:   spec.Tolerance,
+		TwoSided:    spec.Baseline != "",
+		ByCriterion: map[string]int{},
+		deltaHist:   hist.New(),
+	}
+	// Pin what we actually ran against; probe failures (test stubs, plain
+	// HTTP servers) degrade to a zero KBInfo rather than failing the run.
+	if info, err := loadgen.ProbeKB(ctx, client, spec.Target); err == nil {
+		rep.TargetKB = info
+	}
+	if spec.Baseline != "" {
+		if info, err := loadgen.ProbeKB(ctx, client, spec.Baseline); err == nil {
+			rep.BaselineKB = info
+		}
+	}
+
+	fresh := fetchAll(ctx, client, spec, spec.Target, entries)
+	var baseline []fetched
+	if spec.Baseline != "" {
+		baseline = fetchAll(ctx, client, spec, spec.Baseline, entries)
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("replay: cancelled: %w", err)
+	}
+
+	digest := sha256.New()
+	for i := range entries {
+		e := &entries[i]
+		rep.Replayed++
+		base, skip := baselineFor(e, baseline, i)
+		if skip != "" {
+			rep.Skipped++
+			fmt.Fprintf(digest, "seq=%d skipped=%s\n", e.Seq, skip)
+			continue
+		}
+		rep.Compared++
+		rep.compare(e, base, fresh[i], spec)
+		writeDigestLine(digest, e.Seq, fresh[i])
+	}
+	rep.Identical = rep.Compared - rep.Diffs
+	rep.ResponseSHA256 = hex.EncodeToString(digest.Sum(nil))
+	rep.finishDeltas()
+	return rep, nil
+}
+
+// baselineFor resolves one entry's baseline advice bytes: the recorded
+// response in one-sided mode, the baseline server's fresh response in
+// two-sided mode. A non-empty skip reason means no baseline exists and the
+// entry cannot be compared.
+func baselineFor(e *loadgen.Entry, baseline []fetched, i int) (body []byte, skip string) {
+	if baseline == nil {
+		if e.Status < 200 || e.Status >= 300 {
+			return nil, fmt.Sprintf("recorded-status-%d", e.Status)
+		}
+		if len(e.Response) == 0 {
+			return nil, "recorded-response-missing"
+		}
+		return e.Response, ""
+	}
+	b := baseline[i]
+	if b.err != nil {
+		return nil, "baseline-transport-error"
+	}
+	if b.status < 200 || b.status >= 300 {
+		return nil, fmt.Sprintf("baseline-status-%d", b.status)
+	}
+	return b.body, ""
+}
+
+// compare scores one entry's candidate response against its baseline and
+// folds the outcome into the report.
+func (r *Report) compare(e *loadgen.Entry, base []byte, f fetched, spec Spec) {
+	diff := false
+	var line string
+	switch {
+	case f.err != nil:
+		r.TransportErrors++
+		diff = true
+		line = fmt.Sprintf("seq %d: transport error: %v", e.Seq, f.err)
+	case f.status < 200 || f.status >= 300:
+		r.StatusChanged++
+		diff = true
+		line = fmt.Sprintf("seq %d: status changed: baseline 2xx, candidate %d", e.Seq, f.status)
+	default:
+		baseAdv, berr := parseAdvice(base)
+		candAdv, cerr := parseAdvice(f.body)
+		if berr != nil || cerr != nil {
+			if berr != nil && cerr != nil && bytes.Equal(base, f.body) {
+				return // both sides served the same unparseable payload
+			}
+			r.StatusChanged++
+			diff = true
+			line = fmt.Sprintf("seq %d: unparseable advice (baseline err %v, candidate err %v)", e.Seq, berr, cerr)
+			break
+		}
+		d := diffAdvice(baseAdv, candAdv, spec.Tolerance)
+		for _, delta := range d.kappaDeltas {
+			r.deltaHist.Observe(time.Duration(delta * kappaScale))
+		}
+		if d.maxKappaDelta > r.MaxKappaDelta {
+			r.MaxKappaDelta = d.maxKappaDelta
+		}
+		if !d.changed() {
+			return
+		}
+		diff = true
+		if d.top1Changed {
+			r.Top1Changed++
+		}
+		if d.rankMoves > 0 {
+			r.RankMoved++
+		}
+		if d.kappaBeyond > 0 {
+			r.KappaDrift++
+		}
+		top1 := ""
+		if d.top1Changed {
+			top1 = fmt.Sprintf("top-1 %s -> %s; ", d.top1From, d.top1To)
+		}
+		line = fmt.Sprintf("seq %d: %s%d rank moves; max |d-kappa| %s",
+			e.Seq, top1, d.rankMoves, strconv.FormatFloat(d.maxKappaDelta, 'g', 6, 64))
+	}
+	if diff {
+		r.Diffs++
+		for _, name := range dominantCriteria(e.Request) {
+			r.ByCriterion[name]++
+		}
+		if len(r.Examples) < spec.MaxExamples {
+			r.Examples = append(r.Examples, line)
+		}
+	}
+}
+
+// writeDigestLine folds one compared candidate response into the
+// response digest in normalized form: seq, status, and the parsed ranking
+// (algorithm:kappa pairs in rank order). Byte-stable advice therefore
+// yields a stable digest even if incidental JSON formatting were to
+// change.
+func writeDigestLine(w io.Writer, seq int64, f fetched) {
+	if f.err != nil {
+		fmt.Fprintf(w, "seq=%d error\n", seq)
+		return
+	}
+	fmt.Fprintf(w, "seq=%d status=%d ", seq, f.status)
+	if adv, err := parseAdvice(f.body); err == nil {
+		for _, rec := range adv.Ranked {
+			fmt.Fprintf(w, "%s:%s;", rec.Algorithm, strconv.FormatFloat(rec.PredictedKappa, 'g', -1, 64))
+		}
+	}
+	io.WriteString(w, "\n")
+}
+
+// fetchAll replays every entry's request against one server with bounded
+// concurrency, returning outcomes indexed like entries.
+func fetchAll(ctx context.Context, client *http.Client, spec Spec, target string, entries []loadgen.Entry) []fetched {
+	out := make([]fetched, len(entries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, spec.Concurrency)
+	for i := range entries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = fetchOne(ctx, client, target, &entries[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchOne re-issues one recorded request.
+func fetchOne(ctx context.Context, client *http.Client, target string, e *loadgen.Entry) fetched {
+	endpoint := e.Endpoint
+	if endpoint == "" {
+		endpoint = "/v1/advise"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+endpoint, bytes.NewReader(e.Request))
+	if err != nil {
+		return fetched{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fetched{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fetched{err: err}
+	}
+	return fetched{status: resp.StatusCode, body: body}
+}
+
+// kappaScale maps a kappa delta (dimensionless, ~[0,2]) onto the integer
+// domain of internal/hist: 1e9 per unit kappa keeps ~3% relative bucket
+// error down to 1e-6 deltas.
+const kappaScale = 1e9
+
+// finishDeltas freezes the delta histogram into the report's quantiles.
+func (r *Report) finishDeltas() {
+	if r.deltaHist.Count() == 0 {
+		return
+	}
+	qs := r.deltaHist.Quantiles(0.5, 0.99)
+	r.KappaDeltaP50 = float64(qs[0]) / kappaScale
+	r.KappaDeltaP99 = float64(qs[1]) / kappaScale
+}
+
+// sortedCriteria returns the per-criterion breakdown keys in stable order.
+func (r *Report) sortedCriteria() []string {
+	keys := make([]string, 0, len(r.ByCriterion))
+	for k := range r.ByCriterion {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,299 @@
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"openbi/internal/loadgen"
+)
+
+// advise variants: deterministic rankings computed from the request's
+// severity vector, so the same request always gets the same response and
+// replay reports are exactly reproducible.
+const (
+	variantBase      = iota // A=0.8-0.5*s0, B=0.6-0.2*s1, C=0.3
+	variantSwapped          // A and B trade kappas: every ranking flips
+	variantTinyShift        // A += 0.0005: below any sane tolerance, no rank change
+)
+
+func adviseHandler(variant int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Severities []float64 `json:"severities"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Severities) < 2 {
+			http.Error(w, `{"error":{"code":"bad_request"}}`, http.StatusBadRequest)
+			return
+		}
+		s0, s1 := req.Severities[0], req.Severities[1]
+		if s0 > 0.9 { // deterministic shed band: these entries are skipped
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":{"status":429,"code":"overloaded"}}`, http.StatusTooManyRequests)
+			return
+		}
+		if s1 > 0.95 { // deterministic non-JSON band: recorded without response
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, "<html>proxy error</html>")
+			return
+		}
+		kA, kB, kC := 0.8-0.5*s0, 0.6-0.2*s1, 0.3
+		switch variant {
+		case variantSwapped:
+			kA, kB = kB, kA
+		case variantTinyShift:
+			kA += 0.0005
+		}
+		type rec struct {
+			Algorithm      string  `json:"algorithm"`
+			PredictedKappa float64 `json:"predictedKappa"`
+		}
+		ranked := []rec{{"A", kA}, {"B", kB}, {"C", kC}}
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if ranked[i].PredictedKappa != ranked[j].PredictedKappa {
+				return ranked[i].PredictedKappa > ranked[j].PredictedKappa
+			}
+			return ranked[i].Algorithm < ranked[j].Algorithm
+		})
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"advice": map[string]any{"ranked": ranked},
+			"kb":     map[string]any{"generation": 0},
+		})
+	}
+}
+
+// recordCapture drives loadgen against a server and returns the verified
+// capture plus its path. The uniform mix exercises the full severity cube,
+// including the handler's shed and non-JSON bands.
+func recordCapture(t *testing.T, target string) (*loadgen.Capture, string) {
+	t.Helper()
+	spec := loadgen.CaptureSpec{Mix: "uniform", Seed: 42, Dim: loadgen.DefaultDim, Concurrency: 2}
+	rec, err := loadgen.NewRecorder(t.TempDir(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadgen.Run(context.Background(), loadgen.Spec{
+		Target: target, Mix: loadgen.MustMix("uniform"), Concurrency: 2,
+		Duration: 250 * time.Millisecond, Seed: 42, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadgen.LoadCapture(rec.Path(), loadgen.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries) < 10 {
+		t.Fatalf("capture too small to be meaningful: %d entries", len(c.Entries))
+	}
+	return c, rec.Path()
+}
+
+func TestReplaySameServerReportsZeroDiffs(t *testing.T) {
+	ts := httptest.NewServer(adviseHandler(variantBase))
+	defer ts.Close()
+	capture, _ := recordCapture(t, ts.URL)
+
+	rep, err := Replay(context.Background(), Spec{Capture: capture, Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasDiffs() || rep.Diffs != 0 {
+		t.Fatalf("same-server replay found diffs:\n%s", rep.Summary())
+	}
+	if rep.Compared == 0 || rep.Identical != rep.Compared {
+		t.Fatalf("compared=%d identical=%d", rep.Compared, rep.Identical)
+	}
+	if rep.Replayed != len(capture.Entries) || rep.Compared+rep.Skipped != rep.Replayed {
+		t.Fatalf("replayed=%d compared=%d skipped=%d entries=%d",
+			rep.Replayed, rep.Compared, rep.Skipped, len(capture.Entries))
+	}
+
+	// Determinism: a rerun yields a byte-identical report.
+	rep2, err := Replay(context.Background(), Spec{Capture: capture, Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary() != rep2.Summary() || rep.ResponseSHA256 != rep2.ResponseSHA256 {
+		t.Fatal("same replay twice produced different reports")
+	}
+}
+
+func TestReplayPerturbedServerReportsBlastRadius(t *testing.T) {
+	old := httptest.NewServer(adviseHandler(variantBase))
+	defer old.Close()
+	swapped := httptest.NewServer(adviseHandler(variantSwapped))
+	defer swapped.Close()
+	capture, _ := recordCapture(t, old.URL)
+
+	rep, err := Replay(context.Background(), Spec{Capture: capture, Target: swapped.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasDiffs() {
+		t.Fatal("swapped ranking reported zero diffs")
+	}
+	if rep.Top1Changed == 0 || rep.RankMoved == 0 || rep.KappaDrift == 0 {
+		t.Fatalf("diff categories empty: %+v", rep)
+	}
+	if rep.MaxKappaDelta <= 0 || rep.KappaDeltaP99 <= 0 {
+		t.Fatalf("kappa delta stats empty: max=%v p99=%v", rep.MaxKappaDelta, rep.KappaDeltaP99)
+	}
+	if len(rep.ByCriterion) == 0 {
+		t.Fatal("per-criterion breakdown empty")
+	}
+	if len(rep.Examples) == 0 {
+		t.Fatal("no diff examples")
+	}
+	if br := rep.BlastRadius(); br <= 0 || br > 1 {
+		t.Fatalf("blast radius %v", br)
+	}
+
+	rep2, err := Replay(context.Background(), Spec{Capture: capture, Target: swapped.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary() != rep2.Summary() {
+		t.Fatalf("non-deterministic blast-radius report:\n--- first\n%s--- second\n%s", rep.Summary(), rep2.Summary())
+	}
+}
+
+func TestReplayToleranceGatesKappaDrift(t *testing.T) {
+	old := httptest.NewServer(adviseHandler(variantBase))
+	defer old.Close()
+	shifted := httptest.NewServer(adviseHandler(variantTinyShift))
+	defer shifted.Close()
+	capture, _ := recordCapture(t, old.URL)
+
+	strict, err := Replay(context.Background(), Spec{Capture: capture, Target: shifted.URL, Tolerance: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.KappaDrift == 0 || !strict.HasDiffs() {
+		t.Fatalf("0.0005 shift under 1e-4 tolerance not flagged: %+v", strict)
+	}
+	if strict.Top1Changed != 0 || strict.RankMoved != 0 {
+		t.Fatalf("tiny kappa shift moved rankings: %+v", strict)
+	}
+
+	loose, err := Replay(context.Background(), Spec{Capture: capture, Target: shifted.URL, Tolerance: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.HasDiffs() {
+		t.Fatalf("0.0005 shift flagged under 1e-2 tolerance:\n%s", loose.Summary())
+	}
+}
+
+func TestReplayTwoSidedDiffsLiveBaselines(t *testing.T) {
+	old := httptest.NewServer(adviseHandler(variantBase))
+	defer old.Close()
+	swapped := httptest.NewServer(adviseHandler(variantSwapped))
+	defer swapped.Close()
+	capture, _ := recordCapture(t, old.URL)
+
+	two, err := Replay(context.Background(), Spec{
+		Capture: capture, Target: swapped.URL, Baseline: old.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !two.TwoSided || !two.HasDiffs() {
+		t.Fatalf("two-sided replay: twoSided=%v diffs=%d", two.TwoSided, two.Diffs)
+	}
+	// The live baseline equals the recorded one (same handler), so the
+	// blast radius must agree with one-sided mode.
+	one, err := Replay(context.Background(), Spec{Capture: capture, Target: swapped.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Diffs != one.Diffs || two.Top1Changed != one.Top1Changed {
+		t.Fatalf("two-sided diffs %d/%d disagree with one-sided %d/%d",
+			two.Diffs, two.Top1Changed, one.Diffs, one.Top1Changed)
+	}
+	// Two-sided against identical servers: zero diffs.
+	same, err := Replay(context.Background(), Spec{Capture: capture, Target: old.URL, Baseline: old.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.HasDiffs() {
+		t.Fatalf("identical servers diffed:\n%s", same.Summary())
+	}
+}
+
+func TestGoldenPromoteAndVerify(t *testing.T) {
+	ts := httptest.NewServer(adviseHandler(variantBase))
+	defer ts.Close()
+	swapped := httptest.NewServer(adviseHandler(variantSwapped))
+	defer swapped.Close()
+	capture, path := recordCapture(t, ts.URL)
+
+	rep, err := Replay(context.Background(), Spec{Capture: capture, Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	goldenPath, err := Promote(dir, path, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := filepath.Join(dir, filepath.Base(path))
+	if err := g.VerifyCapture(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyReport(rep); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unchanged build replays the pinned capture to the same digest.
+	again, err := Replay(context.Background(), Spec{Capture: capture, Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyReport(again); err != nil {
+		t.Fatal(err)
+	}
+
+	// A KB change breaks the digest.
+	drifted, err := Replay(context.Background(), Spec{Capture: capture, Target: swapped.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyReport(drifted); !errors.Is(err, ErrGoldenDiff) {
+		t.Fatalf("drifted responses verified: %v", err)
+	}
+
+	// A swapped capture is refused before any replay happens.
+	other := filepath.Join(dir, "other.jsonl")
+	if err := os.WriteFile(other, []byte("not the capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.VerifyCapture(other); err == nil {
+		t.Fatal("foreign capture passed golden verification")
+	}
+}
+
+func TestReplaySpecValidation(t *testing.T) {
+	if _, err := Replay(context.Background(), Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := Replay(context.Background(), Spec{Capture: &loadgen.Capture{Entries: make([]loadgen.Entry, 1)}}); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"openbi/internal/hist"
+	"openbi/internal/loadgen"
+)
+
+// Report is the blast-radius report of one replay run. Every field is a
+// deterministic function of the capture and the two servers' advice, so a
+// rerun against unchanged state produces an identical report (and an
+// identical rendering).
+type Report struct {
+	// Capture is the replayed capture's pinned spec, including the KB
+	// generation it was recorded against.
+	Capture loadgen.CaptureSpec `json:"capture"`
+	// TargetKB / BaselineKB pin what the replay actually ran against
+	// (zero when the probe failed).
+	TargetKB   loadgen.KBInfo `json:"targetKb"`
+	BaselineKB loadgen.KBInfo `json:"baselineKb,omitempty"`
+	TwoSided   bool           `json:"twoSided"`
+	Tolerance  float64        `json:"tolerance"`
+
+	Entries  int `json:"entries"`  // entries in the capture
+	Replayed int `json:"replayed"` // requests re-issued
+	Compared int `json:"compared"` // entries with a usable baseline
+	Skipped  int `json:"skipped"`  // no baseline (recorded non-2xx, missing body, ...)
+
+	Identical int `json:"identical"`
+	Diffs     int `json:"diffs"` // entries where anything tracked moved
+
+	Top1Changed     int `json:"top1Changed"`     // entries whose best advice changed
+	RankMoved       int `json:"rankMoved"`       // entries with any rank move
+	KappaDrift      int `json:"kappaDrift"`      // entries with |Δκ| beyond tolerance
+	StatusChanged   int `json:"statusChanged"`   // baseline 2xx, candidate not (or unparseable)
+	TransportErrors int `json:"transportErrors"` // candidate request failed outright
+
+	// ByCriterion attributes diff entries to the dominant quality defects
+	// of their requests (severity >= 0.05; "clean" when none) — the
+	// per-criterion breakdown of where in severity space the KBs disagree.
+	ByCriterion map[string]int `json:"byCriterion"`
+
+	// Kappa drift distribution across all shared algorithm pairs.
+	MaxKappaDelta float64 `json:"maxKappaDelta"`
+	KappaDeltaP50 float64 `json:"kappaDeltaP50"`
+	KappaDeltaP99 float64 `json:"kappaDeltaP99"`
+
+	// Examples holds the first few diff entries (seq order) as human lines.
+	Examples []string `json:"examples,omitempty"`
+
+	// ResponseSHA256 digests the normalized candidate responses in seq
+	// order — what golden promotion pins and replay-check verifies.
+	ResponseSHA256 string `json:"responseSha256"`
+
+	deltaHist *hist.Histogram
+}
+
+// HasDiffs reports whether the replay found any behavior change.
+func (r *Report) HasDiffs() bool { return r.Diffs > 0 }
+
+// BlastRadius is the fraction of compared requests whose advice changed.
+func (r *Report) BlastRadius() float64 {
+	if r.Compared == 0 {
+		return 0
+	}
+	return float64(r.Diffs) / float64(r.Compared)
+}
+
+// WriteJSON emits the report as indented JSON (the committed-file
+// convention).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Summary renders the report as a deterministic human-readable block.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	baseline := "recorded responses"
+	if r.TwoSided {
+		baseline = fmt.Sprintf("live baseline (KB gen %d)", r.BaselineKB.Generation)
+	}
+	fmt.Fprintf(&b, "replay: capture mix=%s seed=%d entries=%d (recorded against KB gen %d)\n",
+		r.Capture.Mix, r.Capture.Seed, r.Entries, r.Capture.KB.Generation)
+	fmt.Fprintf(&b, "candidate KB gen %d (%d records); baseline: %s\n",
+		r.TargetKB.Generation, r.TargetKB.Records, baseline)
+	fmt.Fprintf(&b, "compared %d/%d (%d skipped), tolerance %s\n",
+		r.Compared, r.Replayed, r.Skipped, strconv.FormatFloat(r.Tolerance, 'g', -1, 64))
+
+	if !r.HasDiffs() {
+		fmt.Fprintf(&b, "verdict: zero diffs — advice identical across %d replayed requests\n", r.Compared)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "verdict: %d diffs / %d compared (blast radius %.1f%%)\n",
+		r.Diffs, r.Compared, 100*r.BlastRadius())
+	fmt.Fprintf(&b, "  top-1 advice changed: %d\n", r.Top1Changed)
+	fmt.Fprintf(&b, "  ranking moved:        %d\n", r.RankMoved)
+	fmt.Fprintf(&b, "  kappa drift > tol:    %d (max %s, p50 %s, p99 %s)\n",
+		r.KappaDrift,
+		strconv.FormatFloat(r.MaxKappaDelta, 'g', 6, 64),
+		strconv.FormatFloat(r.KappaDeltaP50, 'g', 6, 64),
+		strconv.FormatFloat(r.KappaDeltaP99, 'g', 6, 64))
+	fmt.Fprintf(&b, "  status changed:       %d\n", r.StatusChanged)
+	fmt.Fprintf(&b, "  transport errors:     %d\n", r.TransportErrors)
+	if len(r.ByCriterion) > 0 {
+		parts := make([]string, 0, len(r.ByCriterion))
+		for _, k := range r.sortedCriteria() {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, r.ByCriterion[k]))
+		}
+		fmt.Fprintf(&b, "by dominant criterion: %s\n", strings.Join(parts, " "))
+	}
+	for _, ex := range r.Examples {
+		fmt.Fprintf(&b, "  %s\n", ex)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# replaycheck.sh — the record/replay regression gate.
+#
+# Builds the deterministic seed KB, records a short capture against it,
+# then drives the full golden loop: replay the capture against the same KB
+# with -fail-on-diff (advice is byte-stable per severity vector, so any
+# diff is a real behavior change in this build), promote the zero-diff run
+# to a golden, and re-verify the pinned capture against the promoted
+# digest. Self-contained — no committed capture needed, because the KB
+# build is seeded and the advice it serves is pinned by the e2e golden
+# hash.
+#
+#   make replay-check
+#   REPLAY_DURATION=1s make replay-check     # longer capture, more coverage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPLAY_KB="${REPLAY_KB:-/tmp/openbi_replay_kb.json}"
+REPLAY_DURATION="${REPLAY_DURATION:-500ms}"
+WORK="$(mktemp -d -t openbi_replay.XXXXXX)"
+BIN="$WORK/openbi"
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$BIN" ./cmd/openbi
+if ! [ -s "$REPLAY_KB" ]; then
+  "$BIN" experiments -rows 120 -folds 3 -seed 42 -out "$REPLAY_KB" > /dev/null
+fi
+
+"$BIN" loadgen -selfserve -kb "$REPLAY_KB" \
+  -mix uniform -seed 7 -concurrency 4 \
+  -duration "$REPLAY_DURATION" -warmup 200ms \
+  -record "$WORK/captures"
+CAPTURE="$WORK/captures/loadgen-uniform-seed7.jsonl"
+
+"$BIN" replay -capture "$CAPTURE" -selfserve -kb "$REPLAY_KB" \
+  -fail-on-diff -promote "$WORK/goldens"
+
+PINNED="$WORK/goldens/$(basename "$CAPTURE")"
+"$BIN" replay -capture "$PINNED" -selfserve -kb "$REPLAY_KB" \
+  -golden "$PINNED.golden.json" -fail-on-diff
+echo "replay-check ok: zero diffs and a verified golden round trip"
