@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (see .github/workflows).
 
-.PHONY: build test race bench bench-check replay-check verify
+.PHONY: build test race bench bench-check replay-check kb-verify verify
 
 build:
 	go build ./... && go build ./examples/...
@@ -9,7 +9,7 @@ test:
 	go test ./...
 
 race:
-	go test -race . ./internal/core/... ./internal/kb/... ./internal/experiment/... ./internal/eval/... ./internal/mining/... ./internal/server/... ./internal/rdf/... ./internal/dq/... ./internal/olap/... ./internal/clean/...
+	go test -race . ./internal/core/... ./internal/kb/... ./internal/experiment/... ./internal/eval/... ./internal/mining/... ./internal/server/... ./internal/rdf/... ./internal/dq/... ./internal/olap/... ./internal/clean/... ./internal/provenance/...
 
 # Refresh the committed benchmark snapshot (BENCH_experiments.json); see
 # scripts/bench.sh for BENCHTIME / BENCH / OUT overrides.
@@ -34,5 +34,11 @@ bench-check:
 # scripts/replaycheck.sh for REPLAY_DURATION / REPLAY_KB overrides).
 replay-check:
 	./scripts/replaycheck.sh
+
+# Provenance gate: build a KB with a signed manifest, verify it, flip one
+# byte inside a record (JSON stays parseable), and require the verifier to
+# refuse the KB naming record 0 (see scripts/kbverify.sh).
+kb-verify:
+	./scripts/kbverify.sh
 
 verify: build test

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-write
+// never leaves a torn output where a complete one is expected. Every KB
+// and derived-artifact write in this command goes through it: a kill at
+// any instant leaves either the old bytes or the new ones on disk, never
+// a prefix — which is also what provenance verification assumes (a torn
+// kb.json beside an intact manifest must be impossible to produce, not
+// merely detectable).
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	// CreateTemp uses 0600; match os.Create's umask-filtered 0666 so the
+	// output is readable by the same audience as a plain `-out` write
+	// (e.g. a serve process under another user).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -12,12 +12,14 @@
 //	openbi ingest    -in data.nt [-format nt|ttl] [-class IRI] [-csv out.csv]   (streams; '-in -' reads stdin)
 //	openbi experiments -rows 500 -workers 8 [-timeout 10m] [-progress] -out kb.json
 //	openbi experiments -rows 500 -shard 0/2 -checkpoint ckpt/   (one resumable shard job)
-//	openbi kb merge  -out kb.json shard-0-of-2.json shard-1-of-2.json
+//	openbi kb merge  -out kb.json [-key openbi.key] shard-0-of-2.json shard-1-of-2.json
+//	openbi kb verify [-manifest kb.json.manifest] [-pub openbi.key.pub] kb.json
+//	openbi kb keygen [-out openbi.key]
 //	openbi advise    -in data.nt -class fundingLevel -kb kb.json
 //	openbi mine      -in data.nt -class fundingLevel -kb kb.json -share out.nt [-timeout 1m]
 //	openbi olap      -in data.nt -dims inRegion -measure avg:budgetEducationPerCapita
 //	openbi validate  -kb kb.json -rows 400 -trials 10 [-timeout 5m]
-//	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms] [-max-inflight 64]
+//	openbi serve     -addr :8080 -kb kb.json [-cache 1024] [-batch-window 2ms] [-max-inflight 64] [-require-manifest] [-manifest-pub openbi.key.pub]
 //	openbi loadgen   -target http://host:8080 -duration 10s -rps 200 -mix recorded [-out BENCH_serve.json]
 //	openbi loadgen   -selfserve -kb kb.json -sweep -p99-budget 50ms   (saturation sweep, no setup)
 //	openbi replay    -capture captures/loadgen-recorded-seed1.jsonl -selfserve -kb new-kb.json -fail-on-diff
@@ -32,10 +34,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -141,7 +145,9 @@ commands:
   olap         roll up a source into an OLAP report
   repair       suggest and optionally apply a cleaning plan for a source
   validate     measure advisor hit-rate and regret on random corruption scenarios
-  kb           knowledge-base utilities: "kb merge" recombines shard outputs
+  kb           knowledge-base utilities: "kb merge" recombines shard outputs,
+               "kb verify" checks a KB against its provenance manifest,
+               "kb keygen" makes an ed25519 manifest-signing keypair
   serve        run the HTTP advice service (batching, caching, hot KB reload)
   loadgen      load-test a serve instance: latency quantiles, throughput, saturation sweep
   replay       re-issue a recorded capture and report the blast radius of a KB or build change
@@ -149,6 +155,11 @@ commands:
 scaling out:
   experiments -shard i/n -checkpoint dir   run one resumable shard of the grid
   kb merge -out kb.json shard-*.json       deterministically merge the shards
+
+provenance:
+  experiments and kb merge write <out>.manifest (merkle tree over the KB
+  records); kb verify names the first corrupted record on any tampering,
+  and serve -require-manifest refuses reloads that fail verification
 `)
 }
 
@@ -163,16 +174,12 @@ func cmdGenerate(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("generate: -out is required")
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 
 	spec := synth.LODSpec{Entities: *n, Dirtiness: *dirty, Seed: *seed}
 	switch *kind {
 	case "municipal", "airquality", "education":
 		var g *rdf.Graph
+		var err error
 		switch *kind {
 		case "municipal":
 			g, err = synth.MunicipalBudgetLOD(spec)
@@ -184,7 +191,9 @@ func cmdGenerate(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := rdf.WriteNTriples(f, g); err != nil {
+		if err := writeFileAtomic(*out, func(f *os.File) error {
+			return rdf.WriteNTriples(f, g)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %d triples to %s\n", g.Len(), *out)
@@ -194,7 +203,9 @@ func cmdGenerate(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeCSV(f, ds); err != nil {
+		if err := writeFileAtomic(*out, func(f *os.File) error {
+			return writeCSV(f, ds)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %d rows to %s\n", ds.Len(), *out)
@@ -246,17 +257,12 @@ func cmdProfile(args []string) error {
 	printProfile(tb.Name, m.Profile)
 
 	if *modelOut != "" {
-		f, err := os.Create(*modelOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if strings.HasSuffix(*modelOut, ".json") {
-			err = cwm.WriteJSON(f, m.Catalog)
-		} else {
-			err = cwm.WriteXMI(f, m.Catalog)
-		}
-		if err != nil {
+		if err := writeFileAtomic(*modelOut, func(f *os.File) error {
+			if strings.HasSuffix(*modelOut, ".json") {
+				return cwm.WriteJSON(f, m.Catalog)
+			}
+			return cwm.WriteXMI(f, m.Catalog)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("annotated model written to %s\n", *modelOut)
@@ -295,9 +301,16 @@ func cmdExperiments(args []string) error {
 	shard := fs.String("shard", "", "run one shard of the grid, as index/count with a 0-based index (e.g. 0/2); writes a shard file for `openbi kb merge` instead of a knowledge base")
 	checkpoint := fs.String("checkpoint", "", "journal completed grid cells under this directory so a killed run resumes mid-grid")
 	out := fs.String("out", "", "output path (default kb.json, or shard-<i>-of-<n>.json with -shard)")
+	keyPath := fs.String("key", "", "ed25519 private key file to sign the provenance manifest with (see openbi kb keygen)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile at exit to this file (inspect with go tool pprof)")
 	fs.Parse(args)
+
+	// Fail on an unloadable signing key before hours of grid work, not after.
+	priv, err := loadSigningKey(*keyPath)
+	if err != nil {
+		return err
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -406,15 +419,31 @@ func cmdExperiments(args []string) error {
 	}
 	t.Render(os.Stdout)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := eng.SaveKB(f); err != nil {
+	var doc bytes.Buffer
+	if err := writeFileAtomic(*out, func(f *os.File) error {
+		return eng.SaveKB(io.MultiWriter(f, &doc))
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("knowledge base (%d records) written to %s\n", eng.KB().Len(), *out)
+
+	// Emit the provenance manifest beside the KB: merkle tree over the
+	// record encodings plus the inputs that produced them, so `openbi kb
+	// verify` and chained serve reloads can prove this exact build.
+	base, err := kb.Load(bytes.NewReader(doc.Bytes()))
+	if err != nil {
+		return err
+	}
+	m, err := kb.BuildManifest(doc.Bytes(), base)
+	if err != nil {
+		return err
+	}
+	m.DatasetHash = experiment.DatasetContentHash(ds)
+	m.GridFingerprint = eng.GridFingerprint(ds, "reference")
+	if err := signAndWriteManifest(m, *out+".manifest", priv); err != nil {
+		return err
+	}
+	fmt.Printf("provenance manifest written to %s (merkle root %s)\n", *out+".manifest", m.MerkleRoot)
 	return nil
 }
 
@@ -508,12 +537,9 @@ func cmdMine(args []string) error {
 	fmt.Printf("mined with %s: accuracy %.3f, kappa %.3f, macro-F1 %.3f on %d held-out instances\n",
 		res.Algorithm, res.Metrics.Accuracy, res.Metrics.Kappa, res.Metrics.MacroF1, res.Metrics.TestInstances)
 	if *share != "" {
-		f, err := os.Create(*share)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := rdf.WriteNTriples(f, res.Shared); err != nil {
+		if err := writeFileAtomic(*share, func(f *os.File) error {
+			return rdf.WriteNTriples(f, res.Shared)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("shared %d prediction triples to %s\n", res.Shared.Len(), *share)
@@ -600,12 +626,9 @@ func cmdRepair(args []string) error {
 	for _, r := range reports {
 		fmt.Printf("applied %-18s changed %d cells/rows\n", r.Step, r.Changed)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := table.WriteCSV(f, repaired); err != nil {
+	if err := writeFileAtomic(*out, func(f *os.File) error {
+		return table.WriteCSV(f, repaired)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("repaired table written to %s\n", *out)

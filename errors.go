@@ -26,6 +26,13 @@ var (
 	// ErrBadSyntax: input data (an RDF stream) whose format is right but
 	// whose content does not parse.
 	ErrBadSyntax = oberr.ErrBadSyntax
+	// ErrBadManifest: a provenance manifest that cannot be parsed or is
+	// structurally invalid (wrong version, truncated, trailing bytes).
+	ErrBadManifest = oberr.ErrBadManifest
+	// ErrManifestMismatch: a knowledge base failed verification against
+	// its provenance manifest — corrupted records, a swapped manifest, a
+	// broken reload chain, or a signature policy violation.
+	ErrManifestMismatch = oberr.ErrManifestMismatch
 )
 
 // Structured error detail types, recoverable with errors.As.
@@ -40,4 +47,7 @@ type (
 	UnsupportedFormatError = oberr.UnsupportedFormatError
 	// SyntaxError carries the format and line of a parse failure.
 	SyntaxError = oberr.SyntaxError
+	// ManifestError carries the failing record index (-1 when the mismatch
+	// is not record-level) of a provenance verification failure.
+	ManifestError = oberr.ManifestError
 )

@@ -374,6 +374,26 @@ func TestMineWithAdviceSharesLOD(t *testing.T) {
 	if !found {
 		t.Fatal("shared LOD lacks predicted_class triples")
 	}
+	// Shared graph carries provenance: the KB Merkle root the advice was
+	// served from, the source content hash, and the toolchain.
+	wantProv := map[rdf.Term]bool{
+		rdf.NewIRI("http://test.example/def/kbMerkleRoot"): false,
+		rdf.NewIRI("http://test.example/def/sourceSha256"): false,
+		rdf.NewIRI("http://test.example/def/toolchain"):    false,
+	}
+	for _, tr := range res.Shared.Triples() {
+		if _, ok := wantProv[tr.P]; ok {
+			wantProv[tr.P] = true
+		}
+	}
+	for p, ok := range wantProv {
+		if !ok {
+			t.Fatalf("shared LOD lacks provenance triple %v", p)
+		}
+	}
+	if root := e.KB().ProvenanceRoot(); root == "" {
+		t.Fatal("populated snapshot has no provenance root")
+	}
 }
 
 func TestKBSaveLoadThroughEngine(t *testing.T) {

@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -356,6 +359,15 @@ func (e *Engine) experimentConfig(progress func(experiment.Event)) experiment.Co
 	}
 }
 
+// GridFingerprint returns the experiment-grid fingerprint this engine's
+// configuration produces over a dataset — the same value shard metadata
+// and checkpoint journals record — so provenance manifests written for
+// monolithic and sharded runs of one configuration chain on equal
+// fingerprints.
+func (e *Engine) GridFingerprint(ds *mining.Dataset, datasetName string) string {
+	return experiment.Fingerprint(e.experimentConfig(nil), datasetName, ds, e.combos, e.mixedSeverity)
+}
+
 func (e *Engine) runExperiments(ctx context.Context, corpora []Corpus, opts ...RunOption) (*ExperimentReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -550,6 +562,20 @@ func (a *Advisor) MineWithAdvice(ctx context.Context, src table.Access, classCol
 		baseIRI = "http://openbi.example.org/"
 	}
 	g := rdf.TableToGraph(shared, baseIRI, sanitizeClassName(t.Name))
+
+	// Provenance triples: the shared predictions carry the lineage they
+	// were derived under — the knowledge base's Merkle root (the value a
+	// kb.json.manifest pins), the exact source contents, and the toolchain —
+	// so a consumer of the LOD can trace every prediction back to a
+	// verifiable advisor state.
+	srcHash := sha256.New()
+	_ = table.WriteCSV(srcHash, t)
+	prov := rdf.NewIRI(baseIRI + "provenance/" + sanitizeClassName(t.Name))
+	if root := a.snap.ProvenanceRoot(); root != "" {
+		g.Add(rdf.Triple{S: prov, P: rdf.NewIRI(baseIRI + "def/kbMerkleRoot"), O: rdf.NewLiteral(root)})
+	}
+	g.Add(rdf.Triple{S: prov, P: rdf.NewIRI(baseIRI + "def/sourceSha256"), O: rdf.NewLiteral(hex.EncodeToString(srcHash.Sum(nil)))})
+	g.Add(rdf.Triple{S: prov, P: rdf.NewIRI(baseIRI + "def/toolchain"), O: rdf.NewLiteral(runtime.Version())})
 	return &MiningResult{Algorithm: best, Metrics: metrics, Advice: advice, Model: model, Shared: g}, nil
 }
 

@@ -12,6 +12,8 @@ package experiment
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"strconv"
@@ -154,6 +156,28 @@ func gridFingerprint(cfg Config, datasetName string, ds *mining.Dataset, combos 
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// Fingerprint is the exported form of gridFingerprint for provenance
+// manifests: it applies the same Config defaulting RunShard does, so the
+// value equals what shard metadata and checkpoint journals record for the
+// same run. Manifests from monolithic and sharded runs of one
+// configuration therefore chain on equal fingerprints.
+func Fingerprint(cfg Config, datasetName string, ds *mining.Dataset, combos [][]dq.Criterion, mixedSeverity float64) string {
+	cfg.applyDefaults()
+	if mixedSeverity <= 0 {
+		mixedSeverity = 0.3
+	}
+	return gridFingerprint(cfg, datasetName, ds, combos, mixedSeverity)
+}
+
+// DatasetContentHash digests a dataset's exact contents (its canonical CSV
+// serialization) as lowercase-hex sha256 — the provenance chain from a
+// knowledge base back to the data its experiment grid ran over.
+func DatasetContentHash(ds *mining.Dataset) string {
+	h := sha256.New()
+	_ = table.WriteCSV(h, ds.Table())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // runShardPhase runs one phase of a shard: replay every journaled cell of
 // the owned task indices as a Restored progress event, then execute the
 // rest through prepare's task runner, journaling each completion before it
@@ -238,6 +262,7 @@ func RunShard(ctx context.Context, cfg Config, ds *mining.Dataset, datasetName s
 		Index:       run.Plan.Index,
 		Count:       run.Plan.Count,
 		Dataset:     datasetName,
+		DatasetHash: DatasetContentHash(ds),
 		Fingerprint: gridFingerprint(cfg, datasetName, ds, run.Combos, run.MixedSeverity),
 		Phase1Total: len(t1),
 		Phase2Total: len(t2),

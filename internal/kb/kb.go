@@ -23,6 +23,7 @@ import (
 
 	"openbi/internal/dq"
 	"openbi/internal/eval"
+	"openbi/internal/oberr"
 )
 
 // Record is one experiment outcome: an algorithm evaluated by
@@ -291,11 +292,20 @@ func (k *KnowledgeBase) Save(w io.Writer) error {
 	return enc.Encode(k)
 }
 
-// Load reads a knowledge base from JSON.
+// Load reads a knowledge base from JSON. The document must span the whole
+// stream: trailing bytes after the JSON value (a truncated upload
+// concatenated with an old file, an appended log line, a second document)
+// are rejected with oberr.ErrBadSyntax instead of being silently ignored,
+// because the bytes on disk would then diverge from the records served —
+// and from what a provenance manifest was computed over.
 func Load(r io.Reader) (*KnowledgeBase, error) {
+	dec := json.NewDecoder(r)
 	var k KnowledgeBase
-	if err := json.NewDecoder(r).Decode(&k); err != nil {
+	if err := dec.Decode(&k); err != nil {
 		return nil, fmt.Errorf("kb: decoding: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("kb: %w", &oberr.SyntaxError{Format: "kb json", Reason: "trailing data after the JSON document"})
 	}
 	return &k, nil
 }

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"openbi/internal/oberr"
 )
 
 // ShardMetaVersion is the current shard/checkpoint format version; bumped
 // whenever the grid enumeration or record layout changes incompatibly.
-const ShardMetaVersion = 1
+// Version 2 added DatasetHash (provenance chaining).
+const ShardMetaVersion = 2
 
 // ShardMeta identifies the run and grid slice a shard's records belong to.
 // Merge refuses to combine shards whose metadata disagree on anything but
@@ -24,6 +27,10 @@ type ShardMeta struct {
 	Count int `json:"shards"`
 	// Dataset names the corpus the grid ran over.
 	Dataset string `json:"dataset"`
+	// DatasetHash is the sha256 of the dataset's canonical CSV
+	// serialization — the provenance chain from a merged knowledge base
+	// back to the exact data contents it was derived from.
+	DatasetHash string `json:"datasetHash,omitempty"`
 	// Fingerprint digests everything that shapes the grid — algorithm
 	// suite, criteria, severities, folds, combos, dataset dimensions — so
 	// shards and checkpoints from different configurations cannot be
@@ -67,11 +74,17 @@ func (s *Shard) Save(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// LoadShard reads a shard written by Save.
+// LoadShard reads a shard written by Save. Like Load, it requires the
+// document to span the whole stream: two concatenated shard files would
+// otherwise silently load as the first one.
 func LoadShard(r io.Reader) (*Shard, error) {
+	dec := json.NewDecoder(r)
 	var s Shard
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("kb: decoding shard: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("kb: %w", &oberr.SyntaxError{Format: "kb shard json", Reason: "trailing data after the JSON document"})
 	}
 	if s.Meta.Version != ShardMetaVersion {
 		return nil, fmt.Errorf("kb: shard format version %d, want %d", s.Meta.Version, ShardMetaVersion)

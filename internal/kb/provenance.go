@@ -1,0 +1,137 @@
+package kb
+
+// Provenance glue: internal/provenance is a stdlib-only Merkle/manifest
+// library that knows nothing about knowledge bases; this file supplies the
+// canonical record encodings, builds manifests for saved and merged KBs,
+// and translates verification failures into the oberr taxonomy the serving
+// stack maps to HTTP statuses.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"openbi/internal/oberr"
+	"openbi/internal/provenance"
+)
+
+// RecordLeaves returns the canonical per-record encoding of each record —
+// compact JSON, one leaf per record in kb.json order. This is the byte
+// sequence Merkle leaves hash, on both the producing and verifying side.
+func RecordLeaves(records []Record) ([][]byte, error) {
+	leaves := make([][]byte, len(records))
+	for i := range records {
+		b, err := json.Marshal(&records[i])
+		if err != nil {
+			return nil, fmt.Errorf("kb: encoding record %d: %w", i, err)
+		}
+		leaves[i] = b
+	}
+	return leaves, nil
+}
+
+// BuildManifest builds the provenance manifest of a saved knowledge base:
+// doc is the exact serialized kb.json bytes, k the base it serializes.
+// Chain fields (dataset hash, grid fingerprint) and the signature are the
+// caller's to fill.
+func BuildManifest(doc []byte, k *KnowledgeBase) (*provenance.Manifest, error) {
+	leaves, err := RecordLeaves(k.Records)
+	if err != nil {
+		return nil, err
+	}
+	return provenance.New(doc, leaves), nil
+}
+
+// BuildMergedManifest builds the manifest of a merged knowledge base and
+// pins the shard set it came from. The global Merkle root is computed
+// twice — once over the merged base's records and once from the shard
+// files' records placed into their canonical grid slots — and the two must
+// agree, so a bug in either path (or a shard edited after the merge
+// validated) cannot emit a manifest that contradicts the artifact. Chain
+// fields are taken from the shard metadata.
+func BuildMergedManifest(doc []byte, merged *KnowledgeBase, shards ...*Shard) (*provenance.Manifest, error) {
+	m, err := BuildManifest(doc, merged)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return m, nil
+	}
+	ordered := append([]*Shard(nil), shards...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Meta.Index < ordered[j].Meta.Index })
+	meta := ordered[0].Meta
+	total := meta.Phase1Total + meta.Phase2Total
+	if total != len(merged.Records) {
+		return nil, fmt.Errorf("kb: merged base has %d records for a %d-cell grid", len(merged.Records), total)
+	}
+	slotHashes := make([][provenance.HashSize]byte, total)
+	digests := make([]provenance.ShardDigest, 0, len(ordered))
+	for _, sh := range ordered {
+		shardLeaves := make([][]byte, len(sh.Records))
+		for j := range sh.Records {
+			pr := &sh.Records[j]
+			b, err := json.Marshal(&pr.Record)
+			if err != nil {
+				return nil, fmt.Errorf("kb: encoding shard %d record %d: %w", sh.Meta.Index, j, err)
+			}
+			shardLeaves[j] = b
+			slot, err := slotOf(meta, pr.Phase, pr.Index)
+			if err != nil {
+				return nil, err
+			}
+			slotHashes[slot] = provenance.LeafHash(b)
+		}
+		digests = append(digests, provenance.ShardDigest{
+			Index:      sh.Meta.Index,
+			Count:      sh.Meta.Count,
+			Records:    len(sh.Records),
+			MerkleRoot: provenance.NewTree(shardLeaves).RootHex(),
+		})
+	}
+	if shardRoot := provenance.NewTreeFromLeafHashes(slotHashes).RootHex(); shardRoot != m.MerkleRoot {
+		return nil, fmt.Errorf("kb: %w: shard-level merkle root %s disagrees with the record-level root %s",
+			oberr.ErrManifestMismatch, shardRoot, m.MerkleRoot)
+	}
+	m.Shards = digests
+	m.DatasetHash = meta.DatasetHash
+	m.GridFingerprint = meta.Fingerprint
+	return m, nil
+}
+
+// VerifyManifest checks the exact serialized KB bytes and the decoded
+// records against a manifest, translating failures into the oberr
+// taxonomy: a record-level mismatch names the first corrupted record, and
+// everything else distinguishes "the manifest is unusable"
+// (oberr.ErrBadManifest) from "the artifact does not match it"
+// (oberr.ErrManifestMismatch). Signature policy is separate — see
+// provenance.Manifest.VerifySignature and WrapManifestError.
+func VerifyManifest(m *provenance.Manifest, doc []byte, k *KnowledgeBase) error {
+	leaves, err := RecordLeaves(k.Records)
+	if err != nil {
+		return err
+	}
+	return WrapManifestError(m.Verify(doc, leaves))
+}
+
+// WrapManifestError translates a provenance verification error into the
+// oberr taxonomy (nil passes through). provenance.ErrUnsigned is left
+// untranslated: whether unsigned is an error is the caller's policy.
+func WrapManifestError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var rec *provenance.RecordMismatchError
+	switch {
+	case errors.As(err, &rec):
+		return fmt.Errorf("kb: %w", &oberr.ManifestError{Record: rec.Index, Reason: rec.Error()})
+	case errors.Is(err, provenance.ErrBadManifest):
+		return fmt.Errorf("kb: %w: %w", oberr.ErrBadManifest, err)
+	case errors.Is(err, provenance.ErrMismatch):
+		// ManifestError.Error() re-adds the "provenance mismatch" prefix.
+		reason := strings.TrimPrefix(err.Error(), provenance.ErrMismatch.Error()+": ")
+		return fmt.Errorf("kb: %w", &oberr.ManifestError{Record: -1, Reason: reason})
+	}
+	return err
+}

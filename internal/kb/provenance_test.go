@@ -1,0 +1,234 @@
+package kb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"openbi/internal/oberr"
+	"openbi/internal/provenance"
+)
+
+// saveBytes serializes a base exactly as Save writes kb.json.
+func saveBytes(t *testing.T, k *KnowledgeBase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsTrailingBytes(t *testing.T) {
+	doc := saveBytes(t, seedKB())
+	if _, err := Load(bytes.NewReader(doc)); err != nil {
+		t.Fatalf("clean document rejected: %v", err)
+	}
+	for _, tail := range []string{"garbage", "{\"records\": []}", "\x00\x01"} {
+		_, err := Load(bytes.NewReader(append(append([]byte(nil), doc...), tail...)))
+		if !errors.Is(err, oberr.ErrBadSyntax) {
+			t.Fatalf("kb.json + %q: want ErrBadSyntax, got %v", tail, err)
+		}
+	}
+	// Trailing whitespace is not data: Save itself ends with a newline.
+	if _, err := Load(bytes.NewReader(append(append([]byte(nil), doc...), " \n\t"...))); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestLoadShardRejectsConcatenatedShards(t *testing.T) {
+	sh := splitShards(1)[0]
+	var one bytes.Buffer
+	if err := sh.Save(&one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(bytes.NewReader(one.Bytes())); err != nil {
+		t.Fatalf("clean shard rejected: %v", err)
+	}
+	two := append(append([]byte(nil), one.Bytes()...), one.Bytes()...)
+	if _, err := LoadShard(bytes.NewReader(two)); !errors.Is(err, oberr.ErrBadSyntax) {
+		t.Fatalf("two concatenated shards: want ErrBadSyntax, got %v", err)
+	}
+}
+
+func TestManifestRoundTripAndSnapshotRoot(t *testing.T) {
+	k := seedKB()
+	doc := saveBytes(t, k)
+	m, err := BuildManifest(doc, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyManifest(m, doc, k); err != nil {
+		t.Fatalf("clean verify failed: %v", err)
+	}
+	if m.Records != k.Len() {
+		t.Fatalf("manifest pins %d records, base has %d", m.Records, k.Len())
+	}
+	if root := k.Snapshot().ProvenanceRoot(); root != m.MerkleRoot {
+		t.Fatalf("snapshot root %s != manifest root %s", root, m.MerkleRoot)
+	}
+	// A reloaded base verifies against the producer's manifest.
+	back, err := Load(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyManifest(m, doc, back); err != nil {
+		t.Fatalf("reloaded base does not verify: %v", err)
+	}
+}
+
+// firstManifestMismatch verifies and requires a record-level mismatch,
+// returning the named record.
+func firstManifestMismatch(t *testing.T, m *provenance.Manifest, doc []byte, k *KnowledgeBase) int {
+	t.Helper()
+	err := VerifyManifest(m, doc, k)
+	var me *oberr.ManifestError
+	if !errors.As(err, &me) {
+		t.Fatalf("want ManifestError, got %v", err)
+	}
+	if !errors.Is(err, oberr.ErrManifestMismatch) {
+		t.Fatal("ManifestError does not match ErrManifestMismatch")
+	}
+	return me.Record
+}
+
+func TestVerifyManifestNamesCorruptedRecord(t *testing.T) {
+	k := seedKB()
+	doc := saveBytes(t, k)
+	m, err := BuildManifest(doc, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped field value in one record names exactly that record.
+	tampered, err := Load(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered.Records[3].Seed ^= 1
+	if got := firstManifestMismatch(t, m, doc, tampered); got != 3 {
+		t.Fatalf("named record %d, want 3", got)
+	}
+
+	// Reordered records: the first moved position is named.
+	reordered, _ := Load(bytes.NewReader(doc))
+	reordered.Records[1], reordered.Records[4] = reordered.Records[4], reordered.Records[1]
+	if got := firstManifestMismatch(t, m, doc, reordered); got != 1 {
+		t.Fatalf("reorder named record %d, want 1", got)
+	}
+
+	// A record added or removed fails on the count, not as hash soup.
+	shrunk, _ := Load(bytes.NewReader(doc))
+	shrunk.Records = shrunk.Records[:len(shrunk.Records)-1]
+	if got := firstManifestMismatch(t, m, doc, shrunk); got != -1 {
+		t.Fatalf("removed record named %d, want -1 (count mismatch)", got)
+	}
+	grown, _ := Load(bytes.NewReader(doc))
+	grown.Add(Record{Algorithm: "forged"})
+	if got := firstManifestMismatch(t, m, doc, grown); got != -1 {
+		t.Fatalf("added record named %d, want -1 (count mismatch)", got)
+	}
+}
+
+func TestVerifyManifestCatchesDocumentTamper(t *testing.T) {
+	k := seedKB()
+	doc := saveBytes(t, k)
+	m, err := BuildManifest(doc, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace-only tampering decodes to identical records; the document
+	// hash still refuses it.
+	flipped := append([]byte(nil), doc...)
+	flipped[bytes.IndexByte(flipped, '\n')] = ' '
+	back, err := Load(bytes.NewReader(flipped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyManifest(m, flipped, back)
+	if !errors.Is(err, oberr.ErrManifestMismatch) {
+		t.Fatalf("whitespace tamper: want ErrManifestMismatch, got %v", err)
+	}
+}
+
+func TestVerifyManifestRejectsSwappedManifest(t *testing.T) {
+	k := seedKB()
+	doc := saveBytes(t, k)
+	other := seedKB()
+	other.Records[0].Algorithm = "a-different-run"
+	otherDoc := saveBytes(t, other)
+	m, err := BuildManifest(otherDoc, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyManifest(m, doc, k); !errors.Is(err, oberr.ErrManifestMismatch) {
+		t.Fatalf("manifest from a different run: want ErrManifestMismatch, got %v", err)
+	}
+}
+
+func TestBuildMergedManifestAgreesAndChains(t *testing.T) {
+	shards := splitShards(3)
+	for _, sh := range shards {
+		sh.Meta.DatasetHash = "feedbeef"
+	}
+	merged, err := Merge(shards[0], shards[1], shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := saveBytes(t, merged)
+	m, err := BuildMergedManifest(doc, merged, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyManifest(m, doc, merged); err != nil {
+		t.Fatalf("merged manifest does not verify: %v", err)
+	}
+	if m.DatasetHash != "feedbeef" || m.GridFingerprint != shards[0].Meta.Fingerprint {
+		t.Fatalf("chain fields not carried: dataset %q fingerprint %q", m.DatasetHash, m.GridFingerprint)
+	}
+	if len(m.Shards) != 3 {
+		t.Fatalf("manifest pins %d shards, want 3", len(m.Shards))
+	}
+	// Each shard digest matches an independent recompute over that shard.
+	for i, sh := range shards {
+		leaves, err := RecordLeaves(recordsOf(sh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := provenance.NewTree(leaves).RootHex(); got != m.Shards[i].MerkleRoot {
+			t.Fatalf("shard %d digest %s, recomputed %s", i, m.Shards[i].MerkleRoot, got)
+		}
+	}
+	// The monolithic manifest of the same base pins the identical root:
+	// merge provenance is indistinguishable from a single-run's.
+	mono, err := BuildManifest(doc, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.MerkleRoot != m.MerkleRoot {
+		t.Fatalf("merged root %s != monolithic root %s", m.MerkleRoot, mono.MerkleRoot)
+	}
+}
+
+func recordsOf(sh *Shard) []Record {
+	out := make([]Record, len(sh.Records))
+	for i, pr := range sh.Records {
+		out[i] = pr.Record
+	}
+	return out
+}
+
+func TestBuildMergedManifestDetectsShardRecordDrift(t *testing.T) {
+	shards := splitShards(2)
+	merged, err := Merge(shards[0], shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := saveBytes(t, merged)
+	// A shard edited after the merge validated: the shard-level root no
+	// longer agrees with the record-level recomputation.
+	shards[1].Records[0].Record.Seed ^= 1
+	if _, err := BuildMergedManifest(doc, merged, shards...); !errors.Is(err, oberr.ErrManifestMismatch) {
+		t.Fatalf("drifted shard: want ErrManifestMismatch, got %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"openbi/internal/dq"
+	"openbi/internal/provenance"
 )
 
 // curveKey addresses one precomputed degradation curve.
@@ -29,6 +30,7 @@ type Snapshot struct {
 	injected   map[curveKey][]CurvePoint // injected-severity axis
 	measured   map[curveKey][]CurvePoint // measured-severity axis
 	sens       map[curveKey]float64
+	provRoot   string // Merkle root over the records (see ProvenanceRoot)
 }
 
 // Snapshot freezes the current records into an immutable, query-optimized
@@ -41,6 +43,9 @@ func (k *KnowledgeBase) Snapshot() *Snapshot {
 		injected:   map[curveKey][]CurvePoint{},
 		measured:   map[curveKey][]CurvePoint{},
 		sens:       map[curveKey]float64{},
+	}
+	if leaves, err := RecordLeaves(k.Records); err == nil {
+		s.provRoot = provenance.NewTree(leaves).RootHex()
 	}
 	for _, alg := range s.algorithms {
 		s.baselines[alg] = baselineOf(k.Records, alg)
@@ -57,6 +62,13 @@ func (k *KnowledgeBase) Snapshot() *Snapshot {
 
 // Len returns the number of records the snapshot was built from.
 func (s *Snapshot) Len() int { return s.size }
+
+// ProvenanceRoot returns the Merkle root (lowercase hex) over the
+// snapshot's records in their canonical encoding — the same value a
+// manifest built for the saved kb.json pins, so the serving stack and
+// mined provenance triples can cite the lineage of the advice they give.
+// Empty when the records could not be canonically encoded.
+func (s *Snapshot) ProvenanceRoot() string { return s.provRoot }
 
 // Algorithms returns the distinct algorithm names, sorted. Read-only.
 func (s *Snapshot) Algorithms() []string { return s.algorithms }

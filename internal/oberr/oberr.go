@@ -33,6 +33,13 @@ var (
 	// ErrBadSyntax reports input data (RDF, CSV) whose format is right but
 	// whose content does not parse.
 	ErrBadSyntax = errors.New("malformed input")
+	// ErrBadManifest reports a provenance manifest that is malformed or
+	// internally inconsistent — it cannot be used to verify anything.
+	ErrBadManifest = errors.New("bad provenance manifest")
+	// ErrManifestMismatch reports an artifact that fails provenance
+	// verification against its manifest: a corrupt or reordered record, a
+	// wrong document hash, a bad signature, or a broken reload chain.
+	ErrManifestMismatch = errors.New("provenance manifest mismatch")
 )
 
 // ColumnNotFoundError is the structured form of ErrColumnNotFound.
@@ -94,6 +101,27 @@ func (e *SyntaxError) Error() string {
 
 // Is makes errors.Is(err, ErrBadSyntax) match.
 func (e *SyntaxError) Is(target error) bool { return target == ErrBadSyntax }
+
+// ManifestError is the structured form of ErrManifestMismatch: a
+// provenance verification failure, with the first mismatching record
+// localized when the failure is record-level.
+type ManifestError struct {
+	Reason string
+	// Record is the 0-based index of the first record that fails
+	// verification, or -1 when the mismatch is not record-level (document
+	// hash, signature, record count, reload chain).
+	Record int
+}
+
+func (e *ManifestError) Error() string {
+	if e.Record >= 0 {
+		return fmt.Sprintf("provenance mismatch at record %d: %s", e.Record, e.Reason)
+	}
+	return fmt.Sprintf("provenance mismatch: %s", e.Reason)
+}
+
+// Is makes errors.Is(err, ErrManifestMismatch) match.
+func (e *ManifestError) Is(target error) bool { return target == ErrManifestMismatch }
 
 // UnsupportedFormatError is the structured form of ErrUnsupportedFormat.
 type UnsupportedFormatError struct {

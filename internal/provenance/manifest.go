@@ -1,0 +1,306 @@
+package provenance
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// ManifestVersion is the current manifest format version; Load refuses
+// documents from a different version rather than mis-verifying them.
+const ManifestVersion = 1
+
+// Sentinel errors. Structured errors below match them via errors.Is.
+var (
+	// ErrMismatch reports a verification failure: the artifact does not
+	// match the manifest (corrupt record, wrong document, bad signature,
+	// broken chain).
+	ErrMismatch = errors.New("provenance mismatch")
+	// ErrBadManifest reports a manifest that is malformed or internally
+	// inconsistent — it cannot be used to verify anything.
+	ErrBadManifest = errors.New("bad provenance manifest")
+	// ErrUnsigned reports a manifest that carries no signature. Callers
+	// that merely flag unsigned manifests branch on it; callers that pin a
+	// key treat it as a mismatch.
+	ErrUnsigned = errors.New("manifest is unsigned")
+)
+
+// RecordMismatchError names the first record whose canonical encoding does
+// not hash to the manifest's leaf: the corruption is localized, not just
+// detected. Proof is the record's Merkle audit path from the manifest's
+// own leaf list, so the mismatch is independently checkable against the
+// signed root.
+type RecordMismatchError struct {
+	Index int      // 0-based record index in kb.json order
+	Want  string   // leaf hash pinned by the manifest (hex)
+	Got   string   // leaf hash of the record as loaded (hex)
+	Proof []string // audit path of leaf Index against the manifest root (hex)
+}
+
+func (e *RecordMismatchError) Error() string {
+	return fmt.Sprintf("record %d does not match the manifest (leaf %s, manifest pins %s)", e.Index, e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrMismatch) match.
+func (e *RecordMismatchError) Is(target error) bool { return target == ErrMismatch }
+
+// ShardDigest pins one shard of a merged run: its plan coordinates, record
+// count, and the Merkle root over its records in shard order. A fleet
+// distributing shard files verifies each against its digest before
+// merging.
+type ShardDigest struct {
+	Index      int    `json:"shard"`
+	Count      int    `json:"shards"`
+	Records    int    `json:"records"`
+	MerkleRoot string `json:"merkleRoot"`
+}
+
+// Manifest is the provenance record written beside a knowledge base
+// (kb.json.manifest): everything needed to re-derive and check the KB's
+// lineage from the artifacts alone. All hashes are lowercase hex sha256.
+//
+// The manifest is deterministic for a deterministic pipeline — same
+// records, same toolchain, same key ⇒ byte-identical manifest (ed25519
+// signatures are deterministic) — so manifests can be golden-pinned and
+// content-addressed exactly like the KBs they describe.
+type Manifest struct {
+	Version int `json:"version"`
+	// MerkleRoot is the root over LeafHashes; the one value a signature
+	// ultimately anchors every record to.
+	MerkleRoot string `json:"merkleRoot"`
+	Records    int    `json:"records"`
+	// LeafHashes pin each record individually (kb.json order), which is
+	// what lets verification name the first corrupted record instead of
+	// only failing at the root. The list itself is tamper-evident: it must
+	// rebuild to MerkleRoot.
+	LeafHashes []string `json:"leafHashes"`
+	// KBSHA256 is the hash of the exact kb.json bytes the manifest was
+	// produced for (the content address a serving fleet pulls by).
+	KBSHA256 string `json:"kbSha256"`
+	// DatasetHash chains the KB to the dataset contents its experiment
+	// grid ran over (sha256 of the dataset's canonical CSV serialization).
+	DatasetHash string `json:"datasetHash,omitempty"`
+	// GridFingerprint chains the KB to the full run configuration — the
+	// same fingerprint shard files and checkpoint journals carry.
+	GridFingerprint string `json:"gridFingerprint,omitempty"`
+	// Shards digests the shard set a merged KB was assembled from.
+	Shards []ShardDigest `json:"shards,omitempty"`
+	// Toolchain records the Go toolchain that produced the KB.
+	Toolchain string `json:"toolchain"`
+	// PublicKey and Signature are the optional ed25519 signature over the
+	// manifest's canonical payload (all fields above). Unsigned manifests
+	// are allowed but flagged by verifiers.
+	PublicKey string `json:"publicKey,omitempty"`
+	Signature string `json:"signature,omitempty"`
+}
+
+// New builds the manifest of a saved knowledge-base document: doc is the
+// exact serialized kb.json bytes, leaves the canonical per-record
+// encodings in record order. Chain fields (dataset hash, fingerprint,
+// shard set) and the signature are filled in by the caller.
+func New(doc []byte, leaves [][]byte) *Manifest {
+	tree := NewTree(leaves)
+	hashes := make([]string, len(leaves))
+	for i := range leaves {
+		h, _ := tree.LeafHashAt(i)
+		hashes[i] = hex.EncodeToString(h[:])
+	}
+	sum := sha256.Sum256(doc)
+	return &Manifest{
+		Version:    ManifestVersion,
+		MerkleRoot: tree.RootHex(),
+		Records:    len(leaves),
+		LeafHashes: hashes,
+		KBSHA256:   hex.EncodeToString(sum[:]),
+		Toolchain:  runtime.Version(),
+	}
+}
+
+// signingPayload is the canonical byte sequence a signature covers: the
+// manifest JSON with the signature fields cleared.
+func (m *Manifest) signingPayload() ([]byte, error) {
+	c := *m
+	c.PublicKey = ""
+	c.Signature = ""
+	return json.Marshal(&c)
+}
+
+// Sign signs the manifest with an ed25519 private key, embedding the
+// public key so verifiers without a pinned key can still check integrity
+// (pin the key to also check identity).
+func (m *Manifest) Sign(priv ed25519.PrivateKey) error {
+	if len(priv) != ed25519.PrivateKeySize {
+		return fmt.Errorf("%w: private key has %d bytes, want %d", ErrBadManifest, len(priv), ed25519.PrivateKeySize)
+	}
+	payload, err := m.signingPayload()
+	if err != nil {
+		return err
+	}
+	m.PublicKey = hex.EncodeToString(priv.Public().(ed25519.PublicKey))
+	m.Signature = hex.EncodeToString(ed25519.Sign(priv, payload))
+	return nil
+}
+
+// Signed reports whether the manifest carries a signature.
+func (m *Manifest) Signed() bool { return m.Signature != "" }
+
+// Signer returns the hex public key the manifest claims to be signed by
+// ("" when unsigned).
+func (m *Manifest) Signer() string { return m.PublicKey }
+
+// VerifySignature checks the manifest's signature. With pub nil the
+// embedded public key is used (integrity only — any signer passes); with a
+// pinned pub the manifest must be signed by exactly that key. An unsigned
+// manifest returns ErrUnsigned when no key is pinned, and a mismatch when
+// one is: a fleet that configures a key must never accept unsigned
+// artifacts, or stripping the signature would bypass the check entirely.
+func (m *Manifest) VerifySignature(pub ed25519.PublicKey) error {
+	if !m.Signed() {
+		if pub == nil {
+			return ErrUnsigned
+		}
+		return fmt.Errorf("%w: manifest is unsigned but a signing key is required", ErrMismatch)
+	}
+	sig, err := hex.DecodeString(m.Signature)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return fmt.Errorf("%w: malformed signature", ErrBadManifest)
+	}
+	key := pub
+	if key == nil {
+		raw, err := hex.DecodeString(m.PublicKey)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			return fmt.Errorf("%w: malformed embedded public key", ErrBadManifest)
+		}
+		key = ed25519.PublicKey(raw)
+	} else if m.PublicKey != "" && m.PublicKey != hex.EncodeToString(pub) {
+		return fmt.Errorf("%w: manifest was signed by %s, not the pinned key %s",
+			ErrMismatch, m.PublicKey, hex.EncodeToString(pub))
+	}
+	payload, err := m.signingPayload()
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(key, payload, sig) {
+		return fmt.Errorf("%w: signature does not verify", ErrMismatch)
+	}
+	return nil
+}
+
+// VerifyDocument checks the exact serialized KB bytes against the
+// manifest's content address.
+func (m *Manifest) VerifyDocument(doc []byte) error {
+	sum := sha256.Sum256(doc)
+	if got := hex.EncodeToString(sum[:]); got != m.KBSHA256 {
+		return fmt.Errorf("%w: kb.json sha256 %s, manifest pins %s", ErrMismatch, got, m.KBSHA256)
+	}
+	return nil
+}
+
+// storedLeafHashes decodes the manifest's pinned leaf hashes, validating
+// shape.
+func (m *Manifest) storedLeafHashes() ([][HashSize]byte, error) {
+	if len(m.LeafHashes) != m.Records {
+		return nil, fmt.Errorf("%w: %d leaf hashes for %d records", ErrBadManifest, len(m.LeafHashes), m.Records)
+	}
+	out := make([][HashSize]byte, len(m.LeafHashes))
+	for i, s := range m.LeafHashes {
+		raw, err := hex.DecodeString(s)
+		if err != nil || len(raw) != HashSize {
+			return nil, fmt.Errorf("%w: leaf hash %d is not a sha256 hex digest", ErrBadManifest, i)
+		}
+		copy(out[i][:], raw)
+	}
+	return out, nil
+}
+
+// VerifyLeaves re-derives the record-level Merkle tree and checks it
+// against the manifest: the pinned leaf list must rebuild to the signed
+// root (a tampered list cannot hide behind intact leaves), the counts must
+// agree (a record added or removed is named as such, not as a hash soup),
+// and every record's canonical encoding must hash to its pinned leaf — the
+// first that does not is returned as a RecordMismatchError carrying its
+// audit path.
+func (m *Manifest) VerifyLeaves(leaves [][]byte) error {
+	stored, err := m.storedLeafHashes()
+	if err != nil {
+		return err
+	}
+	tree := NewTreeFromLeafHashes(stored)
+	if tree.RootHex() != m.MerkleRoot {
+		return fmt.Errorf("%w: manifest leaf list rebuilds to root %s, manifest pins %s",
+			ErrMismatch, tree.RootHex(), m.MerkleRoot)
+	}
+	if len(leaves) != m.Records {
+		return fmt.Errorf("%w: knowledge base has %d records, manifest pins %d (records were added or removed)",
+			ErrMismatch, len(leaves), m.Records)
+	}
+	for i, leaf := range leaves {
+		got := LeafHash(leaf)
+		if got != stored[i] {
+			proof, _ := tree.Proof(i)
+			return &RecordMismatchError{
+				Index: i,
+				Want:  hex.EncodeToString(stored[i][:]),
+				Got:   hex.EncodeToString(got[:]),
+				Proof: HexProof(proof),
+			}
+		}
+	}
+	return nil
+}
+
+// Verify checks a serialized KB document and its canonical record
+// encodings against the manifest. The leaf check runs first so a
+// corruption names its record; the document check then catches byte-level
+// tampering that JSON decoding normalized away (reformatted whitespace,
+// duplicate keys). Signature policy is the caller's (VerifySignature).
+func (m *Manifest) Verify(doc []byte, leaves [][]byte) error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("%w: manifest version %d, want %d", ErrBadManifest, m.Version, ManifestVersion)
+	}
+	if err := m.VerifyLeaves(leaves); err != nil {
+		return err
+	}
+	return m.VerifyDocument(doc)
+}
+
+// Save writes the manifest as indented JSON.
+func (m *Manifest) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// Load reads a manifest, requiring EOF after the document — trailing bytes
+// mean a concatenated or appended-to file, which must not verify as
+// pristine.
+func Load(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after the manifest document", ErrBadManifest)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrBadManifest, m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,187 @@
+// Package provenance makes knowledge-base artifacts tamper-evident: a
+// Merkle tree over canonical record encodings whose root is pinned in a
+// signed manifest, so any replica that pulls a kb.json can prove — from
+// the artifact alone, trusting nothing about the producer or the transport
+// — that it chains back to the run that built it, and, when it does not,
+// name the first record that differs.
+//
+// The package follows the hash-anchored audit-log template: leaves are
+// domain-separated sha256 hashes of each record's canonical encoding,
+// interior nodes hash their children under a distinct tag (so a leaf can
+// never be replayed as a node), and per-leaf audit paths let a verifier
+// check one record against the root in O(log n) without the other leaves.
+//
+// provenance deliberately imports only the standard library (the lean-core
+// distribution model): it operates on raw byte leaves and documents, and
+// knows nothing about knowledge bases. internal/kb supplies the canonical
+// record encodings and wraps the typed errors for the serving stack.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashSize is the byte length of every leaf, node and root hash.
+const HashSize = sha256.Size
+
+// Domain-separation tags: a leaf hash and an interior-node hash of
+// identical bytes must never collide, or an attacker could splice a
+// subtree root in as a "record".
+const (
+	leafTag = 0x00
+	nodeTag = 0x01
+)
+
+// LeafHash hashes one leaf's content: sha256(0x00 || content).
+func LeafHash(content []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{leafTag})
+	h.Write(content)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two child hashes: sha256(0x01 || left || right).
+func nodeHash(left, right [HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{nodeTag})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// emptyRoot is the root of a tree with zero leaves — a fixed
+// domain-separated constant, so "no records" is still a checkable value.
+func emptyRoot() [HashSize]byte {
+	return sha256.Sum256([]byte("openbi:provenance:empty"))
+}
+
+// Tree is an immutable Merkle tree built over a leaf sequence. An
+// odd-count level promotes its last node unchanged (no duplication), so
+// every leaf's audit path is uniquely determined by (index, leaf count).
+type Tree struct {
+	levels [][][HashSize]byte // levels[0] = leaf hashes, last = [root]
+}
+
+// NewTree builds the tree over the given leaf contents.
+func NewTree(leaves [][]byte) *Tree {
+	hashes := make([][HashSize]byte, len(leaves))
+	for i, l := range leaves {
+		hashes[i] = LeafHash(l)
+	}
+	return NewTreeFromLeafHashes(hashes)
+}
+
+// NewTreeFromLeafHashes builds the tree over precomputed leaf hashes (the
+// form manifests store, so a verifier can rebuild the root without the
+// full records).
+func NewTreeFromLeafHashes(hashes [][HashSize]byte) *Tree {
+	level := append([][HashSize]byte(nil), hashes...)
+	t := &Tree{levels: [][][HashSize]byte{level}}
+	for len(level) > 1 {
+		next := make([][HashSize]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // odd node promoted
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return len(t.levels[0]) }
+
+// Root returns the tree's root hash.
+func (t *Tree) Root() [HashSize]byte {
+	if t.Len() == 0 {
+		return emptyRoot()
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// RootHex returns the root as lowercase hex, the manifest wire form.
+func (t *Tree) RootHex() string {
+	r := t.Root()
+	return hex.EncodeToString(r[:])
+}
+
+// LeafHashAt returns the stored hash of leaf i.
+func (t *Tree) LeafHashAt(i int) ([HashSize]byte, error) {
+	if i < 0 || i >= t.Len() {
+		return [HashSize]byte{}, fmt.Errorf("provenance: leaf index %d out of range [0,%d)", i, t.Len())
+	}
+	return t.levels[0][i], nil
+}
+
+// Proof returns the audit path of leaf i: the sibling hash at every level,
+// bottom-up, skipping levels where the node was promoted without a
+// sibling. VerifyProof(root, leafHash, i, Len(), proof) accepts exactly
+// this path.
+func (t *Tree) Proof(i int) ([][HashSize]byte, error) {
+	if i < 0 || i >= t.Len() {
+		return nil, fmt.Errorf("provenance: leaf index %d out of range [0,%d)", i, t.Len())
+	}
+	var path [][HashSize]byte
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		if idx%2 == 1 {
+			path = append(path, level[idx-1])
+		} else if idx+1 < len(level) {
+			path = append(path, level[idx+1])
+		}
+		// idx+1 == len(level): promoted, no sibling at this level.
+		idx /= 2
+	}
+	return path, nil
+}
+
+// VerifyProof checks a leaf hash against a root via its audit path, for a
+// tree of n leaves. The path layout must match Proof's promotion rule.
+func VerifyProof(root [HashSize]byte, leaf [HashSize]byte, index, n int, path [][HashSize]byte) bool {
+	if index < 0 || index >= n || n <= 0 {
+		return false
+	}
+	cur := leaf
+	idx, size, used := index, n, 0
+	for size > 1 {
+		switch {
+		case idx%2 == 1:
+			if used >= len(path) {
+				return false
+			}
+			cur = nodeHash(path[used], cur)
+			used++
+		case idx+1 < size:
+			if used >= len(path) {
+				return false
+			}
+			cur = nodeHash(cur, path[used])
+			used++
+		default:
+			// promoted: hash carries up unchanged
+		}
+		idx /= 2
+		size = (size + 1) / 2
+	}
+	return used == len(path) && cur == root
+}
+
+// HexProof renders an audit path as hex strings (for human-readable
+// verify output and JSON reports).
+func HexProof(path [][HashSize]byte) []string {
+	out := make([]string, len(path))
+	for i, h := range path {
+		out[i] = hex.EncodeToString(h[:])
+	}
+	return out
+}

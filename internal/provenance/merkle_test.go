@@ -1,0 +1,96 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+)
+
+func makeLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("record-%d", i))
+	}
+	return leaves
+}
+
+// Every leaf of every tree size proves against the root, and no proof
+// survives a different leaf, index, or count — including the awkward
+// odd-count shapes where nodes are promoted.
+func TestProofRoundTripAllSizes(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		leaves := makeLeaves(n)
+		tree := NewTree(leaves)
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len() = %d", n, tree.Len())
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d proof(%d): %v", n, i, err)
+			}
+			if !VerifyProof(root, LeafHash(leaves[i]), i, n, proof) {
+				t.Errorf("n=%d leaf %d: valid proof rejected", n, i)
+			}
+			if VerifyProof(root, LeafHash([]byte("tampered")), i, n, proof) {
+				t.Errorf("n=%d leaf %d: tampered leaf accepted", n, i)
+			}
+			if n > 1 && VerifyProof(root, LeafHash(leaves[i]), (i+1)%n, n, proof) {
+				t.Errorf("n=%d leaf %d: proof accepted at wrong index", n, i)
+			}
+		}
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	base := NewTree(makeLeaves(9)).Root()
+	for i := 0; i < 9; i++ {
+		leaves := makeLeaves(9)
+		leaves[i] = append(leaves[i], '!')
+		if NewTree(leaves).Root() == base {
+			t.Errorf("flipping leaf %d did not change the root", i)
+		}
+	}
+	// Reordering changes the root too: position is part of identity.
+	leaves := makeLeaves(9)
+	leaves[0], leaves[8] = leaves[8], leaves[0]
+	if NewTree(leaves).Root() == base {
+		t.Error("reordering leaves did not change the root")
+	}
+}
+
+// A leaf must never verify as an interior node or vice versa: the domain
+// tags make sha256(x) under the two roles distinct.
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	l, r := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	parent := nodeHash(l, r)
+	var concat []byte
+	concat = append(concat, l[:]...)
+	concat = append(concat, r[:]...)
+	if LeafHash(concat) == parent {
+		t.Fatal("leaf hash of concatenated children equals their parent node hash")
+	}
+}
+
+func TestEmptyTreeRootIsStable(t *testing.T) {
+	a, b := NewTree(nil).Root(), NewTree([][]byte{}).Root()
+	if a != b {
+		t.Fatal("empty-tree roots differ")
+	}
+	if a == NewTree(makeLeaves(1)).Root() {
+		t.Fatal("empty root collides with a 1-leaf root")
+	}
+}
+
+func TestProofOutOfRange(t *testing.T) {
+	tree := NewTree(makeLeaves(3))
+	if _, err := tree.Proof(-1); err == nil {
+		t.Error("Proof(-1) succeeded")
+	}
+	if _, err := tree.Proof(3); err == nil {
+		t.Error("Proof(len) succeeded")
+	}
+	if VerifyProof(tree.Root(), LeafHash([]byte("record-0")), 0, 0, nil) {
+		t.Error("VerifyProof accepted n=0")
+	}
+}

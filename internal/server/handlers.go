@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"net/http"
 	"os"
@@ -17,6 +19,8 @@ import (
 	"openbi/internal/dq"
 	"openbi/internal/hist"
 	"openbi/internal/kb"
+	"openbi/internal/oberr"
+	"openbi/internal/provenance"
 	"openbi/internal/table"
 )
 
@@ -389,10 +393,16 @@ type kbResponse struct {
 	LoadedAt   time.Time `json:"loadedAt"`
 	AgeSeconds float64   `json:"ageSeconds"`
 	Source     string    `json:"source"`
+	// ManifestRoot and ManifestSigner report the verified provenance of the
+	// serving KB: the Merkle root its manifest pins and the hex public key
+	// it was signed with. Root without signer means a verified but unsigned
+	// manifest; both empty means the generation was published without one.
+	ManifestRoot   string `json:"manifestRoot,omitempty"`
+	ManifestSigner string `json:"manifestSigner,omitempty"`
 }
 
 func (s *Server) kbResponseFor(state *kbState) kbResponse {
-	return kbResponse{
+	resp := kbResponse{
 		Generation: state.gen,
 		Records:    state.snap.Len(),
 		Algorithms: state.snap.Algorithms(),
@@ -400,6 +410,11 @@ func (s *Server) kbResponseFor(state *kbState) kbResponse {
 		AgeSeconds: s.now().Sub(state.loadedAt).Seconds(),
 		Source:     state.source,
 	}
+	if state.manifest != nil {
+		resp.ManifestRoot = state.manifest.MerkleRoot
+		resp.ManifestSigner = state.manifest.Signer()
+	}
+	return resp
 }
 
 func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
@@ -409,10 +424,14 @@ func (s *Server) handleKB(w http.ResponseWriter, r *http.Request) {
 // reloadRequest optionally overrides the server's configured KB path, or —
 // with Shards — names the shard files of one sharded experiment run to
 // merge and serve in a single atomic swap (no intermediate kb.json write).
-// Path and Shards are mutually exclusive.
+// Path and Shards are mutually exclusive. Manifest names the provenance
+// manifest to verify the incoming KB against; plain reloads default to
+// <path>.manifest when the file exists, shard reloads verify only when a
+// manifest is named (there is no file beside which one could live).
 type reloadRequest struct {
-	Path   string   `json:"path"`
-	Shards []string `json:"shards"`
+	Path     string   `json:"path"`
+	Shards   []string `json:"shards"`
+	Manifest string   `json:"manifest"`
 }
 
 // handleReload atomically swaps in a knowledge base read from disk —
@@ -433,13 +452,18 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Manifest != "" && !s.reloadPathAllowed(req.Manifest) {
+		s.writeErrorCode(w, http.StatusForbidden, "path_not_allowed",
+			"reload paths must live in the configured KB's directory")
+		return
+	}
 	if len(req.Shards) > 0 {
 		if req.Path != "" {
 			s.writeErrorCode(w, http.StatusBadRequest, "bad_request",
 				`give either "path" or "shards", not both`)
 			return
 		}
-		s.reloadShards(w, req.Shards)
+		s.reloadShards(w, req)
 		return
 	}
 	path := req.Path
@@ -459,25 +483,101 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	f, err := os.Open(path)
+	doc, err := os.ReadFile(path)
 	if err != nil {
 		s.writeErrorCode(w, http.StatusBadRequest, "kb_unreadable", err.Error())
 		return
 	}
-	loadErr := s.engine.LoadKB(f)
-	f.Close()
-	if loadErr != nil {
-		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", loadErr.Error())
+	base, err := kb.Load(bytes.NewReader(doc))
+	if err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", err.Error())
 		return
 	}
-	s.publishReload(w, path)
+	manifestPath, explicit := req.Manifest, req.Manifest != ""
+	if !explicit {
+		manifestPath = path + ".manifest"
+	}
+	m, err := s.manifestForReload(doc, base, manifestPath, explicit)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := checkManifestChain(s.state.Load().manifest, m); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.engine.ReplaceKB(base); err != nil {
+		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", err.Error())
+		return
+	}
+	s.publishReload(w, path, m)
+}
+
+// manifestForReload loads and fully verifies the provenance manifest of an
+// incoming KB: the manifest document itself, every record's leaf hash and
+// the Merkle root, the exact artifact bytes, and the signature policy.
+// With the manifest file absent it returns (nil, nil) — an unverified
+// reload — unless the path was named explicitly or the server requires
+// manifests. Callers hold reloadMu.
+func (s *Server) manifestForReload(doc []byte, base *kb.KnowledgeBase, manifestPath string, explicit bool) (*provenance.Manifest, error) {
+	if _, err := os.Stat(manifestPath); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			if !explicit && !s.manifestRequired {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("server: %w", &oberr.ManifestError{Record: -1,
+				Reason: fmt.Sprintf("provenance manifest %s does not exist", manifestPath)})
+		}
+		return nil, fmt.Errorf("server: %w: %s: %v", oberr.ErrBadManifest, manifestPath, err)
+	}
+	m, err := provenance.LoadFile(manifestPath)
+	if err != nil {
+		return nil, kb.WrapManifestError(err)
+	}
+	if err := kb.VerifyManifest(m, doc, base); err != nil {
+		return nil, err
+	}
+	sigErr := m.VerifySignature(s.manifestKey)
+	if errors.Is(sigErr, provenance.ErrUnsigned) && s.manifestKey == nil {
+		// Unsigned manifests are allowed (but flagged: GET /v1/kb reports a
+		// root with no signer) until the operator pins a key.
+		sigErr = nil
+	}
+	if sigErr != nil {
+		return nil, kb.WrapManifestError(sigErr)
+	}
+	return m, nil
+}
+
+// checkManifestChain enforces reload lineage: when both the serving and the
+// incoming generation carry manifests, their dataset hash and grid
+// fingerprint must agree (where both sides record them) — a KB derived from
+// different data or a different experiment grid must not silently replace
+// the one being served.
+func checkManifestChain(prev, next *provenance.Manifest) error {
+	if prev == nil || next == nil {
+		return nil
+	}
+	if prev.DatasetHash != "" && next.DatasetHash != "" && prev.DatasetHash != next.DatasetHash {
+		return fmt.Errorf("server: %w", &oberr.ManifestError{Record: -1,
+			Reason: fmt.Sprintf("reload breaks the provenance chain: incoming dataset hash %s, serving %s", next.DatasetHash, prev.DatasetHash)})
+	}
+	if prev.GridFingerprint != "" && next.GridFingerprint != "" && prev.GridFingerprint != next.GridFingerprint {
+		return fmt.Errorf("server: %w", &oberr.ManifestError{Record: -1,
+			Reason: fmt.Sprintf("reload breaks the provenance chain: incoming grid fingerprint %s, serving %s", next.GridFingerprint, prev.GridFingerprint)})
+	}
+	return nil
 }
 
 // reloadShards loads shard files, merges them (validating that they form
 // exactly one complete run) and publishes the merged KB as a new
 // generation. The same path confinement as plain reloads applies to every
-// shard file.
-func (s *Server) reloadShards(w http.ResponseWriter, paths []string) {
+// shard file. The merged base never touches disk, so manifest verification
+// runs over its canonical serialization — byte-identical to the kb.json a
+// monolithic run would have written, which is exactly what the manifest
+// pins.
+func (s *Server) reloadShards(w http.ResponseWriter, req reloadRequest) {
+	paths := req.Shards
 	for _, p := range paths {
 		if !s.reloadPathAllowed(p) {
 			s.writeErrorCode(w, http.StatusForbidden, "path_not_allowed",
@@ -507,19 +607,41 @@ func (s *Server) reloadShards(w http.ResponseWriter, paths []string) {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	var m *provenance.Manifest
+	if req.Manifest != "" || s.manifestRequired {
+		if req.Manifest == "" {
+			s.writeError(w, fmt.Errorf("server: %w", &oberr.ManifestError{Record: -1,
+				Reason: "the server requires a provenance manifest; shard reloads must name one explicitly"}))
+			return
+		}
+		var doc bytes.Buffer
+		if err := merged.Save(&doc); err != nil {
+			s.writeErrorCode(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		m, err = s.manifestForReload(doc.Bytes(), merged, req.Manifest, true)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if err := checkManifestChain(s.state.Load().manifest, m); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
 	if err := s.engine.ReplaceKB(merged); err != nil {
 		s.writeErrorCode(w, http.StatusBadRequest, "bad_kb", err.Error())
 		return
 	}
-	s.publishReload(w, fmt.Sprintf("merge of %d shards", len(shards)))
+	s.publishReload(w, fmt.Sprintf("merge of %d shards", len(shards)), m)
 }
 
 // publishReload bumps the serving generation after the engine accepted a
 // new KB. Callers hold reloadMu (or are the only writer, as in reload
 // paths that just took it).
-func (s *Server) publishReload(w http.ResponseWriter, source string) {
+func (s *Server) publishReload(w http.ResponseWriter, source string, m *provenance.Manifest) {
 	prev := s.state.Load()
-	next := &kbState{snap: s.engine.KB(), gen: prev.gen + 1, loadedAt: s.now(), source: source}
+	next := &kbState{snap: s.engine.KB(), gen: prev.gen + 1, loadedAt: s.now(), source: source, manifest: m}
 	s.state.Store(next)
 	s.metrics.reloads.Add(1)
 	writeJSON(w, http.StatusOK, s.kbResponseFor(next))

@@ -31,6 +31,8 @@ type errorDetail struct {
 //	oberr.ErrEmptyKB           503 empty_kb
 //	oberr.ErrUnknownAlgorithm  400 unknown_algorithm
 //	oberr.ErrBadConfig         400 bad_config
+//	oberr.ErrBadManifest       400 bad_manifest
+//	oberr.ErrManifestMismatch  422 manifest_mismatch
 //	oberr.ErrUnsupportedFormat 415 unsupported_format
 //	context.DeadlineExceeded   504 timeout
 //	context.Canceled           503 canceled
@@ -55,6 +57,10 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "unknown_algorithm"
 	case errors.Is(err, oberr.ErrBadConfig):
 		return http.StatusBadRequest, "bad_config"
+	case errors.Is(err, oberr.ErrBadManifest):
+		return http.StatusBadRequest, "bad_manifest"
+	case errors.Is(err, oberr.ErrManifestMismatch):
+		return http.StatusUnprocessableEntity, "manifest_mismatch"
 	case errors.Is(err, oberr.ErrUnsupportedFormat):
 		return http.StatusUnsupportedMediaType, "unsupported_format"
 	case errors.Is(err, context.DeadlineExceeded):

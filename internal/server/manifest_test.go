@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openbi/internal/kb"
+	"openbi/internal/provenance"
+)
+
+// writeKBAndManifest writes base as dir/name plus its manifest beside it
+// (name.manifest), optionally signed and with chain fields applied, and
+// returns both paths.
+func writeKBAndManifest(t *testing.T, dir, name string, base *kb.KnowledgeBase,
+	priv ed25519.PrivateKey, mutate func(*provenance.Manifest)) (string, string) {
+	t.Helper()
+	kbPath := filepath.Join(dir, name)
+	f, err := os.Create(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	doc, err := os.ReadFile(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kb.BuildManifest(doc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	if priv != nil {
+		if err := m.Sign(priv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifestPath := kbPath + ".manifest"
+	mf, err := os.Create(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	return kbPath, manifestPath
+}
+
+func reloadBody(t *testing.T, fields map[string]any) string {
+	t.Helper()
+	body, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestReloadVerifiesManifestBesideKB: a manifest sitting beside the KB is
+// picked up and verified even without -require-manifest, its root shows up
+// in GET /v1/kb, and a corrupted KB is refused with the first bad record
+// named.
+func TestReloadVerifiesManifestBesideKB(t *testing.T) {
+	dir := t.TempDir()
+	kbPath, _ := writeKBAndManifest(t, dir, "kb.json", testKB("gamma", "delta"), nil, nil)
+	srv := newTestServer(t, testKB("alpha"))
+
+	w := do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": kbPath}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status = %d body = %s", w.Code, w.Body.String())
+	}
+	re := decode[kbResponse](t, w)
+	if re.ManifestRoot == "" || re.ManifestSigner != "" {
+		t.Fatalf("reload reply = %+v, want unsigned manifest root", re)
+	}
+	kw := do(srv, "GET", "/v1/kb", "")
+	if got := decode[kbResponse](t, kw); got.ManifestRoot != re.ManifestRoot {
+		t.Fatalf("GET /v1/kb root %q, reload reported %q", got.ManifestRoot, re.ManifestRoot)
+	}
+
+	// Corrupt one record's bytes in place: the reload must fail 422 and
+	// name the record.
+	doc, err := os.ReadFile(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(doc, []byte(`"algorithm": "delta"`), []byte(`"algorithm": "DELTA"`), 1)
+	if err := os.WriteFile(kbPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": kbPath}))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("tampered reload: status = %d code = %s", w.Code, w.Body.String())
+	}
+	if body := w.Body.String(); !strings.Contains(body, "record 3") {
+		t.Fatalf("tampered reload does not name record 3: %s", body)
+	}
+	// The serving KB is untouched by the refused reload.
+	if got := decode[kbResponse](t, do(srv, "GET", "/v1/kb", "")); got.Generation != 1 {
+		t.Fatalf("generation after refused reload = %d, want 1", got.Generation)
+	}
+}
+
+// TestReloadRequireManifest: with WithManifestRequired a reload without a
+// manifest is refused 422; a valid manifest hot-swaps normally.
+func TestReloadRequireManifest(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testKB("alpha"), WithManifestRequired())
+
+	bare := filepath.Join(dir, "bare.json")
+	f, err := os.Create(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testKB("gamma").Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	w := do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": bare}))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("manifest-less reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	kbPath, _ := writeKBAndManifest(t, dir, "kb.json", testKB("gamma", "delta"), nil, nil)
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": kbPath}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("manifested reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+}
+
+// TestReloadSignaturePolicy: with a pinned key, unsigned and wrong-key
+// manifests are refused; the right key passes and is reported as signer.
+func TestReloadSignaturePolicy(t *testing.T) {
+	dir := t.TempDir()
+	pub, priv, err := provenance.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, otherPriv, err := provenance.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, testKB("alpha"), WithManifestKey(pub))
+
+	unsigned, _ := writeKBAndManifest(t, dir, "unsigned.json", testKB("gamma"), nil, nil)
+	w := do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": unsigned}))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("unsigned with pinned key: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	wrong, _ := writeKBAndManifest(t, dir, "wrong.json", testKB("gamma"), otherPriv, nil)
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": wrong}))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("wrong key: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	signed, _ := writeKBAndManifest(t, dir, "signed.json", testKB("gamma"), priv, nil)
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": signed}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("signed reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+	if re := decode[kbResponse](t, w); re.ManifestSigner != hex.EncodeToString(pub) {
+		t.Fatalf("signer = %q, want pinned key", re.ManifestSigner)
+	}
+}
+
+// TestReloadChainedManifests: once a manifested generation is serving,
+// a reload whose manifest records a different dataset hash or grid
+// fingerprint breaks the chain and is refused 422.
+func TestReloadChainedManifests(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, testKB("alpha"))
+	chain := func(m *provenance.Manifest) {
+		m.DatasetHash = "d1"
+		m.GridFingerprint = "g1"
+	}
+	first, _ := writeKBAndManifest(t, dir, "first.json", testKB("gamma"), nil, chain)
+	w := do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": first}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("first reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	foreign, _ := writeKBAndManifest(t, dir, "foreign.json", testKB("delta"), nil,
+		func(m *provenance.Manifest) { m.DatasetHash = "d2"; m.GridFingerprint = "g1" })
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": foreign}))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("chain-breaking reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	next, _ := writeKBAndManifest(t, dir, "next.json", testKB("gamma", "delta"), nil, chain)
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": next}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("chained reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+}
+
+// TestReloadShardsWithManifest: shard-mode reloads verify the merged KB
+// against an explicitly named manifest; a required-manifest server refuses
+// shard reloads that bring none.
+func TestReloadShardsWithManifest(t *testing.T) {
+	dir := t.TempDir()
+	paths := testShards(t, dir, 2, "gamma", "delta", "epsilon")
+	srv := newTestServer(t, testKB("alpha"), WithManifestRequired())
+
+	w := do(srv, "POST", "/v1/kb/reload", shardReloadBody(t, paths))
+	if w.Code != http.StatusUnprocessableEntity || errCode(t, w) != "manifest_mismatch" {
+		t.Fatalf("manifest-less shard reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+
+	// Build the manifest a merge job would have emitted for these shards.
+	shards := make([]*kb.Shard, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := kb.LoadShard(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = sh
+	}
+	merged, err := kb.Merge(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := merged.Save(&doc); err != nil {
+		t.Fatal(err)
+	}
+	m, err := kb.BuildMergedManifest(doc.Bytes(), merged, shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "merged.manifest")
+	mf, err := os.Create(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	w = do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"shards": paths, "manifest": manifestPath}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("manifested shard reload: status = %d body = %s", w.Code, w.Body.String())
+	}
+	if re := decode[kbResponse](t, w); re.ManifestRoot != m.MerkleRoot {
+		t.Fatalf("shard reload root = %q, manifest root = %q", re.ManifestRoot, m.MerkleRoot)
+	}
+}
+
+// TestReloadMalformedManifest: a manifest that cannot be parsed is 400
+// bad_manifest, distinct from a verification mismatch.
+func TestReloadMalformedManifest(t *testing.T) {
+	dir := t.TempDir()
+	kbPath, manifestPath := writeKBAndManifest(t, dir, "kb.json", testKB("gamma"), nil, nil)
+	if err := os.WriteFile(manifestPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, testKB("alpha"))
+	w := do(srv, "POST", "/v1/kb/reload", reloadBody(t, map[string]any{"path": kbPath}))
+	if w.Code != http.StatusBadRequest || errCode(t, w) != "bad_manifest" {
+		t.Fatalf("malformed manifest: status = %d body = %s", w.Code, w.Body.String())
+	}
+}

@@ -36,6 +36,7 @@ package server
 
 import (
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"net"
 	"net/http"
@@ -47,6 +48,7 @@ import (
 	"openbi/internal/hist"
 	"openbi/internal/kb"
 	"openbi/internal/oberr"
+	"openbi/internal/provenance"
 )
 
 // kbState is one published knowledge-base generation: the pinned snapshot
@@ -57,6 +59,11 @@ type kbState struct {
 	gen      uint64
 	loadedAt time.Time
 	source   string
+	// manifest is the verified provenance manifest of the serving KB, nil
+	// when the generation was published without one (engine-sourced
+	// snapshots, unverified reloads). Chained reloads compare the incoming
+	// manifest's lineage fields against it.
+	manifest *provenance.Manifest
 }
 
 // Server serves advice over HTTP from an Engine. Create one with New; a
@@ -84,6 +91,9 @@ type Server struct {
 	drainTimeout time.Duration
 	maxBodyBytes int64
 
+	manifestRequired bool
+	manifestKey      ed25519.PublicKey
+
 	batchWindow time.Duration
 	batchMax    int
 	jobs        chan *adviseJob
@@ -107,6 +117,10 @@ type config struct {
 	maxInflight  int
 	queueDepth   int
 	now          func() time.Time
+
+	manifestRequired bool
+	manifestKey      ed25519.PublicKey
+	manifest         *provenance.Manifest
 }
 
 // WithKBPath sets the default knowledge-base file POST /v1/kb/reload reads
@@ -172,6 +186,33 @@ func WithQueueDepth(n int) Option {
 	return func(c *config) { c.queueDepth = n }
 }
 
+// WithManifestRequired refuses any POST /v1/kb/reload that cannot present
+// a verifiable provenance manifest: the manifest must exist (shard reloads
+// must name one explicitly), verify against the artifact, satisfy the
+// signature policy, and continue the currently served manifest's lineage
+// (dataset hash, grid fingerprint). Violations are 422 manifest_mismatch;
+// a valid manifest hot-swaps normally.
+func WithManifestRequired() Option {
+	return func(c *config) { c.manifestRequired = true }
+}
+
+// WithManifestKey pins the ed25519 public key reload manifests must be
+// signed with. With a key pinned, unsigned manifests (and manifests signed
+// by any other key) are refused even when WithManifestRequired is off —
+// whenever a manifest is presented, it must carry this key's signature.
+func WithManifestKey(pub ed25519.PublicKey) Option {
+	return func(c *config) { c.manifestKey = pub }
+}
+
+// WithManifest attaches the verified provenance manifest of the initially
+// served knowledge base, seeding the reload chain: subsequent reloads must
+// agree with its dataset hash and grid fingerprint. GET /v1/kb reports its
+// root and signer. The caller is responsible for having verified it
+// (cmd/openbi's serve does so at startup).
+func WithManifest(m *provenance.Manifest) Option {
+	return func(c *config) { c.manifest = m }
+}
+
 // New builds a Server around an engine. The engine's currently published
 // snapshot becomes generation 0; subsequent /v1/kb/reload calls bump the
 // generation. Invalid options fail eagerly with oberr.ErrBadConfig.
@@ -232,6 +273,10 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 	} else {
 		cfg.queueDepth = cfg.maxInflight
 	}
+	if cfg.manifestKey != nil && len(cfg.manifestKey) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("server: %w", &oberr.ConfigError{
+			Field: "WithManifestKey", Reason: fmt.Sprintf("public key has %d bytes, want %d", len(cfg.manifestKey), ed25519.PublicKeySize)})
+	}
 	s := &Server{
 		engine:       engine,
 		cache:        newAdviceCache(cfg.cacheSize),
@@ -240,6 +285,9 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 		reqTimeout:   cfg.reqTimeout,
 		drainTimeout: cfg.drainTimeout,
 		maxBodyBytes: cfg.maxBodyBytes,
+
+		manifestRequired: cfg.manifestRequired,
+		manifestKey:      cfg.manifestKey,
 		batchWindow:  cfg.batchWindow,
 		batchMax:     cfg.batchMax,
 		jobs:         make(chan *adviseJob, 4*cfg.batchMax),
@@ -248,7 +296,7 @@ func New(engine *core.Engine, opts ...Option) (*Server, error) {
 		admission:    newAdmission(cfg.maxInflight, cfg.queueDepth, cfg.reqTimeout),
 		latency:      make(map[string]*hist.Histogram),
 	}
-	s.state.Store(&kbState{snap: engine.KB(), gen: 0, loadedAt: s.now(), source: "engine"})
+	s.state.Store(&kbState{snap: engine.KB(), gen: 0, loadedAt: s.now(), source: "engine", manifest: cfg.manifest})
 	s.mux = s.routes()
 	go s.dispatch()
 	return s, nil

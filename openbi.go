@@ -26,6 +26,7 @@
 package openbi
 
 import (
+	"crypto/ed25519"
 	"io"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"openbi/internal/inject"
 	"openbi/internal/kb"
 	"openbi/internal/mining"
+	"openbi/internal/provenance"
 	"openbi/internal/rdf"
 	"openbi/internal/server"
 	"openbi/internal/synth"
@@ -281,6 +283,45 @@ func MergeKB(shards ...*Shard) (*KnowledgeBase, error) { return kb.Merge(shards.
 // `openbi experiments -shard`.
 func LoadShard(r io.Reader) (*Shard, error) { return kb.LoadShard(r) }
 
+// ---- Provenance (see internal/provenance, internal/kb) ----
+
+// Manifest is the tamper-evident provenance record written beside a
+// knowledge base (kb.json.manifest): a Merkle tree over the KB's record
+// encodings plus the dataset hash, grid fingerprint, per-shard digests and
+// toolchain that produced it, optionally ed25519-signed.
+type Manifest = provenance.Manifest
+
+// ManifestShardDigest pins one shard of a merged run inside a Manifest.
+type ManifestShardDigest = provenance.ShardDigest
+
+// RecordMismatchError names the first KB record whose encoding does not
+// hash to the manifest's leaf, with its Merkle audit path; recover it with
+// errors.As from BuildManifest/VerifyManifest failures.
+type RecordMismatchError = provenance.RecordMismatchError
+
+// BuildManifest derives the provenance manifest for a saved knowledge
+// base: doc is the exact saved bytes, k the loaded KB.
+func BuildManifest(doc []byte, k *KnowledgeBase) (*Manifest, error) { return kb.BuildManifest(doc, k) }
+
+// BuildMergedManifest derives the manifest for a merged KB and
+// cross-checks the record-level Merkle root against one recomputed from
+// the per-shard trees — the merge refuses a manifest the shards disagree
+// with.
+func BuildMergedManifest(doc []byte, merged *KnowledgeBase, shards ...*Shard) (*Manifest, error) {
+	return kb.BuildMergedManifest(doc, merged, shards...)
+}
+
+// VerifyManifest checks a saved KB against its manifest; failures match
+// ErrManifestMismatch, and record-level corruption carries the first bad
+// record's index via ManifestError / RecordMismatchError.
+func VerifyManifest(m *Manifest, doc []byte, k *KnowledgeBase) error {
+	return kb.VerifyManifest(m, doc, k)
+}
+
+// LoadManifest reads a manifest file written by `openbi experiments` or
+// `openbi kb merge`.
+func LoadManifest(r io.Reader) (*Manifest, error) { return provenance.Load(r) }
+
 // ---- Serving (see internal/server) ----
 
 // Server is the HTTP/JSON advice service around an Engine: POST /v1/advise
@@ -335,3 +376,16 @@ func WithMaxInflight(n int) ServerOption { return server.WithMaxInflight(n) }
 // WithQueueDepth bounds how many requests may wait for an inflight slot
 // before shedding (default: equal to WithMaxInflight).
 func WithQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }
+
+// WithManifestRequired makes the server refuse any KB reload that does not
+// carry a verified provenance manifest (422 manifest_mismatch).
+func WithManifestRequired() ServerOption { return server.WithManifestRequired() }
+
+// WithManifestKey pins the ed25519 public key every reload manifest must
+// be signed by; unsigned or foreign-key manifests are refused.
+func WithManifestKey(pub ed25519.PublicKey) ServerOption { return server.WithManifestKey(pub) }
+
+// WithServerManifest seeds generation 0 with the already-verified manifest
+// of the KB the engine was loaded from, so the reload chain starts at
+// startup rather than at the first hot swap.
+func WithServerManifest(m *Manifest) ServerOption { return server.WithManifest(m) }

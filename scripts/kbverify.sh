@@ -1,0 +1,39 @@
+#!/bin/sh
+# KB provenance gate: build a small knowledge base with a signed manifest,
+# verify it, then flip one byte inside a record's encoding — the JSON still
+# parses, so only the merkle check can notice — and require `openbi kb
+# verify` to refuse the KB while naming the corrupted record.
+#
+# Overrides: ROWS (reference dataset rows, default 40), BIN (CLI path).
+set -eu
+
+BIN=${BIN:-/tmp/openbi_kbverify/openbi}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+mkdir -p "$(dirname "$BIN")"
+go build -o "$BIN" ./cmd/openbi
+
+"$BIN" kb keygen -out "$DIR/openbi.key" > /dev/null
+"$BIN" experiments -rows "${ROWS:-40}" -folds 2 -seed 42 \
+  -key "$DIR/openbi.key" -out "$DIR/kb.json" > /dev/null
+"$BIN" kb verify -pub "$DIR/openbi.key.pub" "$DIR/kb.json"
+
+# Single-byte flip inside record 0's canonical encoding: every record
+# carries the run's fold count, so the first occurrence belongs to
+# record 0 (seeds are per-cell and would land on an arbitrary record).
+sed -i '0,/"folds": 2/s//"folds": 3/' "$DIR/kb.json"
+
+if out=$("$BIN" kb verify -pub "$DIR/openbi.key.pub" "$DIR/kb.json" 2>&1); then
+  echo "kbverify: verify accepted a corrupted KB" >&2
+  echo "$out" >&2
+  exit 1
+fi
+case "$out" in
+  *"record 0"*)
+    echo "kbverify: single-byte corruption refused and localized to record 0" ;;
+  *)
+    echo "kbverify: verification failed but did not name record 0:" >&2
+    echo "$out" >&2
+    exit 1 ;;
+esac
